@@ -1,0 +1,67 @@
+//! Cost of the discrete convolutions at the heart of the response-time
+//! model (paper §5.2): `S (*) W` for immediate reads, `S (*) W (*) U` for
+//! deferred reads, across sliding-window sizes.
+
+use aqf_sim::DelayModel;
+use aqf_stats::Pmf;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn window_pmf(model: &DelayModel, window: usize, seed: u64) -> Pmf {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Pmf::from_samples((0..window).map(|_| model.sample(&mut rng).as_micros()))
+}
+
+fn bench_convolution(c: &mut Criterion) {
+    let service = DelayModel::normal_ms(100.0, 50.0);
+    let queue = DelayModel::Exponential {
+        mean_us: 10_000.0,
+        min: aqf_sim::SimDuration::ZERO,
+    };
+    let deferred = DelayModel::Uniform {
+        lo: aqf_sim::SimDuration::ZERO,
+        hi: aqf_sim::SimDuration::from_secs(4),
+    };
+
+    let mut group = c.benchmark_group("convolution");
+    for window in [10usize, 20, 40] {
+        let s = window_pmf(&service, window, 1);
+        let w = window_pmf(&queue, window, 2);
+        let u = window_pmf(&deferred, window, 3);
+        group.bench_with_input(
+            BenchmarkId::new("immediate_s_w_g", window),
+            &window,
+            |b, _| {
+                b.iter(|| {
+                    let pmf = s.convolve(&w).shift(1_000);
+                    std::hint::black_box(pmf.cdf(150_000))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("deferred_s_w_g_u", window),
+            &window,
+            |b, _| {
+                b.iter(|| {
+                    let pmf = s.convolve(&w).shift(1_000).convolve(&u);
+                    std::hint::black_box(pmf.cdf(150_000))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("binned_deferred_1ms", window),
+            &window,
+            |b, _| {
+                b.iter(|| {
+                    let pmf = s.convolve(&w).binned(1_000).shift(1_000).convolve(&u);
+                    std::hint::black_box(pmf.cdf(150_000))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convolution);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! End-to-end scenario throughput: wall-clock cost of simulating complete
+//! validation runs (the unit of work behind every Figure 4 cell), across
+//! handlers and deployment sizes.
+
+use aqf_core::OrderingGuarantee;
+use aqf_workload::{run_scenario, ObjectKind, ScenarioConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn mini(ordering: OrderingGuarantee, replicas: (usize, usize)) -> ScenarioConfig {
+    let mut config = ScenarioConfig::paper_validation(160, 0.9, 2, 5);
+    config.ordering = ordering;
+    if ordering != OrderingGuarantee::Sequential {
+        config.object = ObjectKind::Bank;
+    }
+    config.num_primaries = replicas.0;
+    config.num_secondaries = replicas.1;
+    for c in &mut config.clients {
+        c.total_requests = 60;
+    }
+    config
+}
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for (name, ordering) in [
+        ("sequential", OrderingGuarantee::Sequential),
+        ("causal", OrderingGuarantee::Causal),
+        ("fifo", OrderingGuarantee::Fifo),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("handler_4p6s_120req", name),
+            &ordering,
+            |b, &ordering| b.iter(|| std::hint::black_box(run_scenario(&mini(ordering, (4, 6))))),
+        );
+    }
+    for (np, ns) in [(2usize, 3usize), (4, 6), (8, 12)] {
+        group.bench_with_input(
+            BenchmarkId::new("deployment_size", format!("{np}p{ns}s")),
+            &(np, ns),
+            |b, &size| {
+                b.iter(|| {
+                    std::hint::black_box(run_scenario(&mini(OrderingGuarantee::Sequential, size)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

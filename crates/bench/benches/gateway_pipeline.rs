@@ -1,0 +1,88 @@
+//! Server-gateway pipeline cost: the protocol bookkeeping (not the
+//! simulated service time) of committing updates in GSN order and of
+//! admitting + servicing staleness-checked reads.
+
+use aqf_bench::primary_gateway;
+use aqf_core::server::ServerAction;
+use aqf_core::wire::{Operation, Payload, ReadRequest, RequestId, UpdateRequest};
+use aqf_sim::{ActorId, SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn client(seq: u64) -> RequestId {
+    RequestId {
+        client: ActorId::from_index(999),
+        seq,
+    }
+}
+
+fn drive_service(gw: &mut aqf_core::ServerGateway, actions: Vec<ServerAction>, now: SimTime) {
+    let mut pending = actions;
+    while let Some(pos) = pending
+        .iter()
+        .position(|a| matches!(a, ServerAction::StartService { .. }))
+    {
+        let ServerAction::StartService { token } = pending.remove(pos) else {
+            unreachable!()
+        };
+        gw.on_service_start(token, now);
+        pending.extend(gw.on_service_done(token, now + SimDuration::from_micros(10)));
+    }
+}
+
+fn bench_gateway(c: &mut Criterion) {
+    c.bench_function("gateway/update_commit_apply", |b| {
+        let mut seq = 0u64;
+        let mut gw = primary_gateway(1, 3, 4);
+        let sequencer = ActorId::from_index(0);
+        b.iter(|| {
+            seq += 1;
+            let now = SimTime::from_micros(seq * 1000);
+            let u = UpdateRequest {
+                id: client(seq),
+                op: Operation::new("set", b"value".to_vec()),
+            };
+            let a1 = gw.on_payload(sequencer, Payload::Update(u), now);
+            let a2 = gw.on_payload(
+                sequencer,
+                Payload::GsnAssign {
+                    req: client(seq),
+                    gsn: seq,
+                },
+                now,
+            );
+            drive_service(&mut gw, a1, now);
+            drive_service(&mut gw, a2, now);
+            std::hint::black_box(gw.csn())
+        })
+    });
+
+    c.bench_function("gateway/read_admit_service", |b| {
+        let mut seq = 0u64;
+        let mut gw = primary_gateway(1, 3, 4);
+        let sequencer = ActorId::from_index(0);
+        b.iter(|| {
+            seq += 1;
+            let now = SimTime::from_micros(seq * 1000);
+            let r = ReadRequest {
+                id: client(seq),
+                op: Operation::new("get", Vec::new()),
+                staleness_threshold: 2,
+            };
+            let a1 = gw.on_payload(ActorId::from_index(999), Payload::Read(r), now);
+            let a2 = gw.on_payload(
+                sequencer,
+                Payload::GsnSnapshot {
+                    req: client(seq),
+                    gsn: gw.gsn(),
+                },
+                now,
+            );
+            drive_service(&mut gw, a1, now);
+            drive_service(&mut gw, a2, now);
+            std::hint::black_box(gw.stats().reads_served)
+        })
+    });
+}
+
+criterion_group!(benches, bench_gateway);
+criterion_main!(benches);

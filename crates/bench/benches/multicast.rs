@@ -1,0 +1,102 @@
+//! Group communication substrate throughput: simulated wall-clock cost of
+//! delivering a burst of reliable FIFO multicasts to every member, with and
+//! without message loss.
+
+use aqf_group::endpoint::GroupMembership;
+use aqf_group::{EndpointConfig, GroupEndpoint, GroupEvent, GroupId, GroupMsg, View, ViewId};
+use aqf_sim::{Actor, ActorId, Context, SimDuration, Timer, World};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const GROUP: GroupId = GroupId(1);
+const SEND: u32 = 1;
+
+struct Member {
+    ep: GroupEndpoint<u64>,
+    to_send: u64,
+    sent: u64,
+    delivered: u64,
+}
+
+impl Actor<GroupMsg<u64>> for Member {
+    fn on_start(&mut self, ctx: &mut Context<'_, GroupMsg<u64>>) {
+        self.ep.on_start(ctx);
+        if self.to_send > 0 {
+            ctx.set_timer(SEND, SimDuration::from_micros(100));
+        }
+    }
+    fn on_message(
+        &mut self,
+        from: ActorId,
+        msg: GroupMsg<u64>,
+        ctx: &mut Context<'_, GroupMsg<u64>>,
+    ) {
+        for ev in self.ep.handle_message(from, msg, ctx) {
+            if matches!(ev, GroupEvent::Delivered { .. }) {
+                self.delivered += 1;
+            }
+        }
+    }
+    fn on_timer(&mut self, timer: Timer, ctx: &mut Context<'_, GroupMsg<u64>>) {
+        if self.ep.handle_timer(timer, ctx).is_some() {
+            return;
+        }
+        if timer.kind == SEND && self.sent < self.to_send {
+            self.ep.multicast(GROUP, self.sent, ctx);
+            self.sent += 1;
+            if self.sent < self.to_send {
+                ctx.set_timer(SEND, SimDuration::from_micros(100));
+            }
+        }
+    }
+}
+
+fn run_burst(members: usize, messages: u64, loss: f64) -> u64 {
+    let mut world: World<GroupMsg<u64>> = World::new(42);
+    world.net_mut().set_loss_probability(loss);
+    let ids: Vec<ActorId> = (0..members).map(ActorId::from_index).collect();
+    let view = View::new(GROUP, ViewId(0), ids.clone());
+    for (i, &id) in ids.iter().enumerate() {
+        let ep = GroupEndpoint::new(
+            id,
+            EndpointConfig::default(),
+            vec![GroupMembership {
+                view: view.clone(),
+                observers: vec![],
+            }],
+            vec![],
+        );
+        let got = world.add_actor(Box::new(Member {
+            ep,
+            to_send: if i == 0 { messages } else { 0 },
+            sent: 0,
+            delivered: 0,
+        }));
+        assert_eq!(got, id);
+    }
+    world.run_for(SimDuration::from_secs(60));
+    let delivered: u64 = ids
+        .iter()
+        .map(|&id| world.actor::<Member>(id).unwrap().delivered)
+        .sum();
+    assert_eq!(delivered, messages * (members as u64 - 1), "all delivered");
+    delivered
+}
+
+fn bench_multicast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multicast");
+    group.sample_size(10);
+    for members in [4usize, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("reliable_500msgs", members),
+            &members,
+            |b, &m| b.iter(|| std::hint::black_box(run_burst(m, 500, 0.0))),
+        );
+    }
+    group.bench_function("reliable_500msgs_loss10pct_8members", |b| {
+        b.iter(|| std::hint::black_box(run_burst(8, 500, 0.10)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_multicast);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Cost of the staleness factor (paper Eq. 4): the Poisson CDF evaluated at
+//! selection time.
+
+use aqf_stats::poisson_cdf;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_poisson(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poisson_cdf");
+    for (mu, a) in [
+        (0.5f64, 2u64),
+        (4.0, 2),
+        (4.0, 16),
+        (50.0, 64),
+        (1000.0, 1000),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("mu{mu}_a{a}")),
+            &(mu, a),
+            |b, &(mu, a)| b.iter(|| std::hint::black_box(poisson_cdf(mu, a))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_poisson);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Selection-policy ablation: per-decision CPU cost of Algorithm 1 against
+//! the baseline policies, over a warm 10-replica candidate set.
+
+use aqf_bench::{build_candidates, synthetic_repository};
+use aqf_core::{SelectionPolicy, Selector};
+use aqf_sim::{ActorId, SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_policies(c: &mut Criterion) {
+    let repo = synthetic_repository(10, 20, 7);
+    let deadline = SimDuration::from_millis(150);
+    let now = SimTime::from_secs(100);
+    let candidates = build_candidates(&repo, 10, 4, deadline, now);
+    let sf = repo.staleness_factor(2, now);
+    let sequencer = ActorId::from_index(0);
+
+    let mut group = c.benchmark_group("policy_ablation");
+    for (name, policy) in [
+        ("probabilistic", SelectionPolicy::Probabilistic),
+        ("greedy_cdf", SelectionPolicy::GreedyCdf),
+        ("all_replicas", SelectionPolicy::AllReplicas),
+        ("round_robin", SelectionPolicy::SingleRoundRobin),
+        ("random_k3", SelectionPolicy::RandomK(3)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            let mut selector = Selector::new(policy);
+            let mut rng = SmallRng::seed_from_u64(1);
+            b.iter(|| {
+                std::hint::black_box(selector.select(
+                    &candidates,
+                    sf,
+                    0.9,
+                    Some(sequencer),
+                    &mut rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

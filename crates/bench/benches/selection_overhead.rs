@@ -1,0 +1,57 @@
+//! Figure 3 companion: CPU overhead of the probabilistic selection, split
+//! into the response-time-distribution computation (the paper's ~90%) and
+//! Algorithm 1 itself (~10%), versus the number of available replicas and
+//! the sliding-window size.
+
+use aqf_bench::{build_candidates, synthetic_repository};
+use aqf_core::select_replicas;
+use aqf_sim::{ActorId, SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_selection(c: &mut Criterion) {
+    let deadline = SimDuration::from_millis(150);
+    let now = SimTime::from_secs(100);
+    let sequencer = ActorId::from_index(0);
+
+    let mut group = c.benchmark_group("selection_overhead");
+    for window in [10usize, 20] {
+        for replicas in [2usize, 6, 10] {
+            let repo = synthetic_repository(replicas, window, replicas as u64);
+            let n_primaries = replicas.div_ceil(3);
+            group.bench_with_input(
+                BenchmarkId::new(format!("model_w{window}"), replicas),
+                &replicas,
+                |b, &n| {
+                    b.iter(|| {
+                        std::hint::black_box(build_candidates(&repo, n, n_primaries, deadline, now))
+                    })
+                },
+            );
+            let candidates = build_candidates(&repo, replicas, n_primaries, deadline, now);
+            let sf = repo.staleness_factor(2, now);
+            group.bench_with_input(
+                BenchmarkId::new(format!("algorithm1_w{window}"), replicas),
+                &replicas,
+                |b, _| {
+                    b.iter(|| {
+                        std::hint::black_box(select_replicas(&candidates, sf, 0.9, Some(sequencer)))
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("total_w{window}"), replicas),
+                &replicas,
+                |b, &n| {
+                    b.iter(|| {
+                        let cands = build_candidates(&repo, n, n_primaries, deadline, now);
+                        std::hint::black_box(select_replicas(&cands, sf, 0.9, Some(sequencer)))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

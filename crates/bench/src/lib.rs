@@ -1,0 +1,51 @@
+//! Shared helpers for the AQF benchmark suite.
+//!
+//! The benches regenerate the paper's Figure 3 (selection overhead) on real
+//! CPU time and add ablation measurements for the design choices called out
+//! in `DESIGN.md` (convolution cost, Poisson staleness factor, group
+//! multicast throughput, gateway pipeline, selection policies).
+
+pub use aqf_workload::{build_candidates, synthetic_repository};
+
+use aqf_core::object::VersionedRegister;
+use aqf_core::server::{ServerConfig, ServerGateway};
+use aqf_core::{PRIMARY_GROUP, SECONDARY_GROUP};
+use aqf_group::{GroupId, View, ViewId};
+use aqf_sim::ActorId;
+
+/// A primary view of `n + 1` members (ids 0..=n, 0 = sequencer/leader).
+pub fn primary_view(n: usize) -> View {
+    View::new(
+        PRIMARY_GROUP,
+        ViewId(0),
+        (0..=n).map(ActorId::from_index).collect(),
+    )
+}
+
+/// A secondary view of `n` members (ids 100..100+n).
+pub fn secondary_view(n: usize) -> View {
+    View::new(
+        SECONDARY_GROUP,
+        ViewId(0),
+        (100..100 + n).map(ActorId::from_index).collect(),
+    )
+}
+
+/// A generic group view for the multicast benches.
+pub fn flat_view(group: GroupId, n: usize) -> View {
+    View::new(group, ViewId(0), (0..n).map(ActorId::from_index).collect())
+}
+
+/// A warmed-up primary (non-sequencer) server gateway.
+pub fn primary_gateway(me: usize, primaries: usize, secondaries: usize) -> ServerGateway {
+    ServerGateway::new(
+        ActorId::from_index(me),
+        primary_view(primaries),
+        secondary_view(secondaries),
+        Box::new(VersionedRegister::new()),
+        ServerConfig {
+            clients: vec![ActorId::from_index(999)],
+            ..ServerConfig::default()
+        },
+    )
+}

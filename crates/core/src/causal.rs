@@ -1,0 +1,1192 @@
+//! The causal timed-consistency handler — the third ordering guarantee of
+//! the paper's QoS model (§2 lists sequential, causal, and FIFO as the
+//! well-known orderings a service can offer; §4's framework hosts them as
+//! interchangeable gateway handlers).
+//!
+//! Causality here is the classic *reads-from + program order* relation:
+//!
+//! * every client numbers its updates (`update_seq`), and a replica applies
+//!   a client's updates in that order (program order, enforced on top of
+//!   the group layer's FIFO delivery);
+//! * every read reply carries the serving replica's *version vector*
+//!   (per-client applied-update counts); the client merges it into its
+//!   observed vector;
+//! * every update carries the client's observed vector as its dependency
+//!   set: no replica applies the update before having applied everything
+//!   the issuing client had seen (so a reply to a message can never be
+//!   applied before the message itself);
+//! * every read carries the observed vector too and is served only from a
+//!   state that dominates it — giving read-your-writes and monotonic
+//!   reads. A replica that is behind defers the read exactly like the
+//!   sequential handler's staleness-based deferred reads; the next lazy
+//!   update (or local commit) releases it.
+//!
+//! Like the FIFO handler there is no sequencer; concurrent (causally
+//! unrelated) updates may interleave differently across replicas, so the
+//! workload's concurrent operations must commute for byte-identical
+//! convergence.
+
+use crate::object::ReplicatedObject;
+use crate::qos::OrderingGuarantee;
+use crate::server::{ReplicaRole, ServerAction, ServerConfig, ServerStats};
+use crate::wire::{
+    Payload, PerfBroadcast, PublisherInfo, ReadMeasurement, ReadRequest, Reply, UpdateRequest,
+    VersionVector, PRIMARY_GROUP, SECONDARY_GROUP,
+};
+use aqf_group::View;
+use aqf_sim::{ActorId, SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// Pointwise comparison: does `vector` dominate (cover) every entry of
+/// `deps`?
+pub fn dominates(vector: &HashMap<ActorId, u64>, deps: &VersionVector) -> bool {
+    deps.iter()
+        .all(|(client, need)| vector.get(client).copied().unwrap_or(0) >= *need)
+}
+
+/// Pointwise maximum merge of `incoming` into `vector`.
+pub fn merge_into(vector: &mut HashMap<ActorId, u64>, incoming: &VersionVector) {
+    for (client, count) in incoming {
+        let entry = vector.entry(*client).or_insert(0);
+        *entry = (*entry).max(*count);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct WaitingUpdate {
+    update: UpdateRequest,
+    update_seq: u64,
+    deps: VersionVector,
+}
+
+#[derive(Debug, Clone)]
+struct PendingRead {
+    req: ReadRequest,
+    client: ActorId,
+    deps: VersionVector,
+    arrived_at: SimTime,
+}
+
+#[derive(Debug, Clone)]
+enum WorkKind {
+    Update {
+        update: UpdateRequest,
+    },
+    Read {
+        read: PendingRead,
+        staleness: u64,
+        deferred: bool,
+        tb: SimDuration,
+        /// The replica vector snapshot handed back to the client.
+        vector: VersionVector,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Work {
+    kind: WorkKind,
+    enqueued_at: SimTime,
+}
+
+/// The causal-ordering server gateway. See the [module docs](self).
+pub struct CausalServerGateway {
+    me: ActorId,
+    role: ReplicaRole,
+    config: ServerConfig,
+    object: Box<dyn ReplicatedObject>,
+
+    primary_view: View,
+    secondary_view: View,
+
+    /// Per-client committed (enqueued-for-apply) update counts: the
+    /// replica's version vector.
+    vector: HashMap<ActorId, u64>,
+    /// Total updates committed (sum of the vector).
+    version: u64,
+    /// Updates whose program-order predecessor or dependencies are not yet
+    /// committed.
+    waiting: Vec<WaitingUpdate>,
+    /// Reads whose dependency vector the replica does not dominate yet, or
+    /// whose estimated staleness exceeded the client threshold.
+    deferred: Vec<(PendingRead, SimTime)>,
+
+    // Secondary staleness estimation (same scheme as the FIFO handler).
+    last_lazy_at: Option<SimTime>,
+    lazy_rate_per_us: f64,
+
+    service_queue: VecDeque<Work>,
+    in_service: Option<(u64, Work, SimTime)>,
+    next_token: u64,
+
+    updates_since_broadcast: u64,
+    last_broadcast_at: SimTime,
+    updates_since_lazy: u64,
+    publisher_lazy_at: SimTime,
+    rate_acc_updates: u64,
+    rate_acc_since: SimTime,
+    lazy_timer_pending: bool,
+
+    // Unsynced replicas re-request state transfers (the first request can
+    // be lost), rotating donors.
+    last_transfer_request: SimTime,
+    donor_rr: usize,
+
+    synced: bool,
+    stats: ServerStats,
+    /// Updates that had to wait for causal dependencies at least once.
+    causal_holds: u64,
+    /// Reads deferred because the replica did not dominate the client's
+    /// observed vector.
+    causal_read_waits: u64,
+}
+
+impl std::fmt::Debug for CausalServerGateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CausalServerGateway")
+            .field("me", &self.me)
+            .field("role", &self.role)
+            .field("version", &self.version)
+            .field("waiting", &self.waiting.len())
+            .finish()
+    }
+}
+
+impl CausalServerGateway {
+    /// Creates a causal gateway for replica `me`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is a member of neither (or both) initial views.
+    pub fn new(
+        me: ActorId,
+        primary_view: View,
+        secondary_view: View,
+        object: Box<dyn ReplicatedObject>,
+        config: ServerConfig,
+    ) -> Self {
+        let in_p = primary_view.contains(me);
+        let in_s = secondary_view.contains(me);
+        assert!(
+            in_p ^ in_s,
+            "replica must belong to exactly one replication group"
+        );
+        let role = if in_p {
+            ReplicaRole::Primary
+        } else {
+            ReplicaRole::Secondary
+        };
+        Self {
+            me,
+            role,
+            config,
+            object,
+            primary_view,
+            secondary_view,
+            vector: HashMap::new(),
+            version: 0,
+            waiting: Vec::new(),
+            deferred: Vec::new(),
+            last_lazy_at: None,
+            lazy_rate_per_us: 0.0,
+            service_queue: VecDeque::new(),
+            in_service: None,
+            next_token: 0,
+            updates_since_broadcast: 0,
+            last_broadcast_at: SimTime::ZERO,
+            updates_since_lazy: 0,
+            publisher_lazy_at: SimTime::ZERO,
+            rate_acc_updates: 0,
+            rate_acc_since: SimTime::ZERO,
+            lazy_timer_pending: false,
+            last_transfer_request: SimTime::ZERO,
+            donor_rr: 0,
+            synced: true,
+            stats: ServerStats::default(),
+            causal_holds: 0,
+            causal_read_waits: 0,
+        }
+    }
+
+    /// This replica's role.
+    pub fn role(&self) -> ReplicaRole {
+        self.role
+    }
+
+    /// Total updates committed by this replica.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Snapshot of the replica's version vector as a wire-format list.
+    pub fn vector_snapshot(&self) -> VersionVector {
+        let mut v: VersionVector = self.vector.iter().map(|(c, n)| (*c, *n)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Updates that had to wait for causal dependencies at least once.
+    pub fn causal_holds(&self) -> u64 {
+        self.causal_holds
+    }
+
+    /// Reads deferred for causal dominance.
+    pub fn causal_read_waits(&self) -> u64 {
+        self.causal_read_waits
+    }
+
+    /// Whether this replica is the current lazy publisher (highest-ranked
+    /// primary, as in the other handlers).
+    pub fn is_publisher(&self) -> bool {
+        self.role == ReplicaRole::Primary
+            && *self.primary_view.members().last().expect("non-empty view") == self.me
+    }
+
+    /// Estimated staleness in versions (same rate-based scheme as the FIFO
+    /// handler; primaries are always 0).
+    pub fn estimated_staleness(&self, now: SimTime) -> u64 {
+        match self.role {
+            ReplicaRole::Primary => 0,
+            ReplicaRole::Secondary => match self.last_lazy_at {
+                Some(at) => {
+                    let elapsed = now.saturating_since(at).as_micros() as f64;
+                    (self.lazy_rate_per_us * elapsed).ceil() as u64
+                }
+                None => u64::MAX,
+            },
+        }
+    }
+
+    /// Whether the replica's state is synchronized.
+    pub fn is_synced(&self) -> bool {
+        self.synced
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Read access to the hosted object.
+    pub fn object(&self) -> &dyn ReplicatedObject {
+        &*self.object
+    }
+
+    /// Called once at host start.
+    pub fn on_start(&mut self, now: SimTime) -> Vec<ServerAction> {
+        self.last_broadcast_at = now;
+        self.publisher_lazy_at = now;
+        self.rate_acc_since = now;
+        if self.role == ReplicaRole::Secondary {
+            self.last_lazy_at = Some(now);
+        }
+        let mut actions = Vec::new();
+        if self.is_publisher() {
+            self.arm_lazy(&mut actions);
+        }
+        actions
+    }
+
+    fn arm_lazy(&mut self, actions: &mut Vec<ServerAction>) {
+        if !self.lazy_timer_pending {
+            self.lazy_timer_pending = true;
+            actions.push(ServerAction::ArmLazyTimer {
+                after: self.config.lazy_interval,
+            });
+        }
+    }
+
+    /// Restart handling: wipe volatile state and request a state transfer.
+    pub fn on_restart(
+        &mut self,
+        fresh_object: Box<dyn ReplicatedObject>,
+        now: SimTime,
+    ) -> Vec<ServerAction> {
+        let me = self.me;
+        let config = self.config.clone();
+        let primary_view = self.primary_view.clone();
+        let secondary_view = self.secondary_view.clone();
+        *self = CausalServerGateway::new(me, primary_view, secondary_view, fresh_object, config);
+        self.synced = false;
+        self.last_lazy_at = None;
+        self.last_transfer_request = now;
+        self.last_broadcast_at = now;
+        self.publisher_lazy_at = now;
+        self.rate_acc_since = now;
+        let donor = self.primary_view.leader();
+        let mut actions = vec![ServerAction::SendDirect {
+            to: donor,
+            payload: Payload::StateRequest,
+        }];
+        if self.is_publisher() {
+            self.arm_lazy(&mut actions);
+        }
+        actions
+    }
+
+    /// Picks the next state-transfer donor, cycling through the primary
+    /// members so a lost request or an unhelpful donor cannot wedge
+    /// recovery.
+    fn next_donor(&mut self) -> Option<ActorId> {
+        let candidates: Vec<ActorId> = self
+            .primary_view
+            .members()
+            .iter()
+            .copied()
+            .filter(|m| *m != self.me)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let donor = candidates[self.donor_rr % candidates.len()];
+        self.donor_rr += 1;
+        Some(donor)
+    }
+
+    /// While unsynchronized, periodically re-request the state transfer
+    /// (the initial request or its response may have been lost).
+    fn maybe_rerequest_transfer(&mut self, now: SimTime, actions: &mut Vec<ServerAction>) {
+        if self.synced
+            || now.saturating_since(self.last_transfer_request) <= self.config.commit_stall_timeout
+        {
+            return;
+        }
+        if let Some(donor) = self.next_donor() {
+            self.last_transfer_request = now;
+            actions.push(ServerAction::SendDirect {
+                to: donor,
+                payload: Payload::StateRequest,
+            });
+        }
+    }
+
+    /// Handles a protocol payload.
+    pub fn on_payload(
+        &mut self,
+        from: ActorId,
+        payload: Payload,
+        now: SimTime,
+    ) -> Vec<ServerAction> {
+        let mut retry = Vec::new();
+        self.maybe_rerequest_transfer(now, &mut retry);
+        if !retry.is_empty() {
+            let mut actions = self.dispatch_payload(from, payload, now);
+            actions.extend(retry);
+            return actions;
+        }
+        self.dispatch_payload(from, payload, now)
+    }
+
+    fn dispatch_payload(
+        &mut self,
+        from: ActorId,
+        payload: Payload,
+        now: SimTime,
+    ) -> Vec<ServerAction> {
+        match payload {
+            Payload::CausalUpdate {
+                update,
+                update_seq,
+                deps,
+            } => self.on_update(update, update_seq, deps, now),
+            Payload::CausalRead { read, deps } => self.on_read(from, read, deps, now),
+            Payload::CausalLazyUpdate {
+                version,
+                vector,
+                snapshot,
+                rate_per_us,
+            } => self.on_lazy_update(version, vector, &snapshot, rate_per_us, now),
+            Payload::StateRequest => self.on_state_request(from),
+            Payload::StateResponse { csn, snapshot, .. } => {
+                // The vector rides in the snapshot's causal wrapper; see
+                // snapshot_with_vector / install below.
+                self.on_state_response(csn, &snapshot, now)
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_update(
+        &mut self,
+        update: UpdateRequest,
+        update_seq: u64,
+        deps: VersionVector,
+        now: SimTime,
+    ) -> Vec<ServerAction> {
+        if self.role != ReplicaRole::Primary {
+            return Vec::new();
+        }
+        self.updates_since_broadcast += 1;
+        self.updates_since_lazy += 1;
+        self.rate_acc_updates += 1;
+        let mut actions = Vec::new();
+        if !self.try_admit_update(&update, update_seq, &deps, now, &mut actions) {
+            self.causal_holds += 1;
+            self.waiting.push(WaitingUpdate {
+                update,
+                update_seq,
+                deps,
+            });
+        } else {
+            self.drain_waiting(now, &mut actions);
+        }
+        actions
+    }
+
+    /// Commits `update` if its program-order predecessor count and causal
+    /// dependencies are satisfied.
+    fn try_admit_update(
+        &mut self,
+        update: &UpdateRequest,
+        update_seq: u64,
+        deps: &VersionVector,
+        now: SimTime,
+        actions: &mut Vec<ServerAction>,
+    ) -> bool {
+        let client = update.id.client;
+        let applied_of_client = self.vector.get(&client).copied().unwrap_or(0);
+        if applied_of_client != update_seq || !dominates(&self.vector, deps) {
+            return false;
+        }
+        *self.vector.entry(client).or_insert(0) += 1;
+        self.version += 1;
+        self.stats.updates_committed += 1;
+        self.enqueue(
+            Work {
+                kind: WorkKind::Update {
+                    update: update.clone(),
+                },
+                enqueued_at: now,
+            },
+            actions,
+        );
+        true
+    }
+
+    /// Re-examines held-back updates and causally blocked reads until a
+    /// fixpoint.
+    fn drain_waiting(&mut self, now: SimTime, actions: &mut Vec<ServerAction>) {
+        loop {
+            let mut progressed = false;
+            let mut still_waiting = Vec::with_capacity(self.waiting.len());
+            for w in std::mem::take(&mut self.waiting) {
+                if self.try_admit_update(&w.update, w.update_seq, &w.deps, now, actions) {
+                    progressed = true;
+                } else {
+                    still_waiting.push(w);
+                }
+            }
+            self.waiting = still_waiting;
+            if !progressed {
+                break;
+            }
+        }
+        self.release_ready_reads(now, actions);
+    }
+
+    fn release_ready_reads(&mut self, now: SimTime, actions: &mut Vec<ServerAction>) {
+        let staleness_now = self.estimated_staleness(now);
+        let mut kept = Vec::with_capacity(self.deferred.len());
+        for (pending, deferred_at) in std::mem::take(&mut self.deferred) {
+            if self.synced
+                && dominates(&self.vector, &pending.deps)
+                && staleness_now <= pending.req.staleness_threshold as u64
+            {
+                let tb = now.saturating_since(deferred_at);
+                let vector = self.vector_snapshot();
+                self.enqueue(
+                    Work {
+                        kind: WorkKind::Read {
+                            read: pending,
+                            staleness: staleness_now,
+                            deferred: true,
+                            tb,
+                            vector,
+                        },
+                        enqueued_at: now,
+                    },
+                    actions,
+                );
+            } else {
+                kept.push((pending, deferred_at));
+            }
+        }
+        self.deferred = kept;
+    }
+
+    fn on_read(
+        &mut self,
+        from: ActorId,
+        req: ReadRequest,
+        deps: VersionVector,
+        now: SimTime,
+    ) -> Vec<ServerAction> {
+        let pending = PendingRead {
+            req,
+            client: from,
+            deps,
+            arrived_at: now,
+        };
+        let staleness = self.estimated_staleness(now);
+        let causally_ready = dominates(&self.vector, &pending.deps);
+        let mut actions = Vec::new();
+        if self.synced && causally_ready && staleness <= pending.req.staleness_threshold as u64 {
+            let vector = self.vector_snapshot();
+            self.enqueue(
+                Work {
+                    kind: WorkKind::Read {
+                        read: pending,
+                        staleness,
+                        deferred: false,
+                        tb: SimDuration::ZERO,
+                        vector,
+                    },
+                    enqueued_at: now,
+                },
+                &mut actions,
+            );
+        } else {
+            if !causally_ready {
+                self.causal_read_waits += 1;
+            }
+            self.stats.reads_deferred += 1;
+            self.deferred.push((pending, now));
+        }
+        actions
+    }
+
+    fn on_lazy_update(
+        &mut self,
+        version: u64,
+        vector: VersionVector,
+        snapshot: &bytes::Bytes,
+        rate_per_us: f64,
+        now: SimTime,
+    ) -> Vec<ServerAction> {
+        if self.role != ReplicaRole::Secondary {
+            return Vec::new();
+        }
+        if version > self.version {
+            self.object.install_snapshot(snapshot);
+            self.version = version;
+            self.vector = vector.into_iter().collect();
+            self.stats.lazy_updates_applied += 1;
+        }
+        self.synced = true;
+        self.last_lazy_at = Some(now);
+        self.lazy_rate_per_us = rate_per_us.max(0.0);
+        let mut actions = Vec::new();
+        self.release_ready_reads(now, &mut actions);
+        actions
+    }
+
+    /// The lazy propagation timer fired.
+    pub fn on_lazy_timer(&mut self, now: SimTime) -> Vec<ServerAction> {
+        self.lazy_timer_pending = false;
+        if !self.is_publisher() {
+            return Vec::new();
+        }
+        let mut actions = Vec::new();
+        self.stats.lazy_updates_sent += 1;
+        let elapsed = now.saturating_since(self.rate_acc_since).as_micros();
+        let rate = if elapsed > 0 {
+            self.rate_acc_updates as f64 / elapsed as f64
+        } else {
+            0.0
+        };
+        actions.push(ServerAction::MulticastSecondary(
+            Payload::CausalLazyUpdate {
+                version: self.version,
+                vector: self.vector_snapshot(),
+                snapshot: self.object.snapshot(),
+                rate_per_us: rate,
+            },
+        ));
+        self.updates_since_lazy = 0;
+        self.publisher_lazy_at = now;
+        if now.saturating_since(self.rate_acc_since) > self.config.lazy_interval * 8 {
+            self.rate_acc_updates = 0;
+            self.rate_acc_since = now;
+        }
+        let perf = Payload::Perf(PerfBroadcast {
+            read: None,
+            publisher: Some(self.publisher_info(now)),
+        });
+        for c in self.config.clients.clone() {
+            actions.push(ServerAction::SendDirect {
+                to: c,
+                payload: perf.clone(),
+            });
+        }
+        self.arm_lazy(&mut actions);
+        actions
+    }
+
+    fn publisher_info(&mut self, now: SimTime) -> PublisherInfo {
+        let info = PublisherInfo {
+            n_u: self.updates_since_broadcast,
+            t_u: now.saturating_since(self.last_broadcast_at),
+            n_l: self.updates_since_lazy,
+            t_l: now.saturating_since(self.publisher_lazy_at),
+            period: self.config.lazy_interval,
+        };
+        self.updates_since_broadcast = 0;
+        self.last_broadcast_at = now;
+        info
+    }
+
+    fn enqueue(&mut self, work: Work, actions: &mut Vec<ServerAction>) {
+        self.service_queue.push_back(work);
+        self.maybe_start_service(actions);
+    }
+
+    fn maybe_start_service(&mut self, actions: &mut Vec<ServerAction>) {
+        if self.in_service.is_some() {
+            return;
+        }
+        let Some(work) = self.service_queue.pop_front() else {
+            return;
+        };
+        let token = self.next_token;
+        self.next_token += 1;
+        self.in_service = Some((token, work, SimTime::ZERO));
+        actions.push(ServerAction::StartService { token });
+    }
+
+    /// The host began servicing `token` at `now`.
+    pub fn on_service_start(&mut self, token: u64, now: SimTime) {
+        if let Some((t, _, start)) = self.in_service.as_mut() {
+            if *t == token {
+                *start = now;
+            }
+        }
+    }
+
+    /// The service delay for `token` elapsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is not the unit of work in service.
+    pub fn on_service_done(&mut self, token: u64, now: SimTime) -> Vec<ServerAction> {
+        let (t, work, started_at) = self.in_service.take().expect("no work in service");
+        assert_eq!(t, token, "service completion for unexpected token");
+        let mut actions = Vec::new();
+        let ts = now.saturating_since(started_at);
+        match work.kind {
+            WorkKind::Update { update } => {
+                let result = self.object.apply_update(&update.op);
+                let tq = started_at.saturating_since(work.enqueued_at);
+                actions.push(ServerAction::SendDirect {
+                    to: update.id.client,
+                    payload: Payload::Reply(Reply {
+                        id: update.id,
+                        result,
+                        t1_us: (ts + tq).as_micros(),
+                        staleness: 0,
+                        deferred: false,
+                        csn: self.version,
+                        vector: self.vector_snapshot(),
+                    }),
+                });
+            }
+            WorkKind::Read {
+                read,
+                staleness,
+                deferred,
+                tb,
+                vector,
+            } => {
+                let result = self.object.read(&read.req.op);
+                self.stats.reads_served += 1;
+                let total_wait = started_at.saturating_since(read.arrived_at);
+                let tq = total_wait.saturating_sub(tb);
+                let t1 = ts + tq + tb;
+                actions.push(ServerAction::SendDirect {
+                    to: read.client,
+                    payload: Payload::Reply(Reply {
+                        id: read.req.id,
+                        result,
+                        t1_us: t1.as_micros(),
+                        staleness,
+                        deferred,
+                        csn: self.version,
+                        vector,
+                    }),
+                });
+                let perf = Payload::Perf(PerfBroadcast {
+                    read: Some(ReadMeasurement {
+                        ts_us: ts.as_micros(),
+                        tq_us: tq.as_micros(),
+                        tb_us: tb.as_micros(),
+                    }),
+                    publisher: self.is_publisher().then(|| self.publisher_info(now)),
+                });
+                for c in self.config.clients.clone() {
+                    actions.push(ServerAction::SendDirect {
+                        to: c,
+                        payload: perf.clone(),
+                    });
+                }
+            }
+        }
+        self.maybe_start_service(&mut actions);
+        actions
+    }
+
+    fn on_state_request(&mut self, from: ActorId) -> Vec<ServerAction> {
+        if self.role != ReplicaRole::Primary || !self.synced {
+            return Vec::new();
+        }
+        self.stats.state_transfers += 1;
+        // The vector is serialized alongside the object state so a joiner
+        // recovers both.
+        vec![ServerAction::SendDirect {
+            to: from,
+            payload: Payload::StateResponse {
+                csn: self.version,
+                gsn: self.version,
+                snapshot: self.snapshot_with_vector(),
+            },
+        }]
+    }
+
+    /// Serializes `vector || object snapshot` for state transfer.
+    fn snapshot_with_vector(&self) -> bytes::Bytes {
+        use bytes::BufMut;
+        let object = self.object.snapshot();
+        let vector = self.vector_snapshot();
+        let mut out = bytes::BytesMut::new();
+        out.put_u64(vector.len() as u64);
+        for (client, count) in &vector {
+            out.put_u32(client.index() as u32);
+            out.put_u64(*count);
+        }
+        out.put_slice(&object);
+        out.freeze()
+    }
+
+    fn install_with_vector(&mut self, blob: &bytes::Bytes) {
+        use bytes::Buf;
+        let mut buf = blob.clone();
+        assert!(buf.remaining() >= 8, "causal state transfer too short");
+        let n = buf.get_u64() as usize;
+        let mut vector = HashMap::new();
+        for _ in 0..n {
+            let client = ActorId::from_index(buf.get_u32() as usize);
+            let count = buf.get_u64();
+            vector.insert(client, count);
+        }
+        let object = buf.copy_to_bytes(buf.remaining());
+        self.object.install_snapshot(&object);
+        self.vector = vector;
+    }
+
+    fn on_state_response(
+        &mut self,
+        version: u64,
+        blob: &bytes::Bytes,
+        now: SimTime,
+    ) -> Vec<ServerAction> {
+        if self.synced || version < self.version {
+            return Vec::new();
+        }
+        self.install_with_vector(blob);
+        self.version = version;
+        self.synced = true;
+        if self.role == ReplicaRole::Secondary {
+            self.last_lazy_at = Some(now);
+        }
+        let mut actions = Vec::new();
+        self.drain_waiting(now, &mut actions);
+        actions
+    }
+
+    /// Handles a view change of either replication group.
+    pub fn on_view(&mut self, view: View, now: SimTime) -> Vec<ServerAction> {
+        let mut actions = Vec::new();
+        if view.group == PRIMARY_GROUP {
+            let was_publisher = self.is_publisher();
+            self.primary_view = view;
+            if self.role == ReplicaRole::Primary && self.is_publisher() && !was_publisher {
+                self.updates_since_lazy = 0;
+                self.publisher_lazy_at = now;
+                self.rate_acc_since = now;
+                self.rate_acc_updates = 0;
+                self.arm_lazy(&mut actions);
+            }
+        } else if view.group == SECONDARY_GROUP {
+            self.secondary_view = view;
+        }
+        actions
+    }
+}
+
+impl crate::protocol::ServerProtocol for CausalServerGateway {
+    fn ordering(&self) -> OrderingGuarantee {
+        OrderingGuarantee::Causal
+    }
+
+    fn on_start(&mut self, now: SimTime) -> Vec<ServerAction> {
+        CausalServerGateway::on_start(self, now)
+    }
+
+    fn on_restart(
+        &mut self,
+        fresh_object: Box<dyn ReplicatedObject>,
+        now: SimTime,
+    ) -> Vec<ServerAction> {
+        CausalServerGateway::on_restart(self, fresh_object, now)
+    }
+
+    fn on_payload(&mut self, from: ActorId, payload: Payload, now: SimTime) -> Vec<ServerAction> {
+        CausalServerGateway::on_payload(self, from, payload, now)
+    }
+
+    fn on_service_start(&mut self, token: u64, now: SimTime) {
+        CausalServerGateway::on_service_start(self, token, now)
+    }
+
+    fn on_service_done(&mut self, token: u64, now: SimTime) -> Vec<ServerAction> {
+        CausalServerGateway::on_service_done(self, token, now)
+    }
+
+    fn on_lazy_timer(&mut self, now: SimTime) -> Vec<ServerAction> {
+        CausalServerGateway::on_lazy_timer(self, now)
+    }
+
+    fn on_view(&mut self, view: View, now: SimTime) -> Vec<ServerAction> {
+        CausalServerGateway::on_view(self, view, now)
+    }
+
+    fn is_sequencer(&self) -> bool {
+        false
+    }
+
+    fn is_publisher(&self) -> bool {
+        CausalServerGateway::is_publisher(self)
+    }
+
+    fn csn(&self) -> u64 {
+        self.version
+    }
+
+    fn applied_csn(&self) -> u64 {
+        self.version
+    }
+
+    fn gsn(&self) -> u64 {
+        self.version
+    }
+
+    fn is_synced(&self) -> bool {
+        CausalServerGateway::is_synced(self)
+    }
+
+    fn stats(&self) -> ServerStats {
+        CausalServerGateway::stats(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::SharedDocument;
+    use crate::wire::{Operation, RequestId};
+    use aqf_group::ViewId;
+
+    fn a(i: usize) -> ActorId {
+        ActorId::from_index(i)
+    }
+
+    fn pview() -> View {
+        View::new(PRIMARY_GROUP, ViewId(0), vec![a(0), a(1), a(2)])
+    }
+
+    fn sview() -> View {
+        View::new(SECONDARY_GROUP, ViewId(0), vec![a(10), a(11)])
+    }
+
+    fn gw(i: usize) -> CausalServerGateway {
+        CausalServerGateway::new(
+            a(i),
+            pview(),
+            sview(),
+            Box::new(SharedDocument::new()),
+            ServerConfig {
+                clients: vec![a(20), a(21)],
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    fn update(client: usize, update_seq: u64, text: &str, deps: VersionVector) -> Payload {
+        Payload::CausalUpdate {
+            update: UpdateRequest {
+                id: RequestId {
+                    client: a(client),
+                    seq: update_seq * 2,
+                },
+                op: Operation::new("append", text.as_bytes().to_vec()),
+            },
+            update_seq,
+            deps,
+        }
+    }
+
+    fn read(client: usize, seq: u64, deps: VersionVector) -> Payload {
+        Payload::CausalRead {
+            read: ReadRequest {
+                id: RequestId {
+                    client: a(client),
+                    seq,
+                },
+                op: Operation::new("fetch", vec![]),
+                staleness_threshold: 1000,
+            },
+            deps,
+        }
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn drain(
+        gw: &mut CausalServerGateway,
+        actions: &mut Vec<ServerAction>,
+        mut now: SimTime,
+    ) -> SimTime {
+        while let Some(pos) = actions
+            .iter()
+            .position(|x| matches!(x, ServerAction::StartService { .. }))
+        {
+            let ServerAction::StartService { token } = actions.remove(pos) else {
+                unreachable!()
+            };
+            gw.on_service_start(token, now);
+            now += SimDuration::from_millis(5);
+            actions.extend(gw.on_service_done(token, now));
+        }
+        now
+    }
+
+    #[test]
+    fn dominates_and_merge() {
+        let mut v = HashMap::new();
+        v.insert(a(1), 3u64);
+        assert!(dominates(&v, &vec![(a(1), 3)]));
+        assert!(dominates(&v, &vec![(a(1), 2)]));
+        assert!(!dominates(&v, &vec![(a(1), 4)]));
+        assert!(!dominates(&v, &vec![(a(2), 1)]));
+        assert!(dominates(&v, &vec![]));
+        merge_into(&mut v, &vec![(a(1), 2), (a(2), 5)]);
+        assert_eq!(v[&a(1)], 3);
+        assert_eq!(v[&a(2)], 5);
+    }
+
+    #[test]
+    fn program_order_enforced_per_client() {
+        let mut p = gw(1);
+        // Second update of client 20 arrives first: must wait.
+        let actions = p.on_payload(a(20), update(20, 1, "second", vec![]), t(0));
+        assert!(actions.is_empty());
+        assert_eq!(p.version(), 0);
+        assert_eq!(p.causal_holds(), 1);
+        // First update unblocks both.
+        let mut actions = p.on_payload(a(20), update(20, 0, "first", vec![]), t(1));
+        assert_eq!(p.version(), 2);
+        let _ = drain(&mut p, &mut actions, t(1));
+        assert_eq!(
+            p.object().read(&Operation::new("fetch", vec![]))[8..].to_vec(),
+            b"first\nsecond".to_vec()
+        );
+    }
+
+    #[test]
+    fn cross_client_dependency_orders_reply_after_message() {
+        let mut p = gw(1);
+        // Client 21's "reply" depends on having seen client 20's "message"
+        // (it read a state where vector[20] = 1). Deliver the reply first.
+        let actions = p.on_payload(a(21), update(21, 0, "reply", vec![(a(20), 1)]), t(0));
+        assert!(actions.is_empty(), "reply must wait for the message");
+        assert_eq!(p.causal_holds(), 1);
+        let mut actions = p.on_payload(a(20), update(20, 0, "message", vec![]), t(1));
+        assert_eq!(p.version(), 2, "message admitted, reply released");
+        let _ = drain(&mut p, &mut actions, t(1));
+        let text = p.object().read(&Operation::new("fetch", vec![]))[8..].to_vec();
+        assert_eq!(text, b"message\nreply".to_vec());
+    }
+
+    #[test]
+    fn read_waits_for_dominating_state() {
+        let mut p = gw(1);
+        // Client has observed one update of client 20; this replica has
+        // not applied it yet.
+        let actions = p.on_payload(a(21), read(21, 0, vec![(a(20), 1)]), t(0));
+        assert!(actions.is_empty());
+        assert_eq!(p.causal_read_waits(), 1);
+        assert_eq!(p.stats().reads_deferred, 1);
+        // The missing update arrives: the read is released and served.
+        let mut actions = p.on_payload(a(20), update(20, 0, "x", vec![]), t(10));
+        let _ = drain(&mut p, &mut actions, t(10));
+        assert_eq!(p.stats().reads_served, 1);
+        let reply = actions
+            .iter()
+            .find_map(|x| match x {
+                ServerAction::SendDirect {
+                    payload: Payload::Reply(r),
+                    ..
+                } if r.id.client == a(21) => Some(r.clone()),
+                _ => None,
+            })
+            .expect("read served");
+        assert!(reply.deferred);
+        assert_eq!(reply.vector, vec![(a(20), 1)]);
+    }
+
+    #[test]
+    fn read_with_satisfied_deps_served_immediately() {
+        let mut p = gw(1);
+        let mut actions = p.on_payload(a(20), update(20, 0, "x", vec![]), t(0));
+        let _ = drain(&mut p, &mut actions, t(0));
+        let mut actions = p.on_payload(a(21), read(21, 0, vec![(a(20), 1)]), t(1));
+        let _ = drain(&mut p, &mut actions, t(1));
+        assert_eq!(p.stats().reads_served, 1);
+        assert_eq!(p.causal_read_waits(), 0);
+    }
+
+    #[test]
+    fn lazy_update_carries_vector_and_releases_reads() {
+        let mut publisher = gw(2);
+        assert!(publisher.is_publisher());
+        let _ = publisher.on_start(t(0));
+        let mut actions = publisher.on_payload(a(20), update(20, 0, "m", vec![]), t(10));
+        let _ = drain(&mut publisher, &mut actions, t(10));
+        let lazy = publisher.on_lazy_timer(t(2000));
+        let (version, vector, snapshot, rate) = lazy
+            .iter()
+            .find_map(|x| match x {
+                ServerAction::MulticastSecondary(Payload::CausalLazyUpdate {
+                    version,
+                    vector,
+                    snapshot,
+                    rate_per_us,
+                }) => Some((*version, vector.clone(), snapshot.clone(), *rate_per_us)),
+                _ => None,
+            })
+            .expect("causal lazy update");
+        assert_eq!(version, 1);
+        assert_eq!(vector, vec![(a(20), 1)]);
+        assert!(rate > 0.0);
+
+        // A secondary with a blocked read applies it and serves.
+        let mut s = CausalServerGateway::new(
+            a(10),
+            pview(),
+            sview(),
+            Box::new(SharedDocument::new()),
+            ServerConfig {
+                clients: vec![a(20)],
+                ..ServerConfig::default()
+            },
+        );
+        let _ = s.on_start(t(0));
+        let held = s.on_payload(a(21), read(21, 0, vec![(a(20), 1)]), t(100));
+        assert!(held.is_empty());
+        let mut actions = s.on_payload(
+            a(2),
+            Payload::CausalLazyUpdate {
+                version,
+                vector,
+                snapshot,
+                rate_per_us: rate,
+            },
+            t(2001),
+        );
+        let _ = drain(&mut s, &mut actions, t(2001));
+        assert_eq!(s.stats().reads_served, 1);
+        assert_eq!(s.version(), 1);
+    }
+
+    #[test]
+    fn concurrent_updates_may_interleave_but_both_apply() {
+        // Two causally unrelated updates arrive in different orders at two
+        // replicas: both replicas apply both (versions agree), though the
+        // document order may differ — causal consistency permits it.
+        let mut p1 = gw(1);
+        let mut a1 = p1.on_payload(a(20), update(20, 0, "a", vec![]), t(0));
+        a1.extend(p1.on_payload(a(21), update(21, 0, "b", vec![]), t(1)));
+        let _ = drain(&mut p1, &mut a1, t(1));
+
+        let mut p2 = gw(2);
+        let mut a2 = p2.on_payload(a(21), update(21, 0, "b", vec![]), t(0));
+        a2.extend(p2.on_payload(a(20), update(20, 0, "a", vec![]), t(1)));
+        let _ = drain(&mut p2, &mut a2, t(1));
+
+        assert_eq!(p1.version(), 2);
+        assert_eq!(p2.version(), 2);
+        assert_eq!(p1.vector_snapshot(), p2.vector_snapshot());
+    }
+
+    #[test]
+    fn state_transfer_round_trip_preserves_vector() {
+        let mut donor = gw(1);
+        let mut actions = donor.on_payload(a(20), update(20, 0, "x", vec![]), t(0));
+        let _ = drain(&mut donor, &mut actions, t(0));
+        let transfer = donor.on_state_request(a(2));
+        let (csn, snapshot) = transfer
+            .iter()
+            .find_map(|x| match x {
+                ServerAction::SendDirect {
+                    payload: Payload::StateResponse { csn, snapshot, .. },
+                    ..
+                } => Some((*csn, snapshot.clone())),
+                _ => None,
+            })
+            .expect("state served");
+        let mut joiner = gw(2);
+        let _ = joiner.on_restart(Box::new(SharedDocument::new()), t(100));
+        assert!(!joiner.is_synced());
+        let _ = joiner.on_payload(
+            a(1),
+            Payload::StateResponse {
+                csn,
+                gsn: csn,
+                snapshot,
+            },
+            t(200),
+        );
+        assert!(joiner.is_synced());
+        assert_eq!(joiner.version(), 1);
+        assert_eq!(joiner.vector_snapshot(), vec![(a(20), 1)]);
+    }
+
+    #[test]
+    fn sequential_payloads_ignored() {
+        let mut p = gw(1);
+        let req = RequestId {
+            client: a(20),
+            seq: 0,
+        };
+        assert!(p
+            .on_payload(a(0), Payload::GsnAssign { req, gsn: 1 }, t(0))
+            .is_empty());
+        assert!(p
+            .on_payload(
+                a(20),
+                Payload::Update(UpdateRequest {
+                    id: req,
+                    op: Operation::new("append", b"x".to_vec())
+                }),
+                t(0)
+            )
+            .is_empty());
+        assert_eq!(p.version(), 0);
+    }
+
+    #[test]
+    fn ordering_is_causal() {
+        use crate::protocol::ServerProtocol;
+        assert_eq!(gw(1).ordering(), OrderingGuarantee::Causal);
+        assert!(!ServerProtocol::is_sequencer(&gw(1)));
+    }
+}

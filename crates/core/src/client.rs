@@ -1,0 +1,999 @@
+//! The client-side gateway handler (paper §5).
+//!
+//! The client gateway transparently intercepts each request. For updates it
+//! multicasts to the primary group and waits for the first reply. For
+//! read-only requests it consults its information repository, runs the
+//! selection policy (Algorithm 1 by default) to pick a replica subset that
+//! meets the client's QoS specification, transmits the read to the selected
+//! replicas plus the sequencer after the (virtual) selection overhead has
+//! elapsed, delivers the first reply to the application, and feeds the
+//! timing failure detector.
+//!
+//! Like the server gateway, this is a sans-IO state machine: the host
+//! executes the returned [`ClientAction`]s and feeds back payloads and
+//! timer expirations.
+
+use crate::model::{Candidate, Selection};
+use crate::monitor::{InfoRepository, MonitorConfig, StalenessModel};
+use crate::qos::{OperationKind, OrderingGuarantee, QosSpec};
+use crate::select::{SelectionPolicy, Selector};
+use crate::timing::TimingFailureDetector;
+use crate::wire::{
+    Operation, Payload, ReadRequest, RequestId, UpdateRequest, VersionVector, PRIMARY_GROUP,
+    SECONDARY_GROUP,
+};
+use aqf_group::View;
+use aqf_sim::{ActorId, SimDuration, SimTime};
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Tuning knobs for a client gateway.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Sliding-window size `l` of the information repository.
+    pub window_size: usize,
+    /// Window size for update-rate observations.
+    pub rate_window: usize,
+    /// Virtual-time cost of running the selection model before the request
+    /// is transmitted ("we account for these overheads when selecting the
+    /// replicas", §6; Figure 3 measures it at roughly a millisecond).
+    pub selection_overhead: SimDuration,
+    /// The selection policy (Algorithm 1 unless running an ablation).
+    pub policy: SelectionPolicy,
+    /// How long to wait for any reply before declaring the request lost.
+    pub give_up: SimDuration,
+    /// Seed for the randomized baseline policies.
+    pub seed: u64,
+    /// How the staleness factor is estimated (Eq. 4's Poisson form or the
+    /// §5.1.3 empirical rate mixture).
+    pub staleness_model: StalenessModel,
+    /// The service's ordering guarantee: with [`OrderingGuarantee::Sequential`]
+    /// reads go through the sequencer (leader of the primary group) and the
+    /// leader is excluded from the candidates; with
+    /// [`OrderingGuarantee::Fifo`] there is no sequencer and every primary
+    /// member is a candidate.
+    pub ordering: OrderingGuarantee,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            window_size: 20,
+            rate_window: 16,
+            selection_overhead: SimDuration::from_millis(1),
+            policy: SelectionPolicy::Probabilistic,
+            give_up: SimDuration::from_secs(10),
+            seed: 0,
+            staleness_model: StalenessModel::Poisson,
+            ordering: OrderingGuarantee::Sequential,
+        }
+    }
+}
+
+/// Why a gateway timer was armed; the host hands it back on expiry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerPurpose {
+    /// Selection overhead elapsed: transmit the prepared read.
+    Transmit,
+    /// The client's deadline passed.
+    Deadline,
+    /// Give up waiting for any reply.
+    GiveUp,
+}
+
+/// Completion information delivered to the client application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseInfo {
+    /// The completed request.
+    pub req: RequestId,
+    /// Read or update.
+    pub kind: OperationKind,
+    /// Result payload (empty when the request timed out).
+    pub result: Bytes,
+    /// End-to-end response time `tr = tp - t0`.
+    pub response_time: SimDuration,
+    /// Whether the response met the deadline (reads only; updates are
+    /// always `true` unless timed out).
+    pub timely: bool,
+    /// Whether the serving replica performed a deferred read.
+    pub deferred: bool,
+    /// Staleness (versions) of the response.
+    pub staleness: u64,
+    /// True when no reply arrived within the give-up window.
+    pub timed_out: bool,
+    /// Size of the replica set selected for this request (including the
+    /// sequencer; 0 for updates).
+    pub replicas_selected: usize,
+}
+
+/// Instructions for the host actor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientAction {
+    /// Reliably FIFO-multicast into the primary group (updates).
+    MulticastPrimary(Payload),
+    /// Send an unordered point-to-point payload (reads to selected
+    /// replicas).
+    SendDirect {
+        /// Recipient gateway.
+        to: ActorId,
+        /// Payload to deliver.
+        payload: Payload,
+    },
+    /// Arm a timer for `req`; hand it back via the matching `on_*` method.
+    ArmTimer {
+        /// Request the timer concerns.
+        req: RequestId,
+        /// Which expiry handler to invoke.
+        purpose: TimerPurpose,
+        /// Delay until expiry.
+        after: SimDuration,
+    },
+    /// Deliver a completion to the client application.
+    Completed(ResponseInfo),
+    /// The observed frequency of timely responses dropped below the
+    /// client's requested minimum (the §5.4 callback).
+    QosAlert {
+        /// Observed timely-response frequency.
+        observed_timely: f64,
+        /// The minimum probability the client requested.
+        requested: f64,
+    },
+}
+
+/// Counters exposed for tests and experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Read requests issued.
+    pub reads: u64,
+    /// Update requests issued.
+    pub updates: u64,
+    /// Timing failures recorded.
+    pub timing_failures: u64,
+    /// Sum of selected-set sizes over all reads (for the Figure 4a
+    /// average).
+    pub selected_sum: u64,
+    /// First replies that were deferred reads.
+    pub deferred_replies: u64,
+    /// Requests that hit the give-up window with no reply at all.
+    pub give_ups: u64,
+    /// Replies that arrived after their request was forgotten.
+    pub late_replies: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    kind: OperationKind,
+    qos: Option<QosSpec>,
+    t0: SimTime,
+    tm: Option<SimTime>,
+    prepared: Vec<(ActorId, Payload)>,
+    replied: bool,
+    outcome_recorded: bool,
+    selected: usize,
+}
+
+/// The client-side gateway state machine. See the [module docs](self).
+#[derive(Debug)]
+pub struct ClientGateway {
+    me: ActorId,
+    config: ClientConfig,
+    repo: InfoRepository,
+    selector: Selector,
+    detector: TimingFailureDetector,
+    rng: SmallRng,
+    next_seq: u64,
+    pending: HashMap<RequestId, Pending>,
+    primary_view: View,
+    secondary_view: View,
+    alerted: bool,
+    last_selection: Option<Selection>,
+    last_stale_factor: f64,
+    selection_counts: HashMap<ActorId, u64>,
+    /// Sum of `P_K(d)` predictions over all reads (model calibration).
+    predicted_sum: f64,
+    // Causal-mode session state: what this client has observed (merged
+    // reply vectors + its own updates) and its update-only counter.
+    observed: HashMap<ActorId, u64>,
+    updates_issued: u64,
+    /// When the observed vector last grew (causal mode): if it grew after
+    /// the last lazy propagation, no secondary can serve this client's
+    /// reads immediately, whatever the Poisson model says.
+    observed_advanced_at: Option<SimTime>,
+    stats: ClientStats,
+}
+
+impl ClientGateway {
+    /// Creates a gateway for client `me` that initially knows the given
+    /// replication-group views (kept current through observed view
+    /// announcements).
+    pub fn new(
+        me: ActorId,
+        primary_view: View,
+        secondary_view: View,
+        config: ClientConfig,
+    ) -> Self {
+        let monitor = MonitorConfig {
+            window_size: config.window_size,
+            rate_window: config.rate_window,
+            staleness_model: config.staleness_model,
+        };
+        Self {
+            me,
+            repo: InfoRepository::new(monitor),
+            selector: Selector::new(config.policy),
+            detector: TimingFailureDetector::new(),
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+            next_seq: 0,
+            pending: HashMap::new(),
+            primary_view,
+            secondary_view,
+            alerted: false,
+            last_selection: None,
+            last_stale_factor: 1.0,
+            selection_counts: HashMap::new(),
+            predicted_sum: 0.0,
+            observed: HashMap::new(),
+            updates_issued: 0,
+            observed_advanced_at: None,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// This client's id.
+    pub fn me(&self) -> ActorId {
+        self.me
+    }
+
+    /// The information repository (diagnostics, experiments).
+    pub fn repository(&self) -> &InfoRepository {
+        &self.repo
+    }
+
+    /// The timing failure detector.
+    pub fn detector(&self) -> &TimingFailureDetector {
+        &self.detector
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// The most recent selection outcome (experiments).
+    pub fn last_selection(&self) -> Option<&Selection> {
+        self.last_selection.as_ref()
+    }
+
+    /// How many times each replica has been selected by this client (used
+    /// by the hot-spot ablation study).
+    pub fn selection_counts(&self) -> &HashMap<ActorId, u64> {
+        &self.selection_counts
+    }
+
+    /// Mean `P_K(d)` prediction over all reads — the model's promised
+    /// probability of timely response, computed with the best selected
+    /// member excluded (§5.3), for calibration against the observed
+    /// frequency.
+    pub fn mean_predicted(&self) -> Option<f64> {
+        (self.stats.reads > 0).then(|| self.predicted_sum / self.stats.reads as f64)
+    }
+
+    /// The staleness factor used for the most recent selection.
+    pub fn last_stale_factor(&self) -> f64 {
+        self.last_stale_factor
+    }
+
+    /// The current sequencer (leader of the primary group).
+    pub fn sequencer(&self) -> ActorId {
+        self.primary_view.leader()
+    }
+
+    fn next_id(&mut self) -> RequestId {
+        let id = RequestId {
+            client: self.me,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        id
+    }
+
+    /// Submits an update: multicast to the primary group, completion on the
+    /// first reply (paper §5: "our selection algorithm handles an update
+    /// request of a client by simply multicasting the request to all the
+    /// primary replicas").
+    pub fn submit_update(&mut self, op: Operation, now: SimTime) -> (RequestId, Vec<ClientAction>) {
+        let id = self.next_id();
+        self.stats.updates += 1;
+        self.pending.insert(
+            id,
+            Pending {
+                kind: OperationKind::Update,
+                qos: None,
+                t0: now,
+                tm: Some(now),
+                prepared: Vec::new(),
+                replied: false,
+                outcome_recorded: true, // updates carry no deadline
+                selected: 0,
+            },
+        );
+        let payload = if self.config.ordering == OrderingGuarantee::Causal {
+            // Causal mode: number the update and attach everything this
+            // client has observed as its dependency set.
+            let update_seq = self.updates_issued;
+            self.updates_issued += 1;
+            let deps = self.observed_snapshot();
+            // The client has now (causally) observed its own write.
+            let own = self.observed.entry(self.me).or_insert(0);
+            *own = (*own).max(update_seq + 1);
+            self.observed_advanced_at = Some(now);
+            Payload::CausalUpdate {
+                update: UpdateRequest { id, op },
+                update_seq,
+                deps,
+            }
+        } else {
+            Payload::Update(UpdateRequest { id, op })
+        };
+        let actions = vec![
+            ClientAction::MulticastPrimary(payload),
+            ClientAction::ArmTimer {
+                req: id,
+                purpose: TimerPurpose::GiveUp,
+                after: self.config.give_up,
+            },
+        ];
+        (id, actions)
+    }
+
+    /// The client's observed vector in wire format (causal mode).
+    fn observed_snapshot(&self) -> VersionVector {
+        let mut v: VersionVector = self.observed.iter().map(|(c, n)| (*c, *n)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Submits a read with QoS specification `qos`: runs replica selection,
+    /// then transmits after the selection overhead has elapsed.
+    pub fn submit_read(
+        &mut self,
+        op: Operation,
+        qos: QosSpec,
+        now: SimTime,
+    ) -> (RequestId, Vec<ClientAction>) {
+        let id = self.next_id();
+        self.stats.reads += 1;
+
+        let candidates = self.build_candidates(qos.deadline, now);
+        let mut stale_factor = self.repo.staleness_factor(qos.staleness_threshold, now);
+        if self.config.ordering == OrderingGuarantee::Causal {
+            // Session-causality correction: if this client observed new
+            // state after the (estimated) last lazy propagation, the
+            // secondaries cannot dominate its session vector and will defer
+            // — force the model onto the deferred path.
+            if let (Some(advanced_at), Some(tl)) =
+                (self.observed_advanced_at, self.repo.time_since_lazy(now))
+            {
+                let last_lazy = now - tl;
+                if advanced_at > last_lazy {
+                    stale_factor = 0.0;
+                }
+            }
+        }
+        let sequencer = match self.config.ordering {
+            OrderingGuarantee::Sequential => Some(self.sequencer()),
+            _ => None,
+        };
+        let selection = self.selector.select(
+            &candidates,
+            stale_factor,
+            qos.min_probability,
+            sequencer,
+            &mut self.rng,
+        );
+        self.stats.selected_sum += selection.replicas.len() as u64;
+        self.last_stale_factor = stale_factor;
+        for r in &selection.replicas {
+            *self.selection_counts.entry(*r).or_insert(0) += 1;
+        }
+        self.predicted_sum += selection.predicted;
+
+        let read = ReadRequest {
+            id,
+            op,
+            staleness_threshold: qos.staleness_threshold,
+        };
+        let read_payload = if self.config.ordering == OrderingGuarantee::Causal {
+            Payload::CausalRead {
+                read,
+                deps: self.observed_snapshot(),
+            }
+        } else {
+            Payload::Read(read)
+        };
+        let prepared: Vec<(ActorId, Payload)> = selection
+            .replicas
+            .iter()
+            .map(|&r| (r, read_payload.clone()))
+            .collect();
+        let selected = selection.replicas.len();
+        self.last_selection = Some(selection);
+
+        self.pending.insert(
+            id,
+            Pending {
+                kind: OperationKind::ReadOnly,
+                qos: Some(qos),
+                t0: now,
+                tm: None,
+                prepared,
+                replied: false,
+                outcome_recorded: false,
+                selected,
+            },
+        );
+        (
+            id,
+            vec![ClientAction::ArmTimer {
+                req: id,
+                purpose: TimerPurpose::Transmit,
+                after: self.config.selection_overhead,
+            }],
+        )
+    }
+
+    /// Builds the candidate list: every primary replica (except the
+    /// sequencer when the service has one) plus every secondary replica,
+    /// with model inputs from the repository.
+    fn build_candidates(&self, deadline: SimDuration, now: SimTime) -> Vec<Candidate> {
+        let excluded = match self.config.ordering {
+            OrderingGuarantee::Sequential => Some(self.sequencer()),
+            _ => None,
+        };
+        let mut out = Vec::with_capacity(self.primary_view.len() + self.secondary_view.len());
+        for &m in self.primary_view.members() {
+            if Some(m) == excluded {
+                continue;
+            }
+            out.push(Candidate {
+                id: m,
+                is_primary: true,
+                immediate_cdf: self.repo.immediate_cdf(m, deadline),
+                deferred_cdf: 0.0,
+                ert_us: self.repo.ert_us(m, now),
+            });
+        }
+        for &m in self.secondary_view.members() {
+            out.push(Candidate {
+                id: m,
+                is_primary: false,
+                immediate_cdf: self.repo.immediate_cdf(m, deadline),
+                deferred_cdf: self.repo.deferred_cdf(m, deadline),
+                ert_us: self.repo.ert_us(m, now),
+            });
+        }
+        out
+    }
+
+    /// A gateway timer expired.
+    pub fn on_timer(
+        &mut self,
+        req: RequestId,
+        purpose: TimerPurpose,
+        now: SimTime,
+    ) -> Vec<ClientAction> {
+        match purpose {
+            TimerPurpose::Transmit => self.on_transmit(req, now),
+            TimerPurpose::Deadline => self.on_deadline(req),
+            TimerPurpose::GiveUp => self.on_give_up(req, now),
+        }
+    }
+
+    fn on_transmit(&mut self, req: RequestId, now: SimTime) -> Vec<ClientAction> {
+        let Some(p) = self.pending.get_mut(&req) else {
+            return Vec::new();
+        };
+        p.tm = Some(now);
+        let mut actions: Vec<ClientAction> = std::mem::take(&mut p.prepared)
+            .into_iter()
+            .map(|(to, payload)| ClientAction::SendDirect { to, payload })
+            .collect();
+        if let Some(qos) = p.qos {
+            actions.push(ClientAction::ArmTimer {
+                req,
+                purpose: TimerPurpose::Deadline,
+                after: qos.deadline,
+            });
+        }
+        actions.push(ClientAction::ArmTimer {
+            req,
+            purpose: TimerPurpose::GiveUp,
+            after: self.config.give_up,
+        });
+        actions
+    }
+
+    fn on_deadline(&mut self, req: RequestId) -> Vec<ClientAction> {
+        let Some(p) = self.pending.get_mut(&req) else {
+            return Vec::new();
+        };
+        if p.replied || p.outcome_recorded {
+            return Vec::new();
+        }
+        // No reply within d: a timing failure (§5.4).
+        p.outcome_recorded = true;
+        let min_probability = p.qos.map(|q| q.min_probability);
+        self.detector.record_failure();
+        self.stats.timing_failures += 1;
+        self.maybe_alert(min_probability)
+    }
+
+    fn on_give_up(&mut self, req: RequestId, now: SimTime) -> Vec<ClientAction> {
+        let Some(p) = self.pending.get(&req) else {
+            return Vec::new();
+        };
+        if p.replied {
+            // Completed long ago; this timer only garbage-collects.
+            self.pending.remove(&req);
+            return Vec::new();
+        }
+        let p = self.pending.remove(&req).expect("checked above");
+        self.stats.give_ups += 1;
+        let mut actions = Vec::new();
+        if !p.outcome_recorded && p.kind == OperationKind::ReadOnly {
+            self.detector.record_failure();
+            self.stats.timing_failures += 1;
+            actions.extend(self.maybe_alert(p.qos.map(|q| q.min_probability)));
+        }
+        actions.push(ClientAction::Completed(ResponseInfo {
+            req,
+            kind: p.kind,
+            result: Bytes::new(),
+            response_time: now.saturating_since(p.t0),
+            timely: false,
+            deferred: false,
+            staleness: 0,
+            timed_out: true,
+            replicas_selected: p.selected,
+        }));
+        actions
+    }
+
+    fn maybe_alert(&mut self, min_probability: Option<f64>) -> Vec<ClientAction> {
+        let Some(requested) = min_probability else {
+            return Vec::new();
+        };
+        if self.detector.should_alert(requested) {
+            if !self.alerted {
+                self.alerted = true;
+                return vec![ClientAction::QosAlert {
+                    observed_timely: self.detector.timely_frequency().unwrap_or(0.0),
+                    requested,
+                }];
+            }
+        } else {
+            self.alerted = false;
+        }
+        Vec::new()
+    }
+
+    /// Handles a payload addressed to this client (replies and performance
+    /// broadcasts).
+    pub fn on_payload(
+        &mut self,
+        from: ActorId,
+        payload: Payload,
+        now: SimTime,
+    ) -> Vec<ClientAction> {
+        match payload {
+            Payload::Reply(r) => self.on_reply(from, r, now),
+            Payload::Perf(p) => {
+                self.repo.record_perf(from, &p, now);
+                Vec::new()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_reply(
+        &mut self,
+        from: ActorId,
+        r: crate::wire::Reply,
+        now: SimTime,
+    ) -> Vec<ClientAction> {
+        let Some(p) = self.pending.get_mut(&r.id) else {
+            self.stats.late_replies += 1;
+            return Vec::new();
+        };
+        // Every reply refreshes the repository (ert and gateway delay),
+        // not just the first one delivered.
+        let tm = p.tm.unwrap_or(p.t0);
+        self.repo.record_reply(from, r.t1_us, tm, now);
+        // Causal mode: merge the replica's vector into the session state so
+        // subsequent operations carry the right dependencies.
+        if !r.vector.is_empty() {
+            let before: u64 = self.observed.values().sum();
+            crate::causal::merge_into(&mut self.observed, &r.vector);
+            if self.observed.values().sum::<u64>() > before {
+                self.observed_advanced_at = Some(now);
+            }
+        }
+        if p.replied {
+            return Vec::new();
+        }
+        p.replied = true;
+        let tr = now.saturating_since(p.t0);
+        let mut actions = Vec::new();
+        let timely = match p.qos {
+            Some(qos) => tr <= qos.deadline,
+            None => true,
+        };
+        let min_probability = p.qos.map(|q| q.min_probability);
+        let record_outcome = p.kind == OperationKind::ReadOnly && !p.outcome_recorded;
+        if record_outcome {
+            p.outcome_recorded = true;
+        }
+        if record_outcome {
+            if timely {
+                self.detector.record_timely();
+            } else {
+                self.detector.record_failure();
+                self.stats.timing_failures += 1;
+            }
+            actions.extend(self.maybe_alert(min_probability));
+        }
+        if r.deferred {
+            self.stats.deferred_replies += 1;
+        }
+        let p = self.pending.get(&r.id).expect("still pending");
+        actions.push(ClientAction::Completed(ResponseInfo {
+            req: r.id,
+            kind: p.kind,
+            result: r.result,
+            response_time: tr,
+            timely,
+            deferred: r.deferred,
+            staleness: r.staleness,
+            timed_out: false,
+            replicas_selected: p.selected,
+        }));
+        actions
+    }
+
+    /// Tracks replication-group views announced to this client (as an
+    /// observer of both groups).
+    pub fn on_view(&mut self, view: View) {
+        if view.group == PRIMARY_GROUP {
+            if view.id >= self.primary_view.id {
+                self.primary_view = view;
+            }
+        } else if view.group == SECONDARY_GROUP && view.id >= self.secondary_view.id {
+            self.secondary_view = view;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{PerfBroadcast, ReadMeasurement, Reply};
+    use aqf_group::ViewId;
+
+    fn a(i: usize) -> ActorId {
+        ActorId::from_index(i)
+    }
+
+    fn views() -> (View, View) {
+        (
+            View::new(PRIMARY_GROUP, ViewId(0), vec![a(0), a(1), a(2)]),
+            View::new(SECONDARY_GROUP, ViewId(0), vec![a(10), a(11)]),
+        )
+    }
+
+    fn client() -> ClientGateway {
+        let (p, s) = views();
+        ClientGateway::new(a(20), p, s, ClientConfig::default())
+    }
+
+    fn qos(deadline_ms: u64, pc: f64) -> QosSpec {
+        QosSpec::new(2, SimDuration::from_millis(deadline_ms), pc).unwrap()
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn feed_perf(c: &mut ClientGateway, replica: ActorId, ts_ms: u64, n: usize) {
+        for _ in 0..n {
+            c.on_payload(
+                replica,
+                Payload::Perf(PerfBroadcast {
+                    read: Some(ReadMeasurement {
+                        ts_us: ts_ms * 1000,
+                        tq_us: 0,
+                        tb_us: 0,
+                    }),
+                    publisher: None,
+                }),
+                t(0),
+            );
+        }
+    }
+
+    #[test]
+    fn update_multicasts_immediately() {
+        let mut c = client();
+        let (id, actions) = c.submit_update(Operation::new("set", vec![1]), t(0));
+        assert!(matches!(
+            &actions[0],
+            ClientAction::MulticastPrimary(Payload::Update(u)) if u.id == id
+        ));
+        assert!(matches!(
+            &actions[1],
+            ClientAction::ArmTimer {
+                purpose: TimerPurpose::GiveUp,
+                ..
+            }
+        ));
+        assert_eq!(c.stats().updates, 1);
+    }
+
+    #[test]
+    fn read_transmits_after_selection_overhead() {
+        let mut c = client();
+        let (id, actions) = c.submit_read(Operation::new("get", vec![]), qos(200, 0.5), t(0));
+        // Only the transmit timer is armed at submit time.
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            &actions[0],
+            ClientAction::ArmTimer {
+                purpose: TimerPurpose::Transmit,
+                ..
+            }
+        ));
+        let actions = c.on_timer(id, TimerPurpose::Transmit, t(1));
+        let sends: Vec<&ActorId> = actions
+            .iter()
+            .filter_map(|x| match x {
+                ClientAction::SendDirect {
+                    to,
+                    payload: Payload::Read(_),
+                } => Some(to),
+                _ => None,
+            })
+            .collect();
+        // Cold start: no history -> all candidates selected + sequencer.
+        assert_eq!(sends.len(), 5, "4 candidates + sequencer");
+        assert!(sends.contains(&&a(0)), "sequencer always included");
+        assert!(actions.iter().any(|x| matches!(
+            x,
+            ClientAction::ArmTimer {
+                purpose: TimerPurpose::Deadline,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn warm_repo_selects_fewer() {
+        let mut c = client();
+        // All replicas respond in ~10ms reliably.
+        for r in [a(1), a(2), a(10), a(11)] {
+            feed_perf(&mut c, r, 10, 10);
+        }
+        let (_, _) = c.submit_read(Operation::new("get", vec![]), qos(200, 0.5), t(0));
+        let sel = c.last_selection().unwrap();
+        assert!(sel.satisfied);
+        assert!(
+            sel.replicas.len() <= 3,
+            "warm history should need few replicas, got {}",
+            sel.replicas.len()
+        );
+    }
+
+    #[test]
+    fn timely_reply_counts_success() {
+        let mut c = client();
+        let (id, _) = c.submit_read(Operation::new("get", vec![]), qos(200, 0.9), t(0));
+        let _ = c.on_timer(id, TimerPurpose::Transmit, t(1));
+        let actions = c.on_payload(
+            a(1),
+            Payload::Reply(Reply {
+                id,
+                result: Bytes::from_static(b"v"),
+                t1_us: 50_000,
+                staleness: 0,
+                deferred: false,
+                csn: 1,
+                vector: Vec::new(),
+            }),
+            t(100),
+        );
+        let done = actions
+            .iter()
+            .find_map(|x| match x {
+                ClientAction::Completed(info) => Some(info.clone()),
+                _ => None,
+            })
+            .expect("completion delivered");
+        assert!(done.timely);
+        assert_eq!(done.response_time, SimDuration::from_millis(100));
+        assert_eq!(c.detector().failures(), 0);
+        assert_eq!(c.detector().total(), 1);
+    }
+
+    #[test]
+    fn deadline_expiry_records_failure_once() {
+        let mut c = client();
+        let (id, _) = c.submit_read(Operation::new("get", vec![]), qos(100, 0.9), t(0));
+        let _ = c.on_timer(id, TimerPurpose::Transmit, t(1));
+        let _ = c.on_timer(id, TimerPurpose::Deadline, t(101));
+        assert_eq!(c.detector().failures(), 1);
+        // A late reply still completes the request but does not double
+        // count.
+        let actions = c.on_payload(
+            a(1),
+            Payload::Reply(Reply {
+                id,
+                result: Bytes::new(),
+                t1_us: 0,
+                staleness: 0,
+                deferred: false,
+                csn: 0,
+                vector: Vec::new(),
+            }),
+            t(150),
+        );
+        assert!(actions
+            .iter()
+            .any(|x| matches!(x, ClientAction::Completed(info) if !info.timely)));
+        assert_eq!(c.detector().failures(), 1);
+        assert_eq!(c.detector().total(), 1);
+    }
+
+    #[test]
+    fn qos_alert_on_low_timely_frequency() {
+        let mut c = client();
+        let mut alerts = 0;
+        for i in 0..4 {
+            let (id, _) = c.submit_read(Operation::new("get", vec![]), qos(100, 0.9), t(i * 1000));
+            let _ = c.on_timer(id, TimerPurpose::Transmit, t(i * 1000 + 1));
+            let actions = c.on_timer(id, TimerPurpose::Deadline, t(i * 1000 + 101));
+            alerts += actions
+                .iter()
+                .filter(|x| matches!(x, ClientAction::QosAlert { .. }))
+                .count();
+        }
+        assert_eq!(alerts, 1, "alert fires once while degraded");
+    }
+
+    #[test]
+    fn give_up_times_out_request() {
+        let mut c = client();
+        let (id, _) = c.submit_read(Operation::new("get", vec![]), qos(100, 0.5), t(0));
+        let _ = c.on_timer(id, TimerPurpose::Transmit, t(1));
+        let _ = c.on_timer(id, TimerPurpose::Deadline, t(101));
+        let actions = c.on_timer(id, TimerPurpose::GiveUp, t(10_001));
+        let info = actions
+            .iter()
+            .find_map(|x| match x {
+                ClientAction::Completed(i) => Some(i),
+                _ => None,
+            })
+            .expect("timeout completion");
+        assert!(info.timed_out);
+        assert_eq!(c.stats().give_ups, 1);
+        // Failure was already recorded at the deadline; not doubled.
+        assert_eq!(c.detector().failures(), 1);
+        // A reply after give-up is "late".
+        let _ = c.on_payload(
+            a(1),
+            Payload::Reply(Reply {
+                id,
+                result: Bytes::new(),
+                t1_us: 0,
+                staleness: 0,
+                deferred: false,
+                csn: 0,
+                vector: Vec::new(),
+            }),
+            t(10_100),
+        );
+        assert_eq!(c.stats().late_replies, 1);
+    }
+
+    #[test]
+    fn later_replies_update_repository_silently() {
+        let mut c = client();
+        let (id, _) = c.submit_read(Operation::new("get", vec![]), qos(200, 0.5), t(0));
+        let _ = c.on_timer(id, TimerPurpose::Transmit, t(1));
+        let reply = |_from: ActorId| Reply {
+            id,
+            result: Bytes::new(),
+            t1_us: 10_000,
+            staleness: 0,
+            deferred: false,
+            csn: 0,
+            vector: Vec::new(),
+        };
+        let first = c.on_payload(a(1), Payload::Reply(reply(a(1))), t(50));
+        assert_eq!(
+            first
+                .iter()
+                .filter(|x| matches!(x, ClientAction::Completed(_)))
+                .count(),
+            1
+        );
+        let second = c.on_payload(a(2), Payload::Reply(reply(a(2))), t(60));
+        assert!(second.is_empty(), "only first reply delivered");
+        // Both replicas' ert were refreshed.
+        assert!(c.repository().ert_us(a(1), t(100)) < u64::MAX);
+        assert!(c.repository().ert_us(a(2), t(100)) < u64::MAX);
+    }
+
+    #[test]
+    fn deferred_reply_counted() {
+        let mut c = client();
+        let (id, _) = c.submit_read(Operation::new("get", vec![]), qos(500, 0.5), t(0));
+        let _ = c.on_timer(id, TimerPurpose::Transmit, t(1));
+        let _ = c.on_payload(
+            a(10),
+            Payload::Reply(Reply {
+                id,
+                result: Bytes::new(),
+                t1_us: 0,
+                staleness: 1,
+                deferred: true,
+                csn: 3,
+                vector: Vec::new(),
+            }),
+            t(400),
+        );
+        assert_eq!(c.stats().deferred_replies, 1);
+    }
+
+    #[test]
+    fn view_changes_update_candidates() {
+        let mut c = client();
+        // Sequencer a(0) fails; a(1) leads. Candidates: a(2) + secondaries.
+        let (p, _) = views();
+        let newer = p.successor(&[a(0)], &[]).unwrap();
+        c.on_view(newer);
+        assert_eq!(c.sequencer(), a(1));
+        let (_, _) = c.submit_read(Operation::new("get", vec![]), qos(200, 0.99), t(0));
+        let sel = c.last_selection().unwrap().clone();
+        assert!(!sel.replicas.contains(&a(0)));
+        assert!(sel.replicas.contains(&a(1)), "new sequencer appended");
+        // Stale view replay is ignored.
+        let (old_p, _) = views();
+        c.on_view(old_p);
+        assert_eq!(c.sequencer(), a(1));
+    }
+
+    #[test]
+    fn mean_predicted_tracks_selections() {
+        let mut c = client();
+        assert_eq!(c.mean_predicted(), None);
+        for r in [a(1), a(2), a(10), a(11)] {
+            feed_perf(&mut c, r, 10, 10);
+        }
+        let (_, _) = c.submit_read(Operation::new("get", vec![]), qos(200, 0.5), t(0));
+        let predicted = c.last_selection().unwrap().predicted;
+        assert_eq!(c.mean_predicted(), Some(predicted));
+        let (_, _) = c.submit_read(Operation::new("get", vec![]), qos(200, 0.5), t(1000));
+        let mean = c.mean_predicted().unwrap();
+        assert!(mean > 0.0 && mean <= 1.0);
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_ordered() {
+        let mut c = client();
+        let (id1, _) = c.submit_update(Operation::new("set", vec![]), t(0));
+        let (id2, _) = c.submit_update(Operation::new("set", vec![]), t(1));
+        assert!(id1 < id2);
+        assert_eq!(id1.client, a(20));
+    }
+}

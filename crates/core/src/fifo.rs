@@ -1,0 +1,1088 @@
+//! The FIFO timed-consistency handler (paper §4, Figure 2, "Service B").
+//!
+//! The paper implements its sequential handler in detail; this module
+//! instantiates the framework's second handler: a service whose ordering
+//! guarantee is *per-sender FIFO*. There is no sequencer and no global
+//! sequence number:
+//!
+//! * **Updates** are multicast by clients to the primary group; the group
+//!   layer's per-sender FIFO delivery is the ordering guarantee, and every
+//!   primary replica applies each client's updates in that client's send
+//!   order. Updates of *different* clients may interleave differently at
+//!   different replicas, which is sound exactly for the workload class the
+//!   paper cites (banking transactions on disjoint accounts — per-account
+//!   operations commute).
+//! * **Reads** are sent directly to the selected replicas — no GSN
+//!   broadcast round. Primary replicas always serve immediately (their
+//!   state contains everything they have received). Secondary replicas
+//!   *estimate* their staleness: with no sequencer there is no exact global
+//!   version, so a secondary bounds the number of updates it is missing by
+//!   `rate * (now - last lazy update)`, using the update-arrival rate the
+//!   lazy publisher ships inside each [`Payload::FifoLazyUpdate`]. If the
+//!   estimate exceeds the client's threshold the read is deferred until the
+//!   next lazy update, exactly like the sequential handler's deferred
+//!   reads.
+//! * **Lazy propagation, monitoring, and failure handling** reuse the same
+//!   machinery: the highest-ranked primary is the publisher, performance
+//!   broadcasts feed the client repositories, and restarted replicas
+//!   recover via state transfer. Leader failure needs no recovery round at
+//!   all — there is no sequencer state to rebuild.
+
+use crate::object::ReplicatedObject;
+use crate::qos::OrderingGuarantee;
+use crate::server::{ReplicaRole, ServerAction, ServerConfig, ServerStats};
+use crate::wire::{
+    Payload, PerfBroadcast, PublisherInfo, ReadMeasurement, ReadRequest, Reply, RequestId,
+    UpdateRequest, PRIMARY_GROUP, SECONDARY_GROUP,
+};
+use aqf_group::View;
+use aqf_sim::{ActorId, SimDuration, SimTime};
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone)]
+struct PendingRead {
+    req: ReadRequest,
+    client: ActorId,
+    arrived_at: SimTime,
+}
+
+#[derive(Debug, Clone)]
+enum WorkKind {
+    Update {
+        update: UpdateRequest,
+    },
+    Read {
+        read: PendingRead,
+        staleness: u64,
+        deferred: bool,
+        tb: SimDuration,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Work {
+    kind: WorkKind,
+    enqueued_at: SimTime,
+}
+
+/// The FIFO-ordering server gateway. See the [module docs](self).
+pub struct FifoServerGateway {
+    me: ActorId,
+    role: ReplicaRole,
+    config: ServerConfig,
+    object: Box<dyn ReplicatedObject>,
+
+    primary_view: View,
+    secondary_view: View,
+
+    /// Updates applied to the hosted object (the replica's version).
+    version: u64,
+    /// Per-client applied-update log retained for order audits (bounded).
+    applied_log: VecDeque<RequestId>,
+
+    // Secondary staleness estimation inputs.
+    last_lazy_at: Option<SimTime>,
+    lazy_rate_per_us: f64,
+
+    deferred: Vec<(PendingRead, SimTime)>,
+
+    service_queue: VecDeque<Work>,
+    in_service: Option<(u64, Work, SimTime)>,
+    next_token: u64,
+
+    updates_since_broadcast: u64,
+    last_broadcast_at: SimTime,
+    updates_since_lazy: u64,
+    publisher_lazy_at: SimTime,
+    rate_acc_updates: u64,
+    rate_acc_since: SimTime,
+    /// Whether a lazy timer is currently armed (prevents duplicates when
+    /// restart and view-change handling both want one).
+    lazy_timer_pending: bool,
+
+    // Unsynced replicas re-request state transfers (the first request can
+    // be lost), rotating donors.
+    last_transfer_request: SimTime,
+    donor_rr: usize,
+
+    synced: bool,
+    stats: ServerStats,
+}
+
+impl std::fmt::Debug for FifoServerGateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FifoServerGateway")
+            .field("me", &self.me)
+            .field("role", &self.role)
+            .field("version", &self.version)
+            .field("queue", &self.service_queue.len())
+            .finish()
+    }
+}
+
+impl FifoServerGateway {
+    /// Creates a FIFO gateway for replica `me`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is a member of neither (or both) initial views.
+    pub fn new(
+        me: ActorId,
+        primary_view: View,
+        secondary_view: View,
+        object: Box<dyn ReplicatedObject>,
+        config: ServerConfig,
+    ) -> Self {
+        let in_p = primary_view.contains(me);
+        let in_s = secondary_view.contains(me);
+        assert!(
+            in_p ^ in_s,
+            "replica must belong to exactly one replication group"
+        );
+        let role = if in_p {
+            ReplicaRole::Primary
+        } else {
+            ReplicaRole::Secondary
+        };
+        Self {
+            me,
+            role,
+            config,
+            object,
+            primary_view,
+            secondary_view,
+            version: 0,
+            applied_log: VecDeque::new(),
+            last_lazy_at: None,
+            lazy_rate_per_us: 0.0,
+            deferred: Vec::new(),
+            service_queue: VecDeque::new(),
+            in_service: None,
+            next_token: 0,
+            updates_since_broadcast: 0,
+            last_broadcast_at: SimTime::ZERO,
+            updates_since_lazy: 0,
+            publisher_lazy_at: SimTime::ZERO,
+            rate_acc_updates: 0,
+            rate_acc_since: SimTime::ZERO,
+            lazy_timer_pending: false,
+            last_transfer_request: SimTime::ZERO,
+            donor_rr: 0,
+            synced: true,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// This replica's role.
+    pub fn role(&self) -> ReplicaRole {
+        self.role
+    }
+
+    /// The replica's version: updates applied so far.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Whether this replica is the current lazy publisher (same
+    /// deterministic designation rule as the sequential handler, except
+    /// that without a sequencer the leader also serves, so a single-member
+    /// primary group simply publishes from the leader).
+    pub fn is_publisher(&self) -> bool {
+        self.role == ReplicaRole::Primary
+            && *self.primary_view.members().last().expect("non-empty view") == self.me
+    }
+
+    /// The applied-update log (most recent `committed_log` entries), for
+    /// per-client FIFO order audits.
+    pub fn applied_log(&self) -> impl Iterator<Item = RequestId> + '_ {
+        self.applied_log.iter().copied()
+    }
+
+    /// Estimated staleness of this replica in versions: zero for primaries;
+    /// for secondaries, the expected number of updates that arrived at the
+    /// primary group since the last lazy update, `ceil(rate * elapsed)`.
+    pub fn estimated_staleness(&self, now: SimTime) -> u64 {
+        match self.role {
+            ReplicaRole::Primary => 0,
+            ReplicaRole::Secondary => match self.last_lazy_at {
+                Some(at) => {
+                    let elapsed = now.saturating_since(at).as_micros() as f64;
+                    (self.lazy_rate_per_us * elapsed).ceil() as u64
+                }
+                // Never synchronized: unbounded staleness.
+                None => u64::MAX,
+            },
+        }
+    }
+
+    /// Whether the replica's state is synchronized.
+    pub fn is_synced(&self) -> bool {
+        self.synced
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Read access to the hosted object.
+    pub fn object(&self) -> &dyn ReplicatedObject {
+        &*self.object
+    }
+
+    /// Called once at host start.
+    pub fn on_start(&mut self, now: SimTime) -> Vec<ServerAction> {
+        self.last_broadcast_at = now;
+        self.publisher_lazy_at = now;
+        self.rate_acc_since = now;
+        if self.role == ReplicaRole::Secondary {
+            // Until the first lazy update arrives the secondary treats
+            // itself as synchronized-from-genesis (version 0 is the true
+            // initial state).
+            self.last_lazy_at = Some(now);
+        }
+        let mut actions = Vec::new();
+        if self.is_publisher() {
+            self.arm_lazy(&mut actions);
+        }
+        actions
+    }
+
+    /// Arms the lazy timer unless one is already pending.
+    fn arm_lazy(&mut self, actions: &mut Vec<ServerAction>) {
+        if !self.lazy_timer_pending {
+            self.lazy_timer_pending = true;
+            actions.push(ServerAction::ArmLazyTimer {
+                after: self.config.lazy_interval,
+            });
+        }
+    }
+
+    /// Restart handling: wipe volatile state and request a state transfer.
+    pub fn on_restart(
+        &mut self,
+        fresh_object: Box<dyn ReplicatedObject>,
+        now: SimTime,
+    ) -> Vec<ServerAction> {
+        let me = self.me;
+        let config = self.config.clone();
+        let primary_view = self.primary_view.clone();
+        let secondary_view = self.secondary_view.clone();
+        *self = FifoServerGateway::new(me, primary_view, secondary_view, fresh_object, config);
+        self.synced = false;
+        self.last_lazy_at = None;
+        self.last_transfer_request = now;
+        self.last_broadcast_at = now;
+        self.publisher_lazy_at = now;
+        self.rate_acc_since = now;
+        let donor = self.primary_view.leader();
+        let mut actions = vec![ServerAction::SendDirect {
+            to: donor,
+            payload: Payload::StateRequest,
+        }];
+        if self.is_publisher() {
+            self.arm_lazy(&mut actions);
+        }
+        actions
+    }
+
+    /// Picks the next state-transfer donor, cycling through the primary
+    /// members so a lost request or an unhelpful donor cannot wedge
+    /// recovery.
+    fn next_donor(&mut self) -> Option<ActorId> {
+        let candidates: Vec<ActorId> = self
+            .primary_view
+            .members()
+            .iter()
+            .copied()
+            .filter(|m| *m != self.me)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let donor = candidates[self.donor_rr % candidates.len()];
+        self.donor_rr += 1;
+        Some(donor)
+    }
+
+    /// While unsynchronized, periodically re-request the state transfer
+    /// (the initial request or its response may have been lost).
+    fn maybe_rerequest_transfer(&mut self, now: SimTime, actions: &mut Vec<ServerAction>) {
+        if self.synced
+            || now.saturating_since(self.last_transfer_request) <= self.config.commit_stall_timeout
+        {
+            return;
+        }
+        if let Some(donor) = self.next_donor() {
+            self.last_transfer_request = now;
+            actions.push(ServerAction::SendDirect {
+                to: donor,
+                payload: Payload::StateRequest,
+            });
+        }
+    }
+
+    /// Handles a protocol payload.
+    pub fn on_payload(
+        &mut self,
+        from: ActorId,
+        payload: Payload,
+        now: SimTime,
+    ) -> Vec<ServerAction> {
+        let mut retry = Vec::new();
+        self.maybe_rerequest_transfer(now, &mut retry);
+        if !retry.is_empty() {
+            let mut actions = self.dispatch_payload(from, payload, now);
+            actions.extend(retry);
+            return actions;
+        }
+        self.dispatch_payload(from, payload, now)
+    }
+
+    fn dispatch_payload(
+        &mut self,
+        from: ActorId,
+        payload: Payload,
+        now: SimTime,
+    ) -> Vec<ServerAction> {
+        match payload {
+            Payload::Update(u) => self.on_update(u, now),
+            Payload::Read(r) => self.on_read(from, r, now),
+            Payload::FifoLazyUpdate {
+                version,
+                snapshot,
+                rate_per_us,
+            } => self.on_lazy_update(version, &snapshot, rate_per_us, now),
+            Payload::StateRequest => self.on_state_request(from),
+            Payload::StateResponse { csn, snapshot, .. } => {
+                self.on_state_response(csn, &snapshot, now)
+            }
+            // Sequencer-protocol traffic has no meaning here.
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_update(&mut self, u: UpdateRequest, now: SimTime) -> Vec<ServerAction> {
+        if self.role != ReplicaRole::Primary {
+            return Vec::new();
+        }
+        self.updates_since_broadcast += 1;
+        self.updates_since_lazy += 1;
+        self.rate_acc_updates += 1;
+        self.stats.updates_committed += 1;
+        let mut actions = Vec::new();
+        self.enqueue(
+            Work {
+                kind: WorkKind::Update { update: u },
+                enqueued_at: now,
+            },
+            &mut actions,
+        );
+        actions
+    }
+
+    fn on_read(&mut self, from: ActorId, r: ReadRequest, now: SimTime) -> Vec<ServerAction> {
+        let pending = PendingRead {
+            req: r,
+            client: from,
+            arrived_at: now,
+        };
+        let staleness = self.estimated_staleness(now);
+        let mut actions = Vec::new();
+        if self.synced && staleness <= pending.req.staleness_threshold as u64 {
+            self.enqueue(
+                Work {
+                    kind: WorkKind::Read {
+                        read: pending,
+                        staleness,
+                        deferred: false,
+                        tb: SimDuration::ZERO,
+                    },
+                    enqueued_at: now,
+                },
+                &mut actions,
+            );
+        } else {
+            self.stats.reads_deferred += 1;
+            self.deferred.push((pending, now));
+        }
+        actions
+    }
+
+    fn on_lazy_update(
+        &mut self,
+        version: u64,
+        snapshot: &bytes::Bytes,
+        rate_per_us: f64,
+        now: SimTime,
+    ) -> Vec<ServerAction> {
+        if self.role != ReplicaRole::Secondary {
+            return Vec::new();
+        }
+        if version > self.version {
+            self.object.install_snapshot(snapshot);
+            self.version = version;
+            self.stats.lazy_updates_applied += 1;
+        }
+        self.synced = true;
+        self.last_lazy_at = Some(now);
+        self.lazy_rate_per_us = rate_per_us.max(0.0);
+        // Deferred reads are answered on the next state update (§4.1.2).
+        let staleness = self.estimated_staleness(now);
+        let mut actions = Vec::new();
+        for (pending, deferred_at) in std::mem::take(&mut self.deferred) {
+            let tb = now.saturating_since(deferred_at);
+            self.enqueue(
+                Work {
+                    kind: WorkKind::Read {
+                        read: pending,
+                        staleness,
+                        deferred: true,
+                        tb,
+                    },
+                    enqueued_at: now,
+                },
+                &mut actions,
+            );
+        }
+        actions
+    }
+
+    /// The lazy propagation timer fired.
+    pub fn on_lazy_timer(&mut self, now: SimTime) -> Vec<ServerAction> {
+        self.lazy_timer_pending = false;
+        if !self.is_publisher() {
+            return Vec::new();
+        }
+        let mut actions = Vec::new();
+        self.stats.lazy_updates_sent += 1;
+        // Update-rate estimate shipped to secondaries for their staleness
+        // bound: arrivals observed since the estimator was last reset.
+        let elapsed = now.saturating_since(self.rate_acc_since).as_micros();
+        let rate = if elapsed > 0 {
+            self.rate_acc_updates as f64 / elapsed as f64
+        } else {
+            0.0
+        };
+        actions.push(ServerAction::MulticastSecondary(Payload::FifoLazyUpdate {
+            version: self.version,
+            snapshot: self.object.snapshot(),
+            rate_per_us: rate,
+        }));
+        self.updates_since_lazy = 0;
+        self.publisher_lazy_at = now;
+        // Keep the rate estimator fresh: fold down by restarting the
+        // accumulation window every 8 lazy intervals.
+        if now.saturating_since(self.rate_acc_since) > self.config.lazy_interval * 8 {
+            self.rate_acc_updates = 0;
+            self.rate_acc_since = now;
+        }
+        let perf = Payload::Perf(PerfBroadcast {
+            read: None,
+            publisher: Some(self.publisher_info(now)),
+        });
+        for c in self.config.clients.clone() {
+            actions.push(ServerAction::SendDirect {
+                to: c,
+                payload: perf.clone(),
+            });
+        }
+        self.arm_lazy(&mut actions);
+        actions
+    }
+
+    fn publisher_info(&mut self, now: SimTime) -> PublisherInfo {
+        let info = PublisherInfo {
+            n_u: self.updates_since_broadcast,
+            t_u: now.saturating_since(self.last_broadcast_at),
+            n_l: self.updates_since_lazy,
+            t_l: now.saturating_since(self.publisher_lazy_at),
+            period: self.config.lazy_interval,
+        };
+        self.updates_since_broadcast = 0;
+        self.last_broadcast_at = now;
+        info
+    }
+
+    fn enqueue(&mut self, work: Work, actions: &mut Vec<ServerAction>) {
+        self.service_queue.push_back(work);
+        self.maybe_start_service(actions);
+    }
+
+    fn maybe_start_service(&mut self, actions: &mut Vec<ServerAction>) {
+        if self.in_service.is_some() {
+            return;
+        }
+        let Some(work) = self.service_queue.pop_front() else {
+            return;
+        };
+        let token = self.next_token;
+        self.next_token += 1;
+        self.in_service = Some((token, work, SimTime::ZERO));
+        actions.push(ServerAction::StartService { token });
+    }
+
+    /// The host began servicing `token` at `now`.
+    pub fn on_service_start(&mut self, token: u64, now: SimTime) {
+        if let Some((t, _, start)) = self.in_service.as_mut() {
+            if *t == token {
+                *start = now;
+            }
+        }
+    }
+
+    /// The service delay for `token` elapsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is not the unit of work in service.
+    pub fn on_service_done(&mut self, token: u64, now: SimTime) -> Vec<ServerAction> {
+        let (t, work, started_at) = self.in_service.take().expect("no work in service");
+        assert_eq!(t, token, "service completion for unexpected token");
+        let mut actions = Vec::new();
+        let ts = now.saturating_since(started_at);
+        match work.kind {
+            WorkKind::Update { update } => {
+                let result = self.object.apply_update(&update.op);
+                self.version += 1;
+                self.applied_log.push_back(update.id);
+                while self.applied_log.len() > self.config.committed_log {
+                    self.applied_log.pop_front();
+                }
+                let tq = started_at.saturating_since(work.enqueued_at);
+                actions.push(ServerAction::SendDirect {
+                    to: update.id.client,
+                    payload: Payload::Reply(Reply {
+                        id: update.id,
+                        result,
+                        t1_us: (ts + tq).as_micros(),
+                        staleness: 0,
+                        deferred: false,
+                        csn: self.version,
+                        vector: Vec::new(),
+                    }),
+                });
+            }
+            WorkKind::Read {
+                read,
+                staleness,
+                deferred,
+                tb,
+            } => {
+                let result = self.object.read(&read.req.op);
+                self.stats.reads_served += 1;
+                let total_wait = started_at.saturating_since(read.arrived_at);
+                let tq = total_wait.saturating_sub(tb);
+                let t1 = ts + tq + tb;
+                actions.push(ServerAction::SendDirect {
+                    to: read.client,
+                    payload: Payload::Reply(Reply {
+                        id: read.req.id,
+                        result,
+                        t1_us: t1.as_micros(),
+                        staleness,
+                        deferred,
+                        csn: self.version,
+                        vector: Vec::new(),
+                    }),
+                });
+                let perf = Payload::Perf(PerfBroadcast {
+                    read: Some(ReadMeasurement {
+                        ts_us: ts.as_micros(),
+                        tq_us: tq.as_micros(),
+                        tb_us: tb.as_micros(),
+                    }),
+                    publisher: self.is_publisher().then(|| self.publisher_info(now)),
+                });
+                for c in self.config.clients.clone() {
+                    actions.push(ServerAction::SendDirect {
+                        to: c,
+                        payload: perf.clone(),
+                    });
+                }
+            }
+        }
+        self.maybe_start_service(&mut actions);
+        actions
+    }
+
+    fn on_state_request(&mut self, from: ActorId) -> Vec<ServerAction> {
+        if self.role != ReplicaRole::Primary || !self.synced {
+            return Vec::new();
+        }
+        self.stats.state_transfers += 1;
+        vec![ServerAction::SendDirect {
+            to: from,
+            payload: Payload::StateResponse {
+                csn: self.version,
+                gsn: self.version,
+                snapshot: self.object.snapshot(),
+            },
+        }]
+    }
+
+    fn on_state_response(
+        &mut self,
+        version: u64,
+        snapshot: &bytes::Bytes,
+        now: SimTime,
+    ) -> Vec<ServerAction> {
+        if self.synced || version < self.version {
+            return Vec::new();
+        }
+        self.object.install_snapshot(snapshot);
+        self.version = version;
+        self.synced = true;
+        if self.role == ReplicaRole::Secondary {
+            self.last_lazy_at = Some(now);
+        }
+        // Release reads that were waiting for a synchronized state.
+        let staleness = self.estimated_staleness(now);
+        let mut actions = Vec::new();
+        for (pending, deferred_at) in std::mem::take(&mut self.deferred) {
+            let tb = now.saturating_since(deferred_at);
+            self.enqueue(
+                Work {
+                    kind: WorkKind::Read {
+                        read: pending,
+                        staleness,
+                        deferred: true,
+                        tb,
+                    },
+                    enqueued_at: now,
+                },
+                &mut actions,
+            );
+        }
+        actions
+    }
+
+    /// Handles a view change of either replication group.
+    pub fn on_view(&mut self, view: View, now: SimTime) -> Vec<ServerAction> {
+        let mut actions = Vec::new();
+        if view.group == PRIMARY_GROUP {
+            let was_publisher = self.is_publisher();
+            self.primary_view = view;
+            if self.role == ReplicaRole::Primary && self.is_publisher() && !was_publisher {
+                self.updates_since_lazy = 0;
+                self.publisher_lazy_at = now;
+                self.rate_acc_since = now;
+                self.rate_acc_updates = 0;
+                self.arm_lazy(&mut actions);
+            }
+        } else if view.group == SECONDARY_GROUP {
+            self.secondary_view = view;
+        }
+        actions
+    }
+}
+
+impl crate::protocol::ServerProtocol for FifoServerGateway {
+    fn ordering(&self) -> OrderingGuarantee {
+        OrderingGuarantee::Fifo
+    }
+
+    fn on_start(&mut self, now: SimTime) -> Vec<ServerAction> {
+        FifoServerGateway::on_start(self, now)
+    }
+
+    fn on_restart(
+        &mut self,
+        fresh_object: Box<dyn ReplicatedObject>,
+        now: SimTime,
+    ) -> Vec<ServerAction> {
+        FifoServerGateway::on_restart(self, fresh_object, now)
+    }
+
+    fn on_payload(&mut self, from: ActorId, payload: Payload, now: SimTime) -> Vec<ServerAction> {
+        FifoServerGateway::on_payload(self, from, payload, now)
+    }
+
+    fn on_service_start(&mut self, token: u64, now: SimTime) {
+        FifoServerGateway::on_service_start(self, token, now)
+    }
+
+    fn on_service_done(&mut self, token: u64, now: SimTime) -> Vec<ServerAction> {
+        FifoServerGateway::on_service_done(self, token, now)
+    }
+
+    fn on_lazy_timer(&mut self, now: SimTime) -> Vec<ServerAction> {
+        FifoServerGateway::on_lazy_timer(self, now)
+    }
+
+    fn on_view(&mut self, view: View, now: SimTime) -> Vec<ServerAction> {
+        FifoServerGateway::on_view(self, view, now)
+    }
+
+    fn is_sequencer(&self) -> bool {
+        false
+    }
+
+    fn is_publisher(&self) -> bool {
+        FifoServerGateway::is_publisher(self)
+    }
+
+    fn csn(&self) -> u64 {
+        self.version
+    }
+
+    fn applied_csn(&self) -> u64 {
+        self.version
+    }
+
+    fn gsn(&self) -> u64 {
+        self.version
+    }
+
+    fn is_synced(&self) -> bool {
+        FifoServerGateway::is_synced(self)
+    }
+
+    fn stats(&self) -> ServerStats {
+        FifoServerGateway::stats(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{AccountBook, VersionedRegister};
+    use crate::wire::Operation;
+    use aqf_group::ViewId;
+
+    fn a(i: usize) -> ActorId {
+        ActorId::from_index(i)
+    }
+
+    fn pview() -> View {
+        View::new(PRIMARY_GROUP, ViewId(0), vec![a(0), a(1), a(2)])
+    }
+
+    fn sview() -> View {
+        View::new(SECONDARY_GROUP, ViewId(0), vec![a(10), a(11)])
+    }
+
+    fn gw(i: usize) -> FifoServerGateway {
+        let config = ServerConfig {
+            clients: vec![a(20)],
+            ..ServerConfig::default()
+        };
+        FifoServerGateway::new(a(i), pview(), sview(), Box::new(AccountBook::new()), config)
+    }
+
+    fn upd(client: usize, seq: u64) -> UpdateRequest {
+        UpdateRequest {
+            id: RequestId {
+                client: a(client),
+                seq,
+            },
+            op: Operation::new("deposit", AccountBook::encode_tx("acct", 100)),
+        }
+    }
+
+    fn read(seq: u64, staleness: u32) -> ReadRequest {
+        ReadRequest {
+            id: RequestId { client: a(20), seq },
+            op: Operation::new("balance", b"acct".to_vec()),
+            staleness_threshold: staleness,
+        }
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn drain(
+        gw: &mut FifoServerGateway,
+        actions: &mut Vec<ServerAction>,
+        mut now: SimTime,
+    ) -> SimTime {
+        while let Some(pos) = actions
+            .iter()
+            .position(|x| matches!(x, ServerAction::StartService { .. }))
+        {
+            let ServerAction::StartService { token } = actions.remove(pos) else {
+                unreachable!()
+            };
+            gw.on_service_start(token, now);
+            now += SimDuration::from_millis(5);
+            actions.extend(gw.on_service_done(token, now));
+        }
+        now
+    }
+
+    #[test]
+    fn roles() {
+        assert_eq!(gw(0).role(), ReplicaRole::Primary);
+        assert!(gw(2).is_publisher());
+        assert!(!gw(0).is_publisher());
+        assert!(!crate::protocol::ServerProtocol::is_sequencer(&gw(0)));
+        assert_eq!(
+            crate::protocol::ServerProtocol::ordering(&gw(0)),
+            OrderingGuarantee::Fifo
+        );
+    }
+
+    #[test]
+    fn primary_applies_updates_without_sequencing_round() {
+        let mut p = gw(1);
+        let mut actions = p.on_payload(a(20), Payload::Update(upd(20, 0)), t(0));
+        assert!(
+            !actions
+                .iter()
+                .any(|x| matches!(x, ServerAction::MulticastPrimary(_))),
+            "no GSN round in FIFO mode"
+        );
+        let _ = drain(&mut p, &mut actions, t(0));
+        assert_eq!(p.version(), 1);
+        // Client got a reply directly from this primary.
+        assert!(actions.iter().any(|x| matches!(
+            x,
+            ServerAction::SendDirect {
+                payload: Payload::Reply(_),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn primary_reads_always_immediate() {
+        let mut p = gw(1);
+        assert_eq!(p.estimated_staleness(t(0)), 0);
+        let mut actions = p.on_payload(a(20), Payload::Read(read(0, 0)), t(0));
+        let _ = drain(&mut p, &mut actions, t(0));
+        assert_eq!(p.stats().reads_served, 1);
+        assert_eq!(p.stats().reads_deferred, 0);
+    }
+
+    fn secondary(i: usize) -> FifoServerGateway {
+        let config = ServerConfig {
+            clients: vec![a(20)],
+            ..ServerConfig::default()
+        };
+        FifoServerGateway::new(a(i), pview(), sview(), Box::new(AccountBook::new()), config)
+    }
+
+    #[test]
+    fn secondary_staleness_estimate_grows_with_time() {
+        let mut s = secondary(10);
+        let _ = s.on_start(t(0));
+        // 1 update/s advertised by the publisher.
+        let _ = s.on_payload(
+            a(2),
+            Payload::FifoLazyUpdate {
+                version: 5,
+                snapshot: AccountBook::new().snapshot(),
+                rate_per_us: 1e-6,
+            },
+            t(1000),
+        );
+        assert_eq!(s.estimated_staleness(t(1000)), 0);
+        assert_eq!(s.estimated_staleness(t(1500)), 1); // ceil(0.5)
+        assert_eq!(s.estimated_staleness(t(3000)), 2);
+        assert_eq!(s.version(), 5);
+    }
+
+    #[test]
+    fn stale_secondary_defers_until_lazy_update() {
+        let mut s = secondary(10);
+        let _ = s.on_start(t(0));
+        let _ = s.on_payload(
+            a(2),
+            Payload::FifoLazyUpdate {
+                version: 1,
+                snapshot: AccountBook::new().snapshot(),
+                rate_per_us: 1e-5, // 10 updates/s
+            },
+            t(0),
+        );
+        // 2 s later the estimate is ~20 versions; threshold 3 defers.
+        let actions = s.on_payload(a(20), Payload::Read(read(0, 3)), t(2000));
+        assert!(actions.is_empty());
+        assert_eq!(s.stats().reads_deferred, 1);
+        // The next lazy update releases it.
+        let mut actions = s.on_payload(
+            a(2),
+            Payload::FifoLazyUpdate {
+                version: 20,
+                snapshot: AccountBook::new().snapshot(),
+                rate_per_us: 1e-5,
+            },
+            t(2500),
+        );
+        let _ = drain(&mut s, &mut actions, t(2500));
+        let reply = actions
+            .iter()
+            .find_map(|x| match x {
+                ServerAction::SendDirect {
+                    payload: Payload::Reply(r),
+                    ..
+                } => Some(r.clone()),
+                _ => None,
+            })
+            .expect("deferred read served");
+        assert!(reply.deferred);
+        assert_eq!(reply.t1_us, SimDuration::from_millis(505).as_micros());
+    }
+
+    #[test]
+    fn fresh_secondary_serves_immediately() {
+        let mut s = secondary(10);
+        let _ = s.on_start(t(0));
+        let _ = s.on_payload(
+            a(2),
+            Payload::FifoLazyUpdate {
+                version: 3,
+                snapshot: AccountBook::new().snapshot(),
+                rate_per_us: 1e-6,
+            },
+            t(100),
+        );
+        let mut actions = s.on_payload(a(20), Payload::Read(read(0, 2)), t(200));
+        let _ = drain(&mut s, &mut actions, t(200));
+        assert_eq!(s.stats().reads_served, 1);
+    }
+
+    #[test]
+    fn publisher_ships_rate_with_snapshot() {
+        let mut p = gw(2);
+        let _ = p.on_start(t(0));
+        let mut actions = Vec::new();
+        for i in 0..4 {
+            actions.extend(p.on_payload(a(20), Payload::Update(upd(20, i)), t(i * 100)));
+        }
+        let _ = drain(&mut p, &mut actions, t(400));
+        let actions = p.on_lazy_timer(t(2000));
+        let (version, rate) = actions
+            .iter()
+            .find_map(|x| match x {
+                ServerAction::MulticastSecondary(Payload::FifoLazyUpdate {
+                    version,
+                    rate_per_us,
+                    ..
+                }) => Some((*version, *rate_per_us)),
+                _ => None,
+            })
+            .expect("lazy update sent");
+        assert_eq!(version, 4);
+        // 4 updates over 2 s = 2e-6 per µs.
+        assert!((rate - 2e-6).abs() < 1e-9, "rate = {rate}");
+        assert!(actions
+            .iter()
+            .any(|x| matches!(x, ServerAction::ArmLazyTimer { .. })));
+    }
+
+    #[test]
+    fn per_client_fifo_order_is_preserved() {
+        // Interleave two clients' updates; each client's own order must be
+        // preserved in the applied log (delivery order is apply order).
+        let mut p = gw(1);
+        let mut actions = Vec::new();
+        for i in 0..5 {
+            actions.extend(p.on_payload(a(20), Payload::Update(upd(20, i)), t(i)));
+            actions.extend(p.on_payload(a(21), Payload::Update(upd(21, i)), t(i)));
+        }
+        let _ = drain(&mut p, &mut actions, t(10));
+        for client in [a(20), a(21)] {
+            let seqs: Vec<u64> = p
+                .applied_log()
+                .filter(|r| r.client == client)
+                .map(|r| r.seq)
+                .collect();
+            assert_eq!(seqs, vec![0, 1, 2, 3, 4], "client {client} order");
+        }
+        assert_eq!(p.version(), 10);
+    }
+
+    #[test]
+    fn restart_requests_state_transfer() {
+        let mut p = gw(1);
+        let actions = p.on_restart(Box::new(AccountBook::new()), t(100));
+        assert!(actions.iter().any(|x| matches!(
+            x,
+            ServerAction::SendDirect { to, payload: Payload::StateRequest } if *to == a(0)
+        )));
+        assert!(!p.is_synced());
+        // Reads defer until the transfer lands.
+        let pending = p.on_payload(a(20), Payload::Read(read(0, 1000)), t(101));
+        assert!(pending.is_empty());
+        let donor_snapshot = {
+            let mut donor = AccountBook::new();
+            donor.apply_update(&Operation::new(
+                "deposit",
+                AccountBook::encode_tx("acct", 700),
+            ));
+            donor.snapshot()
+        };
+        let mut actions = p.on_payload(
+            a(0),
+            Payload::StateResponse {
+                csn: 1,
+                gsn: 1,
+                snapshot: donor_snapshot,
+            },
+            t(300),
+        );
+        assert!(p.is_synced());
+        assert_eq!(p.version(), 1);
+        let _ = drain(&mut p, &mut actions, t(300));
+        assert_eq!(p.stats().reads_served, 1);
+    }
+
+    #[test]
+    fn publisher_failover_rearms_timer() {
+        let mut p = gw(1);
+        assert!(!p.is_publisher());
+        let new_view = pview().successor(&[a(2)], &[]).unwrap();
+        let actions = p.on_view(new_view, t(500));
+        assert!(p.is_publisher());
+        assert!(actions
+            .iter()
+            .any(|x| matches!(x, ServerAction::ArmLazyTimer { .. })));
+    }
+
+    #[test]
+    fn sequencer_payloads_ignored() {
+        let mut p = gw(1);
+        let req = RequestId {
+            client: a(20),
+            seq: 0,
+        };
+        assert!(p
+            .on_payload(a(0), Payload::GsnAssign { req, gsn: 1 }, t(0))
+            .is_empty());
+        assert!(p
+            .on_payload(a(0), Payload::GsnSnapshot { req, gsn: 1 }, t(0))
+            .is_empty());
+        assert!(p.on_payload(a(0), Payload::GsnQuery, t(0)).is_empty());
+        assert_eq!(p.version(), 0);
+    }
+
+    #[test]
+    fn register_object_also_works() {
+        let config = ServerConfig {
+            clients: vec![a(20)],
+            ..ServerConfig::default()
+        };
+        let mut p = FifoServerGateway::new(
+            a(1),
+            pview(),
+            sview(),
+            Box::new(VersionedRegister::new()),
+            config,
+        );
+        let mut actions = p.on_payload(
+            a(20),
+            Payload::Update(UpdateRequest {
+                id: RequestId {
+                    client: a(20),
+                    seq: 0,
+                },
+                op: Operation::new("set", b"x".to_vec()),
+            }),
+            t(0),
+        );
+        let _ = drain(&mut p, &mut actions, t(0));
+        assert_eq!(p.version(), 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! An adaptive framework for tunable consistency and timeliness using
+//! replication — a from-scratch reproduction of Krishnamurthy, Sanders &
+//! Cukier (DSN 2002).
+//!
+//! This crate is the paper's contribution: a middleware layer that lets
+//! clients trade consistency for timeliness through a QoS specification
+//! `<staleness threshold, deadline, probability>`, built on a two-level
+//! replica organization (a strongly consistent *primary* group plus a
+//! lazily updated *secondary* group) and a probabilistic, monitoring-driven
+//! replica selection algorithm.
+//!
+//! # Modules
+//!
+//! * [`qos`] — the QoS model: [`QosSpec`], ordering guarantees, and the
+//!   read-only method registry (paper §2).
+//! * [`wire`] — gateway-to-gateway protocol payloads.
+//! * [`object`] — the [`ReplicatedObject`] trait plus sample applications
+//!   (versioned register, shared document, stock ticker board).
+//! * [`server`] — the server-side sequential consistency handler: GSN/CSN
+//!   bookkeeping, sequencer, deferred reads, lazy publisher, failure
+//!   recovery (paper §4).
+//! * [`monitor`] — the client information repository: sliding windows,
+//!   response-time distributions, staleness factor (paper §5.2, §5.4).
+//! * [`model`] — `P_K(d)` (Eqs. 1–4) and Algorithm 1.
+//! * [`select`] — selection policies: Algorithm 1 plus baselines.
+//! * [`client`] — the client-side handler: selection, transmission, timing
+//!   failure detection (paper §5.3, §5.4).
+//! * [`timing`] — the timing failure detector.
+//! * [`admission`] — the admission-control extension (paper §7).
+//! * [`level`] — priority/cost-based higher-level specifications (paper §7).
+//! * [`fifo`] — the FIFO timed-consistency handler (paper §4, Figure 2).
+//! * [`causal`] — the causal timed-consistency handler (the third ordering
+//!   guarantee of §2's QoS model).
+//!
+//! # Example: the probabilistic model
+//!
+//! ```
+//! use aqf_core::model::{pk_probability, select_replicas, Candidate};
+//! use aqf_sim::ActorId;
+//!
+//! // Two primaries at F^I(d) = 0.5 each: P_K(d) = 0.75.
+//! assert!((pk_probability(&[0.5, 0.5], &[], 1.0) - 0.75).abs() < 1e-9);
+//!
+//! let candidates = vec![
+//!     Candidate { id: ActorId::from_index(1), is_primary: true,
+//!                 immediate_cdf: 0.9, deferred_cdf: 0.0, ert_us: 100 },
+//!     Candidate { id: ActorId::from_index(2), is_primary: true,
+//!                 immediate_cdf: 0.9, deferred_cdf: 0.0, ert_us: 50 },
+//! ];
+//! let sel = select_replicas(&candidates, 1.0, 0.85, Some(ActorId::from_index(0)));
+//! assert!(sel.satisfied);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod causal;
+pub mod client;
+pub mod fifo;
+pub mod level;
+pub mod model;
+pub mod monitor;
+pub mod object;
+pub mod protocol;
+pub mod qos;
+pub mod select;
+pub mod server;
+pub mod timing;
+pub mod wire;
+
+pub use admission::{AdmissionController, AdmissionDecision};
+pub use causal::CausalServerGateway;
+pub use client::{ClientAction, ClientConfig, ClientGateway, ResponseInfo, TimerPurpose};
+pub use fifo::FifoServerGateway;
+pub use level::{CostCurve, Priority, PriorityMap};
+pub use model::{select_replicas, Candidate, Selection};
+pub use monitor::{InfoRepository, MonitorConfig, StalenessModel};
+pub use object::{AccountBook, ReplicatedObject, SharedDocument, TickerBoard, VersionedRegister};
+pub use protocol::ServerProtocol;
+pub use qos::{OperationKind, OrderingGuarantee, QosSpec, ReadOnlyRegistry};
+pub use select::{SelectionPolicy, Selector};
+pub use server::{ReplicaRole, ServerAction, ServerConfig, ServerGateway};
+pub use timing::TimingFailureDetector;
+pub use wire::{Operation, Payload, RequestId, PRIMARY_GROUP, SECONDARY_GROUP};

@@ -1,0 +1,550 @@
+//! The client-side information repository (paper §5.2 and §5.4).
+//!
+//! Client gateways record, per replica, sliding windows of the most recent
+//! `l` measurements of service time `S`, queueing delay `W`, and
+//! deferred-wait `U` (from server performance broadcasts), the most recent
+//! two-way gateway delay `G` (from the client's own replies), and the
+//! elapsed response time `ert`. The repository also tracks the lazy
+//! publisher's `<n_u, t_u>` / `<n_L, t_L>` broadcasts to estimate the update
+//! arrival rate and the time since the last lazy update.
+//!
+//! From this history the repository evaluates the conditional response-time
+//! distribution functions `F^I_Ri(d)` and `F^D_Ri(d)` by discrete
+//! convolution (Eqs. 5 and 6) and the staleness factor `P(A_s(t) <= a)`
+//! (Eq. 4).
+
+use crate::wire::{PerfBroadcast, PublisherInfo};
+use aqf_sim::{ActorId, SimDuration, SimTime};
+use aqf_stats::{poisson_cdf, Pmf, RateEstimator, SlidingWindow};
+use std::collections::HashMap;
+
+/// How the staleness factor `P(A_s(t) <= a)` is estimated from the
+/// publisher's `<n_u, t_u>` history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum StalenessModel {
+    /// The paper's Eq. 4: Poisson arrivals at the pooled windowed rate.
+    #[default]
+    Poisson,
+    /// The paper's §5.1.3 remark that non-Poisson arrivals are also
+    /// evaluable: a rate-mixture estimator. Each windowed observation
+    /// contributes its own rate `r_i = n_i / t_i`, and the factor is the
+    /// average of the per-rate Poisson CDFs — a doubly stochastic (Cox)
+    /// estimate that stays calibrated under bursty, overdispersed update
+    /// arrivals where the single-rate Poisson model is too optimistic.
+    EmpiricalRateMixture,
+}
+
+/// Sizing knobs for the repository.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorConfig {
+    /// Sliding-window size `l` for S, W, and U measurements (the paper's
+    /// experiments use 10 and 20).
+    pub window_size: usize,
+    /// Window size for `<n_u, t_u>` rate observations.
+    pub rate_window: usize,
+    /// The staleness-factor estimator.
+    pub staleness_model: StalenessModel,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self {
+            window_size: 20,
+            rate_window: 16,
+            staleness_model: StalenessModel::Poisson,
+        }
+    }
+}
+
+/// Per-replica performance history.
+#[derive(Debug, Clone)]
+pub struct ReplicaRecord {
+    /// Service-time window (µs).
+    s: SlidingWindow,
+    /// Queueing-delay window (µs).
+    w: SlidingWindow,
+    /// Deferred-wait window (µs); only deferred reads contribute.
+    u: SlidingWindow,
+    /// Most recent two-way gateway delay (µs), specific to this
+    /// client-replica pair.
+    last_gateway_us: Option<u64>,
+    /// When this client last received any reply from the replica.
+    last_reply_at: Option<SimTime>,
+}
+
+impl ReplicaRecord {
+    fn new(window: usize) -> Self {
+        Self {
+            s: SlidingWindow::new(window),
+            w: SlidingWindow::new(window),
+            u: SlidingWindow::new(window),
+            last_gateway_us: None,
+            last_reply_at: None,
+        }
+    }
+}
+
+/// The most recent lazy-publisher observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PublisherObservation {
+    received_at: SimTime,
+    n_l: u64,
+    t_l: SimDuration,
+    period: SimDuration,
+}
+
+/// Client-side repository of replica performance history.
+#[derive(Debug, Clone)]
+pub struct InfoRepository {
+    config: MonitorConfig,
+    replicas: HashMap<ActorId, ReplicaRecord>,
+    rate: RateEstimator,
+    publisher: Option<PublisherObservation>,
+}
+
+impl InfoRepository {
+    /// Creates an empty repository.
+    pub fn new(config: MonitorConfig) -> Self {
+        Self {
+            config,
+            replicas: HashMap::new(),
+            rate: RateEstimator::new(config.rate_window),
+            publisher: None,
+        }
+    }
+
+    /// The configured sliding-window size `l`.
+    pub fn window_size(&self) -> usize {
+        self.config.window_size
+    }
+
+    fn record(&mut self, replica: ActorId) -> &mut ReplicaRecord {
+        let window = self.config.window_size;
+        self.replicas
+            .entry(replica)
+            .or_insert_with(|| ReplicaRecord::new(window))
+    }
+
+    /// Ingests a performance broadcast from `replica` received at `now`.
+    pub fn record_perf(&mut self, replica: ActorId, perf: &PerfBroadcast, now: SimTime) {
+        if let Some(m) = perf.read {
+            let rec = self.record(replica);
+            rec.s.push(m.ts_us);
+            rec.w.push(m.tq_us);
+            if m.tb_us > 0 {
+                rec.u.push(m.tb_us);
+            }
+        }
+        if let Some(p) = perf.publisher {
+            self.record_publisher(&p, now);
+        }
+    }
+
+    fn record_publisher(&mut self, p: &PublisherInfo, now: SimTime) {
+        if !p.t_u.is_zero() || p.n_u > 0 {
+            self.rate.record(p.n_u, p.t_u.as_micros());
+        }
+        self.publisher = Some(PublisherObservation {
+            received_at: now,
+            n_l: p.n_l,
+            t_l: p.t_l,
+            period: p.period,
+        });
+    }
+
+    /// Records a reply this client received from `replica`: `t1` is the
+    /// piggybacked server-side time, `tm` the transmit time of the request,
+    /// and `tp` (= now) the reception time. Derives the two-way gateway
+    /// delay `tg = tp - tm - t1` (clamped at zero) and refreshes `ert`.
+    pub fn record_reply(&mut self, replica: ActorId, t1_us: u64, tm: SimTime, tp: SimTime) {
+        let rec = self.record(replica);
+        let round_trip = tp.saturating_since(tm).as_micros();
+        rec.last_gateway_us = Some(round_trip.saturating_sub(t1_us));
+        rec.last_reply_at = Some(tp);
+    }
+
+    /// Elapsed response time for `replica` in µs: time since this client
+    /// last received a reply from it, or `u64::MAX` if it never has.
+    /// Least-recently-used replicas sort first in the selection algorithm,
+    /// which is how hot-spots are avoided (paper §5.3).
+    pub fn ert_us(&self, replica: ActorId, now: SimTime) -> u64 {
+        self.replicas
+            .get(&replica)
+            .and_then(|r| r.last_reply_at)
+            .map(|t| now.saturating_since(t).as_micros())
+            .unwrap_or(u64::MAX)
+    }
+
+    /// The immediate-read response-time distribution `F^I_Ri` evaluated at
+    /// the deadline `d`: `P(S + W + G <= d)` with the pmfs of `S` and `W`
+    /// taken from the sliding windows and `G` as a point mass at its most
+    /// recent value (Eq. 5 / §5.2.1).
+    ///
+    /// Returns 0 when no history has been recorded (a replica we know
+    /// nothing about cannot be predicted to meet any deadline, so the
+    /// algorithm conservatively keeps adding replicas during warm-up).
+    pub fn immediate_cdf(&self, replica: ActorId, d: SimDuration) -> f64 {
+        let Some(rec) = self.replicas.get(&replica) else {
+            return 0.0;
+        };
+        if rec.s.is_empty() || rec.w.is_empty() {
+            return 0.0;
+        }
+        self.response_pmf(rec, false)
+            .map(|pmf| pmf.cdf(d.as_micros()))
+            .unwrap_or(0.0)
+    }
+
+    /// The deferred-read response-time distribution `F^D_Ri` evaluated at
+    /// `d`: `P(S + W + G + U <= d)` (Eq. 6 / §5.2.2). Returns 0 when no
+    /// deferred-read history exists.
+    pub fn deferred_cdf(&self, replica: ActorId, d: SimDuration) -> f64 {
+        let Some(rec) = self.replicas.get(&replica) else {
+            return 0.0;
+        };
+        if rec.s.is_empty() || rec.w.is_empty() || rec.u.is_empty() {
+            return 0.0;
+        }
+        self.response_pmf(rec, true)
+            .map(|pmf| pmf.cdf(d.as_micros()))
+            .unwrap_or(0.0)
+    }
+
+    /// The full response-time pmf for a replica (used by benchmarks and
+    /// diagnostics). `deferred` selects Eq. 6 over Eq. 5.
+    pub fn response_pmf(&self, rec: &ReplicaRecord, deferred: bool) -> Option<Pmf> {
+        let s = Pmf::from_samples(rec.s.iter());
+        let w = Pmf::from_samples(rec.w.iter());
+        if s.is_empty() || w.is_empty() {
+            return None;
+        }
+        let mut pmf = s.convolve(&w).shift(rec.last_gateway_us.unwrap_or(0));
+        if deferred {
+            let u = Pmf::from_samples(rec.u.iter());
+            if u.is_empty() {
+                return None;
+            }
+            pmf = pmf.convolve(&u);
+        }
+        Some(pmf)
+    }
+
+    /// Direct access to a replica's record (diagnostics, benchmarks).
+    pub fn replica_record(&self, replica: ActorId) -> Option<&ReplicaRecord> {
+        self.replicas.get(&replica)
+    }
+
+    /// The estimated update arrival rate `lambda_u` in arrivals/µs, or
+    /// `None` before any publisher broadcast.
+    pub fn update_rate_per_us(&self) -> Option<f64> {
+        self.rate.rate_per_us()
+    }
+
+    /// Estimated time since the last lazy update at instant `now`:
+    /// `t_l = (t_L + t_z) mod T_L` (paper §5.4.1).
+    pub fn time_since_lazy(&self, now: SimTime) -> Option<SimDuration> {
+        let obs = self.publisher?;
+        let tz = now.saturating_since(obs.received_at);
+        if obs.period.is_zero() {
+            return Some(SimDuration::ZERO);
+        }
+        Some((obs.t_l + tz).modulo(obs.period))
+    }
+
+    /// The staleness factor `P(A_s(t) <= a)` of the secondary group: the
+    /// probability that at most `a` updates arrived since the last lazy
+    /// propagation, estimated by the configured [`StalenessModel`]
+    /// (Eq. 4's Poisson form by default).
+    ///
+    /// Before any publisher broadcast has been received the factor is 1
+    /// (secondaries start synchronized with an empty update history).
+    pub fn staleness_factor(&self, staleness_threshold: u32, now: SimTime) -> f64 {
+        let Some(tl) = self.time_since_lazy(now) else {
+            return 1.0;
+        };
+        match self.config.staleness_model {
+            StalenessModel::Poisson => {
+                let Some(rate) = self.update_rate_per_us() else {
+                    return 1.0;
+                };
+                let mu = rate * tl.as_micros() as f64;
+                poisson_cdf(mu, staleness_threshold as u64)
+            }
+            StalenessModel::EmpiricalRateMixture => {
+                let mut total = 0.0;
+                let mut n = 0usize;
+                for (count, duration_us) in self.rate.observations() {
+                    if duration_us == 0 {
+                        continue;
+                    }
+                    let rate = count as f64 / duration_us as f64;
+                    total += poisson_cdf(rate * tl.as_micros() as f64, staleness_threshold as u64);
+                    n += 1;
+                }
+                if n == 0 {
+                    1.0
+                } else {
+                    total / n as f64
+                }
+            }
+        }
+    }
+
+    /// Number of replicas with any recorded history.
+    pub fn tracked_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::ReadMeasurement;
+
+    fn perf(ts: u64, tq: u64, tb: u64) -> PerfBroadcast {
+        PerfBroadcast {
+            read: Some(ReadMeasurement {
+                ts_us: ts,
+                tq_us: tq,
+                tb_us: tb,
+            }),
+            publisher: None,
+        }
+    }
+
+    fn repo() -> InfoRepository {
+        InfoRepository::new(MonitorConfig::default())
+    }
+
+    fn r(i: usize) -> ActorId {
+        ActorId::from_index(i)
+    }
+
+    #[test]
+    fn unknown_replica_is_unpredictable() {
+        let repo = repo();
+        assert_eq!(repo.immediate_cdf(r(0), SimDuration::from_secs(100)), 0.0);
+        assert_eq!(repo.deferred_cdf(r(0), SimDuration::from_secs(100)), 0.0);
+        assert_eq!(repo.ert_us(r(0), SimTime::from_secs(1)), u64::MAX);
+    }
+
+    #[test]
+    fn immediate_cdf_from_windows() {
+        let mut repo = repo();
+        let now = SimTime::from_secs(1);
+        // S always 100ms, W always 10ms, no gateway delay recorded -> G = 0.
+        for _ in 0..5 {
+            repo.record_perf(r(1), &perf(100_000, 10_000, 0), now);
+        }
+        assert_eq!(repo.immediate_cdf(r(1), SimDuration::from_millis(109)), 0.0);
+        assert_eq!(repo.immediate_cdf(r(1), SimDuration::from_millis(110)), 1.0);
+    }
+
+    #[test]
+    fn gateway_delay_shifts_cdf() {
+        let mut repo = repo();
+        let tm = SimTime::from_millis(0);
+        let tp = SimTime::from_millis(30); // round trip 30ms
+        repo.record_perf(r(1), &perf(100_000, 0, 0), tp);
+        // t1 = 25ms of the 30ms round trip -> G = 5ms.
+        repo.record_reply(r(1), 25_000, tm, tp);
+        assert_eq!(repo.immediate_cdf(r(1), SimDuration::from_millis(104)), 0.0);
+        assert_eq!(repo.immediate_cdf(r(1), SimDuration::from_millis(105)), 1.0);
+    }
+
+    #[test]
+    fn gateway_delay_clamps_at_zero() {
+        let mut repo = repo();
+        let tm = SimTime::from_millis(10);
+        let tp = SimTime::from_millis(15);
+        // t1 claims more time than the round trip: clamp G to 0.
+        repo.record_reply(r(1), 99_000, tm, tp);
+        repo.record_perf(r(1), &perf(50_000, 0, 0), tp);
+        assert_eq!(repo.immediate_cdf(r(1), SimDuration::from_millis(50)), 1.0);
+    }
+
+    #[test]
+    fn deferred_requires_u_history() {
+        let mut repo = repo();
+        let now = SimTime::from_secs(1);
+        repo.record_perf(r(1), &perf(100_000, 0, 0), now);
+        assert_eq!(repo.deferred_cdf(r(1), SimDuration::from_secs(10)), 0.0);
+        // A deferred read contributes U.
+        repo.record_perf(r(1), &perf(100_000, 0, 500_000), now);
+        assert!(repo.deferred_cdf(r(1), SimDuration::from_secs(10)) > 0.99);
+        assert_eq!(repo.deferred_cdf(r(1), SimDuration::from_millis(599)), 0.0);
+        // 100 (S) + 0 (W) + 500 (U) = 600ms: all deferred mass is there.
+        assert_eq!(repo.deferred_cdf(r(1), SimDuration::from_millis(600)), 1.0);
+    }
+
+    #[test]
+    fn ert_tracks_last_reply() {
+        let mut repo = repo();
+        repo.record_reply(r(1), 0, SimTime::from_millis(0), SimTime::from_millis(40));
+        assert_eq!(repo.ert_us(r(1), SimTime::from_millis(100)), 60_000);
+        repo.record_reply(r(1), 0, SimTime::from_millis(80), SimTime::from_millis(90));
+        assert_eq!(repo.ert_us(r(1), SimTime::from_millis(100)), 10_000);
+    }
+
+    #[test]
+    fn staleness_factor_defaults_to_one() {
+        let repo = repo();
+        assert_eq!(repo.staleness_factor(0, SimTime::from_secs(5)), 1.0);
+    }
+
+    #[test]
+    fn staleness_factor_uses_publisher_info() {
+        let mut repo = repo();
+        let now = SimTime::from_secs(10);
+        let p = PublisherInfo {
+            n_u: 4,
+            t_u: SimDuration::from_secs(2), // rate = 2/s
+            n_l: 1,
+            t_l: SimDuration::from_millis(500),
+            period: SimDuration::from_secs(2),
+        };
+        repo.record_perf(
+            r(9),
+            &PerfBroadcast {
+                read: None,
+                publisher: Some(p),
+            },
+            now,
+        );
+        // At reception time: tl = 500ms, mu = 2/s * 0.5s = 1.
+        let sf = repo.staleness_factor(0, now);
+        assert!((sf - (-1.0f64).exp()).abs() < 1e-9, "sf = {sf}");
+        // 1.5s later: tl = (0.5 + 1.5) mod 2 = 0 -> mu = 0 -> factor 1.
+        let sf = repo.staleness_factor(0, now + SimDuration::from_millis(1500));
+        assert_eq!(sf, 1.0);
+        // Monotone in a.
+        let lo = repo.staleness_factor(0, now);
+        let hi = repo.staleness_factor(3, now);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn rate_pools_across_broadcasts() {
+        let mut repo = repo();
+        let mk = |n_u, secs| PerfBroadcast {
+            read: None,
+            publisher: Some(PublisherInfo {
+                n_u,
+                t_u: SimDuration::from_secs(secs),
+                n_l: 0,
+                t_l: SimDuration::ZERO,
+                period: SimDuration::from_secs(4),
+            }),
+        };
+        repo.record_perf(r(9), &mk(2, 1), SimTime::from_secs(1));
+        repo.record_perf(r(9), &mk(4, 2), SimTime::from_secs(3));
+        // 6 updates over 3s = 2/s = 2e-6/µs.
+        assert!((repo.update_rate_per_us().unwrap() - 2e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_mixture_matches_poisson_under_constant_rate() {
+        let mk = |model| {
+            let mut repo = InfoRepository::new(MonitorConfig {
+                staleness_model: model,
+                ..MonitorConfig::default()
+            });
+            // Constant 2/s rate across observations.
+            for i in 0..6u64 {
+                repo.record_perf(
+                    r(9),
+                    &PerfBroadcast {
+                        read: None,
+                        publisher: Some(PublisherInfo {
+                            n_u: 2,
+                            t_u: SimDuration::from_secs(1),
+                            n_l: 0,
+                            t_l: SimDuration::from_millis(500),
+                            period: SimDuration::from_secs(2),
+                        }),
+                    },
+                    SimTime::from_secs(i),
+                );
+            }
+            repo.staleness_factor(2, SimTime::from_secs(5))
+        };
+        let poisson = mk(StalenessModel::Poisson);
+        let mixture = mk(StalenessModel::EmpiricalRateMixture);
+        assert!((poisson - mixture).abs() < 1e-9, "{poisson} vs {mixture}");
+    }
+
+    #[test]
+    fn empirical_mixture_reflects_rate_dispersion() {
+        // Same mean rate (2/s) but bursty: half the observations at 4/s,
+        // half at 0/s. The mixture evaluates each observed rate separately
+        // (here: (CDF(6,1) + CDF(0,1)) / 2) instead of collapsing the
+        // dispersion into one pooled rate like Eq. 4's Poisson model.
+        let mk = |model, bursty: bool| {
+            let mut repo = InfoRepository::new(MonitorConfig {
+                staleness_model: model,
+                ..MonitorConfig::default()
+            });
+            for i in 0..8u64 {
+                let n_u = if bursty {
+                    if i % 2 == 0 {
+                        4
+                    } else {
+                        0
+                    }
+                } else {
+                    2
+                };
+                repo.record_perf(
+                    r(9),
+                    &PerfBroadcast {
+                        read: None,
+                        publisher: Some(PublisherInfo {
+                            n_u,
+                            t_u: SimDuration::from_secs(1),
+                            n_l: 0,
+                            t_l: SimDuration::from_millis(1500),
+                            period: SimDuration::from_secs(2),
+                        }),
+                    },
+                    SimTime::from_secs(i),
+                );
+            }
+            repo.staleness_factor(1, SimTime::from_secs(7))
+        };
+        let poisson_bursty = mk(StalenessModel::Poisson, true);
+        let mixture_bursty = mk(StalenessModel::EmpiricalRateMixture, true);
+        // tl = 1.5 s. Pooled Poisson: mu = 2/s * 1.5 s = 3 -> CDF(3, 1).
+        let expected_poisson = aqf_stats::poisson_cdf(3.0, 1);
+        // Mixture: half mu = 6, half mu = 0.
+        let expected_mixture = (aqf_stats::poisson_cdf(6.0, 1) + 1.0) / 2.0;
+        assert!((poisson_bursty - expected_poisson).abs() < 1e-9);
+        assert!((mixture_bursty - expected_mixture).abs() < 1e-9);
+        assert!(
+            (mixture_bursty - poisson_bursty).abs() > 0.05,
+            "dispersion must be visible in the estimate"
+        );
+    }
+
+    #[test]
+    fn empirical_mixture_without_observations_is_one() {
+        let repo = InfoRepository::new(MonitorConfig {
+            staleness_model: StalenessModel::EmpiricalRateMixture,
+            ..MonitorConfig::default()
+        });
+        assert_eq!(repo.staleness_factor(0, SimTime::from_secs(1)), 1.0);
+    }
+
+    #[test]
+    fn window_eviction_bounds_history() {
+        let mut repo = InfoRepository::new(MonitorConfig {
+            window_size: 2,
+            rate_window: 2,
+            ..MonitorConfig::default()
+        });
+        let now = SimTime::from_secs(1);
+        repo.record_perf(r(1), &perf(1_000_000, 0, 0), now); // slow, will be evicted
+        repo.record_perf(r(1), &perf(10_000, 0, 0), now);
+        repo.record_perf(r(1), &perf(10_000, 0, 0), now);
+        assert_eq!(repo.immediate_cdf(r(1), SimDuration::from_millis(20)), 1.0);
+    }
+}

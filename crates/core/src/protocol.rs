@@ -1,0 +1,75 @@
+//! The common interface of server-side timed-consistency handlers.
+//!
+//! The framework "allows different ordering guarantees to be implemented as
+//! timed consistency handlers in the AQuA gateway" (paper §4, Figure 2): a
+//! document-editing service uses the sequential (total-order) handler while
+//! a banking service uses the FIFO handler. Hosts program against this
+//! trait so a deployment can pick its handler per service.
+
+use crate::object::ReplicatedObject;
+use crate::qos::OrderingGuarantee;
+use crate::server::{ServerAction, ServerStats};
+use crate::wire::Payload;
+use aqf_group::View;
+use aqf_sim::{ActorId, SimTime};
+
+/// A server-side gateway protocol: consumes payloads, timers, and view
+/// changes; produces [`ServerAction`]s for the host to execute.
+///
+/// Implemented by [`crate::server::ServerGateway`] (sequential ordering via
+/// the GSN protocol), [`crate::causal::CausalServerGateway`], and
+/// [`crate::fifo::FifoServerGateway`] (per-client FIFO ordering without a
+/// sequencer). `Send` so hosts can run on real threads.
+pub trait ServerProtocol: Send {
+    /// The ordering guarantee this handler provides.
+    fn ordering(&self) -> OrderingGuarantee;
+
+    /// Called once when the host starts.
+    fn on_start(&mut self, now: SimTime) -> Vec<ServerAction>;
+
+    /// Called when the host restarts after a crash; `fresh_object` replaces
+    /// the lost application state until a state transfer completes.
+    fn on_restart(
+        &mut self,
+        fresh_object: Box<dyn ReplicatedObject>,
+        now: SimTime,
+    ) -> Vec<ServerAction>;
+
+    /// Called for each protocol payload.
+    fn on_payload(&mut self, from: ActorId, payload: Payload, now: SimTime) -> Vec<ServerAction>;
+
+    /// Called when the host begins servicing a unit of work.
+    fn on_service_start(&mut self, token: u64, now: SimTime);
+
+    /// Called when the modelled service time of a unit of work elapses.
+    fn on_service_done(&mut self, token: u64, now: SimTime) -> Vec<ServerAction>;
+
+    /// Called when the lazy propagation timer fires.
+    fn on_lazy_timer(&mut self, now: SimTime) -> Vec<ServerAction>;
+
+    /// Called on every installed or observed view change.
+    fn on_view(&mut self, view: View, now: SimTime) -> Vec<ServerAction>;
+
+    /// Whether this replica currently sequences updates (always false for
+    /// handlers without a sequencer).
+    fn is_sequencer(&self) -> bool;
+
+    /// Whether this replica currently acts as the lazy publisher.
+    fn is_publisher(&self) -> bool;
+
+    /// Committed version/sequence number.
+    fn csn(&self) -> u64;
+
+    /// Updates actually applied to the hosted object.
+    fn applied_csn(&self) -> u64;
+
+    /// Highest global sequence/version knowledge.
+    fn gsn(&self) -> u64;
+
+    /// Whether the replica's state is synchronized (false between restart
+    /// and state transfer).
+    fn is_synced(&self) -> bool;
+
+    /// Protocol counters.
+    fn stats(&self) -> ServerStats;
+}

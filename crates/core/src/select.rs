@@ -1,0 +1,237 @@
+//! Selection policies: the paper's probabilistic algorithm plus the
+//! baselines it argues against (§5 intro), used for ablation studies.
+//!
+//! * [`SelectionPolicy::Probabilistic`] — Algorithm 1 (the contribution).
+//! * [`SelectionPolicy::AllReplicas`] — "allocate all the available replicas
+//!   to service a single client": not scalable, raises everyone's load.
+//! * [`SelectionPolicy::SingleRoundRobin`] — "assigning a single replica to
+//!   service each client": concurrent but fragile under failures/overload.
+//! * [`SelectionPolicy::RandomK`] — pick `k` uniformly at random: load
+//!   balances but ignores both timeliness and staleness.
+//! * [`SelectionPolicy::GreedyCdf`] — Algorithm 1's inclusion logic but
+//!   visiting replicas by decreasing CDF instead of decreasing `ert`;
+//!   demonstrates the hot-spot problem the ert sort exists to avoid.
+
+use crate::model::{select_replicas, Candidate, InclusionState, Selection};
+use aqf_sim::ActorId;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// Which replica selection strategy a client gateway runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectionPolicy {
+    /// The paper's state-based probabilistic selection (Algorithm 1).
+    Probabilistic,
+    /// Send every read to every replica.
+    AllReplicas,
+    /// Send each read to exactly one replica, rotating round-robin.
+    SingleRoundRobin,
+    /// Send each read to `k` replicas chosen uniformly at random.
+    RandomK(usize),
+    /// Algorithm 1 without the least-recently-used ordering: greedy by CDF.
+    GreedyCdf,
+}
+
+/// Stateful selector owned by a client gateway.
+#[derive(Debug, Clone)]
+pub struct Selector {
+    policy: SelectionPolicy,
+    rr_next: usize,
+}
+
+impl Selector {
+    /// Creates a selector for `policy`.
+    pub fn new(policy: SelectionPolicy) -> Self {
+        Self { policy, rr_next: 0 }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> SelectionPolicy {
+        self.policy
+    }
+
+    /// Chooses the replica set for one read.
+    ///
+    /// `candidates` are the available (non-sequencer) replicas with model
+    /// inputs filled in; `stale_factor` and `min_probability` parameterize
+    /// the probabilistic policies; `sequencer` (present only for services
+    /// with a sequencer) is always appended; `rng` drives the randomized
+    /// baseline.
+    pub fn select(
+        &mut self,
+        candidates: &[Candidate],
+        stale_factor: f64,
+        min_probability: f64,
+        sequencer: Option<ActorId>,
+        rng: &mut SmallRng,
+    ) -> Selection {
+        match self.policy {
+            SelectionPolicy::Probabilistic => {
+                select_replicas(candidates, stale_factor, min_probability, sequencer)
+            }
+            SelectionPolicy::AllReplicas => {
+                let mut state = InclusionState::new(stale_factor);
+                let mut replicas: Vec<ActorId> = Vec::with_capacity(candidates.len() + 1);
+                for c in candidates {
+                    state.include(c);
+                    replicas.push(c.id);
+                }
+                replicas.extend(sequencer);
+                let predicted = state.predicted();
+                Selection {
+                    replicas,
+                    predicted,
+                    satisfied: predicted >= min_probability,
+                }
+            }
+            SelectionPolicy::SingleRoundRobin => {
+                let mut replicas = Vec::with_capacity(2);
+                let mut state = InclusionState::new(stale_factor);
+                if !candidates.is_empty() {
+                    let c = &candidates[self.rr_next % candidates.len()];
+                    self.rr_next = self.rr_next.wrapping_add(1);
+                    state.include(c);
+                    replicas.push(c.id);
+                }
+                replicas.extend(sequencer);
+                let predicted = state.predicted();
+                Selection {
+                    replicas,
+                    predicted,
+                    satisfied: predicted >= min_probability,
+                }
+            }
+            SelectionPolicy::RandomK(k) => {
+                let mut ids: Vec<&Candidate> = candidates.iter().collect();
+                ids.shuffle(rng);
+                ids.truncate(k.max(1));
+                let mut state = InclusionState::new(stale_factor);
+                let mut replicas: Vec<ActorId> = Vec::with_capacity(ids.len() + 1);
+                for c in &ids {
+                    state.include(c);
+                    replicas.push(c.id);
+                }
+                replicas.extend(sequencer);
+                let predicted = state.predicted();
+                Selection {
+                    replicas,
+                    predicted,
+                    satisfied: predicted >= min_probability,
+                }
+            }
+            SelectionPolicy::GreedyCdf => {
+                // Identical inclusion logic to Algorithm 1 but sorted by CDF
+                // only: every client picks the same "best" replicas.
+                let mut forced: Vec<Candidate> = candidates.to_vec();
+                for c in &mut forced {
+                    c.ert_us = 0; // neutralize the LRU ordering
+                }
+                select_replicas(&forced, stale_factor, min_probability, sequencer)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn a(i: usize) -> ActorId {
+        ActorId::from_index(i)
+    }
+
+    fn cands(n: usize) -> Vec<Candidate> {
+        (0..n)
+            .map(|i| Candidate {
+                id: a(i),
+                is_primary: i % 2 == 0,
+                immediate_cdf: 0.5 + 0.04 * i as f64,
+                deferred_cdf: 0.2,
+                ert_us: (100 - i) as u64,
+            })
+            .collect()
+    }
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(5)
+    }
+
+    const SEQ: usize = 42;
+
+    #[test]
+    fn all_replicas_selects_everyone() {
+        let mut sel = Selector::new(SelectionPolicy::AllReplicas);
+        let out = sel.select(&cands(6), 1.0, 0.9, Some(a(SEQ)), &mut rng());
+        assert_eq!(out.replicas.len(), 7);
+        assert!(out.replicas.contains(&a(SEQ)));
+        assert!(out.predicted > 0.9);
+        assert!(out.satisfied);
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut sel = Selector::new(SelectionPolicy::SingleRoundRobin);
+        let c = cands(3);
+        let mut first_ids = Vec::new();
+        for _ in 0..6 {
+            let out = sel.select(&c, 1.0, 0.1, Some(a(SEQ)), &mut rng());
+            assert_eq!(out.replicas.len(), 2); // one replica + sequencer
+            first_ids.push(out.replicas[0]);
+        }
+        assert_eq!(first_ids, vec![a(0), a(1), a(2), a(0), a(1), a(2)]);
+    }
+
+    #[test]
+    fn round_robin_with_no_candidates() {
+        let mut sel = Selector::new(SelectionPolicy::SingleRoundRobin);
+        let out = sel.select(&[], 1.0, 0.1, Some(a(SEQ)), &mut rng());
+        assert_eq!(out.replicas, vec![a(SEQ)]);
+        assert!(!out.satisfied);
+    }
+
+    #[test]
+    fn random_k_sizes() {
+        let mut sel = Selector::new(SelectionPolicy::RandomK(3));
+        let out = sel.select(&cands(8), 1.0, 0.1, Some(a(SEQ)), &mut rng());
+        assert_eq!(out.replicas.len(), 4); // 3 + sequencer
+                                           // k larger than pool: everyone.
+        let mut sel = Selector::new(SelectionPolicy::RandomK(50));
+        let out = sel.select(&cands(4), 1.0, 0.1, Some(a(SEQ)), &mut rng());
+        assert_eq!(out.replicas.len(), 5);
+    }
+
+    #[test]
+    fn random_k_zero_still_picks_one() {
+        let mut sel = Selector::new(SelectionPolicy::RandomK(0));
+        let out = sel.select(&cands(4), 1.0, 0.1, Some(a(SEQ)), &mut rng());
+        assert_eq!(out.replicas.len(), 2);
+    }
+
+    #[test]
+    fn greedy_cdf_always_picks_highest_cdf_first() {
+        let mut sel = Selector::new(SelectionPolicy::GreedyCdf);
+        let c = cands(6); // highest CDF is replica 5
+        for _ in 0..3 {
+            let out = sel.select(&c, 1.0, 0.6, Some(a(SEQ)), &mut rng());
+            assert_eq!(out.replicas[0], a(5), "hot spot on the best replica");
+        }
+    }
+
+    #[test]
+    fn probabilistic_spreads_by_ert() {
+        let mut sel = Selector::new(SelectionPolicy::Probabilistic);
+        let c = cands(6); // replica 0 has the largest ert
+        let out = sel.select(&c, 1.0, 0.5, Some(a(SEQ)), &mut rng());
+        assert_eq!(out.replicas[0], a(0));
+    }
+
+    #[test]
+    fn policy_accessor() {
+        assert_eq!(
+            Selector::new(SelectionPolicy::GreedyCdf).policy(),
+            SelectionPolicy::GreedyCdf
+        );
+    }
+}

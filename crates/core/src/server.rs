@@ -1,0 +1,1933 @@
+//! The server-side gateway handler: sequential consistency over the
+//! two-level replica organization (paper §4).
+//!
+//! Each replica's gateway maintains `my_GSN` (its view of the global
+//! sequence number) and `my_CSN` (its commit sequence number). Update
+//! requests are multicast by clients to the primary group; the *sequencer*
+//! (the leader of the primary group) assigns each update a GSN and
+//! broadcasts the assignment; primary replicas commit updates in GSN order.
+//! Read-only requests reach the sequencer and a selected subset of
+//! replicas; the sequencer broadcasts the current GSN (without advancing
+//! it), each addressed replica measures its staleness `my_GSN - my_CSN`
+//! against the client's threshold, and either services the read immediately
+//! or defers it until the next lazy update. One primary replica — the *lazy
+//! publisher* — propagates its state to the secondary group every `T_L`.
+//!
+//! The gateway also implements the failure handling the paper relies on but
+//! omits for space (§4.1): sequencer recovery through an assignment
+//! reconciliation round (`GsnQuery` / `GsnReport`), deterministic lazy
+//! publisher re-designation, and state transfer for restarted replicas.
+//!
+//! The gateway is a sans-IO state machine: hosts feed it payloads, timers,
+//! and view changes, and execute the returned [`ServerAction`]s.
+
+use crate::object::ReplicatedObject;
+use crate::wire::{
+    Payload, PerfBroadcast, PublisherInfo, ReadMeasurement, ReadRequest, Reply, RequestId,
+    UpdateRequest, PRIMARY_GROUP, SECONDARY_GROUP,
+};
+use aqf_group::View;
+use aqf_sim::{ActorId, SimDuration, SimTime};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// Whether a replica belongs to the primary or the secondary group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaRole {
+    /// Member of the primary replication group: receives every update
+    /// immediately and commits in GSN order.
+    Primary,
+    /// Member of the secondary replication group: state advances only
+    /// through lazy updates.
+    Secondary,
+}
+
+/// Tuning knobs for a server gateway.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The lazy update interval `T_L`.
+    pub lazy_interval: SimDuration,
+    /// The QoS-group client roster: recipients of performance broadcasts.
+    pub clients: Vec<ActorId>,
+    /// How many read-GSN snapshot associations to retain for reads that
+    /// have not arrived yet.
+    pub snapshot_cache: usize,
+    /// How many committed `(GSN, request)` pairs to retain for sequencer
+    /// recovery reconciliation.
+    pub committed_log: usize,
+    /// If the commit sequence stalls (staleness positive but no CSN
+    /// progress) for this long, the replica assumes it missed assignments
+    /// it can never recover (e.g. during a rejoin window) and requests a
+    /// catch-up state transfer.
+    pub commit_stall_timeout: SimDuration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            lazy_interval: SimDuration::from_secs(2),
+            clients: Vec::new(),
+            snapshot_cache: 1024,
+            committed_log: 1024,
+            commit_stall_timeout: SimDuration::from_secs(3),
+        }
+    }
+}
+
+/// Instructions returned by the gateway for its host to execute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerAction {
+    /// Reliably FIFO-multicast into the primary group.
+    MulticastPrimary(Payload),
+    /// Reliably FIFO-multicast into the secondary group.
+    MulticastSecondary(Payload),
+    /// Send an unordered point-to-point payload.
+    SendDirect {
+        /// Recipient gateway.
+        to: ActorId,
+        /// Payload to deliver.
+        payload: Payload,
+    },
+    /// Begin servicing the unit of work identified by `token`: the host
+    /// models the service time (the paper's simulated background load) and
+    /// calls [`ServerGateway::on_service_done`] when it elapses.
+    StartService {
+        /// Opaque work token.
+        token: u64,
+    },
+    /// (Re-)arm the lazy propagation timer.
+    ArmLazyTimer {
+        /// Delay until the next lazy propagation.
+        after: SimDuration,
+    },
+}
+
+/// Counters exposed for tests and experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Updates committed (CSN advances).
+    pub updates_committed: u64,
+    /// Reads serviced (immediate + deferred).
+    pub reads_served: u64,
+    /// Reads that had to wait for a state update.
+    pub reads_deferred: u64,
+    /// GSN assignment conflicts ignored (should stay 0 under crash faults).
+    pub gsn_conflicts: u64,
+    /// Assignments rejected because they came from a stale sequencer.
+    pub stale_assigns: u64,
+    /// Lazy updates propagated (publisher only).
+    pub lazy_updates_sent: u64,
+    /// Lazy updates applied (secondaries only).
+    pub lazy_updates_applied: u64,
+    /// Sequencer recoveries completed.
+    pub recoveries: u64,
+    /// State transfers served to rejoining replicas.
+    pub state_transfers: u64,
+}
+
+#[derive(Debug, Clone)]
+struct PendingRead {
+    req: ReadRequest,
+    client: ActorId,
+    arrived_at: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct DeferredRead {
+    read: PendingRead,
+    deferred_at: SimTime,
+}
+
+#[derive(Debug, Clone)]
+enum WorkKind {
+    Update {
+        update: UpdateRequest,
+        gsn: u64,
+    },
+    Read {
+        read: PendingRead,
+        staleness: u64,
+        deferred: bool,
+        tb: SimDuration,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Work {
+    kind: WorkKind,
+    enqueued_at: SimTime,
+}
+
+/// The server-side gateway state machine. See the [module docs](self).
+pub struct ServerGateway {
+    me: ActorId,
+    role: ReplicaRole,
+    config: ServerConfig,
+    object: Box<dyn ReplicatedObject>,
+
+    primary_view: View,
+    secondary_view: View,
+
+    my_gsn: u64,
+    my_csn: u64,
+    applied_csn: u64,
+
+    // Sequencer state (leader of the primary group).
+    seq_gsn: u64,
+    recovering: bool,
+    awaiting_reports: HashSet<ActorId>,
+    reported_csns: Vec<u64>,
+    queued_snapshot_reqs: Vec<RequestId>,
+
+    // Primary commit machinery.
+    unassigned_updates: HashMap<RequestId, UpdateRequest>,
+    gsn_assignments: HashMap<RequestId, u64>,
+    commit_ready: BTreeMap<u64, UpdateRequest>,
+    committed_log: VecDeque<(u64, RequestId)>,
+
+    // Read machinery.
+    read_snapshot_gsn: HashMap<RequestId, u64>,
+    snapshot_order: VecDeque<RequestId>,
+    pending_reads: HashMap<RequestId, PendingRead>,
+    deferred: Vec<DeferredRead>,
+
+    // Service machinery (single-threaded server application).
+    service_queue: VecDeque<Work>,
+    in_service: Option<(u64, Work, SimTime)>,
+    next_token: u64,
+
+    // Publisher bookkeeping.
+    updates_since_broadcast: u64,
+    last_broadcast_at: SimTime,
+    updates_since_lazy: u64,
+    last_lazy_at: SimTime,
+    /// Whether a lazy timer is currently armed (prevents duplicate timers
+    /// when restart and view-change handling both want one).
+    lazy_timer_pending: bool,
+
+    // Commit-stall detection (catch-up after unrecoverable gaps).
+    last_progress: SimTime,
+    last_transfer_request: SimTime,
+    donor_rr: usize,
+    /// Set on restart: the next time this node leads the primary view it
+    /// must run the reconciliation round, whatever view-observation order
+    /// the rejoin happened in (a restarted ex-leader may never see the
+    /// interim leader's view and would otherwise resume sequencing from a
+    /// wiped counter).
+    recover_when_leading: bool,
+
+    synced: bool,
+    stats: ServerStats,
+}
+
+impl std::fmt::Debug for ServerGateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerGateway")
+            .field("me", &self.me)
+            .field("role", &self.role)
+            .field("gsn", &self.my_gsn)
+            .field("csn", &self.my_csn)
+            .field("applied", &self.applied_csn)
+            .field("queue", &self.service_queue.len())
+            .finish()
+    }
+}
+
+impl ServerGateway {
+    /// Creates a gateway for replica `me`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is a member of neither (or both) initial views.
+    pub fn new(
+        me: ActorId,
+        primary_view: View,
+        secondary_view: View,
+        object: Box<dyn ReplicatedObject>,
+        config: ServerConfig,
+    ) -> Self {
+        let in_p = primary_view.contains(me);
+        let in_s = secondary_view.contains(me);
+        assert!(
+            in_p ^ in_s,
+            "replica must belong to exactly one replication group"
+        );
+        let role = if in_p {
+            ReplicaRole::Primary
+        } else {
+            ReplicaRole::Secondary
+        };
+        Self {
+            me,
+            role,
+            config,
+            object,
+            primary_view,
+            secondary_view,
+            my_gsn: 0,
+            my_csn: 0,
+            applied_csn: 0,
+            seq_gsn: 0,
+            recovering: false,
+            awaiting_reports: HashSet::new(),
+            reported_csns: Vec::new(),
+            queued_snapshot_reqs: Vec::new(),
+            unassigned_updates: HashMap::new(),
+            gsn_assignments: HashMap::new(),
+            commit_ready: BTreeMap::new(),
+            committed_log: VecDeque::new(),
+            read_snapshot_gsn: HashMap::new(),
+            snapshot_order: VecDeque::new(),
+            pending_reads: HashMap::new(),
+            deferred: Vec::new(),
+            service_queue: VecDeque::new(),
+            in_service: None,
+            next_token: 0,
+            updates_since_broadcast: 0,
+            last_broadcast_at: SimTime::ZERO,
+            updates_since_lazy: 0,
+            last_lazy_at: SimTime::ZERO,
+            lazy_timer_pending: false,
+            last_progress: SimTime::ZERO,
+            last_transfer_request: SimTime::ZERO,
+            donor_rr: 0,
+            recover_when_leading: false,
+            synced: true,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// This replica's role.
+    pub fn role(&self) -> ReplicaRole {
+        self.role
+    }
+
+    /// Whether this replica currently acts as the sequencer (leader of the
+    /// primary group).
+    pub fn is_sequencer(&self) -> bool {
+        self.role == ReplicaRole::Primary && self.primary_view.leader() == self.me
+    }
+
+    /// The deterministic lazy publisher of a primary view: its highest-
+    /// ranked member, unless that is the leader (then the leader, which only
+    /// happens in single-member groups). All replicas compute this locally,
+    /// so no designation protocol is needed.
+    pub fn publisher_of(view: &View) -> ActorId {
+        *view.members().last().expect("views are never empty")
+    }
+
+    /// Whether this replica currently acts as the lazy publisher.
+    pub fn is_publisher(&self) -> bool {
+        self.role == ReplicaRole::Primary
+            && self.primary_view.len() > 1
+            && Self::publisher_of(&self.primary_view) == self.me
+            && !self.is_sequencer()
+            || (self.role == ReplicaRole::Primary
+                && self.primary_view.len() == 1
+                && self.primary_view.leader() == self.me)
+    }
+
+    /// `my_GSN`: the latest global sequence number this replica has seen.
+    pub fn gsn(&self) -> u64 {
+        self.my_gsn
+    }
+
+    /// `my_CSN`: the commit sequence number.
+    pub fn csn(&self) -> u64 {
+        self.my_csn
+    }
+
+    /// Number of updates actually applied to the hosted object (lags
+    /// `my_CSN` while committed work waits in the service queue).
+    pub fn applied_csn(&self) -> u64 {
+        self.applied_csn
+    }
+
+    /// Current staleness of this replica: `my_GSN - my_CSN` (paper §4.1.2).
+    pub fn staleness(&self) -> u64 {
+        self.my_gsn.saturating_sub(self.my_csn)
+    }
+
+    /// Whether the replica has a synchronized state (false between a
+    /// restart and the completing state transfer).
+    pub fn is_synced(&self) -> bool {
+        self.synced
+    }
+
+    /// Counters for tests and experiments.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Read access to the hosted object (for assertions in tests).
+    pub fn object(&self) -> &dyn ReplicatedObject {
+        &*self.object
+    }
+
+    /// Number of queued + in-flight service units.
+    pub fn queue_depth(&self) -> usize {
+        self.service_queue.len() + usize::from(self.in_service.is_some())
+    }
+
+    /// Must be called once when the host starts: initializes publisher
+    /// bookkeeping and arms the lazy timer if this replica is the publisher.
+    pub fn on_start(&mut self, now: SimTime) -> Vec<ServerAction> {
+        self.last_broadcast_at = now;
+        self.last_lazy_at = now;
+        self.last_progress = now;
+        let mut actions = Vec::new();
+        if self.is_publisher() {
+            self.arm_lazy(&mut actions);
+        }
+        actions
+    }
+
+    /// Arms the lazy timer unless one is already pending.
+    fn arm_lazy(&mut self, actions: &mut Vec<ServerAction>) {
+        if !self.lazy_timer_pending {
+            self.lazy_timer_pending = true;
+            actions.push(ServerAction::ArmLazyTimer {
+                after: self.config.lazy_interval,
+            });
+        }
+    }
+
+    /// Picks the next state-transfer donor, cycling through the primary
+    /// members so a single unhelpful donor cannot wedge recovery.
+    fn next_donor(&mut self) -> Option<ActorId> {
+        let candidates: Vec<ActorId> = self
+            .primary_view
+            .members()
+            .iter()
+            .copied()
+            .filter(|m| *m != self.me)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let donor = candidates[self.donor_rr % candidates.len()];
+        self.donor_rr += 1;
+        Some(donor)
+    }
+
+    /// Commit-stall watchdog: a primary whose staleness stays positive with
+    /// no CSN progress for longer than the stall timeout has missed
+    /// assignments it can never recover (e.g. broadcast during its rejoin
+    /// window); it requests a catch-up state transfer.
+    fn check_commit_stall(&mut self, now: SimTime, actions: &mut Vec<ServerAction>) {
+        if self.role != ReplicaRole::Primary {
+            return;
+        }
+        if self.staleness() == 0 && self.synced {
+            return;
+        }
+        let stall = self.config.commit_stall_timeout;
+        if now.saturating_since(self.last_progress) <= stall
+            || now.saturating_since(self.last_transfer_request) <= stall
+        {
+            return;
+        }
+        if let Some(donor) = self.next_donor() {
+            self.last_transfer_request = now;
+            actions.push(ServerAction::SendDirect {
+                to: donor,
+                payload: Payload::StateRequest,
+            });
+        }
+    }
+
+    /// Handles a restart: wipes volatile state, installs `fresh_object` as
+    /// the empty application state, and requests a state transfer from the
+    /// primary leader.
+    pub fn on_restart(
+        &mut self,
+        fresh_object: Box<dyn ReplicatedObject>,
+        now: SimTime,
+    ) -> Vec<ServerAction> {
+        let me = self.me;
+        let config = self.config.clone();
+        let primary_view = self.primary_view.clone();
+        let secondary_view = self.secondary_view.clone();
+        *self = ServerGateway::new(me, primary_view, secondary_view, fresh_object, config);
+        self.synced = false;
+        self.recover_when_leading = true;
+        self.last_broadcast_at = now;
+        self.last_lazy_at = now;
+        self.last_progress = now;
+        self.last_transfer_request = now;
+        // Never ask ourselves (a restarted ex-leader's stale view says the
+        // leader is itself); rotate through peers instead.
+        let mut actions = Vec::new();
+        if let Some(donor) = self.next_donor() {
+            actions.push(ServerAction::SendDirect {
+                to: donor,
+                payload: Payload::StateRequest,
+            });
+        }
+        if self.is_publisher() {
+            self.arm_lazy(&mut actions);
+        }
+        actions
+    }
+
+    /// Handles a protocol payload from `from` (a client or peer gateway).
+    pub fn on_payload(
+        &mut self,
+        from: ActorId,
+        payload: Payload,
+        now: SimTime,
+    ) -> Vec<ServerAction> {
+        match payload {
+            Payload::Update(u) => self.on_update(u, now),
+            Payload::Read(r) => self.on_read(from, r, now),
+            Payload::GsnAssign { req, gsn } => self.on_gsn_assign(from, req, gsn, now),
+            Payload::GsnSnapshot { req, gsn } => self.on_gsn_snapshot(from, req, gsn, now),
+            Payload::GsnRequest { req } => self.on_gsn_request(req),
+            Payload::LazyUpdate { csn, snapshot } => self.on_lazy_update(csn, &snapshot, now),
+            Payload::GsnQuery => self.on_gsn_query(from),
+            Payload::GsnReport { max_gsn, csn } => self.on_gsn_report(from, max_gsn, csn, now),
+            Payload::StateRequest => self.on_state_request(from),
+            Payload::StateResponse { csn, gsn, snapshot } => {
+                self.on_state_response(csn, gsn, &snapshot, now)
+            }
+            // Replies and perf broadcasts are client-bound, and FIFO/causal
+            // handler traffic has no meaning here; ignore them.
+            Payload::Reply(_)
+            | Payload::Perf(_)
+            | Payload::FifoLazyUpdate { .. }
+            | Payload::CausalUpdate { .. }
+            | Payload::CausalRead { .. }
+            | Payload::CausalLazyUpdate { .. } => Vec::new(),
+        }
+    }
+
+    fn on_update(&mut self, u: UpdateRequest, now: SimTime) -> Vec<ServerAction> {
+        if self.role != ReplicaRole::Primary {
+            return Vec::new(); // secondaries never receive updates directly
+        }
+        if self.committed_log.iter().any(|&(_, r)| r == u.id) {
+            return Vec::new(); // duplicate of an already-committed update
+        }
+        self.updates_since_broadcast += 1;
+        self.updates_since_lazy += 1;
+        let mut actions = Vec::new();
+        if self.is_sequencer() && !self.recovering {
+            // Assign the next GSN and broadcast the assignment (§4.1.1).
+            if !self.gsn_assignments.contains_key(&u.id)
+                && !self.commit_ready.values().any(|c| c.id == u.id)
+            {
+                self.seq_gsn += 1;
+                let gsn = self.seq_gsn;
+                actions.push(ServerAction::MulticastPrimary(Payload::GsnAssign {
+                    req: u.id,
+                    gsn,
+                }));
+                self.note_assignment(u.id, gsn);
+            }
+        }
+        match self.gsn_assignments.remove(&u.id) {
+            Some(gsn) => {
+                self.stage_commit(gsn, u);
+            }
+            None => {
+                self.unassigned_updates.insert(u.id, u);
+            }
+        }
+        actions.extend(self.try_commit(now));
+        self.check_commit_stall(now, &mut actions);
+        actions
+    }
+
+    fn note_assignment(&mut self, req: RequestId, gsn: u64) {
+        self.my_gsn = self.my_gsn.max(gsn);
+        match self.unassigned_updates.remove(&req) {
+            Some(u) => self.stage_commit(gsn, u),
+            None => {
+                self.gsn_assignments.insert(req, gsn);
+            }
+        }
+    }
+
+    fn stage_commit(&mut self, gsn: u64, u: UpdateRequest) {
+        if gsn <= self.my_csn {
+            return; // already committed (duplicate assignment replay)
+        }
+        match self.commit_ready.get(&gsn) {
+            Some(existing) if existing.id != u.id => {
+                self.stats.gsn_conflicts += 1;
+            }
+            Some(_) => {}
+            None => {
+                self.commit_ready.insert(gsn, u);
+            }
+        }
+    }
+
+    fn on_gsn_assign(
+        &mut self,
+        from: ActorId,
+        req: RequestId,
+        gsn: u64,
+        now: SimTime,
+    ) -> Vec<ServerAction> {
+        if self.role != ReplicaRole::Primary {
+            return Vec::new();
+        }
+        // Accept assignments only from the current sequencer; an in-flight
+        // assignment from a deposed leader must not collide with the new
+        // sequencer's numbering.
+        if from != self.primary_view.leader() {
+            self.stats.stale_assigns += 1;
+            return Vec::new();
+        }
+        self.note_assignment(req, gsn);
+        let mut actions = self.try_commit(now);
+        self.check_commit_stall(now, &mut actions);
+        actions
+    }
+
+    /// Commits every update that is next in the global order (§4.1.1),
+    /// delivering it to the service queue, and re-checks deferred reads
+    /// whose staleness may now be satisfied.
+    fn try_commit(&mut self, now: SimTime) -> Vec<ServerAction> {
+        let mut actions = Vec::new();
+        while let Some(entry) = self.commit_ready.first_entry() {
+            if *entry.key() != self.my_csn + 1 {
+                break;
+            }
+            let (gsn, update) = entry.remove_entry();
+            self.my_csn = gsn;
+            self.last_progress = now;
+            self.stats.updates_committed += 1;
+            self.committed_log.push_back((gsn, update.id));
+            while self.committed_log.len() > self.config.committed_log {
+                self.committed_log.pop_front();
+            }
+            self.enqueue(
+                Work {
+                    kind: WorkKind::Update { update, gsn },
+                    enqueued_at: now,
+                },
+                &mut actions,
+            );
+        }
+        // A CSN advance may satisfy deferred reads at a primary.
+        self.release_satisfied_deferred(now, &mut actions);
+        actions
+    }
+
+    fn release_satisfied_deferred(&mut self, now: SimTime, actions: &mut Vec<ServerAction>) {
+        if self.role != ReplicaRole::Primary {
+            return;
+        }
+        let staleness = self.staleness();
+        let mut kept = Vec::with_capacity(self.deferred.len());
+        for d in std::mem::take(&mut self.deferred) {
+            if self.synced && staleness <= d.read.req.staleness_threshold as u64 {
+                let tb = now.saturating_since(d.deferred_at);
+                self.enqueue(
+                    Work {
+                        kind: WorkKind::Read {
+                            read: d.read,
+                            staleness,
+                            deferred: true,
+                            tb,
+                        },
+                        enqueued_at: now,
+                    },
+                    actions,
+                );
+            } else {
+                kept.push(d);
+            }
+        }
+        self.deferred = kept;
+    }
+
+    fn on_read(&mut self, from: ActorId, r: ReadRequest, now: SimTime) -> Vec<ServerAction> {
+        if self.is_sequencer() {
+            let mut stall_actions = Vec::new();
+            self.check_commit_stall(now, &mut stall_actions);
+            if !stall_actions.is_empty() {
+                let mut actions = self.sequencer_read(from, r, now);
+                actions.extend(stall_actions);
+                return actions;
+            }
+            return self.sequencer_read(from, r, now);
+        }
+        let pending = PendingRead {
+            req: r,
+            client: from,
+            arrived_at: now,
+        };
+        match self.read_snapshot_gsn.remove(&pending.req.id) {
+            Some(gsn) => self.admit_read(pending, gsn, now),
+            None => {
+                self.pending_reads.insert(pending.req.id, pending);
+                Vec::new()
+            }
+        }
+    }
+
+    /// The sequencer's read handling: broadcast the current GSN without
+    /// advancing it (§4.1.2) and do not service the request, unless it is
+    /// the only primary replica.
+    fn sequencer_read(&mut self, from: ActorId, r: ReadRequest, now: SimTime) -> Vec<ServerAction> {
+        if self.recovering {
+            self.queued_snapshot_reqs.push(r.id);
+            return Vec::new();
+        }
+        let mut actions = vec![
+            ServerAction::MulticastPrimary(Payload::GsnSnapshot {
+                req: r.id,
+                gsn: self.seq_gsn,
+            }),
+            ServerAction::MulticastSecondary(Payload::GsnSnapshot {
+                req: r.id,
+                gsn: self.seq_gsn,
+            }),
+        ];
+        if self.primary_view.len() == 1 {
+            let gsn = self.seq_gsn;
+            actions.extend(self.admit_read(
+                PendingRead {
+                    req: r,
+                    client: from,
+                    arrived_at: now,
+                },
+                gsn,
+                now,
+            ));
+        }
+        actions
+    }
+
+    fn on_gsn_snapshot(
+        &mut self,
+        from: ActorId,
+        req: RequestId,
+        gsn: u64,
+        now: SimTime,
+    ) -> Vec<ServerAction> {
+        if from != self.primary_view.leader() {
+            self.stats.stale_assigns += 1;
+            return Vec::new();
+        }
+        self.my_gsn = self.my_gsn.max(gsn);
+        let mut actions = match self.pending_reads.remove(&req) {
+            Some(pending) => self.admit_read(pending, gsn, now),
+            None => {
+                self.read_snapshot_gsn.insert(req, gsn);
+                self.snapshot_order.push_back(req);
+                while self.snapshot_order.len() > self.config.snapshot_cache {
+                    if let Some(old) = self.snapshot_order.pop_front() {
+                        self.read_snapshot_gsn.remove(&old);
+                    }
+                }
+                Vec::new()
+            }
+        };
+        self.check_commit_stall(now, &mut actions);
+        actions
+    }
+
+    /// Staleness check of §4.1.2: serve immediately if fresh enough,
+    /// otherwise defer until the next state update.
+    fn admit_read(&mut self, pending: PendingRead, gsn: u64, now: SimTime) -> Vec<ServerAction> {
+        self.my_gsn = self.my_gsn.max(gsn);
+        let staleness = self.staleness();
+        let mut actions = Vec::new();
+        if self.synced && staleness <= pending.req.staleness_threshold as u64 {
+            self.enqueue(
+                Work {
+                    kind: WorkKind::Read {
+                        read: pending,
+                        staleness,
+                        deferred: false,
+                        tb: SimDuration::ZERO,
+                    },
+                    enqueued_at: now,
+                },
+                &mut actions,
+            );
+        } else {
+            self.stats.reads_deferred += 1;
+            self.deferred.push(DeferredRead {
+                read: pending,
+                deferred_at: now,
+            });
+        }
+        actions
+    }
+
+    fn on_gsn_request(&mut self, req: RequestId) -> Vec<ServerAction> {
+        if !self.is_sequencer() {
+            return Vec::new();
+        }
+        if self.recovering {
+            self.queued_snapshot_reqs.push(req);
+            return Vec::new();
+        }
+        vec![
+            ServerAction::MulticastPrimary(Payload::GsnSnapshot {
+                req,
+                gsn: self.seq_gsn,
+            }),
+            ServerAction::MulticastSecondary(Payload::GsnSnapshot {
+                req,
+                gsn: self.seq_gsn,
+            }),
+        ]
+    }
+
+    fn on_lazy_update(
+        &mut self,
+        csn: u64,
+        snapshot: &bytes::Bytes,
+        now: SimTime,
+    ) -> Vec<ServerAction> {
+        if self.role != ReplicaRole::Secondary {
+            return Vec::new();
+        }
+        if csn > self.my_csn {
+            self.object.install_snapshot(snapshot);
+            self.my_csn = csn;
+            self.applied_csn = csn;
+            self.synced = true;
+            self.stats.lazy_updates_applied += 1;
+        }
+        // "Responding to the client immediately after receiving the next
+        // state update from the lazy publisher" (§4.1.2) — release all
+        // deferred reads regardless of the new staleness.
+        let mut actions = Vec::new();
+        let staleness = self.staleness();
+        for d in std::mem::take(&mut self.deferred) {
+            let tb = now.saturating_since(d.deferred_at);
+            self.enqueue(
+                Work {
+                    kind: WorkKind::Read {
+                        read: d.read,
+                        staleness,
+                        deferred: true,
+                        tb,
+                    },
+                    enqueued_at: now,
+                },
+                &mut actions,
+            );
+        }
+        actions
+    }
+
+    /// The lazy propagation timer fired: snapshot the state, multicast it to
+    /// the secondary group, announce fresh staleness bookkeeping to the
+    /// clients, and re-arm.
+    pub fn on_lazy_timer(&mut self, now: SimTime) -> Vec<ServerAction> {
+        self.lazy_timer_pending = false;
+        if !self.is_publisher() {
+            return Vec::new(); // demoted while the timer was in flight
+        }
+        let mut actions = Vec::new();
+        self.stats.lazy_updates_sent += 1;
+        actions.push(ServerAction::MulticastSecondary(Payload::LazyUpdate {
+            csn: self.applied_csn,
+            snapshot: self.object.snapshot(),
+        }));
+        self.updates_since_lazy = 0;
+        self.last_lazy_at = now;
+        // Publisher-only announcement so clients keep fresh <n_L, t_L> and
+        // <n_u, t_u> inputs even when the publisher serves no reads.
+        let perf = Payload::Perf(PerfBroadcast {
+            read: None,
+            publisher: Some(self.publisher_info(now)),
+        });
+        for c in self.config.clients.clone() {
+            actions.push(ServerAction::SendDirect {
+                to: c,
+                payload: perf.clone(),
+            });
+        }
+        self.arm_lazy(&mut actions);
+        actions
+    }
+
+    fn publisher_info(&mut self, now: SimTime) -> PublisherInfo {
+        let info = PublisherInfo {
+            n_u: self.updates_since_broadcast,
+            t_u: now.saturating_since(self.last_broadcast_at),
+            n_l: self.updates_since_lazy,
+            t_l: now.saturating_since(self.last_lazy_at),
+            period: self.config.lazy_interval,
+        };
+        self.updates_since_broadcast = 0;
+        self.last_broadcast_at = now;
+        info
+    }
+
+    fn enqueue(&mut self, work: Work, actions: &mut Vec<ServerAction>) {
+        self.service_queue.push_back(work);
+        self.maybe_start_service(actions);
+    }
+
+    fn maybe_start_service(&mut self, actions: &mut Vec<ServerAction>) {
+        if self.in_service.is_some() {
+            return;
+        }
+        let Some(work) = self.service_queue.pop_front() else {
+            return;
+        };
+        let token = self.next_token;
+        self.next_token += 1;
+        // The host records the start time when it samples the delay; we
+        // stamp it in on_service_start below via the enqueued_at bookkeeping
+        // (start time is provided by on_service_done's caller through now).
+        self.in_service = Some((token, work, SimTime::ZERO));
+        actions.push(ServerAction::StartService { token });
+    }
+
+    /// The host began servicing `token` at `now`; records the service start
+    /// for `t_q`/`t_s` measurement. Hosts call this right when they receive
+    /// [`ServerAction::StartService`].
+    pub fn on_service_start(&mut self, token: u64, now: SimTime) {
+        if let Some((t, _, start)) = self.in_service.as_mut() {
+            if *t == token {
+                *start = now;
+            }
+        }
+    }
+
+    /// The service delay for `token` elapsed: apply the operation to the
+    /// object, reply to the client, publish measurements, and start the
+    /// next unit of work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is not the unit of work in service.
+    pub fn on_service_done(&mut self, token: u64, now: SimTime) -> Vec<ServerAction> {
+        let (t, work, started_at) = self.in_service.take().expect("no work in service");
+        assert_eq!(t, token, "service completion for unexpected token");
+        let mut actions = Vec::new();
+        let ts = now.saturating_since(started_at);
+        match work.kind {
+            WorkKind::Update { update, gsn } => {
+                let result = self.object.apply_update(&update.op);
+                self.applied_csn += 1;
+                debug_assert_eq!(self.applied_csn, gsn, "updates must apply in GSN order");
+                // The sequencer does not service client requests (§4.1):
+                // it applies updates to keep its state current but leaves
+                // replying to the other primaries, unless it is alone.
+                if !self.is_sequencer() || self.primary_view.len() == 1 {
+                    let tq = started_at.saturating_since(work.enqueued_at);
+                    actions.push(ServerAction::SendDirect {
+                        to: update.id.client,
+                        payload: Payload::Reply(Reply {
+                            id: update.id,
+                            result,
+                            t1_us: (ts + tq).as_micros(),
+                            staleness: 0,
+                            deferred: false,
+                            csn: self.applied_csn,
+                            vector: Vec::new(),
+                        }),
+                    });
+                }
+            }
+            WorkKind::Read {
+                read,
+                staleness,
+                deferred,
+                tb,
+            } => {
+                let result = self.object.read(&read.req.op);
+                self.stats.reads_served += 1;
+                // t_q is all waiting except the deferral buffering:
+                // arrival -> service start, minus tb (§5.4).
+                let total_wait = started_at.saturating_since(read.arrived_at);
+                let tq = total_wait.saturating_sub(tb);
+                let t1 = ts + tq + tb;
+                actions.push(ServerAction::SendDirect {
+                    to: read.client,
+                    payload: Payload::Reply(Reply {
+                        id: read.req.id,
+                        result,
+                        t1_us: t1.as_micros(),
+                        staleness,
+                        deferred,
+                        csn: self.applied_csn,
+                        vector: Vec::new(),
+                    }),
+                });
+                // Publish the new measurements to all clients (§5.4).
+                let perf = Payload::Perf(PerfBroadcast {
+                    read: Some(ReadMeasurement {
+                        ts_us: ts.as_micros(),
+                        tq_us: tq.as_micros(),
+                        tb_us: tb.as_micros(),
+                    }),
+                    publisher: self.is_publisher().then(|| self.publisher_info(now)),
+                });
+                for c in self.config.clients.clone() {
+                    actions.push(ServerAction::SendDirect {
+                        to: c,
+                        payload: perf.clone(),
+                    });
+                }
+            }
+        }
+        self.maybe_start_service(&mut actions);
+        actions
+    }
+
+    fn on_gsn_query(&mut self, from: ActorId) -> Vec<ServerAction> {
+        if self.role != ReplicaRole::Primary {
+            return Vec::new();
+        }
+        vec![ServerAction::SendDirect {
+            to: from,
+            payload: Payload::GsnReport {
+                max_gsn: self.my_gsn,
+                csn: self.my_csn,
+            },
+        }]
+    }
+
+    fn on_gsn_report(
+        &mut self,
+        from: ActorId,
+        max_gsn: u64,
+        csn: u64,
+        now: SimTime,
+    ) -> Vec<ServerAction> {
+        if !self.recovering {
+            return Vec::new();
+        }
+        self.seq_gsn = self.seq_gsn.max(max_gsn);
+        self.reported_csns.push(csn);
+        self.awaiting_reports.remove(&from);
+        if self.awaiting_reports.is_empty() {
+            self.finish_recovery(now)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Completes a sequencer takeover: reconciles assignment knowledge,
+    /// re-broadcasts assignments other primaries may have missed, assigns
+    /// fresh GSNs to still-unassigned updates, and answers queued reads.
+    fn finish_recovery(&mut self, now: SimTime) -> Vec<ServerAction> {
+        self.recovering = false;
+        self.stats.recoveries += 1;
+        let mut actions = Vec::new();
+        // Re-broadcast every assignment this replica knows about above the
+        // lowest reported CSN, so primaries that missed an assignment from
+        // the failed sequencer can fill their gaps.
+        let floor = self
+            .reported_csns
+            .iter()
+            .copied()
+            .chain(std::iter::once(self.my_csn))
+            .min()
+            .unwrap_or(0);
+        let mut known: BTreeMap<u64, RequestId> = BTreeMap::new();
+        for &(gsn, req) in &self.committed_log {
+            known.insert(gsn, req);
+        }
+        for (gsn, u) in &self.commit_ready {
+            known.insert(*gsn, u.id);
+        }
+        for (req, gsn) in &self.gsn_assignments {
+            known.insert(*gsn, *req);
+        }
+        for (&gsn, &req) in known.range(floor + 1..) {
+            self.seq_gsn = self.seq_gsn.max(gsn);
+            actions.push(ServerAction::MulticastPrimary(Payload::GsnAssign {
+                req,
+                gsn,
+            }));
+        }
+        // Updates with no assignment anywhere get fresh GSNs, in a
+        // deterministic order.
+        let mut orphans: Vec<RequestId> = self
+            .unassigned_updates
+            .keys()
+            .copied()
+            .filter(|r| !known.values().any(|kr| kr == r))
+            .collect();
+        orphans.sort_unstable();
+        for req in orphans {
+            self.seq_gsn += 1;
+            let gsn = self.seq_gsn;
+            actions.push(ServerAction::MulticastPrimary(Payload::GsnAssign {
+                req,
+                gsn,
+            }));
+            self.note_assignment(req, gsn);
+        }
+        actions.extend(self.try_commit(now));
+        // Queued read-snapshot requests get the recovered GSN.
+        for req in std::mem::take(&mut self.queued_snapshot_reqs) {
+            actions.push(ServerAction::MulticastPrimary(Payload::GsnSnapshot {
+                req,
+                gsn: self.seq_gsn,
+            }));
+            actions.push(ServerAction::MulticastSecondary(Payload::GsnSnapshot {
+                req,
+                gsn: self.seq_gsn,
+            }));
+        }
+        actions
+    }
+
+    fn on_state_request(&mut self, from: ActorId) -> Vec<ServerAction> {
+        if self.role != ReplicaRole::Primary || !self.synced {
+            return Vec::new();
+        }
+        self.stats.state_transfers += 1;
+        vec![ServerAction::SendDirect {
+            to: from,
+            payload: Payload::StateResponse {
+                csn: self.applied_csn,
+                gsn: self.my_gsn,
+                snapshot: self.object.snapshot(),
+            },
+        }]
+    }
+
+    fn on_state_response(
+        &mut self,
+        csn: u64,
+        gsn: u64,
+        snapshot: &bytes::Bytes,
+        now: SimTime,
+    ) -> Vec<ServerAction> {
+        // Acceptable transfers: the initial post-restart sync (anything at
+        // or above our CSN) or a catch-up past a commit stall (strictly
+        // ahead). Catch-up installs must not race committed-but-unapplied
+        // work, or queued updates would apply twice on top of the snapshot;
+        // if the service queue is still draining we skip — the stall
+        // watchdog will request another transfer.
+        let acceptable = if self.synced {
+            csn > self.my_csn
+        } else {
+            csn >= self.my_csn
+        };
+        if !acceptable || self.applied_csn != self.my_csn {
+            return Vec::new();
+        }
+        self.object.install_snapshot(snapshot);
+        self.my_csn = csn;
+        self.applied_csn = csn;
+        self.my_gsn = self.my_gsn.max(gsn);
+        self.synced = true;
+        self.last_progress = now;
+        // Drop commit bookkeeping now superseded by the snapshot.
+        self.commit_ready.retain(|&g, _| g > csn);
+        self.gsn_assignments.retain(|_, &mut g| g > csn);
+        let mut actions = self.try_commit(now);
+        self.release_satisfied_deferred(now, &mut actions);
+        actions
+    }
+
+    /// Handles a view change of either replication group.
+    pub fn on_view(&mut self, view: View, now: SimTime) -> Vec<ServerAction> {
+        let mut actions = Vec::new();
+        if view.group == PRIMARY_GROUP {
+            let old_leader = self.primary_view.leader();
+            let old_members = self.primary_view.members().to_vec();
+            let was_publisher = self.is_publisher();
+            self.primary_view = view;
+            let new_leader = self.primary_view.leader();
+            let membership_changed = old_members != self.primary_view.members();
+            if self.role == ReplicaRole::Primary {
+                // Run the reconciliation round on any view change this
+                // replica ends up leading: a fresh takeover obviously, but
+                // also a membership change under a standing leader (a
+                // re-merged partition may carry assignments from an interim
+                // sequencer, and rejoined members may have gaps only a
+                // re-broadcast can fill).
+                if new_leader == self.me
+                    && (old_leader != self.me || membership_changed || self.recover_when_leading)
+                    && !self.recovering
+                {
+                    self.recover_when_leading = false;
+                    // Sequencer takeover (§4.1 failure handling).
+                    self.recovering = true;
+                    self.seq_gsn = self.seq_gsn.max(self.my_gsn);
+                    self.reported_csns.clear();
+                    self.awaiting_reports = self
+                        .primary_view
+                        .members()
+                        .iter()
+                        .copied()
+                        .filter(|m| *m != self.me)
+                        .collect();
+                    if self.awaiting_reports.is_empty() {
+                        actions.extend(self.finish_recovery(now));
+                    } else {
+                        actions.push(ServerAction::MulticastPrimary(Payload::GsnQuery));
+                    }
+                }
+                if self.is_publisher() && !was_publisher {
+                    // Freshly designated publisher: start a new lazy period.
+                    self.updates_since_lazy = 0;
+                    self.last_lazy_at = now;
+                    self.arm_lazy(&mut actions);
+                }
+            }
+            if new_leader != old_leader {
+                // Reads orphaned by the sequencer failure: ask the new
+                // sequencer for their GSN snapshots.
+                for req in self.pending_reads.keys() {
+                    actions.push(ServerAction::SendDirect {
+                        to: new_leader,
+                        payload: Payload::GsnRequest { req: *req },
+                    });
+                }
+            }
+        } else if view.group == SECONDARY_GROUP {
+            self.secondary_view = view;
+        }
+        actions
+    }
+}
+
+impl crate::protocol::ServerProtocol for ServerGateway {
+    fn ordering(&self) -> crate::qos::OrderingGuarantee {
+        crate::qos::OrderingGuarantee::Sequential
+    }
+
+    fn on_start(&mut self, now: SimTime) -> Vec<ServerAction> {
+        ServerGateway::on_start(self, now)
+    }
+
+    fn on_restart(
+        &mut self,
+        fresh_object: Box<dyn ReplicatedObject>,
+        now: SimTime,
+    ) -> Vec<ServerAction> {
+        ServerGateway::on_restart(self, fresh_object, now)
+    }
+
+    fn on_payload(&mut self, from: ActorId, payload: Payload, now: SimTime) -> Vec<ServerAction> {
+        ServerGateway::on_payload(self, from, payload, now)
+    }
+
+    fn on_service_start(&mut self, token: u64, now: SimTime) {
+        ServerGateway::on_service_start(self, token, now)
+    }
+
+    fn on_service_done(&mut self, token: u64, now: SimTime) -> Vec<ServerAction> {
+        ServerGateway::on_service_done(self, token, now)
+    }
+
+    fn on_lazy_timer(&mut self, now: SimTime) -> Vec<ServerAction> {
+        ServerGateway::on_lazy_timer(self, now)
+    }
+
+    fn on_view(&mut self, view: View, now: SimTime) -> Vec<ServerAction> {
+        ServerGateway::on_view(self, view, now)
+    }
+
+    fn is_sequencer(&self) -> bool {
+        ServerGateway::is_sequencer(self)
+    }
+
+    fn is_publisher(&self) -> bool {
+        ServerGateway::is_publisher(self)
+    }
+
+    fn csn(&self) -> u64 {
+        ServerGateway::csn(self)
+    }
+
+    fn applied_csn(&self) -> u64 {
+        ServerGateway::applied_csn(self)
+    }
+
+    fn gsn(&self) -> u64 {
+        ServerGateway::gsn(self)
+    }
+
+    fn is_synced(&self) -> bool {
+        ServerGateway::is_synced(self)
+    }
+
+    fn stats(&self) -> ServerStats {
+        ServerGateway::stats(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::VersionedRegister;
+    use crate::wire::Operation;
+    use aqf_group::ViewId;
+
+    fn a(i: usize) -> ActorId {
+        ActorId::from_index(i)
+    }
+
+    // Roster: 0 = sequencer, 1, 2 = primaries, 10, 11 = secondaries,
+    // 20 = client.
+    fn pview() -> View {
+        View::new(PRIMARY_GROUP, ViewId(0), vec![a(0), a(1), a(2)])
+    }
+
+    fn sview() -> View {
+        View::new(SECONDARY_GROUP, ViewId(0), vec![a(10), a(11)])
+    }
+
+    fn gw(i: usize) -> ServerGateway {
+        let config = ServerConfig {
+            clients: vec![a(20)],
+            ..ServerConfig::default()
+        };
+        ServerGateway::new(
+            a(i),
+            pview(),
+            sview(),
+            Box::new(VersionedRegister::new()),
+            config,
+        )
+    }
+
+    fn upd(seq: u64) -> UpdateRequest {
+        UpdateRequest {
+            id: RequestId { client: a(20), seq },
+            op: Operation::new("set", format!("v{seq}").into_bytes()),
+        }
+    }
+
+    fn read(seq: u64, staleness: u32) -> ReadRequest {
+        ReadRequest {
+            id: RequestId { client: a(20), seq },
+            op: Operation::new("get", vec![]),
+            staleness_threshold: staleness,
+        }
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    /// Drives the service loop synchronously with a fixed service time.
+    fn drain_service(
+        gw: &mut ServerGateway,
+        actions: &mut Vec<ServerAction>,
+        mut now: SimTime,
+    ) -> SimTime {
+        loop {
+            let Some(pos) = actions
+                .iter()
+                .position(|x| matches!(x, ServerAction::StartService { .. }))
+            else {
+                return now;
+            };
+            let ServerAction::StartService { token } = actions.remove(pos) else {
+                unreachable!()
+            };
+            gw.on_service_start(token, now);
+            now += SimDuration::from_millis(10);
+            actions.extend(gw.on_service_done(token, now));
+        }
+    }
+
+    #[test]
+    fn roles_and_designations() {
+        assert!(gw(0).is_sequencer());
+        assert!(!gw(1).is_sequencer());
+        assert_eq!(gw(0).role(), ReplicaRole::Primary);
+        assert_eq!(
+            ServerGateway::new(
+                a(10),
+                pview(),
+                sview(),
+                Box::new(VersionedRegister::new()),
+                ServerConfig::default()
+            )
+            .role(),
+            ReplicaRole::Secondary
+        );
+        // Publisher = highest-ranked primary (not the leader).
+        assert!(gw(2).is_publisher());
+        assert!(!gw(1).is_publisher());
+        assert!(!gw(0).is_publisher());
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one replication group")]
+    fn outsider_rejected() {
+        let _ = ServerGateway::new(
+            a(30),
+            pview(),
+            sview(),
+            Box::new(VersionedRegister::new()),
+            ServerConfig::default(),
+        );
+    }
+
+    #[test]
+    fn sequencer_assigns_gsn_on_update() {
+        let mut s = gw(0);
+        let actions = s.on_payload(a(20), Payload::Update(upd(0)), t(0));
+        assert!(actions.iter().any(|x| matches!(
+            x,
+            ServerAction::MulticastPrimary(Payload::GsnAssign { gsn: 1, .. })
+        )));
+        // Sequencer also commits and enqueues its own copy.
+        assert_eq!(s.csn(), 1);
+        assert_eq!(s.gsn(), 1);
+        assert_eq!(s.queue_depth(), 1);
+    }
+
+    #[test]
+    fn duplicate_update_not_reassigned() {
+        let mut s = gw(0);
+        let _ = s.on_payload(a(20), Payload::Update(upd(0)), t(0));
+        let actions = s.on_payload(a(20), Payload::Update(upd(0)), t(1));
+        assert!(
+            !actions
+                .iter()
+                .any(|x| matches!(x, ServerAction::MulticastPrimary(Payload::GsnAssign { .. }))),
+            "duplicate must not get a second GSN"
+        );
+    }
+
+    #[test]
+    fn primary_commits_in_gsn_order() {
+        let mut p = gw(1);
+        // Updates arrive before assignments, out of order.
+        let _ = p.on_payload(a(20), Payload::Update(upd(0)), t(0));
+        let _ = p.on_payload(a(20), Payload::Update(upd(1)), t(0));
+        assert_eq!(p.csn(), 0);
+        // Assignment for the *second* request arrives first: must buffer.
+        let _ = p.on_payload(
+            a(0),
+            Payload::GsnAssign {
+                req: upd(1).id,
+                gsn: 2,
+            },
+            t(1),
+        );
+        assert_eq!(p.csn(), 0);
+        let _ = p.on_payload(
+            a(0),
+            Payload::GsnAssign {
+                req: upd(0).id,
+                gsn: 1,
+            },
+            t(2),
+        );
+        assert_eq!(p.csn(), 2, "both commit once the gap fills");
+        assert_eq!(p.stats().updates_committed, 2);
+    }
+
+    #[test]
+    fn assignment_before_update_buffers() {
+        let mut p = gw(1);
+        let _ = p.on_payload(
+            a(0),
+            Payload::GsnAssign {
+                req: upd(0).id,
+                gsn: 1,
+            },
+            t(0),
+        );
+        assert_eq!(p.csn(), 0);
+        let _ = p.on_payload(a(20), Payload::Update(upd(0)), t(1));
+        assert_eq!(p.csn(), 1);
+    }
+
+    #[test]
+    fn stale_sequencer_assignment_rejected() {
+        let mut p = gw(1);
+        let _ = p.on_payload(
+            a(2),
+            Payload::GsnAssign {
+                req: upd(0).id,
+                gsn: 1,
+            },
+            t(0),
+        );
+        assert_eq!(p.csn(), 0);
+        assert_eq!(p.stats().stale_assigns, 1);
+    }
+
+    #[test]
+    fn update_applies_and_replies() {
+        let mut p = gw(1);
+        let mut actions = p.on_payload(a(20), Payload::Update(upd(0)), t(0));
+        actions.extend(p.on_payload(
+            a(0),
+            Payload::GsnAssign {
+                req: upd(0).id,
+                gsn: 1,
+            },
+            t(1),
+        ));
+        let _ = drain_service(&mut p, &mut actions, t(1));
+        let reply = actions.iter().find_map(|x| match x {
+            ServerAction::SendDirect {
+                to,
+                payload: Payload::Reply(r),
+            } => Some((*to, r.clone())),
+            _ => None,
+        });
+        let (to, reply) = reply.expect("primary replies to update");
+        assert_eq!(to, a(20));
+        assert_eq!(reply.csn, 1);
+        assert_eq!(p.applied_csn(), 1);
+    }
+
+    #[test]
+    fn sequencer_does_not_reply_to_updates() {
+        let mut s = gw(0);
+        let mut actions = s.on_payload(a(20), Payload::Update(upd(0)), t(0));
+        let _ = drain_service(&mut s, &mut actions, t(0));
+        assert!(
+            !actions.iter().any(|x| matches!(
+                x,
+                ServerAction::SendDirect {
+                    payload: Payload::Reply(_),
+                    ..
+                }
+            )),
+            "sequencer must not service client requests"
+        );
+        assert_eq!(s.applied_csn(), 1, "but it keeps its state current");
+    }
+
+    #[test]
+    fn sequencer_broadcasts_snapshot_without_advancing() {
+        let mut s = gw(0);
+        let _ = s.on_payload(a(20), Payload::Update(upd(0)), t(0));
+        let actions = s.on_payload(a(20), Payload::Read(read(1, 0)), t(1));
+        let snaps: Vec<_> = actions
+            .iter()
+            .filter(|x| {
+                matches!(
+                    x,
+                    ServerAction::MulticastPrimary(Payload::GsnSnapshot { gsn: 1, .. })
+                        | ServerAction::MulticastSecondary(Payload::GsnSnapshot { gsn: 1, .. })
+                )
+            })
+            .collect();
+        assert_eq!(snaps.len(), 2, "snapshot goes to both groups");
+        assert_eq!(s.gsn(), 1, "GSN not advanced by reads");
+    }
+
+    #[test]
+    fn fresh_primary_serves_read_immediately() {
+        let mut p = gw(1);
+        let mut actions = p.on_payload(a(20), Payload::Read(read(0, 0)), t(0));
+        assert!(actions.is_empty(), "no snapshot yet: read waits");
+        actions.extend(p.on_payload(
+            a(0),
+            Payload::GsnSnapshot {
+                req: read(0, 0).id,
+                gsn: 0,
+            },
+            t(1),
+        ));
+        let _ = drain_service(&mut p, &mut actions, t(1));
+        let reply = actions
+            .iter()
+            .find_map(|x| match x {
+                ServerAction::SendDirect {
+                    payload: Payload::Reply(r),
+                    ..
+                } => Some(r.clone()),
+                _ => None,
+            })
+            .expect("read served");
+        assert!(!reply.deferred);
+        assert_eq!(reply.staleness, 0);
+        assert_eq!(p.stats().reads_served, 1);
+        // Perf broadcast accompanied the read completion.
+        assert!(actions
+            .iter()
+            .any(|x| matches!(x, ServerAction::SendDirect { to, payload: Payload::Perf(_) } if *to == a(20))));
+    }
+
+    #[test]
+    fn snapshot_before_read_is_cached() {
+        let mut p = gw(1);
+        let _ = p.on_payload(
+            a(0),
+            Payload::GsnSnapshot {
+                req: read(0, 0).id,
+                gsn: 0,
+            },
+            t(0),
+        );
+        let mut actions = p.on_payload(a(20), Payload::Read(read(0, 0)), t(1));
+        let _ = drain_service(&mut p, &mut actions, t(1));
+        assert_eq!(p.stats().reads_served, 1);
+    }
+
+    fn secondary(i: usize) -> ServerGateway {
+        let config = ServerConfig {
+            clients: vec![a(20)],
+            ..ServerConfig::default()
+        };
+        ServerGateway::new(
+            a(i),
+            pview(),
+            sview(),
+            Box::new(VersionedRegister::new()),
+            config,
+        )
+    }
+
+    #[test]
+    fn stale_secondary_defers_until_lazy_update() {
+        let mut s = secondary(10);
+        // Sequencer says the world is at GSN 3; the secondary is at CSN 0.
+        let actions = s.on_payload(
+            a(0),
+            Payload::GsnSnapshot {
+                req: read(0, 1).id,
+                gsn: 3,
+            },
+            t(0),
+        );
+        assert!(actions.is_empty());
+        let actions = s.on_payload(a(20), Payload::Read(read(0, 1)), t(1));
+        assert!(actions.is_empty(), "staleness 3 > threshold 1: defer");
+        assert_eq!(s.stats().reads_deferred, 1);
+
+        // The lazy update arrives at t=500 with a state snapshot at CSN 3.
+        let mut obj = VersionedRegister::new();
+        let op = Operation::new("set", b"x".to_vec());
+        obj.apply_update(&op);
+        obj.apply_update(&op);
+        obj.apply_update(&op);
+        let mut actions = s.on_payload(
+            a(2),
+            Payload::LazyUpdate {
+                csn: 3,
+                snapshot: obj.snapshot(),
+            },
+            t(500),
+        );
+        assert_eq!(s.csn(), 3);
+        let now = drain_service(&mut s, &mut actions, t(500));
+        let reply = actions
+            .iter()
+            .find_map(|x| match x {
+                ServerAction::SendDirect {
+                    payload: Payload::Reply(r),
+                    ..
+                } => Some(r.clone()),
+                _ => None,
+            })
+            .expect("deferred read served after lazy update");
+        assert!(reply.deferred);
+        // tb = 500 - 1 = 499ms; ts = 10ms (drain_service).
+        assert_eq!(reply.t1_us, SimDuration::from_millis(509).as_micros());
+        assert_eq!(s.stats().lazy_updates_applied, 1);
+        let _ = now;
+    }
+
+    #[test]
+    fn fresh_secondary_serves_immediately() {
+        let mut s = secondary(10);
+        let mut actions = s.on_payload(
+            a(0),
+            Payload::GsnSnapshot {
+                req: read(0, 2).id,
+                gsn: 2,
+            },
+            t(0),
+        );
+        actions.extend(s.on_payload(a(20), Payload::Read(read(0, 2)), t(1)));
+        let _ = drain_service(&mut s, &mut actions, t(1));
+        assert_eq!(s.stats().reads_served, 1);
+        assert_eq!(s.stats().reads_deferred, 0);
+    }
+
+    #[test]
+    fn stale_lazy_update_ignored_but_releases() {
+        let mut s = secondary(10);
+        let mut obj = VersionedRegister::new();
+        obj.apply_update(&Operation::new("set", b"x".to_vec()));
+        let snap = obj.snapshot();
+        let _ = s.on_payload(
+            a(2),
+            Payload::LazyUpdate {
+                csn: 1,
+                snapshot: snap.clone(),
+            },
+            t(0),
+        );
+        assert_eq!(s.csn(), 1);
+        let before = s.stats().lazy_updates_applied;
+        let _ = s.on_payload(
+            a(2),
+            Payload::LazyUpdate {
+                csn: 1,
+                snapshot: snap,
+            },
+            t(10),
+        );
+        assert_eq!(s.stats().lazy_updates_applied, before, "duplicate ignored");
+    }
+
+    #[test]
+    fn publisher_lazy_tick_broadcasts_state_and_info() {
+        let mut p = gw(2);
+        assert!(p.is_publisher());
+        let _ = p.on_start(t(0));
+        // Two updates arrive (as counted by a primary).
+        let _ = p.on_payload(a(20), Payload::Update(upd(0)), t(100));
+        let _ = p.on_payload(a(20), Payload::Update(upd(1)), t(200));
+        let actions = p.on_lazy_timer(t(2000));
+        assert!(actions.iter().any(|x| matches!(
+            x,
+            ServerAction::MulticastSecondary(Payload::LazyUpdate { .. })
+        )));
+        assert!(actions
+            .iter()
+            .any(|x| matches!(x, ServerAction::ArmLazyTimer { .. })));
+        let info = actions
+            .iter()
+            .find_map(|x| match x {
+                ServerAction::SendDirect {
+                    payload: Payload::Perf(pb),
+                    ..
+                } => pb.publisher,
+                _ => None,
+            })
+            .expect("publisher info broadcast");
+        assert_eq!(info.n_u, 2);
+        assert_eq!(info.t_u, SimDuration::from_secs(2));
+        assert_eq!(info.n_l, 0, "n_L resets at propagation");
+        assert_eq!(info.t_l, SimDuration::ZERO);
+        assert_eq!(info.period, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn non_publisher_lazy_timer_is_noop() {
+        let mut p = gw(1);
+        assert!(p.on_lazy_timer(t(100)).is_empty());
+    }
+
+    #[test]
+    fn sequencer_failover_recovers_gsn() {
+        // Primary 1 becomes leader after 0 crashes; it saw GSN up to 2.
+        let mut p = gw(1);
+        let _ = p.on_payload(a(20), Payload::Update(upd(0)), t(0));
+        let _ = p.on_payload(a(20), Payload::Update(upd(1)), t(0));
+        let _ = p.on_payload(
+            a(0),
+            Payload::GsnAssign {
+                req: upd(0).id,
+                gsn: 1,
+            },
+            t(1),
+        );
+        let _ = p.on_payload(
+            a(0),
+            Payload::GsnAssign {
+                req: upd(1).id,
+                gsn: 2,
+            },
+            t(1),
+        );
+        let new_view = pview().successor(&[a(0)], &[]).unwrap();
+        let actions = p.on_view(new_view, t(1000));
+        assert!(actions
+            .iter()
+            .any(|x| matches!(x, ServerAction::MulticastPrimary(Payload::GsnQuery))));
+        // Peer 2 reports max_gsn 2.
+        let actions = p.on_payload(a(2), Payload::GsnReport { max_gsn: 2, csn: 2 }, t(1001));
+        assert!(!actions.is_empty() || p.stats().recoveries == 1);
+        assert_eq!(p.stats().recoveries, 1);
+        // New update gets GSN 3, not a duplicate.
+        let actions = p.on_payload(a(20), Payload::Update(upd(2)), t(1002));
+        assert!(actions.iter().any(|x| matches!(
+            x,
+            ServerAction::MulticastPrimary(Payload::GsnAssign { gsn: 3, .. })
+        )));
+    }
+
+    #[test]
+    fn recovery_rebroadcasts_missed_assignments() {
+        // Primary 1 saw assignment (req0 -> gsn1) and committed it; primary 2
+        // never saw it. After failover, 1 must re-broadcast it because 2's
+        // reported CSN is 0.
+        let mut p = gw(1);
+        let _ = p.on_payload(a(20), Payload::Update(upd(0)), t(0));
+        let _ = p.on_payload(
+            a(0),
+            Payload::GsnAssign {
+                req: upd(0).id,
+                gsn: 1,
+            },
+            t(1),
+        );
+        assert_eq!(p.csn(), 1);
+        let new_view = pview().successor(&[a(0)], &[]).unwrap();
+        let _ = p.on_view(new_view, t(1000));
+        let actions = p.on_payload(a(2), Payload::GsnReport { max_gsn: 0, csn: 0 }, t(1001));
+        assert!(
+            actions.iter().any(|x| matches!(
+                x,
+                ServerAction::MulticastPrimary(Payload::GsnAssign { gsn: 1, .. })
+            )),
+            "missed assignment re-broadcast"
+        );
+    }
+
+    #[test]
+    fn recovery_assigns_orphaned_updates() {
+        // An update was never assigned by the failed sequencer.
+        let mut p = gw(1);
+        let _ = p.on_payload(a(20), Payload::Update(upd(0)), t(0));
+        assert_eq!(p.csn(), 0);
+        let new_view = pview().successor(&[a(0)], &[]).unwrap();
+        let _ = p.on_view(new_view, t(1000));
+        let actions = p.on_payload(a(2), Payload::GsnReport { max_gsn: 0, csn: 0 }, t(1001));
+        assert!(actions.iter().any(|x| matches!(
+            x,
+            ServerAction::MulticastPrimary(Payload::GsnAssign { gsn: 1, .. })
+        )));
+        assert_eq!(p.csn(), 1, "orphan committed under the fresh GSN");
+    }
+
+    #[test]
+    fn pending_reads_rerequested_after_failover() {
+        let mut p = gw(2); // stays non-leader after 0 crashes (1 leads)
+        let _ = p.on_payload(a(20), Payload::Read(read(0, 0)), t(0));
+        let new_view = pview().successor(&[a(0)], &[]).unwrap();
+        let actions = p.on_view(new_view, t(1000));
+        assert!(actions.iter().any(|x| matches!(
+            x,
+            ServerAction::SendDirect { to, payload: Payload::GsnRequest { .. } } if *to == a(1)
+        )));
+    }
+
+    #[test]
+    fn new_publisher_designated_after_publisher_crash() {
+        let mut p = gw(1);
+        assert!(!p.is_publisher());
+        // Publisher (replica 2) crashes: view becomes {0, 1}; 1 is now the
+        // highest-ranked non-leader member.
+        let new_view = pview().successor(&[a(2)], &[]).unwrap();
+        let actions = p.on_view(new_view, t(1000));
+        assert!(p.is_publisher());
+        assert!(actions
+            .iter()
+            .any(|x| matches!(x, ServerAction::ArmLazyTimer { .. })));
+    }
+
+    #[test]
+    fn state_transfer_round_trip() {
+        let mut donor = gw(1);
+        let _ = donor.on_payload(a(20), Payload::Update(upd(0)), t(0));
+        let mut actions = donor.on_payload(
+            a(0),
+            Payload::GsnAssign {
+                req: upd(0).id,
+                gsn: 1,
+            },
+            t(1),
+        );
+        let _ = drain_service(&mut donor, &mut actions, t(1));
+        let transfer = donor.on_state_request(a(2));
+        let (csn, gsn, snapshot) = transfer
+            .iter()
+            .find_map(|x| match x {
+                ServerAction::SendDirect {
+                    payload: Payload::StateResponse { csn, gsn, snapshot },
+                    ..
+                } => Some((*csn, *gsn, snapshot.clone())),
+                _ => None,
+            })
+            .expect("state served");
+        assert_eq!(csn, 1);
+
+        // A restarted replica installs it and becomes synced.
+        let mut joiner = gw(2);
+        let actions = joiner.on_restart(Box::new(VersionedRegister::new()), t(100));
+        assert!(actions.iter().any(|x| matches!(
+            x,
+            ServerAction::SendDirect { to, payload: Payload::StateRequest } if *to == a(0)
+        )));
+        assert!(!joiner.is_synced());
+        let _ = joiner.on_payload(a(1), Payload::StateResponse { csn, gsn, snapshot }, t(200));
+        assert!(joiner.is_synced());
+        assert_eq!(joiner.csn(), 1);
+        assert_eq!(joiner.stats().state_transfers, 0);
+        assert_eq!(donor.stats().state_transfers, 1);
+    }
+
+    #[test]
+    fn unsynced_replica_defers_reads() {
+        let mut joiner = secondary(10);
+        let _ = joiner.on_restart(Box::new(VersionedRegister::new()), t(0));
+        let _ = joiner.on_payload(
+            a(0),
+            Payload::GsnSnapshot {
+                req: read(0, 100).id,
+                gsn: 0,
+            },
+            t(1),
+        );
+        let actions = joiner.on_payload(a(20), Payload::Read(read(0, 100)), t(2));
+        assert!(actions.is_empty(), "read deferred until synced");
+        assert_eq!(joiner.stats().reads_deferred, 1);
+    }
+
+    #[test]
+    fn service_queue_is_sequential() {
+        let mut p = gw(1);
+        let mut actions = Vec::new();
+        for i in 0..3 {
+            actions.extend(p.on_payload(a(20), Payload::Update(upd(i)), t(0)));
+            actions.extend(p.on_payload(
+                a(0),
+                Payload::GsnAssign {
+                    req: upd(i).id,
+                    gsn: i + 1,
+                },
+                t(0),
+            ));
+        }
+        // Only one StartService outstanding at a time.
+        let starts = actions
+            .iter()
+            .filter(|x| matches!(x, ServerAction::StartService { .. }))
+            .count();
+        assert_eq!(starts, 1);
+        let _ = drain_service(&mut p, &mut actions, t(0));
+        assert_eq!(p.applied_csn(), 3);
+    }
+
+    #[test]
+    fn snapshot_cache_evicts() {
+        let config = ServerConfig {
+            snapshot_cache: 2,
+            clients: vec![a(20)],
+            ..ServerConfig::default()
+        };
+        let mut p = ServerGateway::new(
+            a(1),
+            pview(),
+            sview(),
+            Box::new(VersionedRegister::new()),
+            config,
+        );
+        for i in 0..5 {
+            let _ = p.on_payload(
+                a(0),
+                Payload::GsnSnapshot {
+                    req: read(i, 0).id,
+                    gsn: 0,
+                },
+                t(0),
+            );
+        }
+        assert!(p.read_snapshot_gsn.len() <= 2);
+    }
+}

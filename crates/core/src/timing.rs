@@ -1,0 +1,102 @@
+//! The timing failure detector (paper §5.4).
+//!
+//! "The timing failure detector in the client handler computes the response
+//! time `tr = tp - t0` to check whether a timing failure has occurred. ...
+//! If the frequency of timely response from the service is lower than the
+//! minimum probability of timely response the client has requested, the
+//! client handler notifies the client by issuing a callback."
+
+/// Tracks timely vs. late responses for one client and decides when to
+/// issue the QoS-violation callback.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimingFailureDetector {
+    timely: u64,
+    failures: u64,
+}
+
+impl TimingFailureDetector {
+    /// Creates a detector with no observations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a response that met its deadline.
+    pub fn record_timely(&mut self) {
+        self.timely += 1;
+    }
+
+    /// Records a timing failure (response missed its deadline or never
+    /// arrived).
+    pub fn record_failure(&mut self) {
+        self.failures += 1;
+    }
+
+    /// Total read requests with a resolved outcome.
+    pub fn total(&self) -> u64 {
+        self.timely + self.failures
+    }
+
+    /// Number of timing failures observed.
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// Observed frequency of timely response, or `None` before any outcome.
+    pub fn timely_frequency(&self) -> Option<f64> {
+        let n = self.total();
+        (n > 0).then(|| self.timely as f64 / n as f64)
+    }
+
+    /// Observed timing-failure probability, or `None` before any outcome.
+    pub fn failure_probability(&self) -> Option<f64> {
+        let n = self.total();
+        (n > 0).then(|| self.failures as f64 / n as f64)
+    }
+
+    /// Whether the client should be notified: the observed timely frequency
+    /// has dropped below the requested minimum probability.
+    pub fn should_alert(&self, min_probability: f64) -> bool {
+        match self.timely_frequency() {
+            Some(f) => f < min_probability,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_detector_never_alerts() {
+        let d = TimingFailureDetector::new();
+        assert_eq!(d.total(), 0);
+        assert_eq!(d.timely_frequency(), None);
+        assert_eq!(d.failure_probability(), None);
+        assert!(!d.should_alert(0.99));
+    }
+
+    #[test]
+    fn frequencies() {
+        let mut d = TimingFailureDetector::new();
+        for _ in 0..9 {
+            d.record_timely();
+        }
+        d.record_failure();
+        assert_eq!(d.total(), 10);
+        assert_eq!(d.failures(), 1);
+        assert_eq!(d.timely_frequency(), Some(0.9));
+        assert_eq!(d.failure_probability(), Some(0.1));
+    }
+
+    #[test]
+    fn alert_threshold() {
+        let mut d = TimingFailureDetector::new();
+        d.record_timely();
+        d.record_failure();
+        // 50% timely: alert iff the client asked for more than that.
+        assert!(d.should_alert(0.9));
+        assert!(!d.should_alert(0.5));
+        assert!(!d.should_alert(0.1));
+    }
+}

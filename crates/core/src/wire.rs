@@ -1,0 +1,414 @@
+//! Protocol payloads exchanged between client and server gateway handlers.
+//!
+//! These payloads travel inside [`aqf_group::GroupMsg`] envelopes: requests
+//! and sequencer broadcasts as FIFO multicasts, replies and performance
+//! broadcasts as direct messages.
+
+use aqf_group::GroupId;
+use aqf_sim::{ActorId, SimDuration};
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Conventional group id of the primary replication group.
+pub const PRIMARY_GROUP: GroupId = GroupId(1);
+/// Conventional group id of the secondary replication group.
+pub const SECONDARY_GROUP: GroupId = GroupId(2);
+
+/// Uniquely identifies a client request: the issuing client gateway and a
+/// per-client sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RequestId {
+    /// The issuing client gateway's actor id.
+    pub client: ActorId,
+    /// Per-client monotonically increasing counter.
+    pub seq: u64,
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.client, self.seq)
+    }
+}
+
+/// An application-level invocation on the replicated object.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Operation {
+    /// Method name (classified by the read-only registry).
+    pub method: String,
+    /// Opaque argument payload.
+    #[serde(with = "serde_bytes_compat")]
+    pub payload: Bytes,
+}
+
+impl Operation {
+    /// Creates an operation.
+    pub fn new(method: impl Into<String>, payload: impl Into<Bytes>) -> Self {
+        Self {
+            method: method.into(),
+            payload: payload.into(),
+        }
+    }
+}
+
+mod serde_bytes_compat {
+    //! `bytes::Bytes` serde helpers (the `serde` feature of `bytes` is not
+    //! enabled in the approved dependency set).
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
+        b.as_ref().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
+        Vec::<u8>::deserialize(d).map(Bytes::from)
+    }
+}
+
+/// An update request multicast by a client gateway to the primary group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateRequest {
+    /// Request identity.
+    pub id: RequestId,
+    /// The state-modifying invocation.
+    pub op: Operation,
+}
+
+/// A read-only request sent to the sequencer and the selected replica set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReadRequest {
+    /// Request identity.
+    pub id: RequestId,
+    /// The read-only invocation.
+    pub op: Operation,
+    /// The staleness threshold `a` from the client's QoS specification; the
+    /// serving replica compares its own staleness against this.
+    pub staleness_threshold: u32,
+}
+
+/// A dependency/version vector: per-client applied-update counts. Used by
+/// the causal handler; empty for the other handlers.
+pub type VersionVector = Vec<(ActorId, u64)>;
+
+/// A reply from a replica gateway to a client gateway.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reply {
+    /// The request being answered.
+    pub id: RequestId,
+    /// Result payload produced by the replicated object.
+    #[serde(with = "serde_bytes_compat")]
+    pub result: Bytes,
+    /// Piggybacked server-side time `t1 = ts + tq + tb` (µs), used by the
+    /// client to derive the two-way gateway delay (paper §5.4).
+    pub t1_us: u64,
+    /// Staleness (in versions) of the serving replica's state at service
+    /// time; lets clients audit the consistency of responses.
+    pub staleness: u64,
+    /// Whether the read was deferred until a lazy update.
+    pub deferred: bool,
+    /// The commit sequence number reflected by the response.
+    pub csn: u64,
+    /// The replica's version vector at service time (causal handler only;
+    /// empty otherwise). Clients merge this into their observed state so
+    /// their next operations carry the right causal dependencies.
+    pub vector: VersionVector,
+}
+
+/// Performance measurements published by a server gateway to all clients
+/// after servicing a read (paper §5.4). The lazy publisher additionally
+/// broadcasts on every lazy propagation (with `read` empty) so clients keep
+/// fresh staleness inputs even when the publisher serves no reads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfBroadcast {
+    /// Measurements of the just-completed read, absent for publisher-only
+    /// announcements.
+    pub read: Option<ReadMeasurement>,
+    /// Lazy-publisher bookkeeping, present only when the broadcasting
+    /// replica is the lazy publisher.
+    pub publisher: Option<PublisherInfo>,
+}
+
+/// Server-side timing of one completed read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadMeasurement {
+    /// Service time `t_s` (µs).
+    pub ts_us: u64,
+    /// Queueing delay `t_q` (µs), including GSN wait.
+    pub tq_us: u64,
+    /// Deferred-read buffering time `t_b` (µs); zero for immediate reads.
+    pub tb_us: u64,
+}
+
+/// The lazy publisher's extra broadcast fields (paper §5.4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PublisherInfo {
+    /// `n_u`: update requests received since the previous performance
+    /// broadcast.
+    pub n_u: u64,
+    /// `t_u`: duration covered by `n_u`.
+    pub t_u: SimDuration,
+    /// `n_L`: update requests received since the last lazy update.
+    pub n_l: u64,
+    /// `t_L`: time elapsed since the last lazy update was propagated.
+    pub t_l: SimDuration,
+    /// `T_L`: the lazy update interval (periodicity of propagation).
+    pub period: SimDuration,
+}
+
+/// All gateway-to-gateway payloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Payload {
+    /// Client -> primary group: a state-modifying request.
+    Update(UpdateRequest),
+    /// Client -> sequencer + selected replicas: a read-only request.
+    Read(ReadRequest),
+    /// Sequencer -> primary group: GSN assignment for an update.
+    GsnAssign {
+        /// The update being sequenced.
+        req: RequestId,
+        /// The assigned global sequence number.
+        gsn: u64,
+    },
+    /// Sequencer -> primary + secondary groups: current GSN snapshot for a
+    /// read (the GSN is *not* advanced).
+    GsnSnapshot {
+        /// The read this snapshot answers.
+        req: RequestId,
+        /// The current global sequence number.
+        gsn: u64,
+    },
+    /// Replica -> sequencer: re-request a GSN snapshot for a read that was
+    /// pending when the sequencer failed.
+    GsnRequest {
+        /// The orphaned read.
+        req: RequestId,
+    },
+    /// Replica -> client: reply to a read or update.
+    Reply(Reply),
+    /// Lazy publisher -> secondary group: state snapshot at commit `csn`.
+    LazyUpdate {
+        /// Commit sequence number captured by the snapshot.
+        csn: u64,
+        /// Serialized object state.
+        #[serde(with = "serde_bytes_compat")]
+        snapshot: Bytes,
+    },
+    /// Lazy publisher -> secondary group, FIFO handler: state snapshot at
+    /// `version` together with the publisher's update-rate estimate, from
+    /// which secondaries bound their own expected staleness (there is no
+    /// sequencer to provide an exact global version in FIFO mode).
+    FifoLazyUpdate {
+        /// Updates applied by the publisher when the snapshot was taken.
+        version: u64,
+        /// Serialized object state.
+        #[serde(with = "serde_bytes_compat")]
+        snapshot: Bytes,
+        /// Publisher-estimated update arrival rate (arrivals/µs).
+        rate_per_us: f64,
+    },
+    /// Server -> clients: performance broadcast.
+    Perf(PerfBroadcast),
+    /// New sequencer -> primary group: collect GSN state after a sequencer
+    /// failure.
+    GsnQuery,
+    /// Primary replica -> new sequencer: report of locally known sequencing
+    /// state.
+    GsnReport {
+        /// Highest GSN assignment observed.
+        max_gsn: u64,
+        /// Local commit sequence number.
+        csn: u64,
+    },
+    /// Rejoining replica -> any primary: request a full state transfer.
+    StateRequest,
+    /// Primary -> rejoining replica: full state transfer.
+    StateResponse {
+        /// Commit sequence number of the snapshot.
+        csn: u64,
+        /// Highest GSN known.
+        gsn: u64,
+        /// Serialized object state.
+        #[serde(with = "serde_bytes_compat")]
+        snapshot: Bytes,
+    },
+    /// Client -> primary group, causal handler: an update carrying its
+    /// per-client sequence number and the dependencies the client had
+    /// observed when issuing it.
+    CausalUpdate {
+        /// The update body.
+        update: UpdateRequest,
+        /// This client's update-only sequence number (0-based): a replica
+        /// applies the update only after the client's previous
+        /// `update_seq` updates.
+        update_seq: u64,
+        /// Everything else the client had observed: the update may not be
+        /// applied before these.
+        deps: VersionVector,
+    },
+    /// Client -> selected replicas, causal handler: a read that must not
+    /// be served from a state older than what the client has already
+    /// observed (read-your-writes + monotonic reads).
+    CausalRead {
+        /// The read body.
+        read: ReadRequest,
+        /// The client's observed vector.
+        deps: VersionVector,
+    },
+    /// Lazy publisher -> secondary group, causal handler: state snapshot
+    /// with its version vector and the publisher's update-rate estimate.
+    CausalLazyUpdate {
+        /// Total updates applied by the publisher at snapshot time.
+        version: u64,
+        /// The publisher's per-client applied vector.
+        vector: VersionVector,
+        /// Serialized object state.
+        #[serde(with = "serde_bytes_compat")]
+        snapshot: Bytes,
+        /// Publisher-estimated update arrival rate (arrivals/µs).
+        rate_per_us: f64,
+    },
+}
+
+impl Payload {
+    /// Short tag for tracing and debugging.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Payload::Update(_) => "update",
+            Payload::Read(_) => "read",
+            Payload::GsnAssign { .. } => "gsn-assign",
+            Payload::GsnSnapshot { .. } => "gsn-snapshot",
+            Payload::GsnRequest { .. } => "gsn-request",
+            Payload::Reply(_) => "reply",
+            Payload::LazyUpdate { .. } => "lazy-update",
+            Payload::FifoLazyUpdate { .. } => "fifo-lazy-update",
+            Payload::Perf(_) => "perf",
+            Payload::GsnQuery => "gsn-query",
+            Payload::GsnReport { .. } => "gsn-report",
+            Payload::StateRequest => "state-request",
+            Payload::StateResponse { .. } => "state-response",
+            Payload::CausalUpdate { .. } => "causal-update",
+            Payload::CausalRead { .. } => "causal-read",
+            Payload::CausalLazyUpdate { .. } => "causal-lazy-update",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(c: usize, seq: u64) -> RequestId {
+        RequestId {
+            client: ActorId::from_index(c),
+            seq,
+        }
+    }
+
+    #[test]
+    fn request_id_ordering_and_display() {
+        assert!(rid(0, 1) < rid(0, 2));
+        assert!(rid(0, 9) < rid(1, 0));
+        assert_eq!(rid(3, 7).to_string(), "actor#3#7");
+    }
+
+    #[test]
+    fn operation_constructor() {
+        let op = Operation::new("get", vec![1u8, 2]);
+        assert_eq!(op.method, "get");
+        assert_eq!(op.payload.as_ref(), &[1, 2]);
+    }
+
+    #[test]
+    fn payload_tags_are_distinct() {
+        let tags = [
+            Payload::Update(UpdateRequest {
+                id: rid(0, 0),
+                op: Operation::new("m", vec![]),
+            })
+            .tag(),
+            Payload::Read(ReadRequest {
+                id: rid(0, 0),
+                op: Operation::new("m", vec![]),
+                staleness_threshold: 0,
+            })
+            .tag(),
+            Payload::GsnAssign {
+                req: rid(0, 0),
+                gsn: 0,
+            }
+            .tag(),
+            Payload::GsnSnapshot {
+                req: rid(0, 0),
+                gsn: 0,
+            }
+            .tag(),
+            Payload::GsnRequest { req: rid(0, 0) }.tag(),
+            Payload::GsnQuery.tag(),
+            Payload::GsnReport { max_gsn: 0, csn: 0 }.tag(),
+            Payload::StateRequest.tag(),
+            Payload::StateResponse {
+                csn: 0,
+                gsn: 0,
+                snapshot: Bytes::new(),
+            }
+            .tag(),
+            Payload::LazyUpdate {
+                csn: 0,
+                snapshot: Bytes::new(),
+            }
+            .tag(),
+            Payload::Perf(PerfBroadcast {
+                read: None,
+                publisher: None,
+            })
+            .tag(),
+            Payload::Reply(Reply {
+                id: rid(0, 0),
+                result: Bytes::new(),
+                t1_us: 0,
+                staleness: 0,
+                deferred: false,
+                csn: 0,
+                vector: Vec::new(),
+            })
+            .tag(),
+        ];
+        let causal = [
+            Payload::CausalUpdate {
+                update: UpdateRequest {
+                    id: rid(0, 0),
+                    op: Operation::new("m", vec![]),
+                },
+                update_seq: 0,
+                deps: Vec::new(),
+            }
+            .tag(),
+            Payload::CausalRead {
+                read: ReadRequest {
+                    id: rid(0, 0),
+                    op: Operation::new("m", vec![]),
+                    staleness_threshold: 0,
+                },
+                deps: Vec::new(),
+            }
+            .tag(),
+            Payload::CausalLazyUpdate {
+                version: 0,
+                vector: Vec::new(),
+                snapshot: Bytes::new(),
+                rate_per_us: 0.0,
+            }
+            .tag(),
+            Payload::FifoLazyUpdate {
+                version: 0,
+                snapshot: Bytes::new(),
+                rate_per_us: 0.0,
+            }
+            .tag(),
+        ];
+        let tags: Vec<_> = tags.iter().chain(causal.iter()).collect();
+        let unique: std::collections::HashSet<_> = tags.iter().collect();
+        assert_eq!(unique.len(), tags.len());
+    }
+}

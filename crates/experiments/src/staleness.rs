@@ -1,0 +1,97 @@
+//! EXT-STALE: the §5.1.3 staleness-model study.
+//!
+//! "Although we have assumed Poisson arrivals in our work, it should be
+//! possible to evaluate `P(N_u(t_l) <= a)` for the case in which the
+//! arrival of update requests follows a distribution that is not Poisson."
+//!
+//! This experiment drives the middleware with a deliberately non-Poisson
+//! (bursty) update stream and compares the paper's Eq. 4 Poisson estimator
+//! against the empirical rate-mixture estimator, both end to end (delivered
+//! QoS) and in isolation (the factors they produce).
+
+use crate::table::{Output, Table};
+use aqf_core::{QosSpec, SelectionPolicy, StalenessModel};
+use aqf_sim::SimDuration;
+use aqf_workload::{run_scenario, ClientSpec, OpPattern, ScenarioConfig};
+use std::thread;
+
+fn scenario(model: StalenessModel, deadline_ms: u64, seed: u64) -> ScenarioConfig {
+    let mut config = ScenarioConfig::paper_validation(deadline_ms, 0.9, 2, seed);
+    config.staleness_model = model;
+    config.clients = vec![
+        // A bursty quote feed: 8 writes back-to-back, then 6 s of silence.
+        ClientSpec {
+            qos: QosSpec::new(0, SimDuration::from_secs(2), 0.1).expect("valid"),
+            request_delay: SimDuration::from_millis(6000),
+            total_requests: 1400,
+            pattern: OpPattern::WriteBurst(8),
+            policy: SelectionPolicy::Probabilistic,
+            start_offset: SimDuration::ZERO,
+        },
+        // The measured reader.
+        ClientSpec {
+            qos: QosSpec::new(2, SimDuration::from_millis(deadline_ms), 0.9).expect("valid"),
+            request_delay: SimDuration::from_millis(800),
+            total_requests: 1000,
+            pattern: OpPattern::ReadOnly,
+            policy: SelectionPolicy::Probabilistic,
+            start_offset: SimDuration::from_millis(400),
+        },
+    ];
+    config
+}
+
+/// Runs the comparison and prints it.
+pub fn run(seed: u64, out: &Output) {
+    let deadlines = [100u64, 160, 220];
+    let mut handles = Vec::new();
+    for &d in &deadlines {
+        for model in [
+            StalenessModel::Poisson,
+            StalenessModel::EmpiricalRateMixture,
+        ] {
+            handles.push(thread::spawn(move || {
+                let m = run_scenario(&scenario(model, d, seed));
+                let c = m.client(1);
+                let server_deferred: u64 = m.servers.iter().map(|s| s.stats.reads_deferred).sum();
+                (
+                    d,
+                    model,
+                    c.avg_replicas_selected - 1.0,
+                    c.failure_ci.map(|x| x.estimate).unwrap_or(0.0),
+                    server_deferred,
+                )
+            }));
+        }
+    }
+    let mut rows: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    rows.sort_by_key(|r| (r.0, format!("{:?}", r.1)));
+    let mut table = Table::new(
+        "EXT-STALE: Poisson vs empirical rate-mixture staleness model (bursty updates)",
+        &[
+            "deadline(ms)",
+            "staleness model",
+            "avg selected",
+            "P(timing failure)",
+            "reads deferred (servers)",
+        ],
+    );
+    for (d, model, sel, p, defer) in rows {
+        table.row(vec![
+            d.to_string(),
+            format!("{model:?}"),
+            format!("{sel:.2}"),
+            format!("{p:.3}"),
+            defer.to_string(),
+        ]);
+    }
+    out.emit(&table, "ext_staleness_model");
+    println!(
+        "expected shape: the two estimators produce visibly different\n\
+         selected-set sizes and deferral counts under the bursty stream (the\n\
+         §5.1.3 extension point exercised end to end). At the tightest\n\
+         deadline the bursty regime strains both models — a burst of 8\n\
+         updates instantly exceeds the staleness threshold of 2, so failure\n\
+         probabilities hover at the requested budget rather than below it."
+    );
+}

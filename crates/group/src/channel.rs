@@ -1,0 +1,343 @@
+//! Per-sender FIFO receive channels with holdback and gap detection.
+
+use std::collections::BTreeMap;
+
+/// What the receive channel wants done after accepting a message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Accepted<A> {
+    /// Payloads now deliverable to the application, in FIFO order.
+    pub deliverable: Vec<A>,
+    /// If a gap was detected, the inclusive range of missing sequence
+    /// numbers to nack.
+    pub nack: Option<(u64, u64)>,
+}
+
+impl<A> Default for Accepted<A> {
+    fn default() -> Self {
+        Self {
+            deliverable: Vec::new(),
+            nack: None,
+        }
+    }
+}
+
+/// FIFO receive state for one `(group, sender)` pair.
+///
+/// Messages are delivered in sequence-number order; out-of-order arrivals
+/// wait in a holdback queue and trigger a nack for the missing range.
+/// A higher sender incarnation resets the channel (the sender restarted).
+#[derive(Debug, Clone, Default)]
+pub struct ReceiveChannel<A> {
+    incarnation: u32,
+    /// Next sequence number expected for contiguous delivery.
+    expected: u64,
+    holdback: BTreeMap<u64, A>,
+}
+
+impl<A> ReceiveChannel<A> {
+    /// Creates a channel expecting sequence number 0 of incarnation 0.
+    pub fn new() -> Self {
+        Self {
+            incarnation: 0,
+            expected: 0,
+            holdback: BTreeMap::new(),
+        }
+    }
+
+    /// The incarnation currently tracked.
+    pub fn incarnation(&self) -> u32 {
+        self.incarnation
+    }
+
+    /// The next sequence number needed for in-order delivery.
+    pub fn expected(&self) -> u64 {
+        self.expected
+    }
+
+    /// Number of messages parked in the holdback queue.
+    pub fn holdback_len(&self) -> usize {
+        self.holdback.len()
+    }
+
+    /// Accepts a message with sequence number `seq` from incarnation `inc`.
+    ///
+    /// Returns the payloads that became deliverable (possibly none) and an
+    /// optional nack range. Duplicates and messages from stale incarnations
+    /// are silently dropped.
+    pub fn accept(&mut self, inc: u32, seq: u64, payload: A) -> Accepted<A> {
+        if inc < self.incarnation {
+            return Accepted::default();
+        }
+        if inc > self.incarnation {
+            // Sender restarted: abandon the old channel state entirely.
+            self.incarnation = inc;
+            self.expected = 0;
+            self.holdback.clear();
+        }
+        let mut out = Accepted::default();
+        if seq < self.expected || self.holdback.contains_key(&seq) {
+            return out; // duplicate
+        }
+        if seq == self.expected {
+            out.deliverable.push(payload);
+            self.expected += 1;
+            // Drain any now-contiguous holdback.
+            while let Some(entry) = self.holdback.remove(&self.expected) {
+                out.deliverable.push(entry);
+                self.expected += 1;
+            }
+        } else {
+            // Gap: park and request the missing range.
+            out.nack = Some((self.expected, seq - 1));
+            self.holdback.insert(seq, payload);
+        }
+        out
+    }
+
+    /// Compares the channel against an advertised stream tip: the sender
+    /// claims to have multicast everything below `next_seq` of `inc`.
+    /// Returns the inclusive range to nack if the channel is missing a
+    /// suffix, or `None` if it is caught up (or the advertisement is
+    /// stale).
+    pub fn observe_tip(&mut self, inc: u32, next_seq: u64) -> Option<(u64, u64)> {
+        if inc < self.incarnation {
+            return None;
+        }
+        if inc > self.incarnation {
+            self.incarnation = inc;
+            self.expected = 0;
+            self.holdback.clear();
+        }
+        if self.expected < next_seq {
+            Some((self.expected, next_seq - 1))
+        } else {
+            None
+        }
+    }
+
+    /// Fast-forwards past an unfillable gap: the sender declared it can no
+    /// longer retransmit anything below `resume_at`. Holdback entries at or
+    /// above `resume_at` are kept; anything contiguous from `resume_at`
+    /// becomes deliverable. Stale or irrelevant skips are ignored.
+    pub fn skip_to(&mut self, inc: u32, resume_at: u64) -> Vec<A> {
+        if inc != self.incarnation || resume_at <= self.expected {
+            return Vec::new();
+        }
+        self.expected = resume_at;
+        self.holdback.retain(|&seq, _| seq >= resume_at);
+        let mut out = Vec::new();
+        while let Some(entry) = self.holdback.remove(&self.expected) {
+            out.push(entry);
+            self.expected += 1;
+        }
+        out
+    }
+
+    /// Positions the channel to start delivering at `(inc, seq)` without
+    /// nacking earlier history.
+    ///
+    /// Used for channels created after this node restarts: the missed prefix
+    /// of the sender's stream is unrecoverable and is instead covered by
+    /// application-level state transfer.
+    pub fn fast_forward_to(&mut self, inc: u32, seq: u64) {
+        self.incarnation = inc;
+        self.expected = seq;
+        self.holdback.clear();
+    }
+
+    /// Abandons any non-contiguous holdback (used when the sender is removed
+    /// from the group and the gap can never be filled). Returns the number
+    /// of discarded messages.
+    pub fn abandon_gaps(&mut self) -> usize {
+        let n = self.holdback.len();
+        self.holdback.clear();
+        n
+    }
+
+    /// Fully resets the channel to expect a fresh incarnation from scratch.
+    pub fn reset(&mut self) {
+        self.incarnation = 0;
+        self.expected = 0;
+        self.holdback.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn in_order_delivery() {
+        let mut ch = ReceiveChannel::new();
+        for seq in 0..5u64 {
+            let acc = ch.accept(0, seq, seq * 10);
+            assert_eq!(acc.deliverable, vec![seq * 10]);
+            assert_eq!(acc.nack, None);
+        }
+        assert_eq!(ch.expected(), 5);
+    }
+
+    #[test]
+    fn gap_parks_and_nacks() {
+        let mut ch = ReceiveChannel::new();
+        assert_eq!(ch.accept(0, 0, "a").deliverable, vec!["a"]);
+        let acc = ch.accept(0, 3, "d");
+        assert!(acc.deliverable.is_empty());
+        assert_eq!(acc.nack, Some((1, 2)));
+        assert_eq!(ch.holdback_len(), 1);
+        // Filling the gap releases everything contiguously.
+        let acc = ch.accept(0, 1, "b");
+        assert_eq!(acc.deliverable, vec!["b"]);
+        let acc = ch.accept(0, 2, "c");
+        assert_eq!(acc.deliverable, vec!["c", "d"]);
+        assert_eq!(ch.expected(), 4);
+        assert_eq!(ch.holdback_len(), 0);
+    }
+
+    #[test]
+    fn duplicates_dropped() {
+        let mut ch = ReceiveChannel::new();
+        assert_eq!(ch.accept(0, 0, 1).deliverable, vec![1]);
+        assert!(ch.accept(0, 0, 1).deliverable.is_empty());
+        let _ = ch.accept(0, 2, 3); // parked
+        assert!(ch.accept(0, 2, 3).deliverable.is_empty());
+        assert_eq!(ch.holdback_len(), 1);
+    }
+
+    #[test]
+    fn new_incarnation_resets() {
+        let mut ch = ReceiveChannel::new();
+        let _ = ch.accept(0, 0, 1);
+        let _ = ch.accept(0, 5, 6); // parked with gap
+        let acc = ch.accept(1, 0, 100);
+        assert_eq!(acc.deliverable, vec![100]);
+        assert_eq!(ch.incarnation(), 1);
+        assert_eq!(ch.holdback_len(), 0);
+        assert_eq!(ch.expected(), 1);
+        // Stale incarnation messages are dropped.
+        assert!(ch.accept(0, 1, 2).deliverable.is_empty());
+    }
+
+    #[test]
+    fn observe_tip_detects_tail_loss() {
+        let mut ch = ReceiveChannel::new();
+        let _ = ch.accept(0, 0, "a");
+        let _ = ch.accept(0, 1, "b");
+        // Sender claims to have sent 5 messages; 2..=4 are missing.
+        assert_eq!(ch.observe_tip(0, 5), Some((2, 4)));
+        // Caught-up channel: no nack.
+        assert_eq!(ch.observe_tip(0, 2), None);
+        // Stale advertisement (lower than delivered): no nack.
+        assert_eq!(ch.observe_tip(0, 1), None);
+    }
+
+    #[test]
+    fn observe_tip_handles_incarnations() {
+        let mut ch = ReceiveChannel::new();
+        let _ = ch.accept(1, 0, "x");
+        // Advertisement from a previous life: ignored.
+        assert_eq!(ch.observe_tip(0, 99), None);
+        // Newer incarnation: reset and nack its full prefix.
+        assert_eq!(ch.observe_tip(2, 3), Some((0, 2)));
+        assert_eq!(ch.incarnation(), 2);
+        assert_eq!(ch.holdback_len(), 0);
+    }
+
+    #[test]
+    fn skip_to_jumps_unfillable_gaps() {
+        let mut ch = ReceiveChannel::new();
+        let _ = ch.accept(0, 0, 0u64);
+        // Messages 1..=99 were lost and fell out of the sender's buffer;
+        // 100 and 101 are parked.
+        let _ = ch.accept(0, 100, 100);
+        let _ = ch.accept(0, 101, 101);
+        assert_eq!(ch.expected(), 1);
+        let released = ch.skip_to(0, 100);
+        assert_eq!(released, vec![100, 101]);
+        assert_eq!(ch.expected(), 102);
+        assert_eq!(ch.holdback_len(), 0);
+    }
+
+    #[test]
+    fn skip_to_ignores_stale_or_backward_skips() {
+        let mut ch = ReceiveChannel::new();
+        for seq in 0..5u64 {
+            let _ = ch.accept(0, seq, seq);
+        }
+        // Backward skip: no-op.
+        assert!(ch.skip_to(0, 3).is_empty());
+        assert_eq!(ch.expected(), 5);
+        // Wrong incarnation: no-op.
+        assert!(ch.skip_to(1, 50).is_empty());
+        assert_eq!(ch.expected(), 5);
+    }
+
+    #[test]
+    fn skip_to_preserves_holdback_above_resume() {
+        let mut ch = ReceiveChannel::new();
+        let _ = ch.accept(0, 10, "j");
+        let _ = ch.accept(0, 12, "l");
+        // Skip to 10: delivers 10 (contiguous) but 12 stays parked behind
+        // the 11 gap, which is still fillable.
+        let released = ch.skip_to(0, 10);
+        assert_eq!(released, vec!["j"]);
+        assert_eq!(ch.expected(), 11);
+        assert_eq!(ch.holdback_len(), 1);
+        let acc = ch.accept(0, 11, "k");
+        assert_eq!(acc.deliverable, vec!["k", "l"]);
+    }
+
+    #[test]
+    fn observe_tip_on_fresh_channel() {
+        let mut ch: ReceiveChannel<u32> = ReceiveChannel::new();
+        assert_eq!(ch.observe_tip(0, 0), None, "nothing sent, nothing missing");
+        assert_eq!(ch.observe_tip(0, 4), Some((0, 3)));
+    }
+
+    #[test]
+    fn abandon_gaps_discards_holdback() {
+        let mut ch = ReceiveChannel::new();
+        let _ = ch.accept(0, 2, "c");
+        let _ = ch.accept(0, 4, "e");
+        assert_eq!(ch.abandon_gaps(), 2);
+        assert_eq!(ch.holdback_len(), 0);
+    }
+
+    proptest! {
+        /// FIFO invariant: regardless of arrival order (a permutation of a
+        /// contiguous range), payloads are delivered exactly once, in order.
+        #[test]
+        fn any_permutation_delivers_in_order(n in 1usize..24, seed in 0u64..1000) {
+            use rand::seq::SliceRandom;
+            use rand::SeedableRng;
+            let mut order: Vec<u64> = (0..n as u64).collect();
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            order.shuffle(&mut rng);
+
+            let mut ch = ReceiveChannel::new();
+            let mut delivered = Vec::new();
+            for seq in order {
+                let acc = ch.accept(0, seq, seq);
+                delivered.extend(acc.deliverable);
+            }
+            prop_assert_eq!(delivered, (0..n as u64).collect::<Vec<_>>());
+            prop_assert_eq!(ch.holdback_len(), 0);
+        }
+
+        /// Duplicates never cause redelivery.
+        #[test]
+        fn duplicates_idempotent(seqs in proptest::collection::vec(0u64..16, 1..64)) {
+            let mut ch = ReceiveChannel::new();
+            let mut delivered = Vec::new();
+            for &seq in &seqs {
+                delivered.extend(ch.accept(0, seq, seq).deliverable);
+            }
+            let mut sorted = delivered.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), delivered.len(), "no duplicates delivered");
+            prop_assert!(delivered.windows(2).all(|w| w[0] < w[1]), "in order");
+        }
+    }
+}

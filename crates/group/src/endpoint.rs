@@ -1,0 +1,953 @@
+//! The per-node group communication endpoint.
+//!
+//! A [`GroupEndpoint`] lives inside a host actor and implements, for every
+//! group the node belongs to or observes: heartbeat liveness, leader-driven
+//! view installation, reliable FIFO multicast (holdback + nack
+//! retransmission), open-group multicast for non-members, and rejoin with a
+//! fresh incarnation after a crash.
+
+use crate::channel::ReceiveChannel;
+use crate::msg::{DataMsg, GroupMsg};
+use crate::view::{GroupId, View};
+use aqf_sim::{ActorId, Context, SimDuration, SimTime, Timer};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Timer kinds at or above this value are reserved for the group layer;
+/// host actors must keep their own timer kinds below it.
+pub const GROUP_TIMER_KIND_BASE: u32 = 0xFFFF_0000;
+
+/// The single periodic maintenance timer (heartbeats, failure checks, join
+/// retries).
+const TICK_TIMER: u32 = GROUP_TIMER_KIND_BASE;
+
+/// Tuning knobs for a [`GroupEndpoint`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndpointConfig {
+    /// Period of the maintenance tick: heartbeats are sent and failures
+    /// checked once per tick.
+    pub tick_interval: SimDuration,
+    /// A member silent for longer than this is suspected and excluded from
+    /// the next view.
+    pub failure_timeout: SimDuration,
+    /// How many recently multicast messages are retained per group for
+    /// nack-driven retransmission.
+    pub sent_buffer_capacity: usize,
+}
+
+impl Default for EndpointConfig {
+    fn default() -> Self {
+        Self {
+            tick_interval: SimDuration::from_millis(250),
+            failure_timeout: SimDuration::from_millis(1000),
+            sent_buffer_capacity: 4096,
+        }
+    }
+}
+
+/// Membership declaration for one group at endpoint construction time.
+///
+/// Every member of a group must be constructed with the same initial view
+/// (the deployment roster); views then evolve through failure detection and
+/// joins.
+#[derive(Debug, Clone)]
+pub struct GroupMembership {
+    /// The initial view (view id 0) of the group.
+    pub view: View,
+    /// Non-member actors to whom the leader announces views (e.g. the
+    /// clients of a replicated service).
+    pub observers: Vec<ActorId>,
+}
+
+/// High-level events handed back to the host actor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupEvent<A> {
+    /// A FIFO multicast payload became deliverable.
+    Delivered {
+        /// Group it was multicast into.
+        group: GroupId,
+        /// Originating actor.
+        sender: ActorId,
+        /// Application payload.
+        payload: A,
+    },
+    /// An unordered point-to-point payload arrived.
+    Direct {
+        /// Originating actor.
+        sender: ActorId,
+        /// Application payload.
+        payload: A,
+    },
+    /// A new view was installed (members) or observed (non-members).
+    ViewChanged {
+        /// The newly installed view.
+        view: View,
+        /// Whether this node is a member of the new view.
+        is_member: bool,
+    },
+}
+
+#[derive(Debug)]
+struct MemberState {
+    view: View,
+    /// Whether this node currently appears in `view` (false while waiting to
+    /// rejoin after a crash).
+    in_view: bool,
+    /// Size of the group's initial roster. A leader may only install views
+    /// retaining a majority of this roster (the primary-partition rule), so
+    /// a minority side of a network partition cannot form its own
+    /// authoritative views and split the brain.
+    roster_size: usize,
+    last_heard: HashMap<ActorId, SimTime>,
+    observers: Vec<ActorId>,
+    join_requests: HashSet<ActorId>,
+}
+
+#[derive(Debug)]
+struct SendState<A> {
+    next_seq: u64,
+    buffer: VecDeque<(u64, A)>,
+}
+
+impl<A> Default for SendState<A> {
+    fn default() -> Self {
+        Self {
+            next_seq: 0,
+            buffer: VecDeque::new(),
+        }
+    }
+}
+
+/// Transport-level counters maintained by an endpoint (diagnostics and
+/// tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupStats {
+    /// Application payloads multicast by this node.
+    pub multicasts_sent: u64,
+    /// Payloads delivered to the hosted application in FIFO order.
+    pub delivered: u64,
+    /// Duplicate or stale data messages dropped.
+    pub duplicates_dropped: u64,
+    /// Nacks this node sent (gaps it detected).
+    pub nacks_sent: u64,
+    /// Retransmissions this node served in response to nacks.
+    pub retransmissions: u64,
+    /// Views this node installed (as member).
+    pub views_installed: u64,
+    /// Members this node re-merged after partitions/restarts (leader only).
+    pub merges: u64,
+}
+
+/// Group communication state machine embedded in a host actor.
+///
+/// `A` is the application payload type. The host forwards messages of type
+/// [`GroupMsg<A>`] to [`GroupEndpoint::handle_message`] and timers to
+/// [`GroupEndpoint::handle_timer`], and reacts to the returned
+/// [`GroupEvent`]s.
+#[derive(Debug)]
+pub struct GroupEndpoint<A> {
+    me: ActorId,
+    config: EndpointConfig,
+    incarnation: u32,
+    groups: HashMap<GroupId, MemberState>,
+    observed: HashMap<GroupId, View>,
+    channels: HashMap<(GroupId, ActorId), ReceiveChannel<A>>,
+    sends: HashMap<GroupId, SendState<A>>,
+    /// After a restart, lazily created receive channels fast-forward to the
+    /// first observed sequence number instead of nacking all of history;
+    /// application-level state transfer covers the gap.
+    fast_forward_new_channels: bool,
+    stats: GroupStats,
+}
+
+impl<A: Clone> GroupEndpoint<A> {
+    /// Creates an endpoint for node `me` that is a member of `memberships`
+    /// and an observer of `observes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a membership's initial view does not contain `me`, or if
+    /// the same group appears twice.
+    pub fn new(
+        me: ActorId,
+        config: EndpointConfig,
+        memberships: Vec<GroupMembership>,
+        observes: Vec<View>,
+    ) -> Self {
+        let mut groups = HashMap::new();
+        for m in memberships {
+            assert!(
+                m.view.contains(me),
+                "initial view of {} does not contain {me}",
+                m.view.group
+            );
+            let prev = groups.insert(
+                m.view.group,
+                MemberState {
+                    in_view: true,
+                    roster_size: m.view.len(),
+                    last_heard: HashMap::new(),
+                    observers: m.observers,
+                    join_requests: HashSet::new(),
+                    view: m.view,
+                },
+            );
+            assert!(prev.is_none(), "duplicate membership declaration");
+        }
+        let mut observed = HashMap::new();
+        for v in observes {
+            assert!(
+                !groups.contains_key(&v.group),
+                "cannot both belong to and observe {}",
+                v.group
+            );
+            observed.insert(v.group, v);
+        }
+        Self {
+            me,
+            config,
+            incarnation: 0,
+            groups,
+            observed,
+            channels: HashMap::new(),
+            sends: HashMap::new(),
+            fast_forward_new_channels: false,
+            stats: GroupStats::default(),
+        }
+    }
+
+    /// Transport-level counters.
+    pub fn stats(&self) -> GroupStats {
+        self.stats
+    }
+
+    /// This node's id.
+    pub fn me(&self) -> ActorId {
+        self.me
+    }
+
+    /// The current sender incarnation (bumped on every restart).
+    pub fn incarnation(&self) -> u32 {
+        self.incarnation
+    }
+
+    /// The current view of `group`, whether this node is a member or an
+    /// observer.
+    pub fn view(&self, group: GroupId) -> Option<&View> {
+        self.groups
+            .get(&group)
+            .map(|s| &s.view)
+            .or_else(|| self.observed.get(&group))
+    }
+
+    /// The leader of `group`'s current view.
+    pub fn leader(&self, group: GroupId) -> Option<ActorId> {
+        self.view(group).map(View::leader)
+    }
+
+    /// Whether this node leads `group`.
+    pub fn is_leader(&self, group: GroupId) -> bool {
+        self.groups
+            .get(&group)
+            .map(|s| s.in_view && s.view.leader() == self.me)
+            .unwrap_or(false)
+    }
+
+    /// Whether this node is currently a member of `group`'s view.
+    pub fn is_member(&self, group: GroupId) -> bool {
+        self.groups.get(&group).map(|s| s.in_view).unwrap_or(false)
+    }
+
+    /// Must be called from the host's `Actor::on_start`: arms the
+    /// maintenance timer and initializes liveness bookkeeping.
+    pub fn on_start(&mut self, ctx: &mut Context<'_, GroupMsg<A>>) {
+        let now = ctx.now();
+        for state in self.groups.values_mut() {
+            for m in state.view.members().to_vec() {
+                state.last_heard.insert(m, now);
+            }
+        }
+        ctx.set_timer(TICK_TIMER, self.config.tick_interval);
+    }
+
+    /// Must be called from the host's `Actor::on_restart`: bumps the
+    /// incarnation, clears volatile channel state, and begins rejoining all
+    /// groups this node belonged to.
+    pub fn on_restart(&mut self, ctx: &mut Context<'_, GroupMsg<A>>) {
+        self.incarnation += 1;
+        self.channels.clear();
+        self.sends.clear();
+        self.fast_forward_new_channels = true;
+        let now = ctx.now();
+        for (group, state) in self.groups.iter_mut() {
+            // Assume we were excluded; ask to be let back in. If we were
+            // never excluded, the leader's announce simply confirms the view.
+            state.in_view = false;
+            state.join_requests.clear();
+            for m in state.view.members().to_vec() {
+                state.last_heard.insert(m, now);
+            }
+            for m in state.view.members() {
+                if *m != self.me {
+                    ctx.send(*m, GroupMsg::JoinRequest { group: *group });
+                }
+            }
+        }
+        ctx.set_timer(TICK_TIMER, self.config.tick_interval);
+    }
+
+    /// Reliably FIFO-multicasts `payload` into `group`.
+    ///
+    /// Members multicast to the current view (excluding themselves);
+    /// non-members (open-group senders) multicast to the observed view. The
+    /// sender does **not** deliver to itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is neither a membership nor observed.
+    pub fn multicast(&mut self, group: GroupId, payload: A, ctx: &mut Context<'_, GroupMsg<A>>) {
+        let targets: Vec<ActorId> = self
+            .view(group)
+            .unwrap_or_else(|| panic!("multicast into unknown {group}"))
+            .members()
+            .iter()
+            .copied()
+            .filter(|m| *m != self.me)
+            .collect();
+        let send = self.sends.entry(group).or_default();
+        let seq = send.next_seq;
+        send.next_seq += 1;
+        send.buffer.push_back((seq, payload.clone()));
+        while send.buffer.len() > self.config.sent_buffer_capacity {
+            send.buffer.pop_front();
+        }
+        let msg = GroupMsg::Data(DataMsg {
+            group,
+            incarnation: self.incarnation,
+            seq,
+            payload,
+        });
+        self.stats.multicasts_sent += 1;
+        ctx.multicast(&targets, msg);
+    }
+
+    /// Sends an unordered point-to-point payload (reply, state transfer).
+    pub fn send_direct(&mut self, to: ActorId, payload: A, ctx: &mut Context<'_, GroupMsg<A>>) {
+        ctx.send(to, GroupMsg::Direct(payload));
+    }
+
+    /// Processes an incoming transport message, returning any events for the
+    /// host application.
+    pub fn handle_message(
+        &mut self,
+        from: ActorId,
+        msg: GroupMsg<A>,
+        ctx: &mut Context<'_, GroupMsg<A>>,
+    ) -> Vec<GroupEvent<A>> {
+        if let Some(group) = msg.group() {
+            if let Some(state) = self.groups.get_mut(&group) {
+                state.last_heard.insert(from, ctx.now());
+            }
+        }
+        match msg {
+            GroupMsg::Data(d) => self.handle_data(from, d, ctx),
+            GroupMsg::Direct(payload) => vec![GroupEvent::Direct {
+                sender: from,
+                payload,
+            }],
+            GroupMsg::Nack {
+                group,
+                incarnation,
+                from_seq,
+                to_seq,
+            } => {
+                self.handle_nack(from, group, incarnation, from_seq, to_seq, ctx);
+                Vec::new()
+            }
+            GroupMsg::Heartbeat { group, view_id } => {
+                // A peer with a newer view than ours: ask to be resynced by
+                // requesting (re-)membership from it.
+                if let Some(state) = self.groups.get(&group) {
+                    if view_id > state.view.id {
+                        ctx.send(from, GroupMsg::JoinRequest { group });
+                    }
+                }
+                // A heartbeat from a node outside our current view is a
+                // partitioned member coming back: the leader re-merges it.
+                self.merge_strayed(from, group, ctx)
+            }
+            GroupMsg::ViewAnnounce(view) => {
+                // An announce from a stale leader on the minority side of a
+                // healed partition: re-merge the sender.
+                let group = view.group;
+                let mut events = self.handle_view(view);
+                events.extend(self.merge_strayed(from, group, ctx));
+                events
+            }
+            GroupMsg::JoinRequest { group } => self.handle_join_request(from, group, ctx),
+            GroupMsg::StreamStatus {
+                group,
+                incarnation,
+                next_seq,
+            } => {
+                self.handle_stream_status(from, group, incarnation, next_seq, ctx);
+                Vec::new()
+            }
+            GroupMsg::GapSkip {
+                group,
+                incarnation,
+                resume_at,
+            } => {
+                let Some(channel) = self.channels.get_mut(&(group, from)) else {
+                    return Vec::new();
+                };
+                let released = channel.skip_to(incarnation, resume_at);
+                self.stats.delivered += released.len() as u64;
+                released
+                    .into_iter()
+                    .map(|payload| GroupEvent::Delivered {
+                        group,
+                        sender: from,
+                        payload,
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    fn handle_stream_status(
+        &mut self,
+        from: ActorId,
+        group: GroupId,
+        incarnation: u32,
+        next_seq: u64,
+        ctx: &mut Context<'_, GroupMsg<A>>,
+    ) {
+        let fast_forward = self.fast_forward_new_channels;
+        let channel = self.channels.entry((group, from)).or_insert_with(|| {
+            let mut ch = ReceiveChannel::new();
+            if fast_forward {
+                // Skip the unrecoverable prefix; application-level state
+                // transfer covers it.
+                ch.fast_forward_to(incarnation, next_seq);
+            }
+            ch
+        });
+        if let Some((from_seq, to_seq)) = channel.observe_tip(incarnation, next_seq) {
+            ctx.send(
+                from,
+                GroupMsg::Nack {
+                    group,
+                    incarnation,
+                    from_seq,
+                    to_seq,
+                },
+            );
+        }
+    }
+
+    /// Processes a timer. Returns `None` if the timer does not belong to the
+    /// group layer, otherwise any events produced by maintenance work.
+    pub fn handle_timer(
+        &mut self,
+        timer: Timer,
+        ctx: &mut Context<'_, GroupMsg<A>>,
+    ) -> Option<Vec<GroupEvent<A>>> {
+        if timer.kind != TICK_TIMER {
+            return None;
+        }
+        let mut events = Vec::new();
+        self.tick(ctx, &mut events);
+        ctx.set_timer(TICK_TIMER, self.config.tick_interval);
+        Some(events)
+    }
+
+    fn handle_data(
+        &mut self,
+        from: ActorId,
+        d: DataMsg<A>,
+        ctx: &mut Context<'_, GroupMsg<A>>,
+    ) -> Vec<GroupEvent<A>> {
+        let fast_forward = self.fast_forward_new_channels;
+        let channel = self.channels.entry((d.group, from)).or_insert_with(|| {
+            let mut ch = ReceiveChannel::new();
+            if fast_forward {
+                // Skip history we can never recover; state transfer at
+                // the application layer covers it.
+                ch.fast_forward_to(d.incarnation, d.seq);
+            }
+            ch
+        });
+        let accepted = channel.accept(d.incarnation, d.seq, d.payload);
+        if let Some((from_seq, to_seq)) = accepted.nack {
+            self.stats.nacks_sent += 1;
+            ctx.send(
+                from,
+                GroupMsg::Nack {
+                    group: d.group,
+                    incarnation: d.incarnation,
+                    from_seq,
+                    to_seq,
+                },
+            );
+        }
+        if accepted.deliverable.is_empty() && accepted.nack.is_none() {
+            self.stats.duplicates_dropped += 1;
+        }
+        self.stats.delivered += accepted.deliverable.len() as u64;
+        accepted
+            .deliverable
+            .into_iter()
+            .map(|payload| GroupEvent::Delivered {
+                group: d.group,
+                sender: from,
+                payload,
+            })
+            .collect()
+    }
+
+    fn handle_nack(
+        &mut self,
+        requester: ActorId,
+        group: GroupId,
+        incarnation: u32,
+        from_seq: u64,
+        to_seq: u64,
+        ctx: &mut Context<'_, GroupMsg<A>>,
+    ) {
+        if incarnation != self.incarnation {
+            return; // request concerns a previous life of this process
+        }
+        let Some(send) = self.sends.get(&group) else {
+            return;
+        };
+        let mut resent = 0;
+        for &(seq, ref payload) in &send.buffer {
+            if seq >= from_seq && seq <= to_seq {
+                resent += 1;
+                ctx.send(
+                    requester,
+                    GroupMsg::Data(DataMsg {
+                        group,
+                        incarnation: self.incarnation,
+                        seq,
+                        payload: payload.clone(),
+                    }),
+                );
+            }
+        }
+        self.stats.retransmissions += resent;
+        // Part of the request fell out of the bounded buffer: tell the
+        // receiver to fast-forward instead of waiting forever.
+        if let Some(&(oldest, _)) = send.buffer.front() {
+            if from_seq < oldest {
+                ctx.send(
+                    requester,
+                    GroupMsg::GapSkip {
+                        group,
+                        incarnation: self.incarnation,
+                        resume_at: oldest,
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_view(&mut self, view: View) -> Vec<GroupEvent<A>> {
+        let group = view.group;
+        if let Some(state) = self.groups.get_mut(&group) {
+            if view.id <= state.view.id {
+                return Vec::new();
+            }
+            let departed = state.view.departed(&view);
+            state.join_requests.retain(|j| !view.contains(*j));
+            state.in_view = view.contains(self.me);
+            // Reset liveness clocks so fresh members are not instantly
+            // suspected; forget departed members entirely.
+            state.last_heard.retain(|m, _| view.contains(*m));
+            state.view = view.clone();
+            for d in departed {
+                if let Some(ch) = self.channels.get_mut(&(group, d)) {
+                    ch.abandon_gaps();
+                }
+            }
+            let is_member = state.in_view;
+            self.stats.views_installed += 1;
+            vec![GroupEvent::ViewChanged { view, is_member }]
+        } else {
+            let entry = self.observed.entry(group).or_insert_with(|| view.clone());
+            if view.id >= entry.id {
+                *entry = view.clone();
+                vec![GroupEvent::ViewChanged {
+                    view,
+                    is_member: false,
+                }]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    /// If this node leads `group` and `from` is alive but not in the
+    /// current view (a healed partition's minority member, whose own stale
+    /// view id never triggers a join), fold it back in. Returns the
+    /// resulting view-change event for this node's own host, if any.
+    fn merge_strayed(
+        &mut self,
+        from: ActorId,
+        group: GroupId,
+        ctx: &mut Context<'_, GroupMsg<A>>,
+    ) -> Vec<GroupEvent<A>> {
+        let Some(state) = self.groups.get_mut(&group) else {
+            return Vec::new();
+        };
+        if !state.in_view || state.view.leader() != self.me || state.view.contains(from) {
+            return Vec::new();
+        }
+        state.join_requests.insert(from);
+        match self.install_successor(group, &[], ctx) {
+            Some(view) => {
+                self.stats.merges += 1;
+                let is_member = view.contains(self.me);
+                vec![GroupEvent::ViewChanged { view, is_member }]
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn handle_join_request(
+        &mut self,
+        joiner: ActorId,
+        group: GroupId,
+        ctx: &mut Context<'_, GroupMsg<A>>,
+    ) -> Vec<GroupEvent<A>> {
+        let Some(state) = self.groups.get_mut(&group) else {
+            return Vec::new();
+        };
+        if !state.in_view || state.view.leader() != self.me {
+            // Not the leader: point the joiner at the current view so it can
+            // retry against the right node.
+            ctx.send(joiner, GroupMsg::ViewAnnounce(state.view.clone()));
+            return Vec::new();
+        }
+        if state.view.contains(joiner) {
+            // Already in: refresh the joiner's view.
+            ctx.send(joiner, GroupMsg::ViewAnnounce(state.view.clone()));
+            return Vec::new();
+        }
+        state.join_requests.insert(joiner);
+        match self.install_successor(group, &[], ctx) {
+            Some(view) => {
+                let is_member = view.contains(self.me);
+                vec![GroupEvent::ViewChanged { view, is_member }]
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Installs `view.successor(suspects, pending joiners)` for `group` and
+    /// announces it to old members, new members, and observers.
+    fn install_successor(
+        &mut self,
+        group: GroupId,
+        suspects: &[ActorId],
+        ctx: &mut Context<'_, GroupMsg<A>>,
+    ) -> Option<View> {
+        let state = self.groups.get_mut(&group)?;
+        let added: Vec<ActorId> = state.join_requests.iter().copied().collect();
+        let new_view = state.view.successor(suspects, &added)?;
+        // Primary-partition rule: only a side retaining a majority of the
+        // original roster may install views. A minority (e.g. an isolated
+        // node that suspects everyone else) keeps its last view and waits
+        // to be re-merged instead of forging ahead.
+        if 2 * new_view.len() <= state.roster_size {
+            return None;
+        }
+        let mut recipients: HashSet<ActorId> = state.view.members().iter().copied().collect();
+        recipients.extend(new_view.members().iter().copied());
+        recipients.extend(state.observers.iter().copied());
+        recipients.remove(&self.me);
+        let now = ctx.now();
+        state.join_requests.clear();
+        state.in_view = new_view.contains(self.me);
+        state.last_heard.retain(|m, _| new_view.contains(*m));
+        for m in new_view.members() {
+            state.last_heard.entry(*m).or_insert(now);
+        }
+        let departed = state.view.departed(&new_view);
+        state.view = new_view.clone();
+        for d in departed {
+            if let Some(ch) = self.channels.get_mut(&(group, d)) {
+                ch.abandon_gaps();
+            }
+        }
+        for r in recipients {
+            ctx.send(r, GroupMsg::ViewAnnounce(new_view.clone()));
+        }
+        Some(new_view)
+    }
+
+    fn tick(&mut self, ctx: &mut Context<'_, GroupMsg<A>>, events: &mut Vec<GroupEvent<A>>) {
+        // Advertise the tip of every multicast stream we originate, so
+        // receivers can detect tail losses and nack them.
+        let statuses: Vec<(GroupId, u64)> =
+            self.sends.iter().map(|(g, s)| (*g, s.next_seq)).collect();
+        for (group, next_seq) in statuses {
+            if next_seq == 0 {
+                continue;
+            }
+            let targets: Vec<ActorId> = match self.view(group) {
+                Some(v) => v
+                    .members()
+                    .iter()
+                    .copied()
+                    .filter(|m| *m != self.me)
+                    .collect(),
+                None => continue,
+            };
+            for t in targets {
+                ctx.send(
+                    t,
+                    GroupMsg::StreamStatus {
+                        group,
+                        incarnation: self.incarnation,
+                        next_seq,
+                    },
+                );
+            }
+        }
+        let now = ctx.now();
+        let timeout = self.config.failure_timeout;
+        let group_ids: Vec<GroupId> = self.groups.keys().copied().collect();
+        for group in group_ids {
+            let (in_view, am_leader, members, observers, view, suspects, rejoin_targets) = {
+                let state = &self.groups[&group];
+                let suspects: Vec<ActorId> = if state.in_view {
+                    state
+                        .view
+                        .members()
+                        .iter()
+                        .copied()
+                        .filter(|m| {
+                            *m != self.me
+                                && now.saturating_since(
+                                    state.last_heard.get(m).copied().unwrap_or(now),
+                                ) > timeout
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                // Acting leader: lowest-ranked member that is not suspected.
+                let am_leader = state.in_view
+                    && state
+                        .view
+                        .members()
+                        .iter()
+                        .find(|m| !suspects.contains(m))
+                        .copied()
+                        == Some(self.me);
+                let rejoin: Vec<ActorId> = if state.in_view {
+                    Vec::new()
+                } else {
+                    state
+                        .view
+                        .members()
+                        .iter()
+                        .copied()
+                        .filter(|m| *m != self.me)
+                        .collect()
+                };
+                (
+                    state.in_view,
+                    am_leader,
+                    state.view.members().to_vec(),
+                    state.observers.clone(),
+                    state.view.clone(),
+                    suspects,
+                    rejoin,
+                )
+            };
+
+            if !in_view {
+                // Keep knocking until a leader lets us back in.
+                for m in rejoin_targets {
+                    ctx.send(m, GroupMsg::JoinRequest { group });
+                }
+                continue;
+            }
+
+            if am_leader {
+                // The leader's heartbeat is a full view announce, which also
+                // resynchronizes lagging members and observers.
+                for m in members.iter().chain(observers.iter()) {
+                    if *m != self.me {
+                        ctx.send(*m, GroupMsg::ViewAnnounce(view.clone()));
+                    }
+                }
+                let has_joiners = !self.groups[&group].join_requests.is_empty();
+                if !suspects.is_empty() || has_joiners {
+                    if let Some(new_view) = self.install_successor(group, &suspects, ctx) {
+                        let is_member = new_view.contains(self.me);
+                        events.push(GroupEvent::ViewChanged {
+                            view: new_view,
+                            is_member,
+                        });
+                    }
+                }
+            } else {
+                for m in &members {
+                    if *m != self.me {
+                        ctx.send(
+                            *m,
+                            GroupMsg::Heartbeat {
+                                group,
+                                view_id: view.id,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: usize) -> ActorId {
+        ActorId::from_index(i)
+    }
+
+    fn endpoint(me: usize, members: &[usize]) -> GroupEndpoint<u32> {
+        let view = View::new(
+            GroupId(1),
+            crate::view::ViewId(0),
+            members.iter().map(|&i| a(i)).collect(),
+        );
+        GroupEndpoint::new(
+            a(me),
+            EndpointConfig::default(),
+            vec![GroupMembership {
+                view,
+                observers: vec![],
+            }],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let ep = endpoint(0, &[0, 1, 2]);
+        assert_eq!(ep.me(), a(0));
+        assert_eq!(ep.leader(GroupId(1)), Some(a(0)));
+        assert!(ep.is_leader(GroupId(1)));
+        assert!(ep.is_member(GroupId(1)));
+        assert_eq!(ep.view(GroupId(1)).unwrap().len(), 3);
+        assert_eq!(ep.view(GroupId(9)), None);
+        assert!(!ep.is_leader(GroupId(9)));
+    }
+
+    #[test]
+    fn non_leader_is_not_leader() {
+        let ep = endpoint(2, &[0, 1, 2]);
+        assert!(!ep.is_leader(GroupId(1)));
+        assert_eq!(ep.leader(GroupId(1)), Some(a(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not contain")]
+    fn membership_must_contain_me() {
+        let view = View::new(GroupId(1), crate::view::ViewId(0), vec![a(1), a(2)]);
+        let _ = GroupEndpoint::<u32>::new(
+            a(0),
+            EndpointConfig::default(),
+            vec![GroupMembership {
+                view,
+                observers: vec![],
+            }],
+            vec![],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "both belong to and observe")]
+    fn member_and_observer_conflict() {
+        let view = View::new(GroupId(1), crate::view::ViewId(0), vec![a(0), a(1)]);
+        let _ = GroupEndpoint::<u32>::new(
+            a(0),
+            EndpointConfig::default(),
+            vec![GroupMembership {
+                view: view.clone(),
+                observers: vec![],
+            }],
+            vec![view],
+        );
+    }
+
+    #[test]
+    fn stale_view_announce_ignored() {
+        let mut ep = endpoint(0, &[0, 1, 2]);
+        let newer = View::new(GroupId(1), crate::view::ViewId(2), vec![a(0), a(1)]);
+        let events = ep.handle_view(newer.clone());
+        assert_eq!(events.len(), 1);
+        assert_eq!(ep.view(GroupId(1)).unwrap().id, crate::view::ViewId(2));
+        // Replaying an older view does nothing.
+        let older = View::new(GroupId(1), crate::view::ViewId(1), vec![a(0), a(1), a(2)]);
+        assert!(ep.handle_view(older).is_empty());
+        assert_eq!(ep.view(GroupId(1)).unwrap(), &newer);
+    }
+
+    #[test]
+    fn exclusion_flips_in_view() {
+        let mut ep = endpoint(2, &[0, 1, 2]);
+        let without_me = View::new(GroupId(1), crate::view::ViewId(1), vec![a(0), a(1)]);
+        let events = ep.handle_view(without_me);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            &events[0],
+            GroupEvent::ViewChanged {
+                is_member: false,
+                ..
+            }
+        ));
+        assert!(!ep.is_member(GroupId(1)));
+        // Rejoin announce flips it back.
+        let with_me = View::new(GroupId(1), crate::view::ViewId(2), vec![a(0), a(1), a(2)]);
+        let events = ep.handle_view(with_me);
+        assert!(matches!(
+            &events[0],
+            GroupEvent::ViewChanged {
+                is_member: true,
+                ..
+            }
+        ));
+        assert!(ep.is_member(GroupId(1)));
+    }
+
+    #[test]
+    fn roster_size_tracks_initial_view() {
+        // The primary-partition rule compares against the *initial* roster:
+        // a view that legitimately shrinks (crash) does not lower the bar.
+        let ep = endpoint(0, &[0, 1, 2, 3, 4]);
+        assert_eq!(ep.view(GroupId(1)).unwrap().len(), 5);
+        let mut ep = ep;
+        let smaller = View::new(GroupId(1), crate::view::ViewId(1), vec![a(0), a(1), a(2)]);
+        let _ = ep.handle_view(smaller);
+        // Majority of the original 5 is 3: the current 3-member view is the
+        // smallest view a leader could still have installed.
+        assert_eq!(ep.view(GroupId(1)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn observer_tracks_views() {
+        let view = View::new(GroupId(5), crate::view::ViewId(0), vec![a(1), a(2)]);
+        let mut ep = GroupEndpoint::<u32>::new(a(0), EndpointConfig::default(), vec![], vec![view]);
+        assert!(!ep.is_member(GroupId(5)));
+        assert_eq!(ep.leader(GroupId(5)), Some(a(1)));
+        let newer = View::new(GroupId(5), crate::view::ViewId(3), vec![a(2)]);
+        let events = ep.handle_view(newer);
+        assert_eq!(events.len(), 1);
+        assert_eq!(ep.leader(GroupId(5)), Some(a(2)));
+    }
+}

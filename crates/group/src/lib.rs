@@ -1,0 +1,46 @@
+//! Group communication substrate for the AQF middleware.
+//!
+//! The paper's AQuA implementation relies on the Maestro/Ensemble group
+//! communication toolkit for "reliable, virtual synchrony, and FIFO messaging
+//! guarantees", leader election, and membership-change notification (§3).
+//! This crate provides those guarantees from scratch over the [`aqf_sim`]
+//! actor runtime:
+//!
+//! * **Groups and views** — named groups ([`GroupId`]) of actors; membership
+//!   changes are captured as monotonically numbered [`View`]s. The leader of
+//!   a view is its lowest-ranked live member, matching Ensemble's
+//!   deterministic ranking.
+//! * **Failure detection** — every member heartbeats its groups; the leader
+//!   excludes silent members by installing a new view. If the leader itself
+//!   fails, the next-ranked member takes over.
+//! * **Reliable FIFO multicast** — per-sender sequence numbers with a
+//!   holdback queue for reordering, nack-driven retransmission for loss, and
+//!   sender incarnation numbers so a restarted process starts a fresh FIFO
+//!   channel.
+//! * **Open groups** — non-members ("observers", e.g. the clients of a
+//!   replicated service) receive view announcements and may multicast into a
+//!   group, exactly as AQuA's QoS group lets clients address the replication
+//!   groups.
+//!
+//! The guarantees are deliberately scoped to what the paper's protocols
+//! consume: FIFO per sender within a group, view notifications, and leader
+//! election under crash faults. On a view change that removes a member, any
+//! non-contiguous buffered messages from the removed sender are discarded
+//! (weak virtual synchrony); total ordering is built *above* this layer by
+//! the sequencer protocol in `aqf-core`, mirroring the paper's design.
+//!
+//! Host actors embed a [`GroupEndpoint`] and forward their `on_message` /
+//! `on_timer` events to it; the endpoint hands back high-level
+//! [`GroupEvent`]s (delivery, view change, direct message).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod endpoint;
+pub mod msg;
+pub mod view;
+
+pub use endpoint::{EndpointConfig, GroupEndpoint, GroupEvent, GroupStats, GROUP_TIMER_KIND_BASE};
+pub use msg::{DataMsg, GroupMsg};
+pub use view::{GroupId, View, ViewId};

@@ -1,0 +1,142 @@
+//! Wire messages exchanged by group endpoints.
+
+use crate::view::{GroupId, View, ViewId};
+use serde::{Deserialize, Serialize};
+
+/// A FIFO-sequenced application payload multicast into a group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataMsg<A> {
+    /// The group this message is addressed to.
+    pub group: GroupId,
+    /// Sender incarnation; bumped when the sending process restarts so
+    /// receivers reset the FIFO channel instead of waiting on sequence
+    /// numbers from a previous life.
+    pub incarnation: u32,
+    /// Per-(sender, group, incarnation) FIFO sequence number, starting at 0.
+    pub seq: u64,
+    /// The application payload.
+    pub payload: A,
+}
+
+/// The transport envelope understood by [`crate::GroupEndpoint`]s.
+///
+/// `A` is the application payload type carried by data messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GroupMsg<A> {
+    /// FIFO-sequenced group multicast data (possibly a retransmission).
+    Data(DataMsg<A>),
+    /// Unordered, unsequenced point-to-point payload (replies, state
+    /// transfer). Delivery is subject only to the network model.
+    Direct(A),
+    /// Receiver-driven retransmission request for sequence numbers
+    /// `[from_seq, to_seq]` of the addressed sender's channel.
+    Nack {
+        /// The group whose channel has the gap.
+        group: GroupId,
+        /// Incarnation the receiver is tracking.
+        incarnation: u32,
+        /// First missing sequence number.
+        from_seq: u64,
+        /// Last missing sequence number.
+        to_seq: u64,
+    },
+    /// Liveness beacon, also carrying the sender's current view id so peers
+    /// can detect that they lag behind.
+    Heartbeat {
+        /// The group this heartbeat concerns.
+        group: GroupId,
+        /// The sender's installed view id.
+        view_id: ViewId,
+    },
+    /// Announcement (by the leader) of a newly installed view; also sent to
+    /// observers and lagging members.
+    ViewAnnounce(View),
+    /// Request by a (restarted or new) process to be added to a group.
+    JoinRequest {
+        /// The group to join.
+        group: GroupId,
+    },
+    /// Sender's reply to a nack it can no longer serve: the requested
+    /// range fell out of the bounded retransmission buffer. The receiver
+    /// fast-forwards its channel to `resume_at`; the skipped prefix is
+    /// recovered at the application layer (snapshots / state transfer).
+    GapSkip {
+        /// The group whose stream has the unfillable gap.
+        group: GroupId,
+        /// Sender incarnation.
+        incarnation: u32,
+        /// Oldest sequence number the sender can still retransmit.
+        resume_at: u64,
+    },
+    /// Periodic advertisement of the sender's multicast stream tip, so
+    /// receivers can detect and nack tail losses (losses of the last
+    /// messages of a stream, which no later arrival would reveal).
+    StreamStatus {
+        /// The group whose stream is advertised.
+        group: GroupId,
+        /// Sender incarnation.
+        incarnation: u32,
+        /// One past the highest sequence number multicast so far.
+        next_seq: u64,
+    },
+}
+
+impl<A> GroupMsg<A> {
+    /// The group this message concerns, if any (`Direct` has none).
+    pub fn group(&self) -> Option<GroupId> {
+        match self {
+            GroupMsg::Data(d) => Some(d.group),
+            GroupMsg::Direct(_) => None,
+            GroupMsg::Nack { group, .. } => Some(*group),
+            GroupMsg::Heartbeat { group, .. } => Some(*group),
+            GroupMsg::ViewAnnounce(v) => Some(v.group),
+            GroupMsg::JoinRequest { group } => Some(*group),
+            GroupMsg::StreamStatus { group, .. } => Some(*group),
+            GroupMsg::GapSkip { group, .. } => Some(*group),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::ViewId;
+    use aqf_sim::ActorId;
+
+    #[test]
+    fn group_accessor() {
+        let g = GroupId(4);
+        assert_eq!(
+            GroupMsg::<u8>::Heartbeat {
+                group: g,
+                view_id: ViewId(0)
+            }
+            .group(),
+            Some(g)
+        );
+        assert_eq!(GroupMsg::Direct(1u8).group(), None);
+        let v = View::new(g, ViewId(1), vec![ActorId::from_index(0)]);
+        assert_eq!(GroupMsg::<u8>::ViewAnnounce(v).group(), Some(g));
+        assert_eq!(
+            GroupMsg::<u8>::Data(DataMsg {
+                group: g,
+                incarnation: 0,
+                seq: 3,
+                payload: 9
+            })
+            .group(),
+            Some(g)
+        );
+        assert_eq!(
+            GroupMsg::<u8>::Nack {
+                group: g,
+                incarnation: 0,
+                from_seq: 0,
+                to_seq: 1
+            }
+            .group(),
+            Some(g)
+        );
+        assert_eq!(GroupMsg::<u8>::JoinRequest { group: g }.group(), Some(g));
+    }
+}

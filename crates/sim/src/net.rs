@@ -1,0 +1,192 @@
+//! Network model: link delays, loss, and partitions.
+
+use crate::actor::ActorId;
+use crate::delay::DelayModel;
+use crate::time::SimDuration;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+
+/// Models the network connecting the actors of a world.
+///
+/// Every ordered pair of actors has a delay model (the default unless
+/// overridden per pair or per destination) plus an optional loss probability.
+/// Partitions block delivery entirely in both directions until healed.
+///
+/// The default models a lightly loaded switched 100 Mbps LAN: uniform
+/// 200–800 µs one-way latency and no loss.
+#[derive(Debug, Clone)]
+pub struct NetworkModel {
+    default_delay: DelayModel,
+    pair_delay: HashMap<(ActorId, ActorId), DelayModel>,
+    dest_delay: HashMap<ActorId, DelayModel>,
+    loss_probability: f64,
+    partitioned: HashSet<(ActorId, ActorId)>,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self::new(DelayModel::Uniform {
+            lo: SimDuration::from_micros(200),
+            hi: SimDuration::from_micros(800),
+        })
+    }
+}
+
+impl NetworkModel {
+    /// Creates a network where every link uses `default_delay` and no
+    /// messages are lost.
+    pub fn new(default_delay: DelayModel) -> Self {
+        Self {
+            default_delay,
+            pair_delay: HashMap::new(),
+            dest_delay: HashMap::new(),
+            loss_probability: 0.0,
+            partitioned: HashSet::new(),
+        }
+    }
+
+    /// Overrides the delay model for the ordered link `from -> to`.
+    pub fn set_link_delay(&mut self, from: ActorId, to: ActorId, model: DelayModel) {
+        self.pair_delay.insert((from, to), model);
+    }
+
+    /// Overrides the delay model for all messages delivered *to* `dest`
+    /// (unless a per-pair override exists). Models a slow host.
+    pub fn set_dest_delay(&mut self, dest: ActorId, model: DelayModel) {
+        self.dest_delay.insert(dest, model);
+    }
+
+    /// Sets the iid per-message loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn set_loss_probability(&mut self, p: f64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0, 1]"
+        );
+        self.loss_probability = p;
+    }
+
+    /// Blocks all traffic between `a` and `b` (both directions).
+    pub fn partition(&mut self, a: ActorId, b: ActorId) {
+        self.partitioned.insert(ordered(a, b));
+    }
+
+    /// Restores traffic between `a` and `b`.
+    pub fn heal(&mut self, a: ActorId, b: ActorId) {
+        self.partitioned.remove(&ordered(a, b));
+    }
+
+    /// Whether traffic between `a` and `b` is currently blocked.
+    pub fn is_partitioned(&self, a: ActorId, b: ActorId) -> bool {
+        self.partitioned.contains(&ordered(a, b))
+    }
+
+    /// Decides the fate of one message: `None` if dropped (loss or
+    /// partition), otherwise the sampled one-way delay.
+    pub fn route(&self, from: ActorId, to: ActorId, rng: &mut SmallRng) -> Option<SimDuration> {
+        if self.is_partitioned(from, to) {
+            return None;
+        }
+        if self.loss_probability > 0.0 && rng.gen_bool(self.loss_probability) {
+            return None;
+        }
+        let model = self
+            .pair_delay
+            .get(&(from, to))
+            .or_else(|| self.dest_delay.get(&to))
+            .unwrap_or(&self.default_delay);
+        Some(model.sample(rng))
+    }
+}
+
+fn ordered(a: ActorId, b: ActorId) -> (ActorId, ActorId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    fn a(i: u32) -> ActorId {
+        ActorId(i)
+    }
+
+    #[test]
+    fn default_lan_delays() {
+        let net = NetworkModel::default();
+        let mut r = rng();
+        for _ in 0..100 {
+            let d = net.route(a(0), a(1), &mut r).unwrap().as_micros();
+            assert!((200..=800).contains(&d));
+        }
+    }
+
+    #[test]
+    fn pair_override_beats_dest_override() {
+        let mut net = NetworkModel::default();
+        net.set_dest_delay(a(1), DelayModel::constant_ms(10));
+        net.set_link_delay(a(0), a(1), DelayModel::constant_ms(1));
+        let mut r = rng();
+        assert_eq!(
+            net.route(a(0), a(1), &mut r).unwrap(),
+            SimDuration::from_millis(1)
+        );
+        // Other senders to dest 1 get the dest override.
+        assert_eq!(
+            net.route(a(2), a(1), &mut r).unwrap(),
+            SimDuration::from_millis(10)
+        );
+    }
+
+    #[test]
+    fn partition_blocks_both_directions() {
+        let mut net = NetworkModel::default();
+        net.partition(a(0), a(1));
+        let mut r = rng();
+        assert!(net.route(a(0), a(1), &mut r).is_none());
+        assert!(net.route(a(1), a(0), &mut r).is_none());
+        assert!(net.route(a(0), a(2), &mut r).is_some());
+        net.heal(a(1), a(0));
+        assert!(net.route(a(0), a(1), &mut r).is_some());
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let mut net = NetworkModel::default();
+        net.set_loss_probability(1.0);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert!(net.route(a(0), a(1), &mut r).is_none());
+        }
+    }
+
+    #[test]
+    fn partial_loss_drops_some() {
+        let mut net = NetworkModel::default();
+        net.set_loss_probability(0.5);
+        let mut r = rng();
+        let delivered = (0..1000)
+            .filter(|_| net.route(a(0), a(1), &mut r).is_some())
+            .count();
+        assert!((300..700).contains(&delivered), "delivered = {delivered}");
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn bad_loss_probability_panics() {
+        NetworkModel::default().set_loss_probability(1.5);
+    }
+}

@@ -1,0 +1,445 @@
+//! Real-concurrency runtime: the same [`Actor`]s that run deterministically
+//! inside a [`crate::World`] hosted on OS threads with channel-based
+//! message passing.
+//!
+//! Each actor owns a thread; sends between actors traverse crossbeam
+//! channels, with per-message artificial delays sampled from a
+//! [`DelayModel`] so LAN-like latency can be emulated. Timers are served
+//! from a per-thread heap against the wall clock. Virtual time is the wall
+//! clock since cluster start, mapped to [`SimTime`], so protocol code
+//! observes a consistent clock domain.
+//!
+//! Unlike the simulator, execution here is nondeterministic (real thread
+//! scheduling); this runtime exists to demonstrate and test that the
+//! sans-IO protocol stack is runtime-agnostic, not to reproduce figures.
+//!
+//! [`Actor`]: crate::Actor
+
+use crate::actor::{ActorId, Command, Context, Timer, TimerId};
+use crate::delay::DelayModel;
+use crate::time::{SimDuration, SimTime};
+use crate::Actor;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::any::Any;
+use std::collections::{BinaryHeap, HashSet};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// An actor hostable on the threaded runtime: an [`Actor`] that can cross
+/// thread boundaries and be inspected after shutdown.
+///
+/// Implemented automatically for every `Actor<M> + Send + Any`.
+///
+/// [`Actor`]: crate::Actor
+pub trait RtHosted<M>: Actor<M> + Send {
+    /// Upcast for post-shutdown inspection.
+    fn as_any(&self) -> &dyn Any;
+}
+
+impl<M, T: Actor<M> + Send + Any> RtHosted<M> for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Configuration for an [`RtCluster`].
+#[derive(Debug, Clone)]
+pub struct RtConfig {
+    /// Artificial one-way delay applied to every inter-actor message.
+    pub link_delay: DelayModel,
+    /// Seed for the per-actor RNG streams.
+    pub seed: u64,
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        Self {
+            link_delay: DelayModel::Uniform {
+                lo: SimDuration::from_micros(200),
+                hi: SimDuration::from_micros(800),
+            },
+            seed: 0,
+        }
+    }
+}
+
+enum RtEvent<M> {
+    Deliver { from: ActorId, msg: M },
+    Stop,
+}
+
+/// Priority-queue entry for the per-thread timer/outbox heap.
+struct Due<M> {
+    at: Instant,
+    seq: u64,
+    what: DueKind<M>,
+}
+
+enum DueKind<M> {
+    Timer(Timer),
+    Outbound { to: ActorId, from: ActorId, msg: M },
+    SelfDeliver(M),
+}
+
+impl<M> PartialEq for Due<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Due<M> {}
+impl<M> PartialOrd for Due<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Due<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A running cluster of actors on OS threads.
+///
+/// # Example
+///
+/// ```
+/// use aqf_sim::rt::{RtCluster, RtConfig};
+/// use aqf_sim::{Actor, ActorId, Context, Timer};
+///
+/// #[derive(Default)]
+/// struct Counter {
+///     seen: u32,
+/// }
+/// impl Actor<u32> for Counter {
+///     fn on_message(&mut self, _: ActorId, msg: u32, _: &mut Context<'_, u32>) {
+///         self.seen += msg;
+///     }
+///     fn on_timer(&mut self, _: Timer, _: &mut Context<'_, u32>) {}
+/// }
+///
+/// let cluster = RtCluster::start(vec![Box::new(Counter::default())], RtConfig::default());
+/// cluster.send_external(ActorId::from_index(0), 5);
+/// std::thread::sleep(std::time::Duration::from_millis(100));
+/// let actors = cluster.shutdown();
+/// let counter: &Counter = actors[0].as_any().downcast_ref().expect("type");
+/// assert_eq!(counter.seen, 5);
+/// ```
+pub struct RtCluster<M> {
+    senders: Vec<Sender<RtEvent<M>>>,
+    handles: Vec<JoinHandle<Box<dyn RtHosted<M>>>>,
+}
+
+impl<M: Send + Clone + 'static> RtCluster<M> {
+    /// Spawns one thread per actor and starts them (each actor's
+    /// `on_start` runs on its own thread before it begins receiving).
+    ///
+    /// Actor ids are assigned by position, matching [`crate::World`]'s
+    /// construction-order semantics.
+    pub fn start(actors: Vec<Box<dyn RtHosted<M>>>, config: RtConfig) -> Self {
+        let n = actors.len();
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<RtEvent<M>>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let epoch = Instant::now();
+        let mut handles = Vec::with_capacity(n);
+        for (index, (actor, rx)) in actors.into_iter().zip(receivers).enumerate() {
+            let peers = senders.clone();
+            let config = config.clone();
+            handles.push(std::thread::spawn(move || {
+                actor_thread(index, actor, rx, peers, config, epoch)
+            }));
+        }
+        Self { senders, handles }
+    }
+
+    /// Injects a message from outside the cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` does not exist or the cluster is shutting down.
+    pub fn send_external(&self, to: ActorId, msg: M) {
+        self.senders[to.index()]
+            .send(RtEvent::Deliver {
+                from: crate::world::EXTERNAL,
+                msg,
+            })
+            .expect("cluster is running");
+    }
+
+    /// Number of actors in the cluster.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Whether the cluster hosts no actors.
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
+    }
+
+    /// Stops every actor and returns them for post-run inspection via
+    /// [`RtHosted::as_any`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an actor thread panicked.
+    pub fn shutdown(self) -> Vec<Box<dyn RtHosted<M>>> {
+        for tx in &self.senders {
+            let _ = tx.send(RtEvent::Stop);
+        }
+        self.handles
+            .into_iter()
+            .map(|h| h.join().expect("actor thread panicked"))
+            .collect()
+    }
+}
+
+fn actor_thread<M: Send + Clone + 'static>(
+    index: usize,
+    mut actor: Box<dyn RtHosted<M>>,
+    rx: Receiver<RtEvent<M>>,
+    peers: Vec<Sender<RtEvent<M>>>,
+    config: RtConfig,
+    epoch: Instant,
+) -> Box<dyn RtHosted<M>> {
+    let me = ActorId::from_index(index);
+    let mut rng = SmallRng::seed_from_u64(
+        config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1)),
+    );
+    let mut net_rng = SmallRng::seed_from_u64(config.seed ^ ((index as u64) << 7) ^ 0xA5A5);
+    let mut next_timer = 0u64;
+    let mut seq = 0u64;
+    let mut heap: BinaryHeap<Due<M>> = BinaryHeap::new();
+    let mut cancelled: HashSet<TimerId> = HashSet::new();
+
+    let now = |epoch: Instant| SimTime::from_micros(epoch.elapsed().as_micros() as u64);
+
+    // Start the actor.
+    let mut commands: Vec<Command<M>> = Vec::new();
+    {
+        let mut ctx = Context {
+            me,
+            now: now(epoch),
+            rng: &mut rng,
+            commands: &mut commands,
+            next_timer: &mut next_timer,
+        };
+        actor.on_start(&mut ctx);
+    }
+    apply(
+        me,
+        commands,
+        &mut heap,
+        &mut seq,
+        &mut cancelled,
+        &config,
+        &mut net_rng,
+    );
+
+    loop {
+        // Flush everything that is due.
+        let wall = Instant::now();
+        while heap.peek().map(|d| d.at <= wall).unwrap_or(false) {
+            let due = heap.pop().expect("peeked");
+            let mut commands: Vec<Command<M>> = Vec::new();
+            match due.what {
+                DueKind::Timer(timer) => {
+                    if cancelled.remove(&timer.id) {
+                        continue;
+                    }
+                    let mut ctx = Context {
+                        me,
+                        now: now(epoch),
+                        rng: &mut rng,
+                        commands: &mut commands,
+                        next_timer: &mut next_timer,
+                    };
+                    actor.on_timer(timer, &mut ctx);
+                }
+                DueKind::Outbound { to, from, msg } => {
+                    // The artificial link delay has elapsed: hand off.
+                    let _ = peers[to.index()].send(RtEvent::Deliver { from, msg });
+                }
+                DueKind::SelfDeliver(msg) => {
+                    let mut ctx = Context {
+                        me,
+                        now: now(epoch),
+                        rng: &mut rng,
+                        commands: &mut commands,
+                        next_timer: &mut next_timer,
+                    };
+                    actor.on_message(me, msg, &mut ctx);
+                }
+            }
+            apply(
+                me,
+                commands,
+                &mut heap,
+                &mut seq,
+                &mut cancelled,
+                &config,
+                &mut net_rng,
+            );
+        }
+
+        // Wait for the next inbound message or the next due entry.
+        let timeout = heap
+            .peek()
+            .map(|d| d.at.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(50));
+        match rx.recv_timeout(timeout) {
+            Ok(RtEvent::Deliver { from, msg }) => {
+                let mut commands: Vec<Command<M>> = Vec::new();
+                {
+                    let mut ctx = Context {
+                        me,
+                        now: now(epoch),
+                        rng: &mut rng,
+                        commands: &mut commands,
+                        next_timer: &mut next_timer,
+                    };
+                    actor.on_message(from, msg, &mut ctx);
+                }
+                apply(
+                    me,
+                    commands,
+                    &mut heap,
+                    &mut seq,
+                    &mut cancelled,
+                    &config,
+                    &mut net_rng,
+                );
+            }
+            Ok(RtEvent::Stop) | Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+    }
+    actor
+}
+
+fn apply<M: Send + Clone + 'static>(
+    me: ActorId,
+    commands: Vec<Command<M>>,
+    heap: &mut BinaryHeap<Due<M>>,
+    seq: &mut u64,
+    cancelled: &mut HashSet<TimerId>,
+    config: &RtConfig,
+    net_rng: &mut SmallRng,
+) {
+    let wall = Instant::now();
+    for cmd in commands {
+        let (at, what) = match cmd {
+            Command::Send { to, msg } => {
+                let delay = config.link_delay.sample(net_rng);
+                (
+                    wall + Duration::from_micros(delay.as_micros()),
+                    DueKind::Outbound { to, from: me, msg },
+                )
+            }
+            Command::Local { msg, delay } => (
+                wall + Duration::from_micros(delay.as_micros()),
+                DueKind::SelfDeliver(msg),
+            ),
+            Command::SetTimer { id, kind, delay } => (
+                wall + Duration::from_micros(delay.as_micros()),
+                DueKind::Timer(Timer { id, kind }),
+            ),
+            Command::CancelTimer(id) => {
+                cancelled.insert(id);
+                continue;
+            }
+        };
+        *seq += 1;
+        heap.push(Due {
+            at,
+            seq: *seq,
+            what,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Msg {
+        Ping,
+        Pong,
+    }
+
+    #[derive(Default)]
+    struct Echo {
+        pings: u32,
+        pongs: u32,
+        timer_fired: bool,
+    }
+
+    impl Actor<Msg> for Echo {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            ctx.set_timer(1, SimDuration::from_millis(10));
+            let doomed = ctx.set_timer(2, SimDuration::from_millis(20));
+            ctx.cancel_timer(doomed);
+        }
+        fn on_message(&mut self, from: ActorId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+            match msg {
+                Msg::Ping => {
+                    self.pings += 1;
+                    if from != crate::world::EXTERNAL {
+                        ctx.send(from, Msg::Pong);
+                    }
+                }
+                Msg::Pong => self.pongs += 1,
+            }
+        }
+        fn on_timer(&mut self, timer: Timer, _: &mut Context<'_, Msg>) {
+            assert_eq!(timer.kind, 1, "cancelled timer must not fire");
+            self.timer_fired = true;
+        }
+    }
+
+    struct Starter {
+        peer: ActorId,
+    }
+
+    impl Actor<Msg> for Starter {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            ctx.send(self.peer, Msg::Ping);
+        }
+        fn on_message(&mut self, _: ActorId, _: Msg, _: &mut Context<'_, Msg>) {}
+        fn on_timer(&mut self, _: Timer, _: &mut Context<'_, Msg>) {}
+    }
+
+    #[test]
+    fn threads_exchange_messages_and_fire_timers() {
+        let actors: Vec<Box<dyn RtHosted<Msg>>> = vec![
+            Box::new(Echo::default()),
+            Box::new(Starter {
+                peer: ActorId::from_index(0),
+            }),
+            Box::new(Echo::default()),
+        ];
+        let cluster = RtCluster::start(actors, RtConfig::default());
+        assert_eq!(cluster.len(), 3);
+        cluster.send_external(ActorId::from_index(2), Msg::Ping);
+        std::thread::sleep(Duration::from_millis(150));
+        let actors = cluster.shutdown();
+        let echo0: &Echo = actors[0].as_any().downcast_ref().expect("echo");
+        assert_eq!(echo0.pings, 1, "starter's ping arrived");
+        assert!(echo0.timer_fired);
+        let echo2: &Echo = actors[2].as_any().downcast_ref().expect("echo");
+        assert_eq!(echo2.pings, 1, "external ping arrived");
+    }
+
+    #[test]
+    fn empty_cluster_shuts_down() {
+        let cluster: RtCluster<Msg> = RtCluster::start(vec![], RtConfig::default());
+        assert!(cluster.is_empty());
+        assert!(cluster.shutdown().is_empty());
+    }
+}

@@ -1,0 +1,397 @@
+//! Empirical probability mass functions and discrete convolution.
+//!
+//! The selection model (paper §5.2) computes the pmf of the response time
+//! `R_i = S_i + W_i + G_i` (immediate reads, Eq. 5) or
+//! `R_i = S_i + W_i + G_i + U_i` (deferred reads, Eq. 6) "as a discrete
+//! convolution" of the empirical pmfs of the constituent delays, where the
+//! pmfs are built "based on the relative frequency of their values recorded
+//! in the sliding window". The value of the response-time distribution
+//! function `F_{R_i}(d)` is then read off the accumulated pmf.
+//!
+//! Samples are `u64` microsecond counts. The pmf is stored sparsely as a
+//! sorted vector of `(value, probability)` pairs, so convolving two windows
+//! of size `l` costs `O(l^2 log l)` — this cost is exactly what the paper's
+//! Figure 3 measures as "computation of the response time distribution
+//! function" (90% of the selection overhead).
+
+use std::collections::BTreeMap;
+
+/// A sparse empirical probability mass function over `u64` sample values.
+///
+/// # Example
+///
+/// ```
+/// use aqf_stats::Pmf;
+///
+/// let pmf = Pmf::from_samples([1u64, 1, 3].into_iter());
+/// assert!((pmf.probability(1) - 2.0 / 3.0).abs() < 1e-12);
+/// assert!((pmf.cdf(2) - 2.0 / 3.0).abs() < 1e-12);
+/// assert_eq!(pmf.cdf(3), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pmf {
+    /// Sorted `(value, probability)` pairs with strictly increasing values.
+    points: Vec<(u64, f64)>,
+}
+
+impl Pmf {
+    /// Builds the empirical pmf of a set of samples by relative frequency.
+    ///
+    /// Returns an empty pmf if the iterator yields no samples; an empty pmf
+    /// behaves as "no information" (its CDF is zero everywhere).
+    pub fn from_samples<I: Iterator<Item = u64>>(samples: I) -> Self {
+        let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut n = 0u64;
+        for s in samples {
+            *counts.entry(s).or_insert(0) += 1;
+            n += 1;
+        }
+        if n == 0 {
+            return Self { points: Vec::new() };
+        }
+        let points = counts
+            .into_iter()
+            .map(|(v, c)| (v, c as f64 / n as f64))
+            .collect();
+        Self { points }
+    }
+
+    /// A distribution placing all mass on a single value.
+    ///
+    /// Used for the gateway delay `G_i`, for which the paper uses "its most
+    /// recently recorded value instead of its history" (§5.2.2).
+    pub fn point_mass(value: u64) -> Self {
+        Self {
+            points: vec![(value, 1.0)],
+        }
+    }
+
+    /// Builds a pmf from explicit `(value, probability)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any probability is negative or not finite, or if
+    /// the probabilities of a non-empty pmf do not sum to 1 within `1e-6`.
+    pub fn from_points(mut pairs: Vec<(u64, f64)>) -> Result<Self, PmfError> {
+        if pairs.iter().any(|&(_, p)| !p.is_finite() || p < 0.0) {
+            return Err(PmfError::InvalidProbability);
+        }
+        pairs.sort_by_key(|&(v, _)| v);
+        // Merge duplicate values.
+        let mut points: Vec<(u64, f64)> = Vec::with_capacity(pairs.len());
+        for (v, p) in pairs {
+            match points.last_mut() {
+                Some(last) if last.0 == v => last.1 += p,
+                _ => points.push((v, p)),
+            }
+        }
+        if !points.is_empty() {
+            let total: f64 = points.iter().map(|&(_, p)| p).sum();
+            if (total - 1.0).abs() > 1e-6 {
+                return Err(PmfError::NotNormalized { total });
+            }
+        }
+        Ok(Self { points })
+    }
+
+    /// Whether this pmf carries no mass (built from zero samples).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of distinct support points.
+    pub fn support_len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Iterates over `(value, probability)` support points in increasing
+    /// value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.points.iter().copied()
+    }
+
+    /// Probability mass at exactly `value`.
+    pub fn probability(&self, value: u64) -> f64 {
+        match self.points.binary_search_by_key(&value, |&(v, _)| v) {
+            Ok(idx) => self.points[idx].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Cumulative distribution function `P(X <= x)`.
+    ///
+    /// An empty pmf returns 0 for every `x` ("no information recorded yet"),
+    /// which makes a replica with no history look unable to meet any
+    /// deadline; the selection algorithm then keeps adding replicas, which is
+    /// the conservative behaviour we want during warm-up.
+    pub fn cdf(&self, x: u64) -> f64 {
+        let mut acc = 0.0;
+        for &(v, p) in &self.points {
+            if v > x {
+                break;
+            }
+            acc += p;
+        }
+        acc.min(1.0)
+    }
+
+    /// Mean of the distribution, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            None
+        } else {
+            Some(self.points.iter().map(|&(v, p)| v as f64 * p).sum())
+        }
+    }
+
+    /// Discrete convolution with another pmf: the distribution of the sum of
+    /// two independent samples.
+    ///
+    /// Convolving with an empty pmf yields an empty pmf (the sum of an
+    /// unknown quantity is unknown).
+    pub fn convolve(&self, other: &Pmf) -> Pmf {
+        if self.is_empty() || other.is_empty() {
+            return Pmf { points: Vec::new() };
+        }
+        let mut acc: BTreeMap<u64, f64> = BTreeMap::new();
+        for &(v1, p1) in &self.points {
+            for &(v2, p2) in &other.points {
+                *acc.entry(v1.saturating_add(v2)).or_insert(0.0) += p1 * p2;
+            }
+        }
+        Pmf {
+            points: acc.into_iter().collect(),
+        }
+    }
+
+    /// Shifts the distribution right by a constant (convolution with a point
+    /// mass at `offset`).
+    pub fn shift(&self, offset: u64) -> Pmf {
+        Pmf {
+            points: self
+                .points
+                .iter()
+                .map(|&(v, p)| (v.saturating_add(offset), p))
+                .collect(),
+        }
+    }
+
+    /// Re-bins the support onto multiples of `bin` (rounding up), merging
+    /// probabilities that land in the same bin.
+    ///
+    /// Binning bounds the support growth of repeated convolutions. Rounding
+    /// up makes the binned CDF a lower bound of the true CDF, so selection
+    /// decisions based on binned distributions stay conservative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is zero.
+    pub fn binned(&self, bin: u64) -> Pmf {
+        assert!(bin > 0, "bin width must be positive");
+        let mut acc: BTreeMap<u64, f64> = BTreeMap::new();
+        for &(v, p) in &self.points {
+            let b = v.div_ceil(bin).saturating_mul(bin);
+            *acc.entry(b).or_insert(0.0) += p;
+        }
+        Pmf {
+            points: acc.into_iter().collect(),
+        }
+    }
+
+    /// Total probability mass (1 for non-empty pmfs, up to rounding).
+    pub fn total_mass(&self) -> f64 {
+        self.points.iter().map(|&(_, p)| p).sum()
+    }
+}
+
+/// Error returned by [`Pmf::from_points`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PmfError {
+    /// A probability was negative, NaN, or infinite.
+    InvalidProbability,
+    /// The probabilities of a non-empty pmf did not sum to 1.
+    NotNormalized {
+        /// The observed total mass.
+        total: f64,
+    },
+}
+
+impl std::fmt::Display for PmfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PmfError::InvalidProbability => write!(f, "probability was negative or not finite"),
+            PmfError::NotNormalized { total } => {
+                write!(f, "probabilities sum to {total}, expected 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PmfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn from_samples_relative_frequency() {
+        let pmf = Pmf::from_samples([5u64, 5, 5, 7].into_iter());
+        assert_close(pmf.probability(5), 0.75);
+        assert_close(pmf.probability(7), 0.25);
+        assert_close(pmf.probability(6), 0.0);
+        assert_eq!(pmf.support_len(), 2);
+    }
+
+    #[test]
+    fn empty_pmf_behaviour() {
+        let pmf = Pmf::from_samples(std::iter::empty());
+        assert!(pmf.is_empty());
+        assert_eq!(pmf.cdf(u64::MAX), 0.0);
+        assert_eq!(pmf.mean(), None);
+        assert!(pmf.convolve(&Pmf::point_mass(3)).is_empty());
+    }
+
+    #[test]
+    fn cdf_steps() {
+        let pmf = Pmf::from_samples([10u64, 20].into_iter());
+        assert_close(pmf.cdf(9), 0.0);
+        assert_close(pmf.cdf(10), 0.5);
+        assert_close(pmf.cdf(19), 0.5);
+        assert_close(pmf.cdf(20), 1.0);
+        assert_close(pmf.cdf(u64::MAX), 1.0);
+    }
+
+    #[test]
+    fn point_mass_is_degenerate() {
+        let pmf = Pmf::point_mass(42);
+        assert_close(pmf.probability(42), 1.0);
+        assert_close(pmf.cdf(41), 0.0);
+        assert_close(pmf.cdf(42), 1.0);
+        assert_eq!(pmf.mean(), Some(42.0));
+    }
+
+    #[test]
+    fn convolution_of_two_coins() {
+        // {0, 1} uniform + {0, 1} uniform = {0: .25, 1: .5, 2: .25}
+        let a = Pmf::from_samples([0u64, 1].into_iter());
+        let b = Pmf::from_samples([0u64, 1].into_iter());
+        let c = a.convolve(&b);
+        assert_close(c.probability(0), 0.25);
+        assert_close(c.probability(1), 0.5);
+        assert_close(c.probability(2), 0.25);
+        assert_close(c.total_mass(), 1.0);
+    }
+
+    #[test]
+    fn convolution_with_point_mass_is_shift() {
+        let a = Pmf::from_samples([3u64, 9, 9].into_iter());
+        let shifted = a.convolve(&Pmf::point_mass(100));
+        assert_eq!(shifted, a.shift(100));
+    }
+
+    #[test]
+    fn convolution_mean_is_sum_of_means() {
+        let a = Pmf::from_samples([1u64, 2, 3].into_iter());
+        let b = Pmf::from_samples([10u64, 20].into_iter());
+        let c = a.convolve(&b);
+        assert_close(c.mean().unwrap(), a.mean().unwrap() + b.mean().unwrap());
+    }
+
+    #[test]
+    fn binned_rounds_up_and_conserves_mass() {
+        let pmf = Pmf::from_samples([1u64, 999, 1000, 1001].into_iter());
+        let binned = pmf.binned(1000);
+        assert_close(binned.probability(1000), 0.75);
+        assert_close(binned.probability(2000), 0.25);
+        assert_close(binned.total_mass(), 1.0);
+    }
+
+    #[test]
+    fn binned_cdf_is_lower_bound() {
+        let pmf = Pmf::from_samples([1u64, 500, 1500].into_iter());
+        let binned = pmf.binned(1000);
+        for x in [0u64, 1, 500, 999, 1000, 1500, 2000] {
+            assert!(binned.cdf(x) <= pmf.cdf(x) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_points_rejects_bad_probabilities() {
+        assert_eq!(
+            Pmf::from_points(vec![(1, -0.5), (2, 1.5)]),
+            Err(PmfError::InvalidProbability)
+        );
+        assert!(matches!(
+            Pmf::from_points(vec![(1, 0.3), (2, 0.3)]),
+            Err(PmfError::NotNormalized { .. })
+        ));
+    }
+
+    #[test]
+    fn from_points_merges_duplicates() {
+        let pmf = Pmf::from_points(vec![(5, 0.25), (5, 0.25), (6, 0.5)]).unwrap();
+        assert_close(pmf.probability(5), 0.5);
+        assert_eq!(pmf.support_len(), 2);
+    }
+
+    #[test]
+    fn saturating_convolution_does_not_overflow() {
+        let a = Pmf::point_mass(u64::MAX - 1);
+        let b = Pmf::point_mass(10);
+        let c = a.convolve(&b);
+        assert_close(c.probability(u64::MAX), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn cdf_monotone(samples in proptest::collection::vec(0u64..10_000, 1..64)) {
+            let pmf = Pmf::from_samples(samples.into_iter());
+            let mut prev = 0.0f64;
+            for x in (0..12_000u64).step_by(37) {
+                let c = pmf.cdf(x);
+                prop_assert!(c + 1e-12 >= prev);
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&c));
+                prev = c;
+            }
+        }
+
+        #[test]
+        fn convolution_mass_conserved(
+            a in proptest::collection::vec(0u64..1000, 1..32),
+            b in proptest::collection::vec(0u64..1000, 1..32),
+        ) {
+            let pa = Pmf::from_samples(a.into_iter());
+            let pb = Pmf::from_samples(b.into_iter());
+            let c = pa.convolve(&pb);
+            prop_assert!((c.total_mass() - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn convolution_commutes(
+            a in proptest::collection::vec(0u64..1000, 1..24),
+            b in proptest::collection::vec(0u64..1000, 1..24),
+        ) {
+            let pa = Pmf::from_samples(a.into_iter());
+            let pb = Pmf::from_samples(b.into_iter());
+            let ab = pa.convolve(&pb);
+            let ba = pb.convolve(&pa);
+            prop_assert_eq!(ab.support_len(), ba.support_len());
+            for ((v1, p1), (v2, p2)) in ab.iter().zip(ba.iter()) {
+                prop_assert_eq!(v1, v2);
+                prop_assert!((p1 - p2).abs() < 1e-12);
+            }
+        }
+
+        #[test]
+        fn binning_conserves_mass(samples in proptest::collection::vec(0u64..100_000, 1..64), bin in 1u64..5000) {
+            let pmf = Pmf::from_samples(samples.into_iter());
+            let binned = pmf.binned(bin);
+            prop_assert!((binned.total_mass() - pmf.total_mass()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Poisson cumulative distribution.
+//!
+//! The staleness factor of the secondary group (paper Eq. 4) is
+//!
+//! ```text
+//! P(A_s(t) <= a) = P(N_u(t_l) <= a) = sum_{n=0}^{a} (lambda_u t_l)^n e^{-lambda_u t_l} / n!
+//! ```
+//!
+//! where `lambda_u` is the client-update arrival rate and `t_l` is the time
+//! elapsed since the last lazy update. This module evaluates that CDF with an
+//! incremental term recurrence to avoid overflowing factorials.
+
+/// Evaluates the Poisson CDF `P(N <= a)` for mean `mu = lambda * t`.
+///
+/// Terms are accumulated with the recurrence `term_{n+1} = term_n * mu / (n+1)`,
+/// which is numerically stable for the small thresholds (`a` on the order of a
+/// few versions) used by staleness bounds.
+///
+/// # Panics
+///
+/// Panics if `mu` is negative or not finite.
+///
+/// # Example
+///
+/// ```
+/// use aqf_stats::poisson_cdf;
+///
+/// // With mean 0, no arrivals have occurred: P(N <= a) = 1 for any a.
+/// assert_eq!(poisson_cdf(0.0, 3), 1.0);
+/// // P(N <= 0) = e^{-mu}.
+/// assert!((poisson_cdf(2.0, 0) - (-2.0f64).exp()).abs() < 1e-12);
+/// ```
+pub fn poisson_cdf(mu: f64, a: u64) -> f64 {
+    assert!(
+        mu.is_finite() && mu >= 0.0,
+        "poisson mean must be finite and non-negative"
+    );
+    if mu == 0.0 {
+        return 1.0;
+    }
+    // For large mu the naive series underflows at e^{-mu}; work in log space
+    // when needed.
+    if mu > 700.0 {
+        return poisson_cdf_logspace(mu, a);
+    }
+    let mut term = (-mu).exp();
+    let mut acc = term;
+    for n in 0..a {
+        term *= mu / (n as f64 + 1.0);
+        acc += term;
+    }
+    acc.min(1.0)
+}
+
+/// Log-space evaluation for very large means, where `e^{-mu}` underflows.
+fn poisson_cdf_logspace(mu: f64, a: u64) -> f64 {
+    // log(term_n) = -mu + n ln(mu) - ln(n!)
+    let mut log_term = -mu;
+    let mut acc = log_term.exp();
+    for n in 0..a {
+        log_term += mu.ln() - (n as f64 + 1.0).ln();
+        acc += log_term.exp();
+    }
+    acc.min(1.0)
+}
+
+/// Probability of exactly `n` arrivals for mean `mu`.
+///
+/// # Panics
+///
+/// Panics if `mu` is negative or not finite.
+pub fn poisson_pmf(mu: f64, n: u64) -> f64 {
+    assert!(
+        mu.is_finite() && mu >= 0.0,
+        "poisson mean must be finite and non-negative"
+    );
+    if mu == 0.0 {
+        return if n == 0 { 1.0 } else { 0.0 };
+    }
+    let mut log_term = -mu;
+    for k in 0..n {
+        log_term += mu.ln() - (k as f64 + 1.0).ln();
+    }
+    log_term.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_mean_is_certain() {
+        assert_eq!(poisson_cdf(0.0, 0), 1.0);
+        assert_eq!(poisson_cdf(0.0, 10), 1.0);
+        assert_eq!(poisson_pmf(0.0, 0), 1.0);
+        assert_eq!(poisson_pmf(0.0, 3), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        // P(N <= 1) with mu = 1: 2/e.
+        let expected = 2.0 * (-1.0f64).exp();
+        assert!((poisson_cdf(1.0, 1) - expected).abs() < 1e-12);
+        // P(N = 2) with mu = 3: 9/2 e^{-3}.
+        let expected = 4.5 * (-3.0f64).exp();
+        assert!((poisson_pmf(3.0, 2) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_sum_of_pmf() {
+        let mu = 2.5;
+        let direct: f64 = (0..=4).map(|n| poisson_pmf(mu, n)).sum();
+        assert!((poisson_cdf(mu, 4) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_mean_does_not_underflow_to_nan() {
+        let p = poisson_cdf(1000.0, 1000);
+        assert!(p.is_finite());
+        // Median of Poisson(1000) is ~1000, so CDF at 1000 is near 0.5.
+        assert!((p - 0.5).abs() < 0.05, "p = {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_mean_panics() {
+        let _ = poisson_cdf(-1.0, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn cdf_in_unit_interval(mu in 0.0f64..200.0, a in 0u64..400) {
+            let p = poisson_cdf(mu, a);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+
+        #[test]
+        fn cdf_monotone_in_a(mu in 0.0f64..100.0, a in 0u64..200) {
+            prop_assert!(poisson_cdf(mu, a + 1) + 1e-12 >= poisson_cdf(mu, a));
+        }
+
+        #[test]
+        fn cdf_decreasing_in_mu(mu in 0.01f64..100.0, a in 0u64..50) {
+            // More expected arrivals => less likely to stay under threshold.
+            prop_assert!(poisson_cdf(mu + 1.0, a) <= poisson_cdf(mu, a) + 1e-12);
+        }
+
+        #[test]
+        fn cdf_approaches_one(mu in 0.0f64..50.0) {
+            // Threshold far above mean covers nearly all mass.
+            let a = (mu as u64 + 1) * 10 + 20;
+            prop_assert!(poisson_cdf(mu, a) > 0.999);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Descriptive statistics for experiment reporting.
+
+/// Online summary of a stream of `f64` observations: count, mean, variance
+/// (Welford's algorithm), min/max, plus exact percentiles over the retained
+/// samples.
+///
+/// # Example
+///
+/// ```
+/// use aqf_stats::Summary;
+///
+/// let mut s = Summary::new();
+/// s.extend([1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean(), Some(2.5));
+/// assert_eq!(s.min(), Some(1.0));
+/// assert_eq!(s.percentile(50.0), Some(2.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self {
+            samples: Vec::new(),
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "cannot summarize NaN");
+        self.samples.push(value);
+        let n = self.samples.len() as f64;
+        let delta = value - self.mean;
+        self.mean += delta / n;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (!self.is_empty()).then_some(self.mean)
+    }
+
+    /// Sample variance (n-1 denominator), or `None` with fewer than two
+    /// observations.
+    pub fn variance(&self) -> Option<f64> {
+        (self.samples.len() >= 2).then(|| self.m2 / (self.samples.len() as f64 - 1.0))
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Minimum observation, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (!self.is_empty()).then_some(self.min)
+    }
+
+    /// Maximum observation, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (!self.is_empty()).then_some(self.max)
+    }
+
+    /// Exact percentile (nearest-rank method), `p` in `[0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.max(1) - 1])
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.mean() {
+            Some(m) => write!(
+                f,
+                "n={} mean={:.3} sd={:.3} min={:.3} max={:.3}",
+                self.count(),
+                m,
+                self.std_dev().unwrap_or(0.0),
+                self.min,
+                self.max
+            ),
+            None => write!(f, "n=0"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.percentile(50.0), None);
+        assert_eq!(s.to_string(), "n=0");
+    }
+
+    #[test]
+    fn known_variance() {
+        let mut s = Summary::new();
+        s.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean(), Some(5.0));
+        // Population variance 4 => sample variance 32/7.
+        assert!((s.variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut s = Summary::new();
+        s.record(3.5);
+        assert_eq!(s.mean(), Some(3.5));
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.min(), Some(3.5));
+        assert_eq!(s.max(), Some(3.5));
+        assert_eq!(s.percentile(0.0), Some(3.5));
+        assert_eq!(s.percentile(100.0), Some(3.5));
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s = Summary::new();
+        s.extend([10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(s.percentile(25.0), Some(10.0));
+        assert_eq!(s.percentile(50.0), Some(20.0));
+        assert_eq!(s.percentile(75.0), Some(30.0));
+        assert_eq!(s.percentile(100.0), Some(40.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_panics() {
+        Summary::new().record(f64::NAN);
+    }
+
+    proptest! {
+        #[test]
+        fn mean_matches_naive(values in proptest::collection::vec(-1e6f64..1e6, 1..64)) {
+            let mut s = Summary::new();
+            s.extend(values.iter().copied());
+            let naive = values.iter().sum::<f64>() / values.len() as f64;
+            prop_assert!((s.mean().unwrap() - naive).abs() < 1e-6);
+        }
+
+        #[test]
+        fn min_max_bound_all(values in proptest::collection::vec(-1e6f64..1e6, 1..64)) {
+            let mut s = Summary::new();
+            s.extend(values.iter().copied());
+            for v in &values {
+                prop_assert!(s.min().unwrap() <= *v && *v <= s.max().unwrap());
+            }
+        }
+    }
+}

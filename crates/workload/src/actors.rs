@@ -1,0 +1,474 @@
+//! Host actors embedding the gateways into the discrete-event simulator.
+
+use crate::config::{ObjectKind, OpPattern};
+use aqf_core::client::{ClientAction, ClientGateway, TimerPurpose};
+use aqf_core::protocol::ServerProtocol;
+use aqf_core::server::ServerAction;
+use aqf_core::wire::RequestId;
+use aqf_core::{
+    AccountBook, Operation, Payload, QosSpec, ReplicatedObject, ResponseInfo, SharedDocument,
+    TickerBoard, VersionedRegister, PRIMARY_GROUP, SECONDARY_GROUP,
+};
+use aqf_group::{GroupEndpoint, GroupEvent, GroupMsg};
+use aqf_sim::{Actor, ActorId, Context, DelayModel, SimDuration, Timer, TimerId};
+use aqf_stats::Summary;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// The world message type: group-layer envelopes carrying gateway payloads.
+pub type NetMsg = GroupMsg<Payload>;
+
+// Host timer kinds (must stay below aqf_group::GROUP_TIMER_KIND_BASE).
+const SERVICE_TIMER: u32 = 1;
+const LAZY_TIMER: u32 = 2;
+const GATEWAY_TIMER: u32 = 3;
+const REQUEST_TIMER: u32 = 4;
+
+impl ObjectKind {
+    /// Instantiates a fresh object of this kind.
+    pub fn make(self) -> Box<dyn ReplicatedObject> {
+        match self {
+            ObjectKind::Register => Box::new(VersionedRegister::new()),
+            ObjectKind::Document => Box::new(SharedDocument::new()),
+            ObjectKind::Ticker => Box::new(TickerBoard::new()),
+            ObjectKind::Bank => Box::new(AccountBook::new()),
+        }
+    }
+
+    /// Builds the `seq`-th update operation of client `client` for this
+    /// kind. Bank clients transact on their own account, so their updates
+    /// commute across clients (the FIFO handler's workload class).
+    pub fn write_op(self, client: u64, seq: u64) -> Operation {
+        match self {
+            ObjectKind::Register => {
+                Operation::new("set", format!("value-{client}-{seq}").into_bytes())
+            }
+            ObjectKind::Document => {
+                Operation::new("append", format!("line {client}-{seq}").into_bytes())
+            }
+            ObjectKind::Ticker => {
+                Operation::new("quote", TickerBoard::encode_quote("ACME", 1000 + seq))
+            }
+            ObjectKind::Bank => {
+                let account = format!("acct-{client}");
+                if seq % 3 == 2 {
+                    Operation::new("withdraw", AccountBook::encode_tx(&account, 40))
+                } else {
+                    Operation::new("deposit", AccountBook::encode_tx(&account, 100))
+                }
+            }
+        }
+    }
+
+    /// Builds a read operation of client `client` for this kind.
+    pub fn read_op(self, client: u64) -> Operation {
+        match self {
+            ObjectKind::Register => Operation::new("get", Vec::new()),
+            ObjectKind::Document => Operation::new("fetch", Vec::new()),
+            ObjectKind::Ticker => Operation::new("price", b"ACME".to_vec()),
+            ObjectKind::Bank => Operation::new("balance", format!("acct-{client}").into_bytes()),
+        }
+    }
+}
+
+/// A replica host: group endpoint + server gateway + service-time model.
+/// The gateway is any timed-consistency handler implementing
+/// [`ServerProtocol`] (sequential or FIFO).
+pub struct ReplicaActor {
+    ep: GroupEndpoint<Payload>,
+    gw: Box<dyn ServerProtocol>,
+    service_delay: DelayModel,
+    object_kind: ObjectKind,
+    service_timers: HashMap<TimerId, u64>,
+}
+
+impl ReplicaActor {
+    /// Creates a replica host.
+    pub fn new(
+        ep: GroupEndpoint<Payload>,
+        gw: Box<dyn ServerProtocol>,
+        service_delay: DelayModel,
+        object_kind: ObjectKind,
+    ) -> Self {
+        Self {
+            ep,
+            gw,
+            service_delay,
+            object_kind,
+            service_timers: HashMap::new(),
+        }
+    }
+
+    /// The server gateway (post-run inspection).
+    pub fn gateway(&self) -> &dyn ServerProtocol {
+        &*self.gw
+    }
+
+    fn apply(&mut self, actions: Vec<ServerAction>, ctx: &mut Context<'_, NetMsg>) {
+        for action in actions {
+            match action {
+                ServerAction::MulticastPrimary(p) => self.ep.multicast(PRIMARY_GROUP, p, ctx),
+                ServerAction::MulticastSecondary(p) => self.ep.multicast(SECONDARY_GROUP, p, ctx),
+                ServerAction::SendDirect { to, payload } => self.ep.send_direct(to, payload, ctx),
+                ServerAction::StartService { token } => {
+                    self.gw.on_service_start(token, ctx.now());
+                    let delay = self.service_delay.sample(ctx.rng());
+                    let id = ctx.set_timer(SERVICE_TIMER, delay);
+                    self.service_timers.insert(id, token);
+                }
+                ServerAction::ArmLazyTimer { after } => {
+                    ctx.set_timer(LAZY_TIMER, after);
+                }
+            }
+        }
+    }
+
+    fn absorb(&mut self, events: Vec<GroupEvent<Payload>>, ctx: &mut Context<'_, NetMsg>) {
+        for ev in events {
+            let actions = match ev {
+                GroupEvent::Delivered {
+                    sender, payload, ..
+                }
+                | GroupEvent::Direct { sender, payload } => {
+                    self.gw.on_payload(sender, payload, ctx.now())
+                }
+                GroupEvent::ViewChanged { view, .. } => self.gw.on_view(view, ctx.now()),
+            };
+            self.apply(actions, ctx);
+        }
+    }
+}
+
+impl Actor<NetMsg> for ReplicaActor {
+    fn on_start(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        self.ep.on_start(ctx);
+        let actions = self.gw.on_start(ctx.now());
+        self.apply(actions, ctx);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        self.ep.on_restart(ctx);
+        self.service_timers.clear();
+        let actions = self.gw.on_restart(self.object_kind.make(), ctx.now());
+        self.apply(actions, ctx);
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: NetMsg, ctx: &mut Context<'_, NetMsg>) {
+        let events = self.ep.handle_message(from, msg, ctx);
+        self.absorb(events, ctx);
+    }
+
+    fn on_timer(&mut self, timer: Timer, ctx: &mut Context<'_, NetMsg>) {
+        if let Some(events) = self.ep.handle_timer(timer, ctx) {
+            self.absorb(events, ctx);
+            return;
+        }
+        match timer.kind {
+            SERVICE_TIMER => {
+                if let Some(token) = self.service_timers.remove(&timer.id) {
+                    let actions = self.gw.on_service_done(token, ctx.now());
+                    self.apply(actions, ctx);
+                }
+            }
+            LAZY_TIMER => {
+                let actions = self.gw.on_lazy_timer(ctx.now());
+                self.apply(actions, ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Aggregated per-client observations collected during a run.
+#[derive(Debug, Clone, Default)]
+pub struct ClientRecord {
+    /// Completions delivered (reads + updates), including timeouts.
+    pub completed: u64,
+    /// Read completions.
+    pub reads_completed: u64,
+    /// Read completions that were deferred reads.
+    pub deferred_reads: u64,
+    /// Requests that hit the give-up window.
+    pub timeouts: u64,
+    /// QoS-violation callbacks received.
+    pub alerts: u64,
+    /// Immediate (non-deferred) read responses whose staleness exceeded the
+    /// client's threshold — the consistency contract says this must be 0.
+    pub staleness_violations: u64,
+    /// End-to-end read response times (ms).
+    pub read_response_ms: Summary,
+    /// End-to-end update response times (ms).
+    pub update_response_ms: Summary,
+    /// Staleness (versions) of delivered read responses.
+    pub response_staleness: Summary,
+}
+
+/// A client host: issues the configured workload through its gateway.
+pub struct ClientActor {
+    ep: GroupEndpoint<Payload>,
+    gw: ClientGateway,
+    qos: QosSpec,
+    pattern: OpPattern,
+    request_delay: SimDuration,
+    start_offset: SimDuration,
+    total_requests: u64,
+    object_kind: ObjectKind,
+    issued: u64,
+    writes_issued: u64,
+    timers: HashMap<TimerId, (RequestId, TimerPurpose)>,
+    record: ClientRecord,
+    done: bool,
+}
+
+impl ClientActor {
+    /// Creates a client host.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        ep: GroupEndpoint<Payload>,
+        gw: ClientGateway,
+        qos: QosSpec,
+        pattern: OpPattern,
+        request_delay: SimDuration,
+        start_offset: SimDuration,
+        total_requests: u64,
+        object_kind: ObjectKind,
+    ) -> Self {
+        Self {
+            ep,
+            gw,
+            qos,
+            pattern,
+            request_delay,
+            start_offset,
+            total_requests,
+            object_kind,
+            issued: 0,
+            writes_issued: 0,
+            timers: HashMap::new(),
+            record: ClientRecord::default(),
+            done: false,
+        }
+    }
+
+    /// Whether the client has issued and resolved its full workload.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// The client gateway (post-run inspection: detector, repository,
+    /// stats).
+    pub fn gateway(&self) -> &ClientGateway {
+        &self.gw
+    }
+
+    /// The collected observations.
+    pub fn record(&self) -> &ClientRecord {
+        &self.record
+    }
+
+    fn next_is_read(&mut self, ctx: &mut Context<'_, NetMsg>) -> bool {
+        match self.pattern {
+            OpPattern::AlternatingWriteRead => self.issued % 2 == 1, // write first
+            OpPattern::ReadOnly => true,
+            OpPattern::WriteOnly | OpPattern::WriteBurst(_) => false,
+            OpPattern::ReadFraction(f) => ctx.rng().gen_bool(f.clamp(0.0, 1.0)),
+        }
+    }
+
+    /// Delay before the next request: bursty writers fire back-to-back
+    /// within a burst and pause for the request delay between bursts.
+    fn next_request_delay(&self) -> SimDuration {
+        match self.pattern {
+            OpPattern::WriteBurst(n) => {
+                if !self.issued.is_multiple_of(n as u64) {
+                    SimDuration::from_millis(20)
+                } else {
+                    self.request_delay
+                }
+            }
+            _ => self.request_delay,
+        }
+    }
+
+    fn issue_next(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        if self.issued >= self.total_requests {
+            self.done = true;
+            return;
+        }
+        let is_read = self.next_is_read(ctx);
+        self.issued += 1;
+        let now = ctx.now();
+        let me = self.gw.me().index() as u64;
+        let actions = if is_read {
+            let (_, actions) = self
+                .gw
+                .submit_read(self.object_kind.read_op(me), self.qos, now);
+            actions
+        } else {
+            let op = self.object_kind.write_op(me, self.writes_issued);
+            self.writes_issued += 1;
+            let (_, actions) = self.gw.submit_update(op, now);
+            actions
+        };
+        self.apply(actions, ctx);
+    }
+
+    fn on_completed(&mut self, info: ResponseInfo, ctx: &mut Context<'_, NetMsg>) {
+        self.record.completed += 1;
+        let ms = info.response_time.as_micros() as f64 / 1e3;
+        match info.kind {
+            aqf_core::OperationKind::ReadOnly => {
+                self.record.reads_completed += 1;
+                self.record.read_response_ms.record(ms);
+                self.record.response_staleness.record(info.staleness as f64);
+                if info.deferred {
+                    self.record.deferred_reads += 1;
+                } else if !info.timed_out && info.staleness > self.qos.staleness_threshold as u64 {
+                    self.record.staleness_violations += 1;
+                }
+            }
+            aqf_core::OperationKind::Update => {
+                self.record.update_response_ms.record(ms);
+            }
+        }
+        if info.timed_out {
+            self.record.timeouts += 1;
+        }
+        // "Request delay ... before a client issues its next request after
+        // completion of its previous request" (§6).
+        ctx.set_timer(REQUEST_TIMER, self.next_request_delay());
+    }
+
+    fn apply(&mut self, actions: Vec<ClientAction>, ctx: &mut Context<'_, NetMsg>) {
+        for action in actions {
+            match action {
+                ClientAction::MulticastPrimary(p) => self.ep.multicast(PRIMARY_GROUP, p, ctx),
+                ClientAction::SendDirect { to, payload } => self.ep.send_direct(to, payload, ctx),
+                ClientAction::ArmTimer {
+                    req,
+                    purpose,
+                    after,
+                } => {
+                    let id = ctx.set_timer(GATEWAY_TIMER, after);
+                    self.timers.insert(id, (req, purpose));
+                }
+                ClientAction::Completed(info) => self.on_completed(info, ctx),
+                ClientAction::QosAlert { .. } => self.record.alerts += 1,
+            }
+        }
+    }
+
+    fn absorb(&mut self, events: Vec<GroupEvent<Payload>>, ctx: &mut Context<'_, NetMsg>) {
+        for ev in events {
+            match ev {
+                GroupEvent::Delivered {
+                    sender, payload, ..
+                }
+                | GroupEvent::Direct { sender, payload } => {
+                    let actions = self.gw.on_payload(sender, payload, ctx.now());
+                    self.apply(actions, ctx);
+                }
+                GroupEvent::ViewChanged { view, .. } => self.gw.on_view(view),
+            }
+        }
+    }
+}
+
+impl Actor<NetMsg> for ClientActor {
+    fn on_start(&mut self, ctx: &mut Context<'_, NetMsg>) {
+        self.ep.on_start(ctx);
+        ctx.set_timer(REQUEST_TIMER, self.start_offset);
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: NetMsg, ctx: &mut Context<'_, NetMsg>) {
+        let events = self.ep.handle_message(from, msg, ctx);
+        self.absorb(events, ctx);
+    }
+
+    fn on_timer(&mut self, timer: Timer, ctx: &mut Context<'_, NetMsg>) {
+        if let Some(events) = self.ep.handle_timer(timer, ctx) {
+            self.absorb(events, ctx);
+            return;
+        }
+        match timer.kind {
+            GATEWAY_TIMER => {
+                if let Some((req, purpose)) = self.timers.remove(&timer.id) {
+                    let actions = self.gw.on_timer(req, purpose, ctx.now());
+                    self.apply(actions, ctx);
+                }
+            }
+            REQUEST_TIMER => self.issue_next(ctx),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_pacing_alternates_short_and_long_gaps() {
+        use aqf_core::client::ClientConfig;
+        use aqf_core::ClientGateway;
+        use aqf_core::{PRIMARY_GROUP, SECONDARY_GROUP};
+        use aqf_group::endpoint::GroupMembership;
+        use aqf_group::{EndpointConfig, GroupEndpoint, View, ViewId};
+
+        let me = ActorId::from_index(9);
+        let pview = View::new(PRIMARY_GROUP, ViewId(0), vec![ActorId::from_index(0)]);
+        let sview = View::new(SECONDARY_GROUP, ViewId(0), vec![ActorId::from_index(1)]);
+        let ep = GroupEndpoint::new(
+            me,
+            EndpointConfig::default(),
+            vec![],
+            vec![pview.clone(), sview.clone()],
+        );
+        let gw = ClientGateway::new(me, pview, sview, ClientConfig::default());
+        let mut client = ClientActor::new(
+            ep,
+            gw,
+            QosSpec::new(2, SimDuration::from_millis(100), 0.5).unwrap(),
+            OpPattern::WriteBurst(3),
+            SimDuration::from_millis(5000),
+            SimDuration::ZERO,
+            9,
+            ObjectKind::Bank,
+        );
+        // Simulate the issue counter and check pacing decisions.
+        let mut gaps = Vec::new();
+        for issued in 1..=9u64 {
+            client.issued = issued;
+            gaps.push(client.next_request_delay());
+        }
+        let short = SimDuration::from_millis(20);
+        let long = SimDuration::from_millis(5000);
+        assert_eq!(
+            gaps,
+            vec![short, short, long, short, short, long, short, short, long]
+        );
+        let _ = GroupMembership {
+            view: View::new(PRIMARY_GROUP, ViewId(0), vec![me]),
+            observers: vec![],
+        };
+    }
+
+    #[test]
+    fn object_kinds_build_ops() {
+        for kind in [
+            ObjectKind::Register,
+            ObjectKind::Document,
+            ObjectKind::Ticker,
+            ObjectKind::Bank,
+        ] {
+            let mut obj = kind.make();
+            let ack = obj.apply_update(&kind.write_op(7, 0));
+            assert!(!ack.is_empty());
+            let _ = obj.read(&kind.read_op(7));
+            let snap = obj.snapshot();
+            let mut other = kind.make();
+            other.install_snapshot(&snap);
+            assert_eq!(other.snapshot(), snap);
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! Builds a scenario into a simulation world, runs it, and collects
+//! metrics.
+
+use crate::actors::{ClientActor, ClientRecord, NetMsg, ReplicaActor};
+use crate::config::{FaultKind, FaultTarget, ScenarioConfig};
+use aqf_core::client::ClientConfig;
+use aqf_core::protocol::ServerProtocol;
+use aqf_core::server::{ServerConfig, ServerStats};
+use aqf_core::InfoRepository;
+use aqf_core::{
+    CausalServerGateway, ClientGateway, FifoServerGateway, OrderingGuarantee, ServerGateway,
+    PRIMARY_GROUP, SECONDARY_GROUP,
+};
+use aqf_group::endpoint::GroupMembership;
+use aqf_group::{EndpointConfig, GroupEndpoint, View, ViewId};
+use aqf_sim::{ActorId, SimDuration, World};
+use aqf_stats::BinomialCi;
+use std::collections::HashMap;
+
+/// Per-client outcome of a run.
+#[derive(Debug, Clone)]
+pub struct ClientOutcome {
+    /// The client gateway's actor id.
+    pub id: ActorId,
+    /// Read requests issued.
+    pub reads: u64,
+    /// Update requests issued.
+    pub updates: u64,
+    /// Timing failures observed by the detector.
+    pub timing_failures: u64,
+    /// Observed probability of timing failure with its 95% CI (Wilson),
+    /// "computed under the assumption that the number of timing failures
+    /// follows a binomial distribution" (§6).
+    pub failure_ci: Option<BinomialCi>,
+    /// Average size of the selected replica set per read (including the
+    /// sequencer), the Figure 4a quantity.
+    pub avg_replicas_selected: f64,
+    /// First replies that were deferred reads.
+    pub deferred_replies: u64,
+    /// Give-ups (no reply at all).
+    pub give_ups: u64,
+    /// Per-replica selection counts (hot-spot studies).
+    pub selection_counts: HashMap<ActorId, u64>,
+    /// Mean `P_K(d)` prediction over all reads (model calibration: the
+    /// observed timely frequency should be at least this).
+    pub mean_predicted: Option<f64>,
+    /// Aggregated response observations.
+    pub record: ClientRecord,
+    /// Snapshot of the client's information repository at the end of the
+    /// run (admission-control studies).
+    pub repository: InfoRepository,
+}
+
+/// Per-server outcome of a run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerOutcome {
+    /// The replica gateway's actor id.
+    pub id: ActorId,
+    /// Whether it ended the run as sequencer.
+    pub is_sequencer: bool,
+    /// Whether it ended the run as lazy publisher.
+    pub is_publisher: bool,
+    /// Final commit sequence number.
+    pub csn: u64,
+    /// Final applied sequence number.
+    pub applied_csn: u64,
+    /// Final GSN knowledge.
+    pub gsn: u64,
+    /// Gateway counters.
+    pub stats: ServerStats,
+    /// Whether the replica was alive at the end of the run.
+    pub alive: bool,
+}
+
+/// Everything measured in one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioMetrics {
+    /// Per-client outcomes, in client order.
+    pub clients: Vec<ClientOutcome>,
+    /// Per-server outcomes: sequencer first, then primaries, then
+    /// secondaries.
+    pub servers: Vec<ServerOutcome>,
+    /// Virtual time at the end of the run (seconds).
+    pub virtual_secs: f64,
+    /// Total simulator events processed.
+    pub events: u64,
+}
+
+impl ScenarioMetrics {
+    /// Convenience: the outcome of client `i` (construction order).
+    pub fn client(&self, i: usize) -> &ClientOutcome {
+        &self.clients[i]
+    }
+
+    /// Largest CSN divergence between any two live, synced servers at the
+    /// end of the run (0 = fully converged primaries; secondaries may lag
+    /// by at most one lazy interval of updates).
+    pub fn max_applied_divergence(&self) -> u64 {
+        let applied: Vec<u64> = self
+            .servers
+            .iter()
+            .filter(|s| s.alive)
+            .map(|s| s.applied_csn)
+            .collect();
+        match (applied.iter().max(), applied.iter().min()) {
+            (Some(max), Some(min)) => max - min,
+            _ => 0,
+        }
+    }
+}
+
+/// A fully constructed scenario: the simulation world plus the actor ids
+/// of every process, ready to be driven by [`run_scenario`] or paced
+/// manually (e.g. with [`aqf_sim::World::run_realtime`]).
+#[derive(Debug)]
+pub struct BuiltScenario {
+    /// The simulation world hosting all gateways and clients.
+    pub world: World<NetMsg>,
+    /// Primary-group members (index 0 is the initial sequencer).
+    pub primary_ids: Vec<ActorId>,
+    /// Secondary-group members.
+    pub secondary_ids: Vec<ActorId>,
+    /// Client gateways, in `config.clients` order.
+    pub client_ids: Vec<ActorId>,
+}
+
+impl BuiltScenario {
+    /// Whether every client has issued and resolved its full workload.
+    pub fn all_clients_done(&self) -> bool {
+        self.client_ids.iter().all(|&c| {
+            self.world
+                .actor::<ClientActor>(c)
+                .map(ClientActor::is_done)
+                .unwrap_or(true)
+        })
+    }
+
+    /// Collects the run's metrics (callable at any point).
+    pub fn metrics(&self) -> ScenarioMetrics {
+        collect(
+            &self.world,
+            &self.primary_ids,
+            &self.secondary_ids,
+            &self.client_ids,
+        )
+    }
+}
+
+/// Builds the scenario's world without running it.
+///
+/// # Panics
+///
+/// Panics if the configuration fails validation.
+pub fn build_scenario(config: &ScenarioConfig) -> BuiltScenario {
+    config
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid scenario: {e}"));
+    let mut world: World<NetMsg> = World::new(config.seed);
+    world
+        .net_mut()
+        .set_loss_probability(config.loss_probability);
+    *world.net_mut() = {
+        let mut net = aqf_sim::NetworkModel::new(config.link_delay.clone());
+        net.set_loss_probability(config.loss_probability);
+        net
+    };
+
+    let np = config.num_primaries;
+    let ns = config.num_secondaries;
+    let sequencer = ActorId::from_index(0);
+    let primary_ids: Vec<ActorId> = (0..=np).map(ActorId::from_index).collect();
+    let secondary_ids: Vec<ActorId> = (np + 1..=np + ns).map(ActorId::from_index).collect();
+    let client_ids: Vec<ActorId> = (np + ns + 1..np + ns + 1 + config.clients.len())
+        .map(ActorId::from_index)
+        .collect();
+
+    let primary_view = View::new(PRIMARY_GROUP, ViewId(0), primary_ids.clone());
+    let secondary_view = if ns > 0 {
+        View::new(SECONDARY_GROUP, ViewId(0), secondary_ids.clone())
+    } else {
+        // Degenerate single-group deployment: model an empty secondary
+        // group as a one-member view holding the sequencer is not possible
+        // (it would double-role); instead reuse the primary members so the
+        // view structure stays well-formed but unused.
+        View::new(SECONDARY_GROUP, ViewId(0), vec![sequencer])
+    };
+
+    let ep_config = EndpointConfig {
+        tick_interval: config.group_tick,
+        failure_timeout: config.failure_timeout,
+        sent_buffer_capacity: 4096,
+    };
+
+    // Observers: clients see both groups; each replication group's members
+    // observe the other group (for sequencer identity and lazy multicast).
+    let mut primary_observers: Vec<ActorId> = client_ids.clone();
+    primary_observers.extend(secondary_ids.iter().copied());
+    let mut secondary_observers: Vec<ActorId> = client_ids.clone();
+    secondary_observers.extend(primary_ids.iter().copied());
+
+    // Primary replicas (index 0 of the primary view is the sequencer).
+    for &id in &primary_ids {
+        let ep = GroupEndpoint::new(
+            id,
+            ep_config.clone(),
+            vec![GroupMembership {
+                view: primary_view.clone(),
+                observers: primary_observers.clone(),
+            }],
+            vec![secondary_view.clone()],
+        );
+        let gw = make_gateway(config, id, &primary_view, &secondary_view, &client_ids);
+        let got = world.add_actor(Box::new(ReplicaActor::new(
+            ep,
+            gw,
+            config.service_delay.clone(),
+            config.object,
+        )));
+        assert_eq!(got, id);
+    }
+
+    // Secondary replicas.
+    for &id in &secondary_ids {
+        let ep = GroupEndpoint::new(
+            id,
+            ep_config.clone(),
+            vec![GroupMembership {
+                view: secondary_view.clone(),
+                observers: secondary_observers.clone(),
+            }],
+            vec![primary_view.clone()],
+        );
+        let gw = make_gateway(config, id, &primary_view, &secondary_view, &client_ids);
+        let got = world.add_actor(Box::new(ReplicaActor::new(
+            ep,
+            gw,
+            config.service_delay.clone(),
+            config.object,
+        )));
+        assert_eq!(got, id);
+    }
+
+    // Clients.
+    for (i, spec) in config.clients.iter().enumerate() {
+        let id = client_ids[i];
+        let ep = GroupEndpoint::new(
+            id,
+            ep_config.clone(),
+            vec![],
+            vec![primary_view.clone(), secondary_view.clone()],
+        );
+        let gw = ClientGateway::new(
+            id,
+            primary_view.clone(),
+            secondary_view.clone(),
+            ClientConfig {
+                window_size: config.window_size,
+                rate_window: 16,
+                selection_overhead: config.selection_overhead,
+                policy: spec.policy,
+                give_up: SimDuration::from_secs(10),
+                seed: config.seed ^ (i as u64 + 1),
+                staleness_model: config.staleness_model,
+                ordering: config.ordering,
+            },
+        );
+        let got = world.add_actor(Box::new(ClientActor::new(
+            ep,
+            gw,
+            spec.qos,
+            spec.pattern,
+            spec.request_delay,
+            spec.start_offset,
+            spec.total_requests,
+            config.object,
+        )));
+        assert_eq!(got, id);
+    }
+
+    // Fault schedule.
+    for fault in &config.faults {
+        let target = match fault.target {
+            FaultTarget::Sequencer => sequencer,
+            FaultTarget::Publisher => *primary_ids.last().expect("primary group non-empty"),
+            FaultTarget::Primary(i) => primary_ids[i + 1],
+            FaultTarget::Secondary(i) => secondary_ids[i],
+        };
+        match fault.kind {
+            FaultKind::Crash => world.schedule_crash(target, fault.at),
+            FaultKind::Restart => world.schedule_restart(target, fault.at),
+            FaultKind::Isolate => world.schedule_isolation(target, fault.at),
+            FaultKind::Reconnect => world.schedule_reconnection(target, fault.at),
+        }
+    }
+
+    BuiltScenario {
+        world,
+        primary_ids,
+        secondary_ids,
+        client_ids,
+    }
+}
+
+/// Builds and runs `config` to completion, returning the collected metrics.
+///
+/// # Panics
+///
+/// Panics if the configuration fails validation.
+pub fn run_scenario(config: &ScenarioConfig) -> ScenarioMetrics {
+    let mut built = build_scenario(config);
+    // Drive until every client finished its workload (or the safety limit).
+    let chunk = SimDuration::from_secs(10);
+    let limit = config.run_limit;
+    loop {
+        built.world.run_for(chunk);
+        if built.all_clients_done() {
+            break;
+        }
+        if built.world.now().as_secs_f64() > limit.as_secs_f64() {
+            break;
+        }
+    }
+    // Small drain so in-flight replies and broadcasts settle.
+    built.world.run_for(SimDuration::from_secs(5));
+    built.metrics()
+}
+
+/// Builds the configured timed-consistency handler for one replica.
+fn make_gateway(
+    config: &ScenarioConfig,
+    id: ActorId,
+    primary_view: &aqf_group::View,
+    secondary_view: &aqf_group::View,
+    client_ids: &[ActorId],
+) -> Box<dyn ServerProtocol> {
+    let server_config = ServerConfig {
+        lazy_interval: config.lazy_interval,
+        clients: client_ids.to_vec(),
+        ..ServerConfig::default()
+    };
+    match config.ordering {
+        OrderingGuarantee::Fifo => Box::new(FifoServerGateway::new(
+            id,
+            primary_view.clone(),
+            secondary_view.clone(),
+            config.object.make(),
+            server_config,
+        )),
+        OrderingGuarantee::Causal => Box::new(CausalServerGateway::new(
+            id,
+            primary_view.clone(),
+            secondary_view.clone(),
+            config.object.make(),
+            server_config,
+        )),
+        OrderingGuarantee::Sequential => Box::new(ServerGateway::new(
+            id,
+            primary_view.clone(),
+            secondary_view.clone(),
+            config.object.make(),
+            server_config,
+        )),
+    }
+}
+
+fn collect(
+    world: &World<NetMsg>,
+    primary_ids: &[ActorId],
+    secondary_ids: &[ActorId],
+    client_ids: &[ActorId],
+) -> ScenarioMetrics {
+    let mut clients = Vec::with_capacity(client_ids.len());
+    for &id in client_ids {
+        let actor = world.actor::<ClientActor>(id).expect("client actor type");
+        let gw = actor.gateway();
+        let stats = gw.stats();
+        let det = gw.detector();
+        let failure_ci =
+            (det.total() > 0).then(|| BinomialCi::wilson95(det.failures(), det.total()));
+        clients.push(ClientOutcome {
+            id,
+            reads: stats.reads,
+            updates: stats.updates,
+            timing_failures: stats.timing_failures,
+            failure_ci,
+            avg_replicas_selected: if stats.reads > 0 {
+                stats.selected_sum as f64 / stats.reads as f64
+            } else {
+                0.0
+            },
+            deferred_replies: stats.deferred_replies,
+            give_ups: stats.give_ups,
+            selection_counts: gw.selection_counts().clone(),
+            mean_predicted: gw.mean_predicted(),
+            record: actor.record().clone(),
+            repository: gw.repository().clone(),
+        });
+    }
+
+    let mut servers = Vec::new();
+    for &id in primary_ids.iter().chain(secondary_ids.iter()) {
+        let actor = world.actor::<ReplicaActor>(id).expect("replica actor type");
+        let gw = actor.gateway();
+        servers.push(ServerOutcome {
+            id,
+            is_sequencer: gw.is_sequencer(),
+            is_publisher: gw.is_publisher(),
+            csn: gw.csn(),
+            applied_csn: gw.applied_csn(),
+            gsn: gw.gsn(),
+            stats: gw.stats(),
+            alive: world.is_alive(id),
+        });
+    }
+
+    ScenarioMetrics {
+        clients,
+        servers,
+        virtual_secs: world.now().as_secs_f64(),
+        events: world.stats().events,
+    }
+}

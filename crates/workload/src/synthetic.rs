@@ -1,0 +1,153 @@
+//! Synthetic repository construction for CPU-overhead (Figure 3),
+//! admission, and benchmark studies: fills client-side sliding windows with
+//! measurements drawn from the same distributions the paper's testbed
+//! produced, without running a full scenario.
+
+use aqf_core::monitor::MonitorConfig;
+use aqf_core::wire::{PerfBroadcast, PublisherInfo, ReadMeasurement};
+use aqf_core::{Candidate, InfoRepository};
+use aqf_sim::{ActorId, DelayModel, SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Builds a repository for `n` replicas with full sliding windows of size
+/// `window`: service times ~ N(100 ms, 50 ms), queueing ~ Exp(10 ms),
+/// deferred waits ~ U(0, 4 s) on every third read, gateway delays around
+/// 1 ms, and mid-period publisher bookkeeping at ~1 update/s.
+pub fn synthetic_repository(n: usize, window: usize, seed: u64) -> InfoRepository {
+    let mut repo = InfoRepository::new(MonitorConfig {
+        window_size: window,
+        rate_window: 16,
+        ..MonitorConfig::default()
+    });
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let service = DelayModel::normal_ms(100.0, 50.0);
+    let queue = DelayModel::Exponential {
+        mean_us: 10_000.0,
+        min: SimDuration::ZERO,
+    };
+    let deferred = DelayModel::Uniform {
+        lo: SimDuration::ZERO,
+        hi: SimDuration::from_secs(4),
+    };
+    let now = SimTime::from_secs(100);
+    for i in 0..n {
+        let replica = ActorId::from_index(i + 1);
+        for k in 0..window {
+            let tb = if k % 3 == 0 {
+                deferred.sample(&mut rng).as_micros()
+            } else {
+                0
+            };
+            repo.record_perf(
+                replica,
+                &PerfBroadcast {
+                    read: Some(ReadMeasurement {
+                        ts_us: service.sample(&mut rng).as_micros(),
+                        tq_us: queue.sample(&mut rng).as_micros(),
+                        tb_us: tb,
+                    }),
+                    publisher: None,
+                },
+                now,
+            );
+        }
+        // A recent reply fixes the gateway delay and ert.
+        let tm = now - SimDuration::from_millis(120 + 10 * i as u64);
+        repo.record_reply(replica, 110_000, tm, tm + SimDuration::from_millis(111));
+    }
+    repo.record_perf(
+        ActorId::from_index(1),
+        &PerfBroadcast {
+            read: None,
+            publisher: Some(PublisherInfo {
+                n_u: 4,
+                t_u: SimDuration::from_secs(4),
+                n_l: 1,
+                t_l: SimDuration::from_secs(1),
+                period: SimDuration::from_secs(4),
+            }),
+        },
+        now,
+    );
+    repo
+}
+
+/// Evaluates the model inputs for `n` replicas against `deadline` (the
+/// "computation of the response time distribution function" part of the
+/// paper's Figure 3 overhead). Replicas `1..=n_primaries` are primaries,
+/// the rest secondaries.
+pub fn build_candidates(
+    repo: &InfoRepository,
+    n: usize,
+    n_primaries: usize,
+    deadline: SimDuration,
+    now: SimTime,
+) -> Vec<Candidate> {
+    (0..n)
+        .map(|i| {
+            let id = ActorId::from_index(i + 1);
+            let is_primary = i < n_primaries;
+            Candidate {
+                id,
+                is_primary,
+                immediate_cdf: repo.immediate_cdf(id, deadline),
+                deferred_cdf: if is_primary {
+                    0.0
+                } else {
+                    repo.deferred_cdf(id, deadline)
+                },
+                ert_us: repo.ert_us(id, now),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repository_is_warm() {
+        let repo = synthetic_repository(5, 20, 1);
+        assert_eq!(repo.tracked_replicas(), 5);
+        let d = SimDuration::from_millis(300);
+        for i in 1..=5 {
+            let id = ActorId::from_index(i);
+            assert!(repo.immediate_cdf(id, d) > 0.5, "replica {i} warm");
+            assert!(repo.ert_us(id, SimTime::from_secs(100)) < u64::MAX);
+        }
+        assert!(repo.update_rate_per_us().is_some());
+    }
+
+    #[test]
+    fn candidates_respect_roles() {
+        let repo = synthetic_repository(6, 10, 2);
+        let cands = build_candidates(
+            &repo,
+            6,
+            2,
+            SimDuration::from_millis(200),
+            SimTime::from_secs(100),
+        );
+        assert_eq!(cands.len(), 6);
+        assert!(cands[0].is_primary && cands[1].is_primary);
+        assert!(!cands[2].is_primary);
+        assert_eq!(
+            cands[0].deferred_cdf, 0.0,
+            "primaries have no deferred path"
+        );
+        assert!(cands[5].deferred_cdf >= 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = synthetic_repository(4, 10, 9);
+        let b = synthetic_repository(4, 10, 9);
+        let d = SimDuration::from_millis(150);
+        for i in 1..=4 {
+            let id = ActorId::from_index(i);
+            assert_eq!(a.immediate_cdf(id, d), b.immediate_cdf(id, d));
+        }
+    }
+}

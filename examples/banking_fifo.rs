@@ -1,0 +1,58 @@
+//! The paper's second handler (Figure 2, "Service B"): a banking service
+//! with FIFO ordering. Each client transacts on its own account, so
+//! per-sender FIFO delivery keeps replicas convergent without the cost of
+//! a sequencer — reads skip the GSN round entirely.
+//!
+//! ```sh
+//! cargo run --release --example banking_fifo
+//! ```
+
+use aqf::core::{OrderingGuarantee, QosSpec, SelectionPolicy};
+use aqf::sim::SimDuration;
+use aqf::workload::{run_scenario, ClientSpec, ObjectKind, OpPattern, ScenarioConfig};
+
+fn main() {
+    let mut config = ScenarioConfig::paper_validation(150, 0.9, 2, 13);
+    config.object = ObjectKind::Bank;
+    config.ordering = OrderingGuarantee::Fifo;
+    config.num_primaries = 3;
+    config.num_secondaries = 5;
+
+    // Three account holders issuing mixed deposits/withdrawals + balance
+    // checks against their own accounts.
+    config.clients = (0..3)
+        .map(|i| ClientSpec {
+            qos: QosSpec::new(2, SimDuration::from_millis(150), 0.9).expect("valid"),
+            request_delay: SimDuration::from_millis(400 + 100 * i),
+            total_requests: 500,
+            pattern: OpPattern::AlternatingWriteRead,
+            policy: SelectionPolicy::Probabilistic,
+            start_offset: SimDuration::from_millis(50 * i),
+        })
+        .collect();
+
+    let metrics = run_scenario(&config);
+
+    println!("banking service, FIFO handler: 4 primaries + 5 secondaries, no sequencer\n");
+    for (i, c) in metrics.clients.iter().enumerate() {
+        println!(
+            "account holder {i}: {} transactions, {} balance checks, failure probability {}, avg replicas {:.2}",
+            c.updates,
+            c.reads,
+            c.failure_ci.map(|ci| ci.to_string()).unwrap_or_else(|| "n/a".into()),
+            c.avg_replicas_selected,
+        );
+    }
+    let versions: Vec<u64> = metrics.servers.iter().map(|s| s.applied_csn).collect();
+    println!("\nper-replica applied transaction counts: {versions:?}");
+    println!(
+        "convergence: every replica applied all {} transactions (per-account\n\
+         operations commute, so FIFO delivery suffices — no total order needed)",
+        versions.iter().max().unwrap_or(&0)
+    );
+    println!(
+        "note: compared with the sequential handler, reads here cost one\n\
+         network round less (no GSN broadcast), and updates commit without\n\
+         the sequencer's assignment round."
+    );
+}

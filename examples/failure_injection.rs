@@ -1,0 +1,72 @@
+//! Failure injection: crash the sequencer and the lazy publisher in the
+//! middle of a run and watch the middleware recover (the §4.1 failure
+//! handling the paper relies on, plus the §5.3 single-failure tolerance of
+//! the selected sets).
+//!
+//! ```sh
+//! cargo run --release --example failure_injection
+//! ```
+
+use aqf::sim::SimTime;
+use aqf::workload::{run_scenario, FaultEvent, FaultKind, FaultTarget, ScenarioConfig};
+
+fn main() {
+    let mut config = ScenarioConfig::paper_validation(160, 0.9, 2, 31);
+    // Faster failure detection so recoveries are visible mid-run.
+    config.group_tick = aqf::sim::SimDuration::from_millis(250);
+    config.failure_timeout = aqf::sim::SimDuration::from_millis(900);
+    config.faults = vec![
+        // Kill the sequencer a quarter into the run...
+        FaultEvent {
+            at: SimTime::from_secs(300),
+            target: FaultTarget::Sequencer,
+            kind: FaultKind::Crash,
+        },
+        // ...and the lazy publisher halfway through.
+        FaultEvent {
+            at: SimTime::from_secs(600),
+            target: FaultTarget::Publisher,
+            kind: FaultKind::Crash,
+        },
+        // The publisher machine comes back later and rejoins.
+        FaultEvent {
+            at: SimTime::from_secs(900),
+            target: FaultTarget::Publisher,
+            kind: FaultKind::Restart,
+        },
+    ];
+
+    let metrics = run_scenario(&config);
+
+    println!("fault plan: sequencer crash @300s, publisher crash @600s, publisher restart @900s\n");
+    for (i, c) in metrics.clients.iter().enumerate() {
+        println!(
+            "client {i}: {} reads, failure probability {}, give-ups {}",
+            c.reads,
+            c.failure_ci
+                .map(|ci| ci.to_string())
+                .unwrap_or_else(|| "n/a".into()),
+            c.give_ups,
+        );
+    }
+    println!();
+    for s in &metrics.servers {
+        println!(
+            "replica {}: alive={} sequencer={} publisher={} csn={} recoveries={} state-transfers={} conflicts={}",
+            s.id,
+            s.alive,
+            s.is_sequencer,
+            s.is_publisher,
+            s.csn,
+            s.stats.recoveries,
+            s.stats.state_transfers,
+            s.stats.gsn_conflicts,
+        );
+    }
+    println!(
+        "\nlive-replica divergence at end = {} (sequential consistency held\n\
+         through both role failures; a new sequencer recovered the GSN and a\n\
+         new lazy publisher was designated deterministically)",
+        metrics.max_applied_divergence()
+    );
+}

@@ -1,0 +1,50 @@
+//! **AQF** — an adaptive framework for tunable consistency and timeliness
+//! using replication.
+//!
+//! This workspace is a from-scratch Rust reproduction of
+//! *S. Krishnamurthy, W. H. Sanders, and M. Cukier, "An Adaptive Framework
+//! for Tunable Consistency and Timeliness Using Replication", DSN 2002*,
+//! including every substrate the paper depends on:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`sim`] ([`aqf_sim`]) | deterministic discrete-event simulator: virtual time, actors, network delay models, fault injection |
+//! | [`group`] ([`aqf_group`]) | Ensemble/Maestro-style group communication: views, leader election, reliable FIFO multicast |
+//! | [`stats`] ([`aqf_stats`]) | empirical pmfs, discrete convolution, Poisson CDF, sliding windows, binomial CIs |
+//! | [`core`] ([`aqf_core`]) | the paper's contribution: QoS model, sequential consistency gateways, probabilistic replica selection, admission control |
+//! | [`workload`] ([`aqf_workload`]) | scenario configuration, host actors, the experiment runner |
+//!
+//! # Quick start
+//!
+//! Run a miniature version of the paper's validation experiment (§6):
+//!
+//! ```
+//! use aqf::workload::{run_scenario, ScenarioConfig};
+//!
+//! // Client 2 asks for: staleness <= 2 versions, deadline 200 ms,
+//! // probability >= 0.5, under a 2 s lazy update interval.
+//! let mut config = ScenarioConfig::paper_validation(200, 0.5, 2, 42);
+//! for c in &mut config.clients {
+//!     c.total_requests = 40;
+//! }
+//! let metrics = run_scenario(&config);
+//! let measured = metrics.client(1);
+//! assert!(measured.reads > 0);
+//! // The probabilistic selection kept the failure rate within budget.
+//! if let Some(ci) = measured.failure_ci {
+//!     assert!(ci.estimate <= 0.5);
+//! }
+//! ```
+//!
+//! See `examples/` for complete scenarios (document sharing, stock ticker,
+//! failure injection, admission control) and the `aqf-experiments` binary
+//! for the scripts that regenerate every figure of the paper's evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use aqf_core as core;
+pub use aqf_group as group;
+pub use aqf_sim as sim;
+pub use aqf_stats as stats;
+pub use aqf_workload as workload;

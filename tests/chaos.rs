@@ -1,0 +1,148 @@
+//! Chaos-style integration tests: randomized (but seeded) fault schedules
+//! under message loss. The assertions are the system's safety and
+//! liveness floors — every request resolves, live replicas converge, and
+//! sequencing never double-assigns — rather than exact QoS numbers.
+
+use aqf::core::OrderingGuarantee;
+use aqf::sim::{SimDuration, SimTime};
+use aqf::workload::{run_scenario, FaultEvent, FaultKind, FaultTarget, ObjectKind, ScenarioConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a randomized crash/restart schedule: each chosen target crashes
+/// once and restarts a few seconds later, staggered across the run.
+fn random_faults(seed: u64, primaries: usize, secondaries: usize) -> Vec<FaultEvent> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut faults = Vec::new();
+    let mut at = 40u64;
+    let add = |target: FaultTarget, at: u64, gap: u64| {
+        vec![
+            FaultEvent {
+                at: SimTime::from_secs(at),
+                target,
+                kind: FaultKind::Crash,
+            },
+            FaultEvent {
+                at: SimTime::from_secs(at + gap),
+                target,
+                kind: FaultKind::Restart,
+            },
+        ]
+    };
+    // One primary, one secondary, and (sometimes) the sequencer.
+    let p = rng.gen_range(0..primaries);
+    faults.extend(add(FaultTarget::Primary(p), at, rng.gen_range(10..30)));
+    at += rng.gen_range(40..80);
+    let s = rng.gen_range(0..secondaries);
+    faults.extend(add(FaultTarget::Secondary(s), at, rng.gen_range(10..30)));
+    at += rng.gen_range(40..80);
+    if rng.gen_bool(0.5) {
+        faults.extend(add(FaultTarget::Sequencer, at, rng.gen_range(10..30)));
+    }
+    faults
+}
+
+fn chaos_config(seed: u64, ordering: OrderingGuarantee) -> ScenarioConfig {
+    let mut config = ScenarioConfig::paper_validation(250, 0.5, 2, seed);
+    config.ordering = ordering;
+    if ordering != OrderingGuarantee::Sequential {
+        config.object = ObjectKind::Bank;
+    }
+    for c in &mut config.clients {
+        c.total_requests = 250;
+        c.qos = aqf::core::QosSpec::new(4, SimDuration::from_millis(250), 0.5).expect("valid");
+    }
+    config.group_tick = SimDuration::from_millis(250);
+    config.failure_timeout = SimDuration::from_millis(900);
+    config.loss_probability = 0.02;
+    config.faults = random_faults(seed, config.num_primaries, config.num_secondaries);
+    config
+}
+
+#[test]
+fn sequential_handler_survives_chaos() {
+    for seed in [11u64, 22, 33] {
+        let metrics = run_scenario(&chaos_config(seed, OrderingGuarantee::Sequential));
+        for c in &metrics.clients {
+            assert_eq!(
+                c.record.completed, 250,
+                "seed {seed}: client {} did not resolve all requests",
+                c.id
+            );
+        }
+        // Safety: no GSN double-assignment anywhere, ever.
+        assert!(
+            metrics.servers.iter().all(|s| s.stats.gsn_conflicts == 0),
+            "seed {seed}: GSN conflict"
+        );
+        // Liveness: every update committed (125 writes per client) and
+        // every live replica converged after the drain.
+        let max_applied = metrics
+            .servers
+            .iter()
+            .filter(|s| s.alive)
+            .map(|s| s.applied_csn)
+            .max()
+            .unwrap();
+        let total_writes: u64 = metrics.clients.iter().map(|c| c.updates).sum();
+        assert_eq!(
+            max_applied, total_writes,
+            "seed {seed}: some updates never committed"
+        );
+        for s in metrics.servers.iter().filter(|s| s.alive) {
+            assert_eq!(
+                s.applied_csn, max_applied,
+                "seed {seed}: replica {} wedged",
+                s.id
+            );
+        }
+        // Consistency contract: immediate reads never exceeded thresholds.
+        for c in &metrics.clients {
+            assert_eq!(c.record.staleness_violations, 0, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn fifo_handler_survives_chaos() {
+    for seed in [44u64, 55] {
+        let metrics = run_scenario(&chaos_config(seed, OrderingGuarantee::Fifo));
+        for c in &metrics.clients {
+            assert_eq!(c.record.completed, 250, "seed {seed}");
+        }
+        // FIFO restarts may lose the rejoin-window updates (documented), so
+        // the floor here is completion plus bounded divergence.
+        let live: Vec<u64> = metrics
+            .servers
+            .iter()
+            .filter(|s| s.alive)
+            .map(|s| s.applied_csn)
+            .collect();
+        let spread = live.iter().max().unwrap() - live.iter().min().unwrap();
+        assert!(
+            spread <= 10,
+            "seed {seed}: FIFO divergence {spread} beyond the rejoin-window bound"
+        );
+    }
+}
+
+#[test]
+fn causal_handler_survives_chaos() {
+    for seed in [66u64, 77] {
+        let metrics = run_scenario(&chaos_config(seed, OrderingGuarantee::Causal));
+        for c in &metrics.clients {
+            assert_eq!(c.record.completed, 250, "seed {seed}");
+        }
+        let live: Vec<u64> = metrics
+            .servers
+            .iter()
+            .filter(|s| s.alive)
+            .map(|s| s.applied_csn)
+            .collect();
+        let spread = live.iter().max().unwrap() - live.iter().min().unwrap();
+        assert!(
+            spread <= 10,
+            "seed {seed}: causal divergence {spread} beyond the rejoin-window bound"
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! End-to-end integration tests: full middleware stack (client gateways,
+//! group communication, sequencer protocol, lazy propagation, probabilistic
+//! selection) running in the discrete-event simulator.
+
+use aqf::core::SelectionPolicy;
+use aqf::sim::SimDuration;
+use aqf::workload::{run_scenario, OpPattern, ScenarioConfig};
+
+fn mini_config(deadline_ms: u64, pc: f64, lui: u64, seed: u64) -> ScenarioConfig {
+    let mut config = ScenarioConfig::paper_validation(deadline_ms, pc, lui, seed);
+    for c in &mut config.clients {
+        c.total_requests = 200;
+    }
+    config
+}
+
+#[test]
+fn every_request_completes() {
+    let metrics = run_scenario(&mini_config(200, 0.5, 2, 1));
+    for c in &metrics.clients {
+        assert_eq!(c.record.completed, 200, "client {} completed", c.id);
+        assert_eq!(c.give_ups, 0, "no lost requests under a reliable LAN");
+        assert_eq!(c.reads + c.updates, 200);
+    }
+}
+
+#[test]
+fn qos_budget_respected_in_steady_state() {
+    let metrics = run_scenario(&mini_config(200, 0.9, 2, 2));
+    let c = metrics.client(1);
+    let ci = c.failure_ci.expect("reads resolved");
+    assert!(
+        ci.estimate <= 0.1 + 0.03,
+        "failure probability {} exceeds the 1-Pc budget",
+        ci.estimate
+    );
+}
+
+#[test]
+fn replicas_converge() {
+    let metrics = run_scenario(&mini_config(160, 0.5, 2, 3));
+    // Both clients issued 100 updates each; every live replica must have
+    // committed and applied all of them by the end of the drain.
+    let expected: u64 = 200;
+    for s in &metrics.servers {
+        assert_eq!(s.csn, expected, "replica {} csn", s.id);
+        assert_eq!(s.applied_csn, expected, "replica {} applied", s.id);
+        assert_eq!(s.stats.gsn_conflicts, 0);
+        assert_eq!(s.stats.stale_assigns, 0);
+    }
+    assert_eq!(metrics.max_applied_divergence(), 0);
+}
+
+#[test]
+fn stringent_clients_select_more_replicas() {
+    let strict = run_scenario(&mini_config(100, 0.9, 4, 4));
+    let relaxed = run_scenario(&mini_config(220, 0.5, 4, 4));
+    assert!(
+        strict.client(1).avg_replicas_selected > relaxed.client(1).avg_replicas_selected,
+        "stringent QoS ({:.2}) must use more replicas than relaxed ({:.2})",
+        strict.client(1).avg_replicas_selected,
+        relaxed.client(1).avg_replicas_selected
+    );
+}
+
+#[test]
+fn longer_lazy_interval_defers_more_reads() {
+    let short = run_scenario(&mini_config(200, 0.9, 1, 5));
+    let long = run_scenario(&mini_config(200, 0.9, 8, 5));
+    let d_short = short.client(1).deferred_replies
+        + short
+            .servers
+            .iter()
+            .map(|s| s.stats.reads_deferred)
+            .sum::<u64>();
+    let d_long = long.client(1).deferred_replies
+        + long
+            .servers
+            .iter()
+            .map(|s| s.stats.reads_deferred)
+            .sum::<u64>();
+    assert!(
+        d_long > d_short,
+        "LUI 8s should defer more reads ({d_long}) than LUI 1s ({d_short})"
+    );
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let a = run_scenario(&mini_config(140, 0.9, 2, 77));
+    let b = run_scenario(&mini_config(140, 0.9, 2, 77));
+    assert_eq!(a.events, b.events);
+    for (ca, cb) in a.clients.iter().zip(b.clients.iter()) {
+        assert_eq!(ca.timing_failures, cb.timing_failures);
+        assert_eq!(ca.avg_replicas_selected, cb.avg_replicas_selected);
+        assert_eq!(ca.deferred_replies, cb.deferred_replies);
+    }
+    for (sa, sb) in a.servers.iter().zip(b.servers.iter()) {
+        assert_eq!(sa.stats, sb.stats);
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_scenario(&mini_config(140, 0.9, 2, 1));
+    let b = run_scenario(&mini_config(140, 0.9, 2, 2));
+    assert_ne!(a.events, b.events, "different seeds should diverge");
+}
+
+#[test]
+fn read_only_and_write_only_mixes() {
+    let mut config = mini_config(200, 0.5, 2, 6);
+    config.clients[0].pattern = OpPattern::WriteOnly;
+    config.clients[1].pattern = OpPattern::ReadOnly;
+    let metrics = run_scenario(&config);
+    assert_eq!(metrics.client(0).reads, 0);
+    assert_eq!(metrics.client(0).updates, 200);
+    assert_eq!(metrics.client(1).reads, 200);
+    assert_eq!(metrics.client(1).updates, 0);
+    // Writers' updates all committed.
+    assert!(metrics.servers.iter().all(|s| s.csn == 200));
+}
+
+#[test]
+fn read_fraction_mix_is_plausible() {
+    let mut config = mini_config(200, 0.5, 2, 8);
+    config.clients[1].pattern = OpPattern::ReadFraction(0.8);
+    let metrics = run_scenario(&config);
+    let c = metrics.client(1);
+    assert_eq!(c.reads + c.updates, 200);
+    assert!(
+        (120..=190).contains(&c.reads),
+        "80% read mix gave {} reads",
+        c.reads
+    );
+}
+
+#[test]
+fn all_replicas_policy_minimizes_failures() {
+    let mut probabilistic = mini_config(120, 0.9, 2, 9);
+    probabilistic.clients[1].policy = SelectionPolicy::Probabilistic;
+    let mut everyone = mini_config(120, 0.9, 2, 9);
+    everyone.clients[1].policy = SelectionPolicy::AllReplicas;
+    let p = run_scenario(&probabilistic);
+    let e = run_scenario(&everyone);
+    // Sending to everyone is the timing-failure floor.
+    assert!(
+        e.client(1).timing_failures <= p.client(1).timing_failures,
+        "all-replicas ({}) must not fail more than selective ({})",
+        e.client(1).timing_failures,
+        p.client(1).timing_failures
+    );
+    // And always selects the full pool.
+    assert_eq!(e.client(1).avg_replicas_selected, 11.0);
+}
+
+#[test]
+fn single_round_robin_selects_one() {
+    let mut config = mini_config(200, 0.5, 2, 10);
+    config.clients[1].policy = SelectionPolicy::SingleRoundRobin;
+    let metrics = run_scenario(&config);
+    // One replica + the sequencer.
+    assert_eq!(metrics.client(1).avg_replicas_selected, 2.0);
+}
+
+#[test]
+fn message_loss_is_survivable() {
+    let mut config = mini_config(300, 0.5, 2, 11);
+    config.loss_probability = 0.05;
+    config.clients[1].qos =
+        aqf::core::QosSpec::new(2, SimDuration::from_millis(300), 0.5).expect("valid");
+    let metrics = run_scenario(&config);
+    // FIFO multicast retransmission keeps updates flowing: all replicas
+    // converge despite 5% loss.
+    for s in &metrics.servers {
+        assert_eq!(s.csn, 200, "replica {} converged under loss", s.id);
+    }
+}
