@@ -40,6 +40,7 @@ fn bench_gateway(c: &mut Criterion) {
             let u = UpdateRequest {
                 id: client(seq),
                 op: Operation::new("set", b"value".to_vec()),
+                attempt: 1,
             };
             let a1 = gw.on_payload(sequencer, Payload::Update(u), now);
             let a2 = gw.on_payload(
@@ -67,6 +68,7 @@ fn bench_gateway(c: &mut Criterion) {
                 id: client(seq),
                 op: Operation::new("get", Vec::new()),
                 staleness_threshold: 2,
+                attempt: 1,
             };
             let a1 = gw.on_payload(ActorId::from_index(999), Payload::Read(r), now);
             let a2 = gw.on_payload(

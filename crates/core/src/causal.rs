@@ -26,6 +26,7 @@
 //! workload's concurrent operations must commute for byte-identical
 //! convergence.
 
+use crate::dedup::ReplyCache;
 use crate::object::ReplicatedObject;
 use crate::qos::OrderingGuarantee;
 use crate::server::{ReplicaRole, ServerAction, ServerConfig, ServerStats};
@@ -35,17 +36,17 @@ use crate::wire::{
 };
 use aqf_group::View;
 use aqf_sim::{ActorId, SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Pointwise comparison: does `vector` dominate (cover) every entry of
 /// `deps`?
-pub fn dominates(vector: &HashMap<ActorId, u64>, deps: &VersionVector) -> bool {
+pub fn dominates(vector: &BTreeMap<ActorId, u64>, deps: &VersionVector) -> bool {
     deps.iter()
         .all(|(client, need)| vector.get(client).copied().unwrap_or(0) >= *need)
 }
 
 /// Pointwise maximum merge of `incoming` into `vector`.
-pub fn merge_into(vector: &mut HashMap<ActorId, u64>, incoming: &VersionVector) {
+pub fn merge_into(vector: &mut BTreeMap<ActorId, u64>, incoming: &VersionVector) {
     for (client, count) in incoming {
         let entry = vector.entry(*client).or_insert(0);
         *entry = (*entry).max(*count);
@@ -100,12 +101,14 @@ pub struct CausalServerGateway {
 
     /// Per-client committed (enqueued-for-apply) update counts: the
     /// replica's version vector.
-    vector: HashMap<ActorId, u64>,
+    vector: BTreeMap<ActorId, u64>,
     /// Total updates committed (sum of the vector).
     version: u64,
     /// Updates whose program-order predecessor or dependencies are not yet
     /// committed.
     waiting: Vec<WaitingUpdate>,
+    /// Replies sent for recent updates, for answering retransmissions.
+    reply_cache: ReplyCache,
     /// Reads whose dependency vector the replica does not dominate yet, or
     /// whose estimated staleness exceeded the client threshold.
     deferred: Vec<(PendingRead, SimTime)>,
@@ -175,6 +178,7 @@ impl CausalServerGateway {
         } else {
             ReplicaRole::Secondary
         };
+        let config_reply_cache = config.reply_cache;
         Self {
             me,
             role,
@@ -182,9 +186,10 @@ impl CausalServerGateway {
             object,
             primary_view,
             secondary_view,
-            vector: HashMap::new(),
+            vector: BTreeMap::new(),
             version: 0,
             waiting: Vec::new(),
+            reply_cache: ReplyCache::new(config_reply_cache),
             deferred: Vec::new(),
             last_lazy_at: None,
             lazy_rate_per_us: 0.0,
@@ -414,6 +419,21 @@ impl CausalServerGateway {
     ) -> Vec<ServerAction> {
         if self.role != ReplicaRole::Primary {
             return Vec::new();
+        }
+        // Duplicate detection: an already-applied update from this client
+        // has `update_seq` below the replica's applied count (admission
+        // bumps the vector immediately), and a copy may also still sit in
+        // the causal waiting room. Either way, never admit it twice.
+        let applied_of_client = self.vector.get(&update.id.client).copied().unwrap_or(0);
+        if update_seq < applied_of_client || self.waiting.iter().any(|w| w.update.id == update.id) {
+            self.stats.dedup_hits += 1;
+            return match self.reply_cache.get(&update.id) {
+                Some(r) => vec![ServerAction::SendDirect {
+                    to: update.id.client,
+                    payload: Payload::Reply(r.clone()),
+                }],
+                None => Vec::new(),
+            };
         }
         self.updates_since_broadcast += 1;
         self.updates_since_lazy += 1;
@@ -675,17 +695,19 @@ impl CausalServerGateway {
             WorkKind::Update { update } => {
                 let result = self.object.apply_update(&update.op);
                 let tq = started_at.saturating_since(work.enqueued_at);
+                let reply = Reply {
+                    id: update.id,
+                    result,
+                    t1_us: (ts + tq).as_micros(),
+                    staleness: 0,
+                    deferred: false,
+                    csn: self.version,
+                    vector: self.vector_snapshot(),
+                };
+                self.reply_cache.insert(reply.clone());
                 actions.push(ServerAction::SendDirect {
                     to: update.id.client,
-                    payload: Payload::Reply(Reply {
-                        id: update.id,
-                        result,
-                        t1_us: (ts + tq).as_micros(),
-                        staleness: 0,
-                        deferred: false,
-                        csn: self.version,
-                        vector: self.vector_snapshot(),
-                    }),
+                    payload: Payload::Reply(reply),
                 });
             }
             WorkKind::Read {
@@ -769,7 +791,7 @@ impl CausalServerGateway {
         let mut buf = blob.clone();
         assert!(buf.remaining() >= 8, "causal state transfer too short");
         let n = buf.get_u64() as usize;
-        let mut vector = HashMap::new();
+        let mut vector = BTreeMap::new();
         for _ in 0..n {
             let client = ActorId::from_index(buf.get_u32() as usize);
             let count = buf.get_u64();
@@ -926,6 +948,7 @@ mod tests {
                     seq: update_seq * 2,
                 },
                 op: Operation::new("append", text.as_bytes().to_vec()),
+                attempt: 1,
             },
             update_seq,
             deps,
@@ -941,6 +964,7 @@ mod tests {
                 },
                 op: Operation::new("fetch", vec![]),
                 staleness_threshold: 1000,
+                attempt: 1,
             },
             deps,
         }
@@ -971,7 +995,7 @@ mod tests {
 
     #[test]
     fn dominates_and_merge() {
-        let mut v = HashMap::new();
+        let mut v = BTreeMap::new();
         v.insert(a(1), 3u64);
         assert!(dominates(&v, &vec![(a(1), 3)]));
         assert!(dominates(&v, &vec![(a(1), 2)]));
@@ -1175,7 +1199,8 @@ mod tests {
                 a(20),
                 Payload::Update(UpdateRequest {
                     id: req,
-                    op: Operation::new("append", b"x".to_vec())
+                    op: Operation::new("append", b"x".to_vec()),
+                    attempt: 1,
                 }),
                 t(0)
             )

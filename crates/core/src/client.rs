@@ -26,7 +26,7 @@ use aqf_group::View;
 use aqf_sim::{ActorId, SimDuration, SimTime};
 use bytes::Bytes;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// Tuning knobs for a client gateway.
@@ -55,6 +55,9 @@ pub struct ClientConfig {
     /// [`OrderingGuarantee::Fifo`] there is no sequencer and every primary
     /// member is a candidate.
     pub ordering: OrderingGuarantee,
+    /// End-to-end recovery knobs: retries, hedged reads, and replica
+    /// quarantine.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for ClientConfig {
@@ -68,6 +71,75 @@ impl Default for ClientConfig {
             seed: 0,
             staleness_model: StalenessModel::Poisson,
             ordering: OrderingGuarantee::Sequential,
+            recovery: RecoveryPolicy::default(),
+        }
+    }
+}
+
+/// Retry / hedging / quarantine policy for the client gateway.
+///
+/// The recovery state machine per request:
+///
+/// ```text
+/// submit ── transmit(attempt 1) ── attempt expiry (Deadline for reads,
+///    Retry for updates) ── backoff (capped exponential + jitter, Retry
+///    timer) ── retransmit(attempt n+1, reselected excluding tried and
+///    quarantined replicas) ── attempt expiry (Retry) ── ... until
+///    max_attempts or the give-up horizon, whichever comes first.
+/// ```
+///
+/// Hedging is orthogonal: once `hedge_fraction` of the deadline has
+/// elapsed with no reply, one extra copy of the read goes to the best
+/// replica not yet tried. All timers and jitter come from the gateway's
+/// seeded RNG and virtual clock, so recovery is fully deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Master switch; `false` reproduces the seed's fire-and-forget
+    /// behaviour (used as the A/B baseline in experiments).
+    pub enabled: bool,
+    /// Attempt budget, *including* the first transmission.
+    pub max_attempts: u32,
+    /// Backoff before the first retransmission; doubles per attempt.
+    pub base_backoff: SimDuration,
+    /// Cap on the exponential backoff.
+    pub max_backoff: SimDuration,
+    /// When `Some(h)`, a hedged read fires once `h` of the deadline has
+    /// been consumed with no reply (`0 < h < 1`).
+    pub hedge_fraction: Option<f64>,
+    /// How long an update may go unacknowledged before it is
+    /// retransmitted (updates have no QoS deadline).
+    pub update_retry_after: SimDuration,
+    /// Consecutive timeouts before a replica is quarantined.
+    pub quarantine_threshold: u32,
+    /// Initial quarantine window; doubles per re-offence.
+    pub quarantine_base: SimDuration,
+    /// Cap on the quarantine window.
+    pub quarantine_max: SimDuration,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            max_attempts: 3,
+            base_backoff: SimDuration::from_millis(20),
+            max_backoff: SimDuration::from_secs(1),
+            hedge_fraction: Some(0.5),
+            update_retry_after: SimDuration::from_secs(1),
+            quarantine_threshold: 3,
+            quarantine_base: SimDuration::from_secs(5),
+            quarantine_max: SimDuration::from_secs(60),
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// The seed's original behaviour: one attempt, no hedge, no
+    /// quarantine.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
         }
     }
 }
@@ -81,6 +153,11 @@ pub enum TimerPurpose {
     Deadline,
     /// Give up waiting for any reply.
     GiveUp,
+    /// Recovery step: either the backoff before a retransmission elapsed
+    /// or the current attempt's response window expired.
+    Retry,
+    /// `hedge_fraction` of the deadline elapsed: consider a hedged read.
+    Hedge,
 }
 
 /// Completion information delivered to the client application.
@@ -160,6 +237,12 @@ pub struct ClientStats {
     pub give_ups: u64,
     /// Replies that arrived after their request was forgotten.
     pub late_replies: u64,
+    /// Retransmissions (attempts beyond the first, hedges excluded).
+    pub retries: u64,
+    /// Hedged reads fired before the deadline.
+    pub hedges: u64,
+    /// Quarantine windows opened against suspected replicas.
+    pub quarantines: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -172,6 +255,23 @@ struct Pending {
     replied: bool,
     outcome_recorded: bool,
     selected: usize,
+    /// Current attempt number (1-based; hedges do not bump it).
+    attempt: u32,
+    /// Every replica targeted so far, across attempts and hedges.
+    /// Retransmissions reselect excluding these.
+    tried: Vec<ActorId>,
+    /// Targets of the current attempt that have not replied; drained
+    /// into quarantine strikes when the attempt expires.
+    unacked: Vec<ActorId>,
+    /// The exact payload of attempt 1, retransmitted with only the
+    /// attempt counter bumped. Causal updates in particular MUST reuse
+    /// their original `update_seq`/`deps` so retries stay idempotent.
+    template: Option<Payload>,
+    /// The next [`TimerPurpose::Retry`] fire retransmits (backoff
+    /// elapsed) rather than checking the current attempt for expiry.
+    retry_pending: bool,
+    /// A hedged read was already fired (at most one per request).
+    hedged: bool,
 }
 
 /// The client-side gateway state machine. See the [module docs](self).
@@ -195,7 +295,7 @@ pub struct ClientGateway {
     predicted_sum: f64,
     // Causal-mode session state: what this client has observed (merged
     // reply vectors + its own updates) and its update-only counter.
-    observed: HashMap<ActorId, u64>,
+    observed: std::collections::BTreeMap<ActorId, u64>,
     updates_issued: u64,
     /// When the observed vector last grew (causal mode): if it grew after
     /// the last lazy propagation, no secondary can serve this client's
@@ -235,7 +335,7 @@ impl ClientGateway {
             last_stale_factor: 1.0,
             selection_counts: HashMap::new(),
             predicted_sum: 0.0,
-            observed: HashMap::new(),
+            observed: std::collections::BTreeMap::new(),
             updates_issued: 0,
             observed_advanced_at: None,
             stats: ClientStats::default(),
@@ -307,19 +407,6 @@ impl ClientGateway {
     pub fn submit_update(&mut self, op: Operation, now: SimTime) -> (RequestId, Vec<ClientAction>) {
         let id = self.next_id();
         self.stats.updates += 1;
-        self.pending.insert(
-            id,
-            Pending {
-                kind: OperationKind::Update,
-                qos: None,
-                t0: now,
-                tm: Some(now),
-                prepared: Vec::new(),
-                replied: false,
-                outcome_recorded: true, // updates carry no deadline
-                selected: 0,
-            },
-        );
         let payload = if self.config.ordering == OrderingGuarantee::Causal {
             // Causal mode: number the update and attach everything this
             // client has observed as its dependency set.
@@ -331,14 +418,34 @@ impl ClientGateway {
             *own = (*own).max(update_seq + 1);
             self.observed_advanced_at = Some(now);
             Payload::CausalUpdate {
-                update: UpdateRequest { id, op },
+                update: UpdateRequest { id, op, attempt: 1 },
                 update_seq,
                 deps,
             }
         } else {
-            Payload::Update(UpdateRequest { id, op })
+            Payload::Update(UpdateRequest { id, op, attempt: 1 })
         };
-        let actions = vec![
+        let recovery = self.config.recovery;
+        self.pending.insert(
+            id,
+            Pending {
+                kind: OperationKind::Update,
+                qos: None,
+                t0: now,
+                tm: Some(now),
+                prepared: Vec::new(),
+                replied: false,
+                outcome_recorded: true, // updates carry no deadline
+                selected: 0,
+                attempt: 1,
+                tried: Vec::new(),
+                unacked: Vec::new(),
+                template: recovery.enabled.then(|| payload.clone()),
+                retry_pending: false,
+                hedged: false,
+            },
+        );
+        let mut actions = vec![
             ClientAction::MulticastPrimary(payload),
             ClientAction::ArmTimer {
                 req: id,
@@ -346,6 +453,15 @@ impl ClientGateway {
                 after: self.config.give_up,
             },
         ];
+        if recovery.enabled && recovery.max_attempts > 1 {
+            // Updates have no QoS deadline; a dedicated timer checks the
+            // attempt for expiry.
+            actions.push(ClientAction::ArmTimer {
+                req: id,
+                purpose: TimerPurpose::Retry,
+                after: recovery.update_retry_after,
+            });
+        }
         (id, actions)
     }
 
@@ -367,7 +483,7 @@ impl ClientGateway {
         let id = self.next_id();
         self.stats.reads += 1;
 
-        let candidates = self.build_candidates(qos.deadline, now);
+        let candidates = self.build_candidates(qos.deadline, now, &[]);
         let mut stale_factor = self.repo.staleness_factor(qos.staleness_threshold, now);
         if self.config.ordering == OrderingGuarantee::Causal {
             // Session-causality correction: if this client observed new
@@ -405,6 +521,7 @@ impl ClientGateway {
             id,
             op,
             staleness_threshold: qos.staleness_threshold,
+            attempt: 1,
         };
         let read_payload = if self.config.ordering == OrderingGuarantee::Causal {
             Payload::CausalRead {
@@ -420,8 +537,10 @@ impl ClientGateway {
             .map(|&r| (r, read_payload.clone()))
             .collect();
         let selected = selection.replicas.len();
+        let targets: Vec<ActorId> = selection.replicas.clone();
         self.last_selection = Some(selection);
 
+        let recovery = self.config.recovery;
         self.pending.insert(
             id,
             Pending {
@@ -433,6 +552,12 @@ impl ClientGateway {
                 replied: false,
                 outcome_recorded: false,
                 selected,
+                attempt: 1,
+                tried: targets.clone(),
+                unacked: targets,
+                template: recovery.enabled.then(|| read_payload.clone()),
+                retry_pending: false,
+                hedged: false,
             },
         );
         (
@@ -447,18 +572,27 @@ impl ClientGateway {
 
     /// Builds the candidate list: every primary replica (except the
     /// sequencer when the service has one) plus every secondary replica,
-    /// with model inputs from the repository.
-    fn build_candidates(&self, deadline: SimDuration, now: SimTime) -> Vec<Candidate> {
+    /// with model inputs from the repository. Replicas in `exclude`
+    /// (already tried by the current request) and quarantined replicas
+    /// are filtered out — unless that would leave no candidate at all,
+    /// in which case the filters are relaxed in order (quarantine first,
+    /// then `exclude`) so a request can always be transmitted.
+    fn build_candidates(
+        &self,
+        deadline: SimDuration,
+        now: SimTime,
+        exclude: &[ActorId],
+    ) -> Vec<Candidate> {
         let excluded = match self.config.ordering {
             OrderingGuarantee::Sequential => Some(self.sequencer()),
             _ => None,
         };
-        let mut out = Vec::with_capacity(self.primary_view.len() + self.secondary_view.len());
+        let mut all = Vec::with_capacity(self.primary_view.len() + self.secondary_view.len());
         for &m in self.primary_view.members() {
             if Some(m) == excluded {
                 continue;
             }
-            out.push(Candidate {
+            all.push(Candidate {
                 id: m,
                 is_primary: true,
                 immediate_cdf: self.repo.immediate_cdf(m, deadline),
@@ -467,7 +601,7 @@ impl ClientGateway {
             });
         }
         for &m in self.secondary_view.members() {
-            out.push(Candidate {
+            all.push(Candidate {
                 id: m,
                 is_primary: false,
                 immediate_cdf: self.repo.immediate_cdf(m, deadline),
@@ -475,7 +609,26 @@ impl ClientGateway {
                 ert_us: self.repo.ert_us(m, now),
             });
         }
-        out
+        if !self.config.recovery.enabled {
+            return all;
+        }
+        let healthy_untried: Vec<Candidate> = all
+            .iter()
+            .filter(|c| !exclude.contains(&c.id) && !self.repo.is_quarantined(c.id, now))
+            .cloned()
+            .collect();
+        if !healthy_untried.is_empty() {
+            return healthy_untried;
+        }
+        let untried: Vec<Candidate> = all
+            .iter()
+            .filter(|c| !exclude.contains(&c.id))
+            .cloned()
+            .collect();
+        if !untried.is_empty() {
+            return untried;
+        }
+        all
     }
 
     /// A gateway timer expired.
@@ -487,8 +640,10 @@ impl ClientGateway {
     ) -> Vec<ClientAction> {
         match purpose {
             TimerPurpose::Transmit => self.on_transmit(req, now),
-            TimerPurpose::Deadline => self.on_deadline(req),
+            TimerPurpose::Deadline => self.on_deadline(req, now),
             TimerPurpose::GiveUp => self.on_give_up(req, now),
+            TimerPurpose::Retry => self.on_retry(req, now),
+            TimerPurpose::Hedge => self.on_hedge(req, now),
         }
     }
 
@@ -507,6 +662,18 @@ impl ClientGateway {
                 purpose: TimerPurpose::Deadline,
                 after: qos.deadline,
             });
+            let recovery = self.config.recovery;
+            if recovery.enabled {
+                if let Some(h) = recovery.hedge_fraction {
+                    actions.push(ClientAction::ArmTimer {
+                        req,
+                        purpose: TimerPurpose::Hedge,
+                        after: SimDuration::from_secs_f64(
+                            qos.deadline.as_secs_f64() * h.clamp(0.0, 1.0),
+                        ),
+                    });
+                }
+            }
         }
         actions.push(ClientAction::ArmTimer {
             req,
@@ -516,7 +683,7 @@ impl ClientGateway {
         actions
     }
 
-    fn on_deadline(&mut self, req: RequestId) -> Vec<ClientAction> {
+    fn on_deadline(&mut self, req: RequestId, now: SimTime) -> Vec<ClientAction> {
         let Some(p) = self.pending.get_mut(&req) else {
             return Vec::new();
         };
@@ -528,7 +695,206 @@ impl ClientGateway {
         let min_probability = p.qos.map(|q| q.min_probability);
         self.detector.record_failure();
         self.stats.timing_failures += 1;
-        self.maybe_alert(min_probability)
+        let mut actions = self.maybe_alert(min_probability);
+        // The deadline doubles as attempt 1's expiry: charge the silent
+        // replicas and schedule a retransmission if budget remains.
+        actions.extend(self.schedule_retry(req, now));
+        actions
+    }
+
+    /// The current attempt failed (deadline or expiry-check fire with no
+    /// reply): charge quarantine strikes against the replicas that stayed
+    /// silent, then arm the backoff timer for the next attempt if the
+    /// attempt budget and the give-up horizon allow one.
+    fn schedule_retry(&mut self, req: RequestId, now: SimTime) -> Vec<ClientAction> {
+        let recovery = self.config.recovery;
+        if !recovery.enabled {
+            return Vec::new();
+        }
+        let Some(p) = self.pending.get_mut(&req) else {
+            return Vec::new();
+        };
+        if p.replied || p.retry_pending {
+            return Vec::new();
+        }
+        let unacked = std::mem::take(&mut p.unacked);
+        let attempt = p.attempt;
+        let horizon = p.tm.unwrap_or(p.t0) + self.config.give_up;
+        let charge = p.kind == OperationKind::ReadOnly;
+        if charge {
+            self.charge_timeouts(&unacked, now);
+        }
+        if attempt >= recovery.max_attempts {
+            return Vec::new();
+        }
+        // Capped exponential backoff with deterministic jitter in
+        // [backoff/2, backoff), from the gateway's seeded RNG.
+        let exp = recovery
+            .base_backoff
+            .as_micros()
+            .saturating_mul(1u64 << (attempt - 1).min(16))
+            .min(recovery.max_backoff.as_micros())
+            .max(1);
+        let jittered = SimDuration::from_micros(self.rng.gen_range(exp / 2..exp.max(2)));
+        if now + jittered >= horizon {
+            // No room left before give-up; let the give-up timer settle it.
+            return Vec::new();
+        }
+        let p = self.pending.get_mut(&req).expect("checked above");
+        p.retry_pending = true;
+        vec![ClientAction::ArmTimer {
+            req,
+            purpose: TimerPurpose::Retry,
+            after: jittered,
+        }]
+    }
+
+    /// Charges one timeout strike per silent replica, opening quarantine
+    /// windows when a replica crosses the threshold.
+    fn charge_timeouts(&mut self, silent: &[ActorId], now: SimTime) {
+        let recovery = self.config.recovery;
+        for &r in silent {
+            if self.repo.record_timeout(
+                r,
+                now,
+                recovery.quarantine_threshold,
+                recovery.quarantine_base,
+                recovery.quarantine_max,
+            ) {
+                self.stats.quarantines += 1;
+            }
+        }
+    }
+
+    fn on_retry(&mut self, req: RequestId, now: SimTime) -> Vec<ClientAction> {
+        let recovery = self.config.recovery;
+        if !recovery.enabled {
+            return Vec::new();
+        }
+        let Some(p) = self.pending.get_mut(&req) else {
+            return Vec::new();
+        };
+        if p.replied {
+            return Vec::new();
+        }
+        if !p.retry_pending {
+            // Expiry check for the current attempt: no reply yet, so fail
+            // the attempt and (maybe) back off into the next one.
+            return self.schedule_retry(req, now);
+        }
+        // Backoff elapsed: retransmit.
+        p.retry_pending = false;
+        p.attempt += 1;
+        let attempt = p.attempt;
+        let kind = p.kind;
+        let Some(template) = p.template.clone() else {
+            return Vec::new();
+        };
+        self.stats.retries += 1;
+        let payload = template.with_attempt(attempt);
+        let mut actions = Vec::new();
+        match kind {
+            OperationKind::Update => {
+                // Updates re-multicast the original payload (same id and,
+                // in causal mode, the same update_seq/deps — the server
+                // reply caches make this idempotent).
+                actions.push(ClientAction::MulticastPrimary(payload));
+                actions.push(ClientAction::ArmTimer {
+                    req,
+                    purpose: TimerPurpose::Retry,
+                    after: recovery.update_retry_after,
+                });
+            }
+            OperationKind::ReadOnly => {
+                let (qos, tried) = {
+                    let p = self.pending.get(&req).expect("checked above");
+                    (p.qos.expect("reads carry qos"), p.tried.clone())
+                };
+                // Re-run selection over the replicas not yet tried (and
+                // not quarantined); the sequencer is re-included by the
+                // selector when the service has one.
+                let candidates = self.build_candidates(qos.deadline, now, &tried);
+                let stale_factor = self.last_stale_factor;
+                let sequencer = match self.config.ordering {
+                    OrderingGuarantee::Sequential => Some(self.sequencer()),
+                    _ => None,
+                };
+                let selection = self.selector.select(
+                    &candidates,
+                    stale_factor,
+                    qos.min_probability,
+                    sequencer,
+                    &mut self.rng,
+                );
+                let targets = selection.replicas;
+                let p = self.pending.get_mut(&req).expect("checked above");
+                for &t in &targets {
+                    if !p.tried.contains(&t) {
+                        p.tried.push(t);
+                    }
+                    if !p.unacked.contains(&t) {
+                        p.unacked.push(t);
+                    }
+                    actions.push(ClientAction::SendDirect {
+                        to: t,
+                        payload: payload.clone(),
+                    });
+                }
+                // This attempt gets a fresh response window, clipped to
+                // the give-up horizon.
+                let horizon = p.tm.unwrap_or(p.t0) + self.config.give_up;
+                let window = qos.deadline.min(horizon.saturating_since(now));
+                if window > SimDuration::ZERO {
+                    actions.push(ClientAction::ArmTimer {
+                        req,
+                        purpose: TimerPurpose::Retry,
+                        after: window,
+                    });
+                }
+            }
+        }
+        actions
+    }
+
+    /// `hedge_fraction` of the deadline elapsed with no reply: fire one
+    /// extra copy of the read at the best replica not yet tried.
+    fn on_hedge(&mut self, req: RequestId, now: SimTime) -> Vec<ClientAction> {
+        if !self.config.recovery.enabled {
+            return Vec::new();
+        }
+        let Some(p) = self.pending.get(&req) else {
+            return Vec::new();
+        };
+        if p.replied || p.hedged || p.kind != OperationKind::ReadOnly {
+            return Vec::new();
+        }
+        let Some(template) = p.template.clone() else {
+            return Vec::new();
+        };
+        let (qos, tried, attempt) = (p.qos.expect("reads carry qos"), p.tried.clone(), p.attempt);
+        // Best untried replica by immediate-response probability, ties
+        // broken toward the least-recently-heard (freshest probe value).
+        let target = self
+            .build_candidates(qos.deadline, now, &tried)
+            .into_iter()
+            .filter(|c| !tried.contains(&c.id))
+            .max_by(|a, b| {
+                a.immediate_cdf
+                    .total_cmp(&b.immediate_cdf)
+                    .then(b.ert_us.cmp(&a.ert_us))
+            });
+        let Some(target) = target else {
+            return Vec::new();
+        };
+        let p = self.pending.get_mut(&req).expect("checked above");
+        p.hedged = true;
+        p.tried.push(target.id);
+        p.unacked.push(target.id);
+        self.stats.hedges += 1;
+        vec![ClientAction::SendDirect {
+            to: target.id,
+            payload: template.with_attempt(attempt),
+        }]
     }
 
     fn on_give_up(&mut self, req: RequestId, now: SimTime) -> Vec<ClientAction> {
@@ -542,6 +908,11 @@ impl ClientGateway {
         }
         let p = self.pending.remove(&req).expect("checked above");
         self.stats.give_ups += 1;
+        if p.kind == OperationKind::ReadOnly && self.config.recovery.enabled {
+            // The replicas still silent at give-up never answered any
+            // attempt; charge them before forgetting the request.
+            self.charge_timeouts(&p.unacked, now);
+        }
         let mut actions = Vec::new();
         if !p.outcome_recorded && p.kind == OperationKind::ReadOnly {
             self.detector.record_failure();
@@ -609,9 +980,22 @@ impl ClientGateway {
             return Vec::new();
         };
         // Every reply refreshes the repository (ert and gateway delay),
-        // not just the first one delivered.
+        // not just the first one delivered — and clears any quarantine
+        // suspicion against the sender.
         let tm = p.tm.unwrap_or(p.t0);
+        p.unacked.retain(|&a| a != from);
         self.repo.record_reply(from, r.t1_us, tm, now);
+        // A reply within the request's deadline is a probe success and
+        // clears quarantine suspicion. A late reply is not: it proves the
+        // replica alive, but a gray-degraded replica answers late forever
+        // and must stay suspect.
+        let probe_ok = match p.qos {
+            Some(qos) => now.saturating_since(tm) <= qos.deadline,
+            None => true,
+        };
+        if probe_ok {
+            self.repo.record_probe_success(from);
+        }
         // Causal mode: merge the replica's vector into the session state so
         // subsequent operations carry the right dependencies.
         if !r.vector.is_empty() {
@@ -995,5 +1379,277 @@ mod tests {
         let (id2, _) = c.submit_update(Operation::new("set", vec![]), t(1));
         assert!(id1 < id2);
         assert_eq!(id1.client, a(20));
+    }
+
+    // ---- recovery: retries, hedging, quarantine -------------------------
+
+    fn sends_of(actions: &[ClientAction]) -> Vec<(ActorId, u32)> {
+        actions
+            .iter()
+            .filter_map(|x| match x {
+                ClientAction::SendDirect {
+                    to,
+                    payload: Payload::Read(r),
+                } => Some((*to, r.attempt)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn retry_timer(actions: &[ClientAction]) -> Option<SimDuration> {
+        actions.iter().find_map(|x| match x {
+            ClientAction::ArmTimer {
+                purpose: TimerPurpose::Retry,
+                after,
+                ..
+            } => Some(*after),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn deadline_schedules_backoff_then_retransmits_elsewhere() {
+        let mut c = client();
+        let (id, _) = c.submit_read(Operation::new("get", vec![]), qos(100, 0.9), t(0));
+        let first = c.on_timer(id, TimerPurpose::Transmit, t(1));
+        let tried_first: Vec<ActorId> = sends_of(&first).iter().map(|&(to, _)| to).collect();
+        let actions = c.on_timer(id, TimerPurpose::Deadline, t(101));
+        let backoff = retry_timer(&actions).expect("backoff armed after deadline");
+        assert!(backoff > SimDuration::ZERO);
+        assert_eq!(c.stats().retries, 0, "backoff alone is not yet a retry");
+        // Backoff elapsed: attempt 2 goes out.
+        let actions = c.on_timer(id, TimerPurpose::Retry, t(130));
+        let resends = sends_of(&actions);
+        assert!(!resends.is_empty(), "retry retransmits the read");
+        assert!(resends.iter().all(|&(_, attempt)| attempt == 2));
+        // Cold start tried every candidate, so reselection falls back to
+        // the full set; the sequencer is always re-included.
+        assert!(resends.iter().any(|&(to, _)| to == a(0)));
+        assert!(tried_first.contains(&resends[0].0));
+        assert_eq!(c.stats().retries, 1);
+        assert!(
+            retry_timer(&actions).is_some(),
+            "attempt 2 gets its own expiry window"
+        );
+    }
+
+    #[test]
+    fn retry_success_avoids_give_up() {
+        let mut c = client();
+        let (id, _) = c.submit_read(Operation::new("get", vec![]), qos(100, 0.9), t(0));
+        let _ = c.on_timer(id, TimerPurpose::Transmit, t(1));
+        let _ = c.on_timer(id, TimerPurpose::Deadline, t(101));
+        let _ = c.on_timer(id, TimerPurpose::Retry, t(130));
+        // The retried attempt is answered late but before give-up.
+        let actions = c.on_payload(
+            a(2),
+            Payload::Reply(Reply {
+                id,
+                result: Bytes::from_static(b"v"),
+                t1_us: 0,
+                staleness: 0,
+                deferred: false,
+                csn: 1,
+                vector: Vec::new(),
+            }),
+            t(200),
+        );
+        let done = actions
+            .iter()
+            .find_map(|x| match x {
+                ClientAction::Completed(i) => Some(i.clone()),
+                _ => None,
+            })
+            .expect("retried read completes");
+        assert!(!done.timely, "completed after the deadline");
+        assert!(!done.timed_out);
+        let gc = c.on_timer(id, TimerPurpose::GiveUp, t(10_001));
+        assert!(gc.is_empty());
+        assert_eq!(c.stats().give_ups, 0, "recovered before give-up");
+    }
+
+    #[test]
+    fn attempt_budget_is_respected() {
+        let (p, s) = views();
+        let mut config = ClientConfig::default();
+        config.recovery.max_attempts = 2;
+        let mut c = ClientGateway::new(a(20), p, s, config);
+        let (id, _) = c.submit_read(Operation::new("get", vec![]), qos(100, 0.9), t(0));
+        let _ = c.on_timer(id, TimerPurpose::Transmit, t(1));
+        let actions = c.on_timer(id, TimerPurpose::Deadline, t(101));
+        assert!(retry_timer(&actions).is_some());
+        let actions = c.on_timer(id, TimerPurpose::Retry, t(130));
+        assert_eq!(c.stats().retries, 1);
+        let expiry = retry_timer(&actions).expect("attempt 2 expiry window");
+        // Attempt 2 expires too: budget exhausted, no further retry.
+        let actions = c.on_timer(id, TimerPurpose::Retry, t(130) + expiry);
+        assert!(retry_timer(&actions).is_none(), "budget of 2 exhausted");
+        assert!(sends_of(&actions).is_empty());
+        assert_eq!(c.stats().retries, 1);
+    }
+
+    #[test]
+    fn recovery_disabled_reproduces_seed_behavior() {
+        let (p, s) = views();
+        let config = ClientConfig {
+            recovery: RecoveryPolicy::disabled(),
+            ..ClientConfig::default()
+        };
+        let mut c = ClientGateway::new(a(20), p, s, config);
+        let (id, _) = c.submit_read(Operation::new("get", vec![]), qos(100, 0.9), t(0));
+        let actions = c.on_timer(id, TimerPurpose::Transmit, t(1));
+        assert!(
+            !actions.iter().any(|x| matches!(
+                x,
+                ClientAction::ArmTimer {
+                    purpose: TimerPurpose::Hedge,
+                    ..
+                }
+            )),
+            "no hedge timer when disabled"
+        );
+        let actions = c.on_timer(id, TimerPurpose::Deadline, t(101));
+        assert!(retry_timer(&actions).is_none(), "no retry when disabled");
+        assert_eq!(c.stats().retries + c.stats().hedges, 0);
+    }
+
+    #[test]
+    fn hedge_fires_once_at_an_untried_replica() {
+        let mut c = client();
+        // Warm the repo so selection is small and some replicas stay
+        // untried.
+        for r in [a(1), a(2), a(10), a(11)] {
+            feed_perf(&mut c, r, 10, 10);
+        }
+        let (id, _) = c.submit_read(Operation::new("get", vec![]), qos(200, 0.5), t(0));
+        let transmit = c.on_timer(id, TimerPurpose::Transmit, t(1));
+        let tried: Vec<ActorId> = sends_of(&transmit).iter().map(|&(to, _)| to).collect();
+        assert!(tried.len() < 5, "warm selection leaves untried replicas");
+        let actions = c.on_timer(id, TimerPurpose::Hedge, t(101));
+        let hedges = sends_of(&actions);
+        assert_eq!(hedges.len(), 1, "exactly one hedged copy");
+        assert!(!tried.contains(&hedges[0].0), "hedge goes elsewhere");
+        assert_eq!(hedges[0].1, 1, "hedge reuses the current attempt");
+        assert_eq!(c.stats().hedges, 1);
+        // A second hedge timer (or replay) does nothing.
+        assert!(c.on_timer(id, TimerPurpose::Hedge, t(102)).is_empty());
+        assert_eq!(c.stats().hedges, 1);
+    }
+
+    #[test]
+    fn hedge_skipped_after_reply() {
+        let mut c = client();
+        let (id, _) = c.submit_read(Operation::new("get", vec![]), qos(200, 0.5), t(0));
+        let _ = c.on_timer(id, TimerPurpose::Transmit, t(1));
+        let _ = c.on_payload(
+            a(1),
+            Payload::Reply(Reply {
+                id,
+                result: Bytes::new(),
+                t1_us: 0,
+                staleness: 0,
+                deferred: false,
+                csn: 0,
+                vector: Vec::new(),
+            }),
+            t(50),
+        );
+        assert!(c.on_timer(id, TimerPurpose::Hedge, t(101)).is_empty());
+        assert_eq!(c.stats().hedges, 0);
+    }
+
+    #[test]
+    fn silent_replicas_get_quarantined_and_excluded() {
+        let (p, s) = views();
+        let mut config = ClientConfig::default();
+        config.recovery.max_attempts = 1; // isolate quarantine charging
+        config.recovery.hedge_fraction = None;
+        config.recovery.quarantine_threshold = 2;
+        let mut c = ClientGateway::new(a(20), p, s, config);
+        // Two straight rounds where every selected replica stays silent.
+        for i in 0..2u64 {
+            let (id, _) =
+                c.submit_read(Operation::new("get", vec![]), qos(100, 0.9), t(i * 20_000));
+            let _ = c.on_timer(id, TimerPurpose::Transmit, t(i * 20_000 + 1));
+            let _ = c.on_timer(id, TimerPurpose::Deadline, t(i * 20_000 + 101));
+            let _ = c.on_timer(id, TimerPurpose::GiveUp, t(i * 20_000 + 10_001));
+        }
+        assert!(c.stats().quarantines > 0, "silence opens quarantines");
+        // Strike 2 landed at the round-2 deadline (~t=20.1s); the default
+        // 5s window is still open shortly afterwards.
+        let now = t(21_000);
+        let quarantined: Vec<ActorId> = [a(1), a(2), a(10), a(11)]
+            .into_iter()
+            .filter(|&r| c.repository().is_quarantined(r, now))
+            .collect();
+        assert!(!quarantined.is_empty());
+        // A reply from a quarantined replica lifts its quarantine (probe
+        // success).
+        let victim = quarantined[0];
+        let (id, _) = c.submit_read(Operation::new("get", vec![]), qos(100, 0.9), t(21_000));
+        let _ = c.on_timer(id, TimerPurpose::Transmit, t(21_001));
+        let _ = c.on_payload(
+            victim,
+            Payload::Reply(Reply {
+                id,
+                result: Bytes::new(),
+                t1_us: 0,
+                staleness: 0,
+                deferred: false,
+                csn: 0,
+                vector: Vec::new(),
+            }),
+            t(21_050),
+        );
+        assert!(!c.repository().is_quarantined(victim, t(21_060)));
+    }
+
+    #[test]
+    fn update_retransmission_reuses_identity() {
+        let (p, s) = views();
+        let config = ClientConfig {
+            ordering: OrderingGuarantee::Causal,
+            ..ClientConfig::default()
+        };
+        let mut c = ClientGateway::new(a(20), p, s, config);
+        let (id, actions) = c.submit_update(Operation::new("set", vec![1]), t(0));
+        let original = actions
+            .iter()
+            .find_map(|x| match x {
+                ClientAction::MulticastPrimary(Payload::CausalUpdate {
+                    update,
+                    update_seq,
+                    deps,
+                }) => Some((update.clone(), *update_seq, deps.clone())),
+                _ => None,
+            })
+            .expect("causal update multicast");
+        assert!(actions.iter().any(|x| matches!(
+            x,
+            ClientAction::ArmTimer {
+                purpose: TimerPurpose::Retry,
+                ..
+            }
+        )));
+        // Expiry check fires (no ack), then the backoff timer fires.
+        let actions = c.on_timer(id, TimerPurpose::Retry, t(1_000));
+        let backoff = retry_timer(&actions).expect("update backoff armed");
+        let actions = c.on_timer(id, TimerPurpose::Retry, t(1_000) + backoff);
+        let resent = actions
+            .iter()
+            .find_map(|x| match x {
+                ClientAction::MulticastPrimary(Payload::CausalUpdate {
+                    update,
+                    update_seq,
+                    deps,
+                }) => Some((update.clone(), *update_seq, deps.clone())),
+                _ => None,
+            })
+            .expect("update retransmitted");
+        assert_eq!(resent.0.id, original.0.id);
+        assert_eq!(resent.1, original.1, "same update_seq on retry");
+        assert_eq!(resent.2, original.2, "same deps on retry");
+        assert_eq!(resent.0.attempt, 2);
+        assert_eq!(c.stats().retries, 1);
     }
 }

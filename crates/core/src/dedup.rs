@@ -1,0 +1,134 @@
+//! Bounded reply cache for idempotent request handling.
+//!
+//! Clients retransmit requests that time out (and an at-least-once network
+//! may duplicate any message), so every server gateway keeps the replies
+//! it produced for its most recent updates, keyed by [`RequestId`]. When a
+//! duplicate of an already-processed update arrives, the gateway answers
+//! from this cache instead of applying the operation a second time —
+//! retried updates are exactly-once at the object layer even though the
+//! network is at-least-once.
+//!
+//! Reads are not cached: they are idempotent by construction and simply
+//! served again.
+
+use crate::wire::{Reply, RequestId};
+use std::collections::{BTreeMap, VecDeque};
+
+/// A bounded FIFO cache of the replies sent for recent updates.
+#[derive(Debug, Clone)]
+pub struct ReplyCache {
+    map: BTreeMap<RequestId, Reply>,
+    order: VecDeque<RequestId>,
+    capacity: usize,
+}
+
+impl ReplyCache {
+    /// Creates a cache retaining up to `capacity` replies (a capacity of
+    /// zero disables caching; duplicates are still suppressed by the
+    /// gateway's commit log, the client just gets no re-reply).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            map: BTreeMap::new(),
+            order: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Records the reply sent for `reply.id`, evicting the oldest entry
+    /// when full. Re-inserting an id refreshes the payload but keeps its
+    /// original eviction slot.
+    pub fn insert(&mut self, reply: Reply) {
+        if self.capacity == 0 {
+            return;
+        }
+        let id = reply.id;
+        if self.map.insert(id, reply).is_none() {
+            self.order.push_back(id);
+        }
+        while self.map.len() > self.capacity {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.map.remove(&old);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// The cached reply for `id`, if still retained.
+    pub fn get(&self, id: &RequestId) -> Option<&Reply> {
+        self.map.get(id)
+    }
+
+    /// Number of cached replies.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqf_sim::ActorId;
+    use bytes::Bytes;
+
+    fn reply(c: usize, seq: u64) -> Reply {
+        Reply {
+            id: RequestId {
+                client: ActorId::from_index(c),
+                seq,
+            },
+            result: Bytes::copy_from_slice(&seq.to_be_bytes()),
+            t1_us: 0,
+            staleness: 0,
+            deferred: false,
+            csn: seq,
+            vector: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn caches_and_returns_replies() {
+        let mut c = ReplyCache::new(4);
+        c.insert(reply(0, 1));
+        c.insert(reply(0, 2));
+        assert_eq!(c.len(), 2);
+        let got = c.get(&reply(0, 1).id).expect("cached");
+        assert_eq!(got.csn, 1);
+        assert!(c.get(&reply(9, 9).id).is_none());
+    }
+
+    #[test]
+    fn evicts_oldest_at_capacity() {
+        let mut c = ReplyCache::new(2);
+        c.insert(reply(0, 1));
+        c.insert(reply(0, 2));
+        c.insert(reply(0, 3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&reply(0, 1).id).is_none(), "oldest evicted");
+        assert!(c.get(&reply(0, 3).id).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_duplicating_slot() {
+        let mut c = ReplyCache::new(2);
+        c.insert(reply(0, 1));
+        c.insert(reply(0, 1));
+        c.insert(reply(0, 2));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&reply(0, 1).id).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ReplyCache::new(0);
+        c.insert(reply(0, 1));
+        assert!(c.is_empty());
+        assert!(c.get(&reply(0, 1).id).is_none());
+    }
+}

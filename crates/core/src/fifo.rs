@@ -28,6 +28,7 @@
 //!   recover via state transfer. Leader failure needs no recovery round at
 //!   all — there is no sequencer state to rebuild.
 
+use crate::dedup::ReplyCache;
 use crate::object::ReplicatedObject;
 use crate::qos::OrderingGuarantee;
 use crate::server::{ReplicaRole, ServerAction, ServerConfig, ServerStats};
@@ -79,6 +80,8 @@ pub struct FifoServerGateway {
     version: u64,
     /// Per-client applied-update log retained for order audits (bounded).
     applied_log: VecDeque<RequestId>,
+    /// Replies sent for recent updates, for answering retransmissions.
+    reply_cache: ReplyCache,
 
     // Secondary staleness estimation inputs.
     last_lazy_at: Option<SimTime>,
@@ -144,6 +147,7 @@ impl FifoServerGateway {
         } else {
             ReplicaRole::Secondary
         };
+        let config_reply_cache = config.reply_cache;
         Self {
             me,
             role,
@@ -153,6 +157,7 @@ impl FifoServerGateway {
             secondary_view,
             version: 0,
             applied_log: VecDeque::new(),
+            reply_cache: ReplyCache::new(config_reply_cache),
             last_lazy_at: None,
             lazy_rate_per_us: 0.0,
             deferred: Vec::new(),
@@ -362,9 +367,31 @@ impl FifoServerGateway {
         }
     }
 
+    /// Whether update `id` was already applied, is queued for service, or
+    /// is in service right now.
+    fn is_duplicate_update(&self, id: RequestId) -> bool {
+        let queued = |w: &Work| matches!(&w.kind, WorkKind::Update { update } if update.id == id);
+        self.applied_log.contains(&id)
+            || self.service_queue.iter().any(queued)
+            || self.in_service.as_ref().is_some_and(|(_, w, _)| queued(w))
+    }
+
     fn on_update(&mut self, u: UpdateRequest, now: SimTime) -> Vec<ServerAction> {
         if self.role != ReplicaRole::Primary {
             return Vec::new();
+        }
+        if self.is_duplicate_update(u.id) {
+            // Retransmission or at-least-once duplicate: FIFO updates
+            // apply as they arrive, so a second copy would double-apply.
+            // Answer from the reply cache when we already replied.
+            self.stats.dedup_hits += 1;
+            return match self.reply_cache.get(&u.id) {
+                Some(r) => vec![ServerAction::SendDirect {
+                    to: u.id.client,
+                    payload: Payload::Reply(r.clone()),
+                }],
+                None => Vec::new(),
+            };
         }
         self.updates_since_broadcast += 1;
         self.updates_since_lazy += 1;
@@ -550,17 +577,19 @@ impl FifoServerGateway {
                     self.applied_log.pop_front();
                 }
                 let tq = started_at.saturating_since(work.enqueued_at);
+                let reply = Reply {
+                    id: update.id,
+                    result,
+                    t1_us: (ts + tq).as_micros(),
+                    staleness: 0,
+                    deferred: false,
+                    csn: self.version,
+                    vector: Vec::new(),
+                };
+                self.reply_cache.insert(reply.clone());
                 actions.push(ServerAction::SendDirect {
                     to: update.id.client,
-                    payload: Payload::Reply(Reply {
-                        id: update.id,
-                        result,
-                        t1_us: (ts + tq).as_micros(),
-                        staleness: 0,
-                        deferred: false,
-                        csn: self.version,
-                        vector: Vec::new(),
-                    }),
+                    payload: Payload::Reply(reply),
                 });
             }
             WorkKind::Read {
@@ -777,6 +806,7 @@ mod tests {
                 seq,
             },
             op: Operation::new("deposit", AccountBook::encode_tx("acct", 100)),
+            attempt: 1,
         }
     }
 
@@ -785,6 +815,7 @@ mod tests {
             id: RequestId { client: a(20), seq },
             op: Operation::new("balance", b"acct".to_vec()),
             staleness_threshold: staleness,
+            attempt: 1,
         }
     }
 
@@ -1079,6 +1110,7 @@ mod tests {
                     seq: 0,
                 },
                 op: Operation::new("set", b"x".to_vec()),
+                attempt: 1,
             }),
             t(0),
         );

@@ -57,6 +57,7 @@
 pub mod admission;
 pub mod causal;
 pub mod client;
+pub mod dedup;
 pub mod fifo;
 pub mod level;
 pub mod model;
@@ -71,7 +72,9 @@ pub mod wire;
 
 pub use admission::{AdmissionController, AdmissionDecision};
 pub use causal::CausalServerGateway;
-pub use client::{ClientAction, ClientConfig, ClientGateway, ResponseInfo, TimerPurpose};
+pub use client::{
+    ClientAction, ClientConfig, ClientGateway, RecoveryPolicy, ResponseInfo, TimerPurpose,
+};
 pub use fifo::FifoServerGateway;
 pub use level::{CostCurve, Priority, PriorityMap};
 pub use model::{select_replicas, Candidate, Selection};

@@ -16,7 +16,7 @@
 use crate::wire::{PerfBroadcast, PublisherInfo};
 use aqf_sim::{ActorId, SimDuration, SimTime};
 use aqf_stats::{poisson_cdf, Pmf, RateEstimator, SlidingWindow};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How the staleness factor `P(A_s(t) <= a)` is estimated from the
 /// publisher's `<n_u, t_u>` history.
@@ -70,6 +70,16 @@ pub struct ReplicaRecord {
     last_gateway_us: Option<u64>,
     /// When this client last received any reply from the replica.
     last_reply_at: Option<SimTime>,
+    /// Consecutive request timeouts charged against this replica since its
+    /// last reply. Retained across quarantine expiry so a replica on
+    /// probation that times out once more is re-quarantined immediately.
+    consecutive_timeouts: u32,
+    /// While set and in the future, the replica is suspected gray-failed
+    /// and excluded from read selection.
+    quarantined_until: Option<SimTime>,
+    /// How many times the replica has been quarantined without an
+    /// intervening reply; each level doubles the quarantine duration.
+    quarantine_level: u32,
 }
 
 impl ReplicaRecord {
@@ -80,6 +90,9 @@ impl ReplicaRecord {
             u: SlidingWindow::new(window),
             last_gateway_us: None,
             last_reply_at: None,
+            consecutive_timeouts: 0,
+            quarantined_until: None,
+            quarantine_level: 0,
         }
     }
 }
@@ -97,7 +110,7 @@ struct PublisherObservation {
 #[derive(Debug, Clone)]
 pub struct InfoRepository {
     config: MonitorConfig,
-    replicas: HashMap<ActorId, ReplicaRecord>,
+    replicas: BTreeMap<ActorId, ReplicaRecord>,
     rate: RateEstimator,
     publisher: Option<PublisherObservation>,
 }
@@ -107,7 +120,7 @@ impl InfoRepository {
     pub fn new(config: MonitorConfig) -> Self {
         Self {
             config,
-            replicas: HashMap::new(),
+            replicas: BTreeMap::new(),
             rate: RateEstimator::new(config.rate_window),
             publisher: None,
         }
@@ -161,6 +174,55 @@ impl InfoRepository {
         let round_trip = tp.saturating_since(tm).as_micros();
         rec.last_gateway_us = Some(round_trip.saturating_sub(t1_us));
         rec.last_reply_at = Some(tp);
+    }
+
+    /// Records a successful probe of `replica`: a *timely* reply clears
+    /// accumulated suspicion and lifts any active quarantine. Late replies
+    /// deliberately do not count — they prove liveness, not timeliness, and
+    /// a gray-degraded replica keeps answering late forever.
+    pub fn record_probe_success(&mut self, replica: ActorId) {
+        let rec = self.record(replica);
+        rec.consecutive_timeouts = 0;
+        rec.quarantined_until = None;
+        rec.quarantine_level = 0;
+    }
+
+    /// Charges a request timeout against `replica`. Once
+    /// `threshold` consecutive timeouts accumulate the replica is
+    /// quarantined for `base << level` (capped at `max`), doubling each
+    /// time it re-offends without an intervening reply. Returns `true`
+    /// when this call started a new quarantine window.
+    pub fn record_timeout(
+        &mut self,
+        replica: ActorId,
+        now: SimTime,
+        threshold: u32,
+        base: SimDuration,
+        max: SimDuration,
+    ) -> bool {
+        let rec = self.record(replica);
+        rec.consecutive_timeouts = rec.consecutive_timeouts.saturating_add(1);
+        let already = rec.quarantined_until.is_some_and(|t| t > now);
+        if rec.consecutive_timeouts >= threshold.max(1) && !already {
+            let factor = 1u64 << rec.quarantine_level.min(16);
+            let dur = SimDuration::from_micros(base.as_micros().saturating_mul(factor))
+                .min(max)
+                .max(base);
+            rec.quarantined_until = Some(now + dur);
+            rec.quarantine_level = rec.quarantine_level.saturating_add(1);
+            return true;
+        }
+        false
+    }
+
+    /// Whether `replica` is currently quarantined. Expiry is probation:
+    /// the replica becomes selectable again (a lightweight probe), but a
+    /// single further timeout re-quarantines it with a doubled window.
+    pub fn is_quarantined(&self, replica: ActorId, now: SimTime) -> bool {
+        self.replicas
+            .get(&replica)
+            .and_then(|r| r.quarantined_until)
+            .is_some_and(|t| t > now)
     }
 
     /// Elapsed response time for `replica` in µs: time since this client
@@ -546,5 +608,67 @@ mod tests {
         repo.record_perf(r(1), &perf(10_000, 0, 0), now);
         repo.record_perf(r(1), &perf(10_000, 0, 0), now);
         assert_eq!(repo.immediate_cdf(r(1), SimDuration::from_millis(20)), 1.0);
+    }
+
+    #[test]
+    fn quarantine_opens_at_threshold_and_expires() {
+        let mut repo = InfoRepository::new(MonitorConfig::default());
+        let base = SimDuration::from_secs(5);
+        let max = SimDuration::from_secs(60);
+        let now = SimTime::from_secs(1);
+        assert!(!repo.record_timeout(r(1), now, 3, base, max));
+        assert!(!repo.record_timeout(r(1), now, 3, base, max));
+        assert!(!repo.is_quarantined(r(1), now));
+        assert!(repo.record_timeout(r(1), now, 3, base, max), "third strike");
+        assert!(repo.is_quarantined(r(1), now));
+        assert!(repo.is_quarantined(r(1), now + SimDuration::from_secs(4)));
+        assert!(!repo.is_quarantined(r(1), now + SimDuration::from_secs(6)));
+        // Further strikes inside the window do not restart it.
+        assert!(!repo.record_timeout(r(1), now, 3, base, max));
+    }
+
+    #[test]
+    fn requarantine_backs_off_exponentially() {
+        let mut repo = InfoRepository::new(MonitorConfig::default());
+        let base = SimDuration::from_secs(5);
+        let max = SimDuration::from_secs(60);
+        let t0 = SimTime::from_secs(1);
+        for _ in 0..3 {
+            repo.record_timeout(r(1), t0, 3, base, max);
+        }
+        // Probation: one more timeout after expiry re-quarantines at once,
+        // with a doubled window.
+        let t1 = t0 + SimDuration::from_secs(10);
+        assert!(!repo.is_quarantined(r(1), t1));
+        assert!(repo.record_timeout(r(1), t1, 3, base, max));
+        assert!(repo.is_quarantined(r(1), t1 + SimDuration::from_secs(9)));
+        assert!(!repo.is_quarantined(r(1), t1 + SimDuration::from_secs(11)));
+    }
+
+    #[test]
+    fn timely_probe_clears_quarantine_but_plain_replies_do_not() {
+        let mut repo = InfoRepository::new(MonitorConfig::default());
+        let base = SimDuration::from_secs(5);
+        let max = SimDuration::from_secs(60);
+        let t0 = SimTime::from_secs(1);
+        for _ in 0..3 {
+            repo.record_timeout(r(1), t0, 3, base, max);
+        }
+        assert!(repo.is_quarantined(r(1), t0));
+        // A late reply updates the performance record without lifting the
+        // quarantine: a gray-slow replica answers late forever.
+        repo.record_reply(r(1), 0, t0, t0 + SimDuration::from_millis(900));
+        assert!(repo.is_quarantined(r(1), t0 + SimDuration::from_secs(1)));
+        // A timely probe success clears everything, including the backoff
+        // level.
+        repo.record_probe_success(r(1));
+        assert!(!repo.is_quarantined(r(1), t0 + SimDuration::from_secs(1)));
+        for _ in 0..2 {
+            repo.record_timeout(r(1), t0, 3, base, max);
+        }
+        assert!(
+            !repo.is_quarantined(r(1), t0),
+            "strike count restarted after probe success"
+        );
     }
 }

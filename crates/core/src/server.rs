@@ -21,6 +21,7 @@
 //! The gateway is a sans-IO state machine: hosts feed it payloads, timers,
 //! and view changes, and execute the returned [`ServerAction`]s.
 
+use crate::dedup::ReplyCache;
 use crate::object::ReplicatedObject;
 use crate::wire::{
     Payload, PerfBroadcast, PublisherInfo, ReadMeasurement, ReadRequest, Reply, RequestId,
@@ -28,7 +29,7 @@ use crate::wire::{
 };
 use aqf_group::View;
 use aqf_sim::{ActorId, SimDuration, SimTime};
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Whether a replica belongs to the primary or the secondary group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +60,9 @@ pub struct ServerConfig {
     /// it can never recover (e.g. during a rejoin window) and requests a
     /// catch-up state transfer.
     pub commit_stall_timeout: SimDuration,
+    /// How many update replies to retain for answering retransmitted
+    /// requests without re-applying them.
+    pub reply_cache: usize,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +72,7 @@ impl Default for ServerConfig {
             clients: Vec::new(),
             snapshot_cache: 1024,
             committed_log: 1024,
+            reply_cache: 1024,
             commit_stall_timeout: SimDuration::from_secs(3),
         }
     }
@@ -122,6 +127,9 @@ pub struct ServerStats {
     pub recoveries: u64,
     /// State transfers served to rejoining replicas.
     pub state_transfers: u64,
+    /// Duplicate updates absorbed (retransmissions and at-least-once
+    /// deliveries answered from the reply cache or dropped).
+    pub dedup_hits: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -174,20 +182,21 @@ pub struct ServerGateway {
     // Sequencer state (leader of the primary group).
     seq_gsn: u64,
     recovering: bool,
-    awaiting_reports: HashSet<ActorId>,
+    awaiting_reports: BTreeSet<ActorId>,
     reported_csns: Vec<u64>,
     queued_snapshot_reqs: Vec<RequestId>,
 
     // Primary commit machinery.
-    unassigned_updates: HashMap<RequestId, UpdateRequest>,
-    gsn_assignments: HashMap<RequestId, u64>,
+    unassigned_updates: BTreeMap<RequestId, UpdateRequest>,
+    gsn_assignments: BTreeMap<RequestId, u64>,
     commit_ready: BTreeMap<u64, UpdateRequest>,
     committed_log: VecDeque<(u64, RequestId)>,
+    reply_cache: ReplyCache,
 
     // Read machinery.
-    read_snapshot_gsn: HashMap<RequestId, u64>,
+    read_snapshot_gsn: BTreeMap<RequestId, u64>,
     snapshot_order: VecDeque<RequestId>,
-    pending_reads: HashMap<RequestId, PendingRead>,
+    pending_reads: BTreeMap<RequestId, PendingRead>,
     deferred: Vec<DeferredRead>,
 
     // Service machinery (single-threaded server application).
@@ -256,6 +265,7 @@ impl ServerGateway {
         } else {
             ReplicaRole::Secondary
         };
+        let config_reply_cache = config.reply_cache;
         Self {
             me,
             role,
@@ -268,16 +278,17 @@ impl ServerGateway {
             applied_csn: 0,
             seq_gsn: 0,
             recovering: false,
-            awaiting_reports: HashSet::new(),
+            awaiting_reports: BTreeSet::new(),
             reported_csns: Vec::new(),
             queued_snapshot_reqs: Vec::new(),
-            unassigned_updates: HashMap::new(),
-            gsn_assignments: HashMap::new(),
+            unassigned_updates: BTreeMap::new(),
+            gsn_assignments: BTreeMap::new(),
             commit_ready: BTreeMap::new(),
             committed_log: VecDeque::new(),
-            read_snapshot_gsn: HashMap::new(),
+            reply_cache: ReplyCache::new(config_reply_cache),
+            read_snapshot_gsn: BTreeMap::new(),
             snapshot_order: VecDeque::new(),
-            pending_reads: HashMap::new(),
+            pending_reads: BTreeMap::new(),
             deferred: Vec::new(),
             service_queue: VecDeque::new(),
             in_service: None,
@@ -345,6 +356,12 @@ impl ServerGateway {
     /// Current staleness of this replica: `my_GSN - my_CSN` (paper §4.1.2).
     pub fn staleness(&self) -> u64 {
         self.my_gsn.saturating_sub(self.my_csn)
+    }
+
+    /// The retained committed log as `(GSN, request)` pairs, oldest first
+    /// (bounded by [`ServerConfig::committed_log`]).
+    pub fn committed_log(&self) -> impl Iterator<Item = (u64, RequestId)> + '_ {
+        self.committed_log.iter().copied()
     }
 
     /// Whether the replica has a synchronized state (false between a
@@ -504,8 +521,22 @@ impl ServerGateway {
         if self.role != ReplicaRole::Primary {
             return Vec::new(); // secondaries never receive updates directly
         }
-        if self.committed_log.iter().any(|&(_, r)| r == u.id) {
-            return Vec::new(); // duplicate of an already-committed update
+        if self.committed_log.iter().any(|&(_, r)| r == u.id)
+            || self.commit_ready.values().any(|c| c.id == u.id)
+            || self.unassigned_updates.contains_key(&u.id)
+        {
+            // Duplicate (client retransmission or at-least-once delivery):
+            // never double-apply. If this replica already answered the
+            // request, answer again from the reply cache — the original
+            // reply may have been the message that was lost.
+            self.stats.dedup_hits += 1;
+            return match self.reply_cache.get(&u.id) {
+                Some(r) => vec![ServerAction::SendDirect {
+                    to: u.id.client,
+                    payload: Payload::Reply(r.clone()),
+                }],
+                None => Vec::new(),
+            };
         }
         self.updates_since_broadcast += 1;
         self.updates_since_lazy += 1;
@@ -917,17 +948,21 @@ impl ServerGateway {
                 // replying to the other primaries, unless it is alone.
                 if !self.is_sequencer() || self.primary_view.len() == 1 {
                     let tq = started_at.saturating_since(work.enqueued_at);
+                    let reply = Reply {
+                        id: update.id,
+                        result,
+                        t1_us: (ts + tq).as_micros(),
+                        staleness: 0,
+                        deferred: false,
+                        csn: self.applied_csn,
+                        vector: Vec::new(),
+                    };
+                    // Retain the reply so a retransmission of this update
+                    // can be answered without re-applying it.
+                    self.reply_cache.insert(reply.clone());
                     actions.push(ServerAction::SendDirect {
                         to: update.id.client,
-                        payload: Payload::Reply(Reply {
-                            id: update.id,
-                            result,
-                            t1_us: (ts + tq).as_micros(),
-                            staleness: 0,
-                            deferred: false,
-                            csn: self.applied_csn,
-                            vector: Vec::new(),
-                        }),
+                        payload: Payload::Reply(reply),
                     });
                 }
             }
@@ -1295,6 +1330,7 @@ mod tests {
         UpdateRequest {
             id: RequestId { client: a(20), seq },
             op: Operation::new("set", format!("v{seq}").into_bytes()),
+            attempt: 1,
         }
     }
 
@@ -1303,6 +1339,7 @@ mod tests {
             id: RequestId { client: a(20), seq },
             op: Operation::new("get", vec![]),
             staleness_threshold: staleness,
+            attempt: 1,
         }
     }
 

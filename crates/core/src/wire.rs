@@ -51,6 +51,10 @@ impl Operation {
     }
 }
 
+// Referenced by `#[serde(with = ...)]` expansions only; the vendored no-op
+// derive does not generate calls, so the helpers are unused until a real
+// format backend replaces the shim.
+#[allow(dead_code)]
 mod serde_bytes_compat {
     //! `bytes::Bytes` serde helpers (the `serde` feature of `bytes` is not
     //! enabled in the approved dependency set).
@@ -73,6 +77,10 @@ pub struct UpdateRequest {
     pub id: RequestId,
     /// The state-modifying invocation.
     pub op: Operation,
+    /// Transmission attempt, starting at 1; retransmissions of the same
+    /// `id` carry higher attempts. Identity is `id` alone — servers
+    /// deduplicate retried updates regardless of attempt.
+    pub attempt: u32,
 }
 
 /// A read-only request sent to the sequencer and the selected replica set.
@@ -85,6 +93,9 @@ pub struct ReadRequest {
     /// The staleness threshold `a` from the client's QoS specification; the
     /// serving replica compares its own staleness against this.
     pub staleness_threshold: u32,
+    /// Transmission attempt, starting at 1; retries and hedges of the same
+    /// `id` carry higher attempts (hedges reuse the current attempt).
+    pub attempt: u32,
 }
 
 /// A dependency/version vector: per-client applied-update counts. Used by
@@ -292,6 +303,41 @@ impl Payload {
             Payload::CausalLazyUpdate { .. } => "causal-lazy-update",
         }
     }
+
+    /// Returns the payload with its attempt counter set to `attempt`,
+    /// leaving everything else — ids, operations, and in particular a
+    /// causal update's `update_seq`/`deps` — untouched, so a
+    /// retransmission is byte-for-byte the same request. Non-request
+    /// payloads are returned unchanged.
+    pub fn with_attempt(self, attempt: u32) -> Payload {
+        match self {
+            Payload::Update(mut u) => {
+                u.attempt = attempt;
+                Payload::Update(u)
+            }
+            Payload::Read(mut r) => {
+                r.attempt = attempt;
+                Payload::Read(r)
+            }
+            Payload::CausalUpdate {
+                mut update,
+                update_seq,
+                deps,
+            } => {
+                update.attempt = attempt;
+                Payload::CausalUpdate {
+                    update,
+                    update_seq,
+                    deps,
+                }
+            }
+            Payload::CausalRead { mut read, deps } => {
+                read.attempt = attempt;
+                Payload::CausalRead { read, deps }
+            }
+            other => other,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -325,12 +371,14 @@ mod tests {
             Payload::Update(UpdateRequest {
                 id: rid(0, 0),
                 op: Operation::new("m", vec![]),
+                attempt: 1,
             })
             .tag(),
             Payload::Read(ReadRequest {
                 id: rid(0, 0),
                 op: Operation::new("m", vec![]),
                 staleness_threshold: 0,
+                attempt: 1,
             })
             .tag(),
             Payload::GsnAssign {
@@ -379,6 +427,7 @@ mod tests {
                 update: UpdateRequest {
                     id: rid(0, 0),
                     op: Operation::new("m", vec![]),
+                    attempt: 1,
                 },
                 update_seq: 0,
                 deps: Vec::new(),
@@ -389,6 +438,7 @@ mod tests {
                     id: rid(0, 0),
                     op: Operation::new("m", vec![]),
                     staleness_threshold: 0,
+                    attempt: 1,
                 },
                 deps: Vec::new(),
             }

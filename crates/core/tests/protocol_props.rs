@@ -10,7 +10,7 @@ use aqf_core::wire::{
     Operation, Payload, PerfBroadcast, ReadMeasurement, RequestId, UpdateRequest, PRIMARY_GROUP,
     SECONDARY_GROUP,
 };
-use aqf_core::InfoRepository;
+use aqf_core::{CausalServerGateway, FifoServerGateway, InfoRepository};
 use aqf_group::{View, ViewId};
 use aqf_sim::{ActorId, SimDuration, SimTime};
 use proptest::prelude::*;
@@ -55,6 +55,45 @@ fn drain(gw: &mut ServerGateway, actions: &mut Vec<ServerAction>, now: SimTime) 
     }
 }
 
+/// As [`drain`], for the FIFO gateway.
+fn drain_fifo(gw: &mut FifoServerGateway, actions: &mut Vec<ServerAction>, now: SimTime) {
+    while let Some(pos) = actions
+        .iter()
+        .position(|x| matches!(x, ServerAction::StartService { .. }))
+    {
+        let ServerAction::StartService { token } = actions.remove(pos) else {
+            unreachable!()
+        };
+        gw.on_service_start(token, now);
+        actions.extend(gw.on_service_done(token, now + SimDuration::from_millis(1)));
+    }
+}
+
+/// As [`drain`], for the causal gateway.
+fn drain_causal(gw: &mut CausalServerGateway, actions: &mut Vec<ServerAction>, now: SimTime) {
+    while let Some(pos) = actions
+        .iter()
+        .position(|x| matches!(x, ServerAction::StartService { .. }))
+    {
+        let ServerAction::StartService { token } = actions.remove(pos) else {
+            unreachable!()
+        };
+        gw.on_service_start(token, now);
+        actions.extend(gw.on_service_done(token, now + SimDuration::from_millis(1)));
+    }
+}
+
+fn update_payload(i: u64, attempt: u32) -> Payload {
+    Payload::Update(UpdateRequest {
+        id: RequestId {
+            client: a(20),
+            seq: i,
+        },
+        op: Operation::new("set", format!("v{i}").into_bytes()),
+        attempt,
+    })
+}
+
 proptest! {
     /// Feed a primary replica a random interleaving of update bodies and
     /// GSN assignments (each body and each assignment exactly once, in any
@@ -89,6 +128,7 @@ proptest! {
                 Payload::Update(UpdateRequest {
                     id: RequestId { client: a(20), seq: i },
                     op: Operation::new("set", format!("v{i}").into_bytes()),
+                    attempt: 1,
                 })
             };
             actions.extend(gw.on_payload(a(0), payload, now));
@@ -131,6 +171,7 @@ proptest! {
                     Payload::Update(UpdateRequest {
                         id: RequestId { client: a(20), seq: i },
                         op: Operation::new("set", format!("v{i}").into_bytes()),
+                        attempt: 1,
                     })
                 };
                 actions.extend(gw.on_payload(a(0), payload, now));
@@ -240,6 +281,167 @@ proptest! {
         }
         let d = SimDuration::from_millis(d_ms);
         prop_assert!(repo.deferred_cdf(a(1), d) <= repo.immediate_cdf(a(1), d) + 1e-9);
+    }
+
+    /// At-least-once delivery is harmless for the sequential gateway:
+    /// delivering every update payload a second time (the retransmitted
+    /// copy lands at a random later point, while the replica may be in any
+    /// pipeline phase for it) leaves the committed log, the applied CSN and
+    /// the object state identical to exactly-once delivery, and every
+    /// duplicate is answered from the reply cache.
+    #[test]
+    fn sequential_duplicate_deliveries_are_idempotent(
+        n in 1usize..8,
+        seed in 0u64..300,
+    ) {
+        use rand::Rng;
+        use rand::SeedableRng;
+
+        let run = |dup: bool| {
+            // First copies and GSN assignments interleave in seed order;
+            // each duplicate (attempt 2) is inserted after its first copy.
+            let mut events: Vec<(u8, u64)> = (0..n as u64)
+                .flat_map(|i| [(0u8, i), (1, i)])
+                .collect();
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            if dup {
+                for i in 0..n as u64 {
+                    let first = events.iter().position(|&(k, j)| k == 0 && j == i).unwrap();
+                    let at = rng.gen_range(first as u64 + 1..events.len() as u64 + 1) as usize;
+                    events.insert(at, (2, i));
+                }
+            }
+            let mut gw = primary();
+            let mut actions = Vec::new();
+            for (step, (kind, i)) in events.into_iter().enumerate() {
+                let now = SimTime::from_millis(step as u64);
+                let payload = match kind {
+                    1 => Payload::GsnAssign { req: RequestId { client: a(20), seq: i }, gsn: i + 1 },
+                    k => update_payload(i, if k == 2 { 2 } else { 1 }),
+                };
+                actions.extend(gw.on_payload(a(0), payload, now));
+            }
+            drain(&mut gw, &mut actions, SimTime::from_secs(1));
+            let log: Vec<(u64, RequestId)> = gw.committed_log().collect();
+            (gw.object().snapshot(), gw.applied_csn(), gw.stats().updates_committed, log,
+             gw.stats().dedup_hits)
+        };
+
+        let once = run(false);
+        let twice = run(true);
+        prop_assert_eq!(once.0, twice.0, "object state identical");
+        prop_assert_eq!(once.1, twice.1);
+        prop_assert_eq!(once.2, twice.2, "no double-apply");
+        prop_assert_eq!(once.3, twice.3, "committed log identical");
+        prop_assert_eq!(once.4, 0);
+        prop_assert_eq!(twice.4, n as u64, "every duplicate deduplicated");
+    }
+
+    /// Same property for the FIFO gateway: duplicates inserted after their
+    /// first copy never re-enter the service queue, so the version counter
+    /// and final state match exactly-once delivery.
+    #[test]
+    fn fifo_duplicate_deliveries_are_idempotent(
+        n in 1usize..8,
+        seed in 0u64..300,
+    ) {
+        use rand::Rng;
+        use rand::SeedableRng;
+
+        let run = |dup: bool| {
+            let mut events: Vec<(u64, u32)> = (0..n as u64).map(|i| (i, 1)).collect();
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            if dup {
+                for i in 0..n as u64 {
+                    let first = events.iter().position(|&(j, at)| j == i && at == 1).unwrap();
+                    let at = rng.gen_range(first as u64 + 1..events.len() as u64 + 1) as usize;
+                    events.insert(at, (i, 2));
+                }
+            }
+            let (p, s) = views();
+            let mut gw = FifoServerGateway::new(
+                a(1),
+                p,
+                s,
+                Box::new(VersionedRegister::new()),
+                ServerConfig { clients: vec![a(20)], ..ServerConfig::default() },
+            );
+            let mut actions = Vec::new();
+            for (step, (i, attempt)) in events.into_iter().enumerate() {
+                let now = SimTime::from_millis(step as u64);
+                actions.extend(gw.on_payload(a(20), update_payload(i, attempt), now));
+                drain_fifo(&mut gw, &mut actions, now);
+            }
+            drain_fifo(&mut gw, &mut actions, SimTime::from_secs(1));
+            let log: Vec<RequestId> = gw.applied_log().collect();
+            (gw.object().snapshot(), gw.version(), log, gw.stats().dedup_hits)
+        };
+
+        let once = run(false);
+        let twice = run(true);
+        prop_assert_eq!(once.0, twice.0, "object state identical");
+        prop_assert_eq!(once.1, twice.1, "no double-apply");
+        prop_assert_eq!(once.2, twice.2, "applied log identical");
+        prop_assert_eq!(once.3, 0);
+        prop_assert_eq!(twice.3, n as u64, "every duplicate deduplicated");
+    }
+
+    /// Same property for the causal gateway: a retransmitted causal update
+    /// reuses its original `update_seq`/deps, so whether the duplicate
+    /// lands while the original is waiting, in service, or applied, the
+    /// version vector and object state match exactly-once delivery.
+    #[test]
+    fn causal_duplicate_deliveries_are_idempotent(
+        n in 1usize..8,
+        seed in 0u64..300,
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+
+        let run = |dup: bool, shuffle_seed: u64| {
+            // One client issuing update_seq 0..n; deliveries arrive in any
+            // order (the gateway buffers out-of-order arrivals), duplicates
+            // anywhere in the stream.
+            let mut events: Vec<(u64, u32)> = (0..n as u64).map(|i| (i, 1)).collect();
+            if dup {
+                events.extend((0..n as u64).map(|i| (i, 2)));
+            }
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(shuffle_seed);
+            events.shuffle(&mut rng);
+            let (p, s) = views();
+            let mut gw = CausalServerGateway::new(
+                a(1),
+                p,
+                s,
+                Box::new(VersionedRegister::new()),
+                ServerConfig { clients: vec![a(20)], ..ServerConfig::default() },
+            );
+            let mut actions = Vec::new();
+            for (step, (i, attempt)) in events.into_iter().enumerate() {
+                let now = SimTime::from_millis(step as u64);
+                let payload = Payload::CausalUpdate {
+                    update: UpdateRequest {
+                        id: RequestId { client: a(20), seq: i },
+                        op: Operation::new("set", format!("v{i}").into_bytes()),
+                        attempt,
+                    },
+                    update_seq: i,
+                    deps: Vec::new(),
+                };
+                actions.extend(gw.on_payload(a(20), payload, now));
+                drain_causal(&mut gw, &mut actions, now);
+            }
+            drain_causal(&mut gw, &mut actions, SimTime::from_secs(1));
+            (gw.object().snapshot(), gw.version(), gw.vector_snapshot(), gw.stats().dedup_hits)
+        };
+
+        let once = run(false, seed);
+        let twice = run(true, seed.wrapping_add(1));
+        prop_assert_eq!(once.0, twice.0, "object state identical");
+        prop_assert_eq!(once.1, twice.1, "no double-apply");
+        prop_assert_eq!(once.2, twice.2, "version vector identical");
+        prop_assert_eq!(once.3, 0);
+        prop_assert_eq!(twice.3, n as u64, "every duplicate deduplicated");
     }
 
     /// Both repository CDFs are monotone in the deadline.

@@ -10,7 +10,7 @@ use crate::channel::ReceiveChannel;
 use crate::msg::{DataMsg, GroupMsg};
 use crate::view::{GroupId, View};
 use aqf_sim::{ActorId, Context, SimDuration, SimTime, Timer};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Timer kinds at or above this value are reserved for the group layer;
 /// host actors must keep their own timer kinds below it.
@@ -97,9 +97,9 @@ struct MemberState {
     /// a minority side of a network partition cannot form its own
     /// authoritative views and split the brain.
     roster_size: usize,
-    last_heard: HashMap<ActorId, SimTime>,
+    last_heard: BTreeMap<ActorId, SimTime>,
     observers: Vec<ActorId>,
-    join_requests: HashSet<ActorId>,
+    join_requests: BTreeSet<ActorId>,
 }
 
 #[derive(Debug)]
@@ -148,10 +148,10 @@ pub struct GroupEndpoint<A> {
     me: ActorId,
     config: EndpointConfig,
     incarnation: u32,
-    groups: HashMap<GroupId, MemberState>,
-    observed: HashMap<GroupId, View>,
-    channels: HashMap<(GroupId, ActorId), ReceiveChannel<A>>,
-    sends: HashMap<GroupId, SendState<A>>,
+    groups: BTreeMap<GroupId, MemberState>,
+    observed: BTreeMap<GroupId, View>,
+    channels: BTreeMap<(GroupId, ActorId), ReceiveChannel<A>>,
+    sends: BTreeMap<GroupId, SendState<A>>,
     /// After a restart, lazily created receive channels fast-forward to the
     /// first observed sequence number instead of nacking all of history;
     /// application-level state transfer covers the gap.
@@ -173,7 +173,7 @@ impl<A: Clone> GroupEndpoint<A> {
         memberships: Vec<GroupMembership>,
         observes: Vec<View>,
     ) -> Self {
-        let mut groups = HashMap::new();
+        let mut groups = BTreeMap::new();
         for m in memberships {
             assert!(
                 m.view.contains(me),
@@ -185,15 +185,15 @@ impl<A: Clone> GroupEndpoint<A> {
                 MemberState {
                     in_view: true,
                     roster_size: m.view.len(),
-                    last_heard: HashMap::new(),
+                    last_heard: BTreeMap::new(),
                     observers: m.observers,
-                    join_requests: HashSet::new(),
+                    join_requests: BTreeSet::new(),
                     view: m.view,
                 },
             );
             assert!(prev.is_none(), "duplicate membership declaration");
         }
-        let mut observed = HashMap::new();
+        let mut observed = BTreeMap::new();
         for v in observes {
             assert!(
                 !groups.contains_key(&v.group),
@@ -208,8 +208,8 @@ impl<A: Clone> GroupEndpoint<A> {
             incarnation: 0,
             groups,
             observed,
-            channels: HashMap::new(),
-            sends: HashMap::new(),
+            channels: BTreeMap::new(),
+            sends: BTreeMap::new(),
             fast_forward_new_channels: false,
             stats: GroupStats::default(),
         }
@@ -662,7 +662,7 @@ impl<A: Clone> GroupEndpoint<A> {
         if 2 * new_view.len() <= state.roster_size {
             return None;
         }
-        let mut recipients: HashSet<ActorId> = state.view.members().iter().copied().collect();
+        let mut recipients: BTreeSet<ActorId> = state.view.members().iter().copied().collect();
         recipients.extend(new_view.members().iter().copied());
         recipients.extend(state.observers.iter().copied());
         recipients.remove(&self.me);

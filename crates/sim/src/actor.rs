@@ -99,6 +99,7 @@ pub(crate) enum Command<M> {
 pub struct Context<'a, M> {
     pub(crate) me: ActorId,
     pub(crate) now: SimTime,
+    pub(crate) degrade: f64,
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) commands: &'a mut Vec<Command<M>>,
     pub(crate) next_timer: &'a mut u64,
@@ -108,6 +109,15 @@ impl<M> Context<'_, M> {
     /// This actor's id.
     pub fn me(&self) -> ActorId {
         self.me
+    }
+
+    /// The gray-degradation factor of this actor's machine: `1.0` when
+    /// healthy, the configured slowdown while a scheduled degrade fault
+    /// is active. Actors modelling local work (service times) should
+    /// stretch their delays by this factor — a slow machine is slow end
+    /// to end, not just on the wire.
+    pub fn degrade_factor(&self) -> f64 {
+        self.degrade
     }
 
     /// The current virtual time.
@@ -177,6 +187,7 @@ mod tests {
         let mut ctx = Context {
             me: ActorId(3),
             now: SimTime::from_millis(5),
+            degrade: 1.0,
             rng: &mut rng,
             commands: &mut commands,
             next_timer: &mut next_timer,
@@ -209,6 +220,7 @@ mod tests {
         let mut ctx = Context {
             me: ActorId(0),
             now: SimTime::ZERO,
+            degrade: 1.0,
             rng: &mut rng,
             commands: &mut commands,
             next_timer: &mut next_timer,

@@ -1,4 +1,5 @@
-//! Network model: link delays, loss, and partitions.
+//! Network model: link delays, loss, duplication, gray degradation, and
+//! partitions.
 
 use crate::actor::ActorId;
 use crate::delay::DelayModel;
@@ -22,6 +23,23 @@ pub struct NetworkModel {
     dest_delay: HashMap<ActorId, DelayModel>,
     loss_probability: f64,
     partitioned: HashSet<(ActorId, ActorId)>,
+    // Gray-failure state (maps are lookup-only, never iterated, so hashing
+    // order cannot leak into simulation behavior).
+    degraded: HashMap<ActorId, f64>,
+    actor_loss: HashMap<ActorId, f64>,
+    link_loss: HashMap<(ActorId, ActorId), f64>,
+    duplicate_probability: f64,
+}
+
+/// The fate of one message decided by [`NetworkModel::deliveries`]: lost
+/// entirely, delivered once, or delivered plus an independently delayed
+/// duplicate (at-least-once links).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deliveries {
+    /// One-way delay of the primary copy, or `None` if the message is lost.
+    pub first: Option<SimDuration>,
+    /// One-way delay of a duplicated copy, if the link duplicated it.
+    pub duplicate: Option<SimDuration>,
 }
 
 impl Default for NetworkModel {
@@ -43,6 +61,10 @@ impl NetworkModel {
             dest_delay: HashMap::new(),
             loss_probability: 0.0,
             partitioned: HashSet::new(),
+            degraded: HashMap::new(),
+            actor_loss: HashMap::new(),
+            link_loss: HashMap::new(),
+            duplicate_probability: 0.0,
         }
     }
 
@@ -85,21 +107,136 @@ impl NetworkModel {
         self.partitioned.contains(&ordered(a, b))
     }
 
-    /// Decides the fate of one message: `None` if dropped (loss or
-    /// partition), otherwise the sampled one-way delay.
-    pub fn route(&self, from: ActorId, to: ActorId, rng: &mut SmallRng) -> Option<SimDuration> {
+    /// Marks `target` as gray-degraded: every message to or from it takes
+    /// `factor`× the sampled delay (both endpoints degraded compose
+    /// multiplicatively). A slow-but-alive node, as opposed to a crash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not at least 1.
+    pub fn degrade(&mut self, target: ActorId, factor: f64) {
+        assert!(factor >= 1.0, "degrade factor must be >= 1");
+        self.degraded.insert(target, factor);
+    }
+
+    /// Sets an iid loss probability for every message to or from `target`
+    /// (a flaky NIC or overloaded host), on top of the global loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn set_actor_loss(&mut self, target: ActorId, p: f64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0, 1]"
+        );
+        self.actor_loss.insert(target, p);
+    }
+
+    /// Sets an iid loss probability for the ordered link `from -> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn set_link_loss(&mut self, from: ActorId, to: ActorId, p: f64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0, 1]"
+        );
+        self.link_loss.insert((from, to), p);
+    }
+
+    /// Clears gray-failure state (degradation and per-actor loss) for
+    /// `target`, restoring it to nominal behavior.
+    pub fn restore(&mut self, target: ActorId) {
+        self.degraded.remove(&target);
+        self.actor_loss.remove(&target);
+    }
+
+    /// The latency multiplier currently applied to `target`, if any.
+    pub fn degrade_factor(&self, target: ActorId) -> Option<f64> {
+        self.degraded.get(&target).copied()
+    }
+
+    /// Sets the iid probability that a delivered message is delivered
+    /// *twice*, with an independently sampled delay for the second copy
+    /// (at-least-once delivery).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn set_duplicate_probability(&mut self, p: f64) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "duplicate probability must be in [0, 1]"
+        );
+        self.duplicate_probability = p;
+    }
+
+    fn dropped(&self, from: ActorId, to: ActorId, rng: &mut SmallRng) -> bool {
         if self.is_partitioned(from, to) {
-            return None;
+            return true;
         }
         if self.loss_probability > 0.0 && rng.gen_bool(self.loss_probability) {
-            return None;
+            return true;
         }
+        if let Some(&p) = self.link_loss.get(&(from, to)) {
+            if p > 0.0 && rng.gen_bool(p) {
+                return true;
+            }
+        }
+        for end in [from, to] {
+            if let Some(&p) = self.actor_loss.get(&end) {
+                if p > 0.0 && rng.gen_bool(p) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn sample_delay(&self, from: ActorId, to: ActorId, rng: &mut SmallRng) -> SimDuration {
         let model = self
             .pair_delay
             .get(&(from, to))
             .or_else(|| self.dest_delay.get(&to))
             .unwrap_or(&self.default_delay);
-        Some(model.sample(rng))
+        let base = model.sample(rng);
+        let mut factor = 1.0;
+        for end in [from, to] {
+            if let Some(&f) = self.degraded.get(&end) {
+                factor *= f;
+            }
+        }
+        if factor > 1.0 {
+            SimDuration::from_micros((base.as_micros() as f64 * factor).round() as u64)
+        } else {
+            base
+        }
+    }
+
+    /// Decides the fate of one message: `None` if dropped (loss or
+    /// partition), otherwise the sampled one-way delay. Never duplicates;
+    /// use [`NetworkModel::deliveries`] for at-least-once links.
+    pub fn route(&self, from: ActorId, to: ActorId, rng: &mut SmallRng) -> Option<SimDuration> {
+        if self.dropped(from, to, rng) {
+            return None;
+        }
+        Some(self.sample_delay(from, to, rng))
+    }
+
+    /// Decides the full fate of one message, including duplication.
+    pub fn deliveries(&self, from: ActorId, to: ActorId, rng: &mut SmallRng) -> Deliveries {
+        let first = self.route(from, to, rng);
+        let duplicate = match first {
+            Some(_)
+                if self.duplicate_probability > 0.0 && rng.gen_bool(self.duplicate_probability) =>
+            {
+                Some(self.sample_delay(from, to, rng))
+            }
+            _ => None,
+        };
+        Deliveries { first, duplicate }
     }
 }
 
@@ -188,5 +325,78 @@ mod tests {
     #[should_panic(expected = "loss probability")]
     fn bad_loss_probability_panics() {
         NetworkModel::default().set_loss_probability(1.5);
+    }
+
+    #[test]
+    fn degrade_multiplies_latency_both_directions() {
+        let mut net = NetworkModel::new(DelayModel::constant_ms(2));
+        net.degrade(a(1), 5.0);
+        let mut r = rng();
+        assert_eq!(
+            net.route(a(0), a(1), &mut r).unwrap(),
+            SimDuration::from_millis(10)
+        );
+        assert_eq!(
+            net.route(a(1), a(0), &mut r).unwrap(),
+            SimDuration::from_millis(10)
+        );
+        // Unrelated links are unaffected.
+        assert_eq!(
+            net.route(a(0), a(2), &mut r).unwrap(),
+            SimDuration::from_millis(2)
+        );
+        assert_eq!(net.degrade_factor(a(1)), Some(5.0));
+        net.restore(a(1));
+        assert_eq!(
+            net.route(a(0), a(1), &mut r).unwrap(),
+            SimDuration::from_millis(2)
+        );
+        assert_eq!(net.degrade_factor(a(1)), None);
+    }
+
+    #[test]
+    fn actor_loss_applies_to_and_from_target() {
+        let mut net = NetworkModel::default();
+        net.set_actor_loss(a(1), 1.0);
+        let mut r = rng();
+        assert!(net.route(a(0), a(1), &mut r).is_none());
+        assert!(net.route(a(1), a(0), &mut r).is_none());
+        assert!(net.route(a(0), a(2), &mut r).is_some());
+        net.restore(a(1));
+        assert!(net.route(a(0), a(1), &mut r).is_some());
+    }
+
+    #[test]
+    fn link_loss_is_directional() {
+        let mut net = NetworkModel::default();
+        net.set_link_loss(a(0), a(1), 1.0);
+        let mut r = rng();
+        assert!(net.route(a(0), a(1), &mut r).is_none());
+        assert!(net.route(a(1), a(0), &mut r).is_some());
+    }
+
+    #[test]
+    fn duplicates_deliver_two_copies() {
+        let mut net = NetworkModel::new(DelayModel::constant_ms(1));
+        net.set_duplicate_probability(1.0);
+        let mut r = rng();
+        let d = net.deliveries(a(0), a(1), &mut r);
+        assert!(d.first.is_some());
+        assert!(d.duplicate.is_some());
+        // Lost messages are never duplicated.
+        net.set_loss_probability(1.0);
+        let d = net.deliveries(a(0), a(1), &mut r);
+        assert!(d.first.is_none() && d.duplicate.is_none());
+    }
+
+    #[test]
+    fn partial_duplicate_rate() {
+        let mut net = NetworkModel::default();
+        net.set_duplicate_probability(0.3);
+        let mut r = rng();
+        let dups = (0..1000)
+            .filter(|_| net.deliveries(a(0), a(1), &mut r).duplicate.is_some())
+            .count();
+        assert!((200..400).contains(&dups), "dups = {dups}");
     }
 }

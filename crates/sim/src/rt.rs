@@ -225,6 +225,7 @@ fn actor_thread<M: Send + Clone + 'static>(
         let mut ctx = Context {
             me,
             now: now(epoch),
+            degrade: 1.0,
             rng: &mut rng,
             commands: &mut commands,
             next_timer: &mut next_timer,
@@ -255,6 +256,7 @@ fn actor_thread<M: Send + Clone + 'static>(
                     let mut ctx = Context {
                         me,
                         now: now(epoch),
+                        degrade: 1.0,
                         rng: &mut rng,
                         commands: &mut commands,
                         next_timer: &mut next_timer,
@@ -269,6 +271,7 @@ fn actor_thread<M: Send + Clone + 'static>(
                     let mut ctx = Context {
                         me,
                         now: now(epoch),
+                        degrade: 1.0,
                         rng: &mut rng,
                         commands: &mut commands,
                         next_timer: &mut next_timer,
@@ -299,6 +302,7 @@ fn actor_thread<M: Send + Clone + 'static>(
                     let mut ctx = Context {
                         me,
                         now: now(epoch),
+                        degrade: 1.0,
                         rng: &mut rng,
                         commands: &mut commands,
                         next_timer: &mut next_timer,

@@ -21,6 +21,8 @@ pub struct WorldStats {
     pub delivered: u64,
     /// Messages dropped by loss, partitions, or dead recipients.
     pub dropped: u64,
+    /// Duplicate copies injected by at-least-once links.
+    pub duplicated: u64,
     /// Timers fired.
     pub timers: u64,
 }
@@ -32,6 +34,9 @@ enum EventKind<M> {
     Restart(ActorId),
     Partition { a: ActorId, b: ActorId },
     Heal { a: ActorId, b: ActorId },
+    Degrade { target: ActorId, factor: f64 },
+    Lossy { target: ActorId, p: f64 },
+    RestoreGray(ActorId),
 }
 
 struct Scheduled<M> {
@@ -86,7 +91,7 @@ pub struct World<M> {
     stats: WorldStats,
 }
 
-impl<M: 'static> World<M> {
+impl<M: Clone + 'static> World<M> {
     /// Creates an empty world seeded with `seed`.
     pub fn new(seed: u64) -> Self {
         let mut seed_rng = SmallRng::seed_from_u64(seed);
@@ -219,6 +224,26 @@ impl<M: 'static> World<M> {
         }
     }
 
+    /// Schedules a gray degradation of `actor` at virtual time `at`: from
+    /// then on, every message to or from it takes `factor`x the modelled
+    /// delay. The actor stays alive — the failure detector sees heartbeats,
+    /// only slower — which is exactly what makes gray failures hard.
+    pub fn schedule_degrade(&mut self, target: ActorId, factor: f64, at: SimTime) {
+        self.push(at, EventKind::Degrade { target, factor });
+    }
+
+    /// Schedules `actor` to start losing messages (to and from it) with
+    /// iid probability `p` at virtual time `at`.
+    pub fn schedule_lossy(&mut self, target: ActorId, p: f64, at: SimTime) {
+        self.push(at, EventKind::Lossy { target, p });
+    }
+
+    /// Schedules the end of `actor`'s gray failures (degradation and
+    /// per-actor loss) at virtual time `at`.
+    pub fn schedule_restore(&mut self, target: ActorId, at: SimTime) {
+        self.push(at, EventKind::RestoreGray(target));
+    }
+
     /// Schedules the reconnection of `actor` to every other current actor
     /// at `at`.
     pub fn schedule_reconnection(&mut self, actor: ActorId, at: SimTime) {
@@ -344,10 +369,12 @@ impl<M: 'static> World<M> {
     fn start_actor(&mut self, id: ActorId) {
         let mut commands = Vec::new();
         {
+            let degrade = self.net.degrade_factor(id).unwrap_or(1.0);
             let slot = &mut self.slots[id.index()];
             let mut ctx = Context {
                 me: id,
                 now: self.now,
+                degrade,
                 rng: &mut slot.rng,
                 commands: &mut commands,
                 next_timer: &mut self.next_timer,
@@ -373,10 +400,12 @@ impl<M: 'static> World<M> {
                 self.stats.delivered += 1;
                 let mut commands = Vec::new();
                 {
+                    let degrade = self.net.degrade_factor(to).unwrap_or(1.0);
                     let slot = &mut self.slots[to.index()];
                     let mut ctx = Context {
                         me: to,
                         now: self.now,
+                        degrade,
                         rng: &mut slot.rng,
                         commands: &mut commands,
                         next_timer: &mut self.next_timer,
@@ -395,10 +424,12 @@ impl<M: 'static> World<M> {
                 self.stats.timers += 1;
                 let mut commands = Vec::new();
                 {
+                    let degrade = self.net.degrade_factor(actor).unwrap_or(1.0);
                     let slot = &mut self.slots[actor.index()];
                     let mut ctx = Context {
                         me: actor,
                         now: self.now,
+                        degrade,
                         rng: &mut slot.rng,
                         commands: &mut commands,
                         next_timer: &mut self.next_timer,
@@ -416,15 +447,26 @@ impl<M: 'static> World<M> {
             EventKind::Heal { a, b } => {
                 self.net.heal(a, b);
             }
+            EventKind::Degrade { target, factor } => {
+                self.net.degrade(target, factor);
+            }
+            EventKind::Lossy { target, p } => {
+                self.net.set_actor_loss(target, p);
+            }
+            EventKind::RestoreGray(target) => {
+                self.net.restore(target);
+            }
             EventKind::Restart(actor) => {
                 if !self.slots[actor.index()].alive {
                     self.slots[actor.index()].alive = true;
                     let mut commands = Vec::new();
                     {
+                        let degrade = self.net.degrade_factor(actor).unwrap_or(1.0);
                         let slot = &mut self.slots[actor.index()];
                         let mut ctx = Context {
                             me: actor,
                             now: self.now,
+                            degrade,
                             rng: &mut slot.rng,
                             commands: &mut commands,
                             next_timer: &mut self.next_timer,
@@ -443,8 +485,20 @@ impl<M: 'static> World<M> {
             match cmd {
                 Command::Send { to, msg } => {
                     assert!(to.index() < self.slots.len(), "send to unknown actor {to}");
-                    match self.net.route(me, to, &mut self.net_rng) {
+                    let fate = self.net.deliveries(me, to, &mut self.net_rng);
+                    match fate.first {
                         Some(delay) => {
+                            if let Some(dup_delay) = fate.duplicate {
+                                self.stats.duplicated += 1;
+                                self.push(
+                                    self.now + dup_delay,
+                                    EventKind::Deliver {
+                                        from: me,
+                                        to,
+                                        msg: msg.clone(),
+                                    },
+                                );
+                            }
                             let at = self.now + delay;
                             self.push(at, EventKind::Deliver { from: me, to, msg });
                         }

@@ -112,7 +112,13 @@ impl ReplicaActor {
                 ServerAction::SendDirect { to, payload } => self.ep.send_direct(to, payload, ctx),
                 ServerAction::StartService { token } => {
                     self.gw.on_service_start(token, ctx.now());
-                    let delay = self.service_delay.sample(ctx.rng());
+                    // A gray-degraded machine is slow end to end: its
+                    // service times stretch along with its link delays.
+                    let factor = ctx.degrade_factor();
+                    let mut delay = self.service_delay.sample(ctx.rng());
+                    if factor > 1.0 {
+                        delay = SimDuration::from_secs_f64(delay.as_secs_f64() * factor);
+                    }
                     let id = ctx.set_timer(SERVICE_TIMER, delay);
                     self.service_timers.insert(id, token);
                 }

@@ -1,6 +1,6 @@
 //! Scenario configuration: replica deployment, workload shapes, faults.
 
-use aqf_core::{OrderingGuarantee, QosSpec, SelectionPolicy, StalenessModel};
+use aqf_core::{OrderingGuarantee, QosSpec, RecoveryPolicy, SelectionPolicy, StalenessModel};
 use aqf_sim::{DelayModel, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -108,8 +108,8 @@ pub enum FaultTarget {
     Secondary(usize),
 }
 
-/// Crash or recover.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// Crash, recover, or degrade (gray failure).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum FaultKind {
     /// Crash-stop the process.
     Crash,
@@ -120,6 +120,20 @@ pub enum FaultKind {
     Isolate,
     /// Heal a previous isolation.
     Reconnect,
+    /// Gray failure: the process stays up (heartbeats keep flowing) but
+    /// every message to or from it takes `factor` times as long.
+    Degrade {
+        /// Latency multiplier (>= 1.0).
+        factor: f64,
+    },
+    /// Gray failure: messages to or from the process are dropped with
+    /// probability `p`, independently per message.
+    Lossy {
+        /// Per-message drop probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Heal a previous [`FaultKind::Degrade`] or [`FaultKind::Lossy`].
+    RestoreGray,
 }
 
 /// Full description of one simulated deployment and workload.
@@ -144,6 +158,12 @@ pub struct ScenarioConfig {
     pub link_delay: DelayModel,
     /// iid message loss probability.
     pub loss_probability: f64,
+    /// Probability that a delivered message is delivered twice (the
+    /// at-least-once network of the robustness studies).
+    pub duplicate_probability: f64,
+    /// Client-side recovery policy (retries, hedged reads, quarantine);
+    /// [`RecoveryPolicy::disabled`] reproduces fire-and-forget clients.
+    pub recovery: RecoveryPolicy,
     /// Group-layer maintenance tick.
     pub group_tick: SimDuration,
     /// Group-layer failure timeout.
@@ -185,6 +205,8 @@ impl ScenarioConfig {
                 hi: SimDuration::from_micros(800),
             },
             loss_probability: 0.0,
+            duplicate_probability: 0.0,
+            recovery: RecoveryPolicy::disabled(),
             group_tick: SimDuration::from_millis(1000),
             failure_timeout: SimDuration::from_millis(3500),
             object: ObjectKind::Register,
@@ -220,6 +242,17 @@ impl ScenarioConfig {
         if !(0.0..=1.0).contains(&self.loss_probability) {
             return Err("loss probability must be in [0, 1]".into());
         }
+        if !(0.0..=1.0).contains(&self.duplicate_probability) {
+            return Err("duplicate probability must be in [0, 1]".into());
+        }
+        if self.recovery.max_attempts == 0 {
+            return Err("recovery needs at least one attempt".into());
+        }
+        if let Some(h) = self.recovery.hedge_fraction {
+            if !(0.0..1.0).contains(&h) {
+                return Err("hedge fraction must be in [0, 1)".into());
+            }
+        }
         if self.clients.is_empty() {
             return Err("need at least one client".into());
         }
@@ -251,6 +284,15 @@ impl ScenarioConfig {
                         "fault targets secondary {i} of {}",
                         self.num_secondaries
                     ));
+                }
+                _ => {}
+            }
+            match f.kind {
+                FaultKind::Degrade { factor } if factor < 1.0 => {
+                    return Err("degrade factor must be >= 1".into());
+                }
+                FaultKind::Lossy { p } if !(0.0..=1.0).contains(&p) => {
+                    return Err("lossy probability must be in [0, 1]".into());
                 }
                 _ => {}
             }

@@ -39,6 +39,12 @@ pub struct ClientOutcome {
     pub deferred_replies: u64,
     /// Give-ups (no reply at all).
     pub give_ups: u64,
+    /// Retransmissions (attempts beyond the first).
+    pub retries: u64,
+    /// Hedged reads fired before the deadline.
+    pub hedges: u64,
+    /// Quarantine windows opened against suspected replicas.
+    pub quarantines: u64,
     /// Per-replica selection counts (hot-spot studies).
     pub selection_counts: HashMap<ActorId, u64>,
     /// Mean `P_K(d)` prediction over all reads (model calibration: the
@@ -162,6 +168,7 @@ pub fn build_scenario(config: &ScenarioConfig) -> BuiltScenario {
     *world.net_mut() = {
         let mut net = aqf_sim::NetworkModel::new(config.link_delay.clone());
         net.set_loss_probability(config.loss_probability);
+        net.set_duplicate_probability(config.duplicate_probability);
         net
     };
 
@@ -262,6 +269,7 @@ pub fn build_scenario(config: &ScenarioConfig) -> BuiltScenario {
                 seed: config.seed ^ (i as u64 + 1),
                 staleness_model: config.staleness_model,
                 ordering: config.ordering,
+                recovery: config.recovery,
             },
         );
         let got = world.add_actor(Box::new(ClientActor::new(
@@ -290,6 +298,9 @@ pub fn build_scenario(config: &ScenarioConfig) -> BuiltScenario {
             FaultKind::Restart => world.schedule_restart(target, fault.at),
             FaultKind::Isolate => world.schedule_isolation(target, fault.at),
             FaultKind::Reconnect => world.schedule_reconnection(target, fault.at),
+            FaultKind::Degrade { factor } => world.schedule_degrade(target, factor, fault.at),
+            FaultKind::Lossy { p } => world.schedule_lossy(target, p, fault.at),
+            FaultKind::RestoreGray => world.schedule_restore(target, fault.at),
         }
     }
 
@@ -390,6 +401,9 @@ fn collect(
             },
             deferred_replies: stats.deferred_replies,
             give_ups: stats.give_ups,
+            retries: stats.retries,
+            hedges: stats.hedges,
+            quarantines: stats.quarantines,
             selection_counts: gw.selection_counts().clone(),
             mean_predicted: gw.mean_predicted(),
             record: actor.record().clone(),

@@ -3,9 +3,11 @@
 //! liveness floors — every request resolves, live replicas converge, and
 //! sequencing never double-assigns — rather than exact QoS numbers.
 
-use aqf::core::OrderingGuarantee;
+use aqf::core::{OrderingGuarantee, RecoveryPolicy};
 use aqf::sim::{SimDuration, SimTime};
-use aqf::workload::{run_scenario, FaultEvent, FaultKind, FaultTarget, ObjectKind, ScenarioConfig};
+use aqf::workload::{
+    run_scenario, FaultEvent, FaultKind, FaultTarget, ObjectKind, ScenarioConfig, ScenarioMetrics,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -31,13 +33,13 @@ fn random_faults(seed: u64, primaries: usize, secondaries: usize) -> Vec<FaultEv
     };
     // One primary, one secondary, and (sometimes) the sequencer.
     let p = rng.gen_range(0..primaries);
-    faults.extend(add(FaultTarget::Primary(p), at, rng.gen_range(10..30)));
-    at += rng.gen_range(40..80);
+    faults.extend(add(FaultTarget::Primary(p), at, rng.gen_range(10u64..30)));
+    at += rng.gen_range(40u64..80);
     let s = rng.gen_range(0..secondaries);
-    faults.extend(add(FaultTarget::Secondary(s), at, rng.gen_range(10..30)));
-    at += rng.gen_range(40..80);
+    faults.extend(add(FaultTarget::Secondary(s), at, rng.gen_range(10u64..30)));
+    at += rng.gen_range(40u64..80);
     if rng.gen_bool(0.5) {
-        faults.extend(add(FaultTarget::Sequencer, at, rng.gen_range(10..30)));
+        faults.extend(add(FaultTarget::Sequencer, at, rng.gen_range(10u64..30)));
     }
     faults
 }
@@ -123,6 +125,160 @@ fn fifo_handler_survives_chaos() {
             spread <= 10,
             "seed {seed}: FIFO divergence {spread} beyond the rejoin-window bound"
         );
+    }
+}
+
+/// Gray failures — a degraded sequencer and a lossy secondary — keep
+/// heartbeats flowing, so group membership never evicts the sick
+/// replicas and server-side failure recovery never triggers. The run
+/// must still meet the same safety and liveness floors, with client-side
+/// recovery as the only defense.
+#[test]
+fn gray_faults_preserve_safety_and_liveness_floors() {
+    for seed in [101u64, 202] {
+        let mut config = chaos_config(seed, OrderingGuarantee::Sequential);
+        config.recovery = RecoveryPolicy::default();
+        config.faults = vec![
+            FaultEvent {
+                at: SimTime::from_secs(30),
+                target: FaultTarget::Sequencer,
+                kind: FaultKind::Degrade { factor: 3.0 },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(40),
+                target: FaultTarget::Secondary(0),
+                kind: FaultKind::Lossy { p: 0.3 },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(120),
+                target: FaultTarget::Sequencer,
+                kind: FaultKind::RestoreGray,
+            },
+        ];
+        let metrics = run_scenario(&config);
+        for c in &metrics.clients {
+            assert_eq!(c.record.completed, 250, "seed {seed}: client {}", c.id);
+            assert_eq!(c.record.staleness_violations, 0, "seed {seed}");
+        }
+        assert!(
+            metrics.servers.iter().all(|s| s.stats.gsn_conflicts == 0),
+            "seed {seed}: GSN conflict under gray faults"
+        );
+        // Nothing crashed, so every replica must converge.
+        let total_writes: u64 = metrics.clients.iter().map(|c| c.updates).sum();
+        for s in &metrics.servers {
+            assert!(s.alive, "seed {seed}: gray faults must not kill replicas");
+            assert_eq!(
+                s.applied_csn, total_writes,
+                "seed {seed}: replica {} wedged under gray faults",
+                s.id
+            );
+        }
+    }
+}
+
+/// An at-least-once network (5% duplicate delivery) must never
+/// double-apply an update: the reply caches absorb every duplicate and
+/// the commit counters stay exact.
+#[test]
+fn duplicate_delivery_never_double_applies() {
+    for seed in [303u64, 404] {
+        let mut config = chaos_config(seed, OrderingGuarantee::Sequential);
+        config.faults = Vec::new();
+        config.duplicate_probability = 0.05;
+        // An impatient update-retry window (well under the ~100 ms mean
+        // service time plus commit latency) guarantees genuine update
+        // retransmissions on top of the network-level duplicates, so the
+        // server reply caches are exercised from both directions.
+        config.recovery = RecoveryPolicy {
+            update_retry_after: SimDuration::from_millis(150),
+            ..RecoveryPolicy::default()
+        };
+        let metrics = run_scenario(&config);
+        for c in &metrics.clients {
+            assert_eq!(c.record.completed, 250, "seed {seed}");
+            assert_eq!(c.record.staleness_violations, 0, "seed {seed}");
+        }
+        assert!(
+            metrics.servers.iter().all(|s| s.stats.gsn_conflicts == 0),
+            "seed {seed}: duplicate delivery caused a GSN conflict"
+        );
+        let total_writes: u64 = metrics.clients.iter().map(|c| c.updates).sum();
+        for s in &metrics.servers {
+            assert_eq!(
+                s.applied_csn, total_writes,
+                "seed {seed}: replica {} double-applied or lost an update",
+                s.id
+            );
+        }
+        let dedup_hits: u64 = metrics.servers.iter().map(|s| s.stats.dedup_hits).sum();
+        assert!(
+            dedup_hits > 0,
+            "seed {seed}: 5% duplication must exercise the reply caches"
+        );
+    }
+}
+
+/// The PR's acceptance scenario: one gray-degraded primary (5× latency,
+/// heartbeats intact) plus 2% message loss. With retries and quarantine
+/// enabled, clients must resolve strictly more requests within QoS than
+/// fire-and-forget clients — fewer give-ups *and* fewer timing failures
+/// under the same seed. (Hedging stays off here: it reshuffles server
+/// load and adds run-to-run variance that would blur the A/B margin.)
+#[test]
+fn recovery_reduces_give_ups_and_timing_failures_under_gray_failure() {
+    fn gray_scenario(seed: u64, recovery: RecoveryPolicy) -> ScenarioMetrics {
+        let mut config = ScenarioConfig::paper_validation(600, 0.5, 2, seed);
+        for c in &mut config.clients {
+            c.total_requests = 400;
+            c.qos =
+                aqf::core::QosSpec::new(4, SimDuration::from_millis(600), 0.5).expect("valid qos");
+        }
+        config.group_tick = SimDuration::from_millis(250);
+        config.loss_probability = 0.02;
+        config.recovery = recovery;
+        config.faults = vec![FaultEvent {
+            at: SimTime::from_secs(20),
+            target: FaultTarget::Primary(0),
+            kind: FaultKind::Degrade { factor: 5.0 },
+        }];
+        run_scenario(&config)
+    }
+
+    let seed = 515;
+    let base = gray_scenario(seed, RecoveryPolicy::disabled());
+    let with = gray_scenario(
+        seed,
+        RecoveryPolicy {
+            hedge_fraction: None,
+            ..RecoveryPolicy::default()
+        },
+    );
+
+    let give_ups = |m: &ScenarioMetrics| m.clients.iter().map(|c| c.give_ups).sum::<u64>();
+    let failures = |m: &ScenarioMetrics| m.clients.iter().map(|c| c.timing_failures).sum::<u64>();
+    let retries: u64 = with.clients.iter().map(|c| c.retries).sum();
+    let quarantines: u64 = with.clients.iter().map(|c| c.quarantines).sum();
+    assert!(retries > 0, "recovery run must actually retransmit");
+    assert!(quarantines > 0, "recovery run must open quarantines");
+    assert!(
+        give_ups(&with) < give_ups(&base),
+        "give-ups must drop with recovery on: {} -> {}",
+        give_ups(&base),
+        give_ups(&with)
+    );
+    assert!(
+        failures(&with) < failures(&base),
+        "timing failures must drop with recovery on: {} -> {}",
+        failures(&base),
+        failures(&with)
+    );
+    // Recovery must not cost correctness: both runs complete everything.
+    for m in [&base, &with] {
+        for c in &m.clients {
+            assert_eq!(c.record.completed, 400);
+            assert_eq!(c.record.staleness_violations, 0);
+        }
     }
 }
 

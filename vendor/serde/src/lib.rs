@@ -1,0 +1,67 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates wire/config types with serde derives but never
+//! drives them through a real format backend, so this shim provides just
+//! the trait vocabulary (`Serialize`/`Deserialize`/`Serializer`/
+//! `Deserializer`) plus byte-slice impls for the `serde_bytes_compat`
+//! helper in `aqf-core`, and re-exports the no-op derives from the vendored
+//! `serde_derive`. A format crate can replace this shim wholesale when the
+//! build environment gains registry access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A data format sink. Only the byte-oriented entry point is modelled.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error;
+
+    /// Serializes an opaque byte string.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A value that can be fed to a [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` into the given sink.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data format source. Only the byte-oriented entry point is modelled.
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error;
+
+    /// Deserializes an opaque byte string.
+    fn deserialize_byte_buf(self) -> Result<Vec<u8>, Self::Error>;
+}
+
+/// A value that can be read from a [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value from the given source.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl Serialize for [u8] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(self)
+    }
+}
+
+impl Serialize for Vec<u8> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Vec<u8> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_byte_buf()
+    }
+}

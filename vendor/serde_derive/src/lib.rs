@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace uses serde derives purely as structural annotations — no
+//! code path actually serializes with a real format backend — so these
+//! derive macros accept the full attribute syntax (`#[serde(...)]`) and
+//! expand to nothing. This keeps every `#[derive(Serialize, Deserialize)]`
+//! in the tree compiling without syn/quote or network access.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
