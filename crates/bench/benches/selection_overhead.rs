@@ -3,7 +3,7 @@
 //! Algorithm 1 itself (~10%), versus the number of available replicas and
 //! the sliding-window size.
 
-use aqf_bench::{build_candidates, synthetic_repository};
+use aqf_bench::{build_candidates, build_candidates_uncached, synthetic_repository};
 use aqf_core::select_replicas;
 use aqf_sim::{ActorId, SimDuration, SimTime};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -50,6 +50,46 @@ fn bench_selection(c: &mut Criterion) {
             );
         }
     }
+    group.finish();
+
+    // Before/after study of the memoized CDF engine at the acceptance
+    // point (window 20, 16 replicas): `uncached` re-runs every `S⊛W`
+    // convolution per selection (the seed's behaviour), `cached_repeat`
+    // issues repeated selections against unchanged windows, which is the
+    // steady-state hot path between measurement arrivals.
+    let mut group = c.benchmark_group("selection_cached_vs_uncached");
+    let (window, replicas) = (20usize, 16usize);
+    let repo = synthetic_repository(replicas, window, replicas as u64);
+    let n_primaries = replicas.div_ceil(3);
+    let sf = repo.staleness_factor(2, now);
+    group.bench_with_input(
+        BenchmarkId::new(format!("uncached_w{window}"), replicas),
+        &replicas,
+        |b, &n| {
+            b.iter(|| {
+                let cands = build_candidates_uncached(&repo, n, n_primaries, deadline, now);
+                std::hint::black_box(select_replicas(&cands, sf, 0.9, Some(sequencer)))
+            })
+        },
+    );
+    // Warm the cache once so every timed iteration is a repeat selection.
+    std::hint::black_box(build_candidates(
+        &repo,
+        replicas,
+        n_primaries,
+        deadline,
+        now,
+    ));
+    group.bench_with_input(
+        BenchmarkId::new(format!("cached_repeat_w{window}"), replicas),
+        &replicas,
+        |b, &n| {
+            b.iter(|| {
+                let cands = build_candidates(&repo, n, n_primaries, deadline, now);
+                std::hint::black_box(select_replicas(&cands, sf, 0.9, Some(sequencer)))
+            })
+        },
+    );
     group.finish();
 }
 

@@ -5,7 +5,7 @@
 //! in `DESIGN.md` (convolution cost, Poisson staleness factor, group
 //! multicast throughput, gateway pipeline, selection policies).
 
-pub use aqf_workload::{build_candidates, synthetic_repository};
+pub use aqf_workload::{build_candidates, build_candidates_uncached, synthetic_repository};
 
 use aqf_core::object::VersionedRegister;
 use aqf_core::server::{ServerConfig, ServerGateway};

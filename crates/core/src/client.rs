@@ -49,6 +49,9 @@ pub struct ClientConfig {
     /// How the staleness factor is estimated (Eq. 4's Poisson form or the
     /// §5.1.3 empirical rate mixture).
     pub staleness_model: StalenessModel,
+    /// Optional bin width (µs) for the cached response-time distributions;
+    /// `None` keeps them exact. See [`MonitorConfig::cdf_bin_us`].
+    pub cdf_bin_us: Option<u64>,
     /// The service's ordering guarantee: with [`OrderingGuarantee::Sequential`]
     /// reads go through the sequencer (leader of the primary group) and the
     /// leader is excluded from the candidates; with
@@ -70,6 +73,7 @@ impl Default for ClientConfig {
             give_up: SimDuration::from_secs(10),
             seed: 0,
             staleness_model: StalenessModel::Poisson,
+            cdf_bin_us: None,
             ordering: OrderingGuarantee::Sequential,
             recovery: RecoveryPolicy::default(),
         }
@@ -243,6 +247,15 @@ pub struct ClientStats {
     pub hedges: u64,
     /// Quarantine windows opened against suspected replicas.
     pub quarantines: u64,
+    /// CDF-engine queries answered from cache (no convolution work).
+    pub cdf_cache_hits: u64,
+    /// CDF-engine evaluator refreshes (cache misses requiring a shift
+    /// and/or convolution).
+    pub cdf_cache_misses: u64,
+    /// `S⊛W` base convolutions performed — at most one per window
+    /// generation per replica; the quantity Figure 3 bills at ~90% of the
+    /// selection overhead.
+    pub cdf_base_rebuilds: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -318,6 +331,7 @@ impl ClientGateway {
             window_size: config.window_size,
             rate_window: config.rate_window,
             staleness_model: config.staleness_model,
+            cdf_bin_us: config.cdf_bin_us,
         };
         Self {
             me,
@@ -357,9 +371,15 @@ impl ClientGateway {
         &self.detector
     }
 
-    /// Counters.
+    /// Counters, with the repository's CDF-cache activity folded in.
     pub fn stats(&self) -> ClientStats {
-        self.stats
+        let cache = self.repo.cache_stats();
+        ClientStats {
+            cdf_cache_hits: cache.hits,
+            cdf_cache_misses: cache.misses(),
+            cdf_base_rebuilds: cache.base_rebuilds,
+            ..self.stats
+        }
     }
 
     /// The most recent selection outcome (experiments).

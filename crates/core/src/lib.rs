@@ -77,8 +77,8 @@ pub use client::{
 };
 pub use fifo::FifoServerGateway;
 pub use level::{CostCurve, Priority, PriorityMap};
-pub use model::{select_replicas, Candidate, Selection};
-pub use monitor::{InfoRepository, MonitorConfig, StalenessModel};
+pub use model::{select_replicas, select_replicas_ordered, Candidate, CandidateOrder, Selection};
+pub use monitor::{CdfCacheStats, InfoRepository, MonitorConfig, StalenessModel};
 pub use object::{AccountBook, ReplicatedObject, SharedDocument, TickerBoard, VersionedRegister};
 pub use protocol::ServerProtocol;
 pub use qos::{OperationKind, OrderingGuarantee, QosSpec, ReadOnlyRegistry};

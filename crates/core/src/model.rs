@@ -132,6 +132,23 @@ pub fn pk_probability(primaries: &[f64], secondaries: &[(f64, f64)], stale_facto
     state.predicted()
 }
 
+/// Visit order for Algorithm 1's candidate scan.
+///
+/// The inclusion logic (lines 6–25) is identical either way; only the order
+/// in which candidates are considered differs. This lets policy variants
+/// reuse [`select_replicas_ordered`] without cloning and rewriting the
+/// candidate slice to force a different sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CandidateOrder {
+    /// The paper's order: decreasing elapsed response time (least recently
+    /// used first), ties broken by decreasing immediate CDF (§5.3).
+    #[default]
+    LeastRecentlyUsed,
+    /// Greedy order: decreasing immediate CDF regardless of `ert`. Every
+    /// client converges on the same "best" replicas — the hot-spot baseline.
+    CdfDescending,
+}
+
 /// Algorithm 1: the state-based replica selection algorithm.
 ///
 /// Selects no more replicas than needed for the prediction (with the
@@ -148,14 +165,38 @@ pub fn select_replicas(
     min_probability: f64,
     sequencer: Option<ActorId>,
 ) -> Selection {
+    select_replicas_ordered(
+        candidates,
+        stale_factor,
+        min_probability,
+        sequencer,
+        CandidateOrder::LeastRecentlyUsed,
+    )
+}
+
+/// [`select_replicas`] with an explicit [`CandidateOrder`].
+pub fn select_replicas_ordered(
+    candidates: &[Candidate],
+    stale_factor: f64,
+    min_probability: f64,
+    sequencer: Option<ActorId>,
+    order: CandidateOrder,
+) -> Selection {
     let mut sorted: Vec<&Candidate> = candidates.iter().collect();
-    // Decreasing ert; ties broken by decreasing immediate CDF (paper §5.3).
-    sorted.sort_by(|a, b| {
-        b.ert_us
-            .cmp(&a.ert_us)
-            .then(b.immediate_cdf.total_cmp(&a.immediate_cdf))
-            .then(a.id.cmp(&b.id)) // final deterministic tiebreak
-    });
+    match order {
+        // Decreasing ert; ties broken by decreasing immediate CDF (paper §5.3).
+        CandidateOrder::LeastRecentlyUsed => sorted.sort_by(|a, b| {
+            b.ert_us
+                .cmp(&a.ert_us)
+                .then(b.immediate_cdf.total_cmp(&a.immediate_cdf))
+                .then(a.id.cmp(&b.id)) // final deterministic tiebreak
+        }),
+        CandidateOrder::CdfDescending => sorted.sort_by(|a, b| {
+            b.immediate_cdf
+                .total_cmp(&a.immediate_cdf)
+                .then(a.id.cmp(&b.id))
+        }),
+    }
 
     let mut state = InclusionState::new(stale_factor);
     let mut k: Vec<ActorId> = Vec::new();
@@ -379,6 +420,44 @@ mod tests {
         }
         let direct = pk_probability(&[0.4, 0.5], &[(0.6, 0.2), (0.7, 0.1)], sf);
         assert!((state.predicted() - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_descending_order_matches_zeroed_ert_lru() {
+        // Visiting by decreasing CDF must be exactly equivalent to the old
+        // GreedyCdf trick of zeroing every ert and reusing the LRU sort
+        // (which then falls through to the CDF tiebreak).
+        let cands = vec![
+            cand(0, true, 0.5, 0.0, 300),
+            cand(1, false, 0.9, 0.4, 200),
+            cand(2, true, 0.6, 0.0, 100),
+            cand(3, false, 0.6, 0.2, 400),
+        ];
+        let mut zeroed = cands.clone();
+        for c in &mut zeroed {
+            c.ert_us = 0;
+        }
+        for target in [0.1, 0.5, 0.75, 0.999] {
+            let ordered = select_replicas_ordered(
+                &cands,
+                0.7,
+                target,
+                Some(a(SEQ)),
+                CandidateOrder::CdfDescending,
+            );
+            let legacy = select_replicas(&zeroed, 0.7, target, Some(a(SEQ)));
+            assert_eq!(ordered, legacy);
+        }
+    }
+
+    #[test]
+    fn default_order_is_lru() {
+        let cands = vec![cand(0, true, 0.2, 0.0, 500), cand(1, true, 0.9, 0.0, 10)];
+        let via_default =
+            select_replicas_ordered(&cands, 1.0, 0.5, Some(a(SEQ)), CandidateOrder::default());
+        let via_plain = select_replicas(&cands, 1.0, 0.5, Some(a(SEQ)));
+        assert_eq!(via_default, via_plain);
+        assert_eq!(via_default.replicas[0], a(0)); // largest ert first
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use crate::wire::{PerfBroadcast, PublisherInfo};
 use aqf_sim::{ActorId, SimDuration, SimTime};
 use aqf_stats::{poisson_cdf, Pmf, RateEstimator, SlidingWindow};
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 
 /// How the staleness factor `P(A_s(t) <= a)` is estimated from the
@@ -44,6 +45,15 @@ pub struct MonitorConfig {
     pub rate_window: usize,
     /// The staleness-factor estimator.
     pub staleness_model: StalenessModel,
+    /// Optional bin width (µs) applied to cached response-time pmfs.
+    ///
+    /// An `S⊛W` convolution of two windows of size `l` has up to `l²`
+    /// support points and the deferred path convolves once more (up to
+    /// `l³`); binning onto multiples of this width caps that growth for
+    /// large windows. Rounding up makes every binned CDF a lower bound of
+    /// the exact one, so selection stays conservative. `None` (the
+    /// default) keeps the exact distributions.
+    pub cdf_bin_us: Option<u64>,
 }
 
 impl Default for MonitorConfig {
@@ -52,8 +62,65 @@ impl Default for MonitorConfig {
             window_size: 20,
             rate_window: 16,
             staleness_model: StalenessModel::Poisson,
+            cdf_bin_us: None,
         }
     }
+}
+
+/// Counters of the memoized CDF engine, exposed through client stats and
+/// scenario metrics so the cache's effectiveness on the selection hot path
+/// is observable end to end.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CdfCacheStats {
+    /// CDF evaluations answered entirely from a cached pmf (a binary-search
+    /// prefix-sum lookup, no convolution).
+    pub hits: u64,
+    /// `S⊛W` base convolutions performed (at most one per window
+    /// generation — the paper's "computation of the response time
+    /// distribution function", ~90% of Figure 3's overhead).
+    pub base_rebuilds: u64,
+    /// Immediate evaluator refreshes (`base` shifted by the latest gateway
+    /// delay point mass; cheap, no convolution).
+    pub immediate_rebuilds: u64,
+    /// Deferred evaluator refreshes (one `⊛U` convolution reusing the
+    /// cached shifted base — never re-running the `S⊛W` convolution).
+    pub deferred_rebuilds: u64,
+}
+
+impl CdfCacheStats {
+    /// Queries that required any rebuild work.
+    pub fn misses(&self) -> u64 {
+        self.immediate_rebuilds + self.deferred_rebuilds
+    }
+
+    /// Total CDF evaluations served (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses()
+    }
+}
+
+/// Memoized response-time distributions for one replica, keyed by the
+/// sliding-window generations (and gateway delay) they were computed from.
+///
+/// Layout mirrors the two-stage computation: `base = S⊛W` is shared by the
+/// immediate and deferred paths, `immediate = base.shift(G)` adds the
+/// gateway point mass, and `deferred = immediate ⊛ U` adds the
+/// deferred-wait window. Each layer is invalidated independently, so e.g. a
+/// new gateway delay re-shifts the cached base without re-convolving.
+#[derive(Debug, Clone, Default)]
+struct CdfCache {
+    /// `(s.generation, w.generation)` the base was computed at.
+    base_key: Option<(u64, u64)>,
+    /// Cached `S⊛W` (binned when configured).
+    base: Option<Pmf>,
+    /// `(s.generation, w.generation, gateway_us)` of the immediate pmf.
+    immediate_key: Option<(u64, u64, u64)>,
+    /// Cached `S⊛W` shifted by the most recent gateway delay.
+    immediate: Option<Pmf>,
+    /// `(s, w, gateway_us, u.generation)` of the deferred pmf.
+    deferred_key: Option<(u64, u64, u64, u64)>,
+    /// Cached `immediate ⊛ U` (binned when configured).
+    deferred: Option<Pmf>,
 }
 
 /// Per-replica performance history.
@@ -80,6 +147,10 @@ pub struct ReplicaRecord {
     /// How many times the replica has been quarantined without an
     /// intervening reply; each level doubles the quarantine duration.
     quarantine_level: u32,
+    /// Memoized response-time distributions (interior-mutable: CDF queries
+    /// take `&self` throughout the selection path, and a warm cache must
+    /// be able to refresh itself during them).
+    cache: RefCell<CdfCache>,
 }
 
 impl ReplicaRecord {
@@ -93,6 +164,7 @@ impl ReplicaRecord {
             consecutive_timeouts: 0,
             quarantined_until: None,
             quarantine_level: 0,
+            cache: RefCell::new(CdfCache::default()),
         }
     }
 }
@@ -113,6 +185,7 @@ pub struct InfoRepository {
     replicas: BTreeMap<ActorId, ReplicaRecord>,
     rate: RateEstimator,
     publisher: Option<PublisherObservation>,
+    cache_stats: Cell<CdfCacheStats>,
 }
 
 impl InfoRepository {
@@ -123,6 +196,7 @@ impl InfoRepository {
             replicas: BTreeMap::new(),
             rate: RateEstimator::new(config.rate_window),
             publisher: None,
+            cache_stats: Cell::new(CdfCacheStats::default()),
         }
     }
 
@@ -249,11 +323,7 @@ impl InfoRepository {
         let Some(rec) = self.replicas.get(&replica) else {
             return 0.0;
         };
-        if rec.s.is_empty() || rec.w.is_empty() {
-            return 0.0;
-        }
-        self.response_pmf(rec, false)
-            .map(|pmf| pmf.cdf(d.as_micros()))
+        self.with_response_pmf(rec, false, |pmf| pmf.cdf(d.as_micros()))
             .unwrap_or(0.0)
     }
 
@@ -264,31 +334,159 @@ impl InfoRepository {
         let Some(rec) = self.replicas.get(&replica) else {
             return 0.0;
         };
-        if rec.s.is_empty() || rec.w.is_empty() || rec.u.is_empty() {
-            return 0.0;
-        }
-        self.response_pmf(rec, true)
-            .map(|pmf| pmf.cdf(d.as_micros()))
+        self.with_response_pmf(rec, true, |pmf| pmf.cdf(d.as_micros()))
             .unwrap_or(0.0)
     }
 
+    /// Evaluates `f` against the (cached) response-time pmf of `rec` — the
+    /// core of the memoized CDF engine.
+    ///
+    /// The cache is a three-layer pipeline keyed by window generations:
+    ///
+    /// 1. `base = S⊛W`, keyed by `(s.generation, w.generation)` — the only
+    ///    `O(l²)` convolution on the immediate path, performed at most once
+    ///    per window change and shared with the deferred path;
+    /// 2. `immediate = base.shift(G)`, additionally keyed by the most
+    ///    recent gateway delay (a point-mass convolution = cheap shift);
+    /// 3. `deferred = immediate ⊛ U`, additionally keyed by
+    ///    `u.generation` — it reuses the cached shifted base instead of
+    ///    re-running the `S⊛W` convolution `immediate_cdf` just performed.
+    ///
+    /// A query against unchanged windows therefore costs one key compare
+    /// plus whatever `f` does (for the CDF evaluators: a binary-searched
+    /// prefix-sum lookup). Results are bit-identical to the from-scratch
+    /// computation (see [`Self::response_pmf_uncached`]) because the cached
+    /// pipeline performs exactly the same floating-point operations in the
+    /// same order, just not repeatedly.
+    fn with_response_pmf<T>(
+        &self,
+        rec: &ReplicaRecord,
+        deferred: bool,
+        f: impl FnOnce(&Pmf) -> T,
+    ) -> Option<T> {
+        if rec.s.is_empty() || rec.w.is_empty() || (deferred && rec.u.is_empty()) {
+            return None;
+        }
+        let mut cache = rec.cache.borrow_mut();
+        let mut stats = self.cache_stats.get();
+        let base_key = (rec.s.generation(), rec.w.generation());
+        if cache.base_key != Some(base_key) {
+            let s = Pmf::from_samples(rec.s.iter());
+            let w = Pmf::from_samples(rec.w.iter());
+            let mut base = s.convolve(&w);
+            if let Some(bin) = self.config.cdf_bin_us {
+                base = base.binned(bin);
+            }
+            cache.base = Some(base);
+            cache.base_key = Some(base_key);
+            // Derived layers are now stale whatever their keys say.
+            cache.immediate_key = None;
+            cache.deferred_key = None;
+            stats.base_rebuilds += 1;
+        }
+        let gateway = rec.last_gateway_us.unwrap_or(0);
+        let immediate_key = (base_key.0, base_key.1, gateway);
+        let deferred_key = (base_key.0, base_key.1, gateway, rec.u.generation());
+        let hit = if deferred {
+            cache.deferred_key == Some(deferred_key)
+        } else {
+            cache.immediate_key == Some(immediate_key)
+        };
+        if !hit && cache.immediate_key != Some(immediate_key) {
+            let base = cache.base.as_ref().expect("base ensured above");
+            cache.immediate = Some(base.shift(gateway));
+            cache.immediate_key = Some(immediate_key);
+            stats.immediate_rebuilds += 1;
+        }
+        if !hit && deferred {
+            let u = Pmf::from_samples(rec.u.iter());
+            let immediate = cache.immediate.as_ref().expect("immediate ensured above");
+            let mut pmf = immediate.convolve(&u);
+            if let Some(bin) = self.config.cdf_bin_us {
+                pmf = pmf.binned(bin);
+            }
+            cache.deferred = Some(pmf);
+            cache.deferred_key = Some(deferred_key);
+            stats.deferred_rebuilds += 1;
+        }
+        if hit {
+            stats.hits += 1;
+        }
+        self.cache_stats.set(stats);
+        let pmf = if deferred {
+            cache.deferred.as_ref().expect("deferred ensured above")
+        } else {
+            cache.immediate.as_ref().expect("immediate ensured above")
+        };
+        Some(f(pmf))
+    }
+
     /// The full response-time pmf for a replica (used by benchmarks and
-    /// diagnostics). `deferred` selects Eq. 6 over Eq. 5.
+    /// diagnostics). `deferred` selects Eq. 6 over Eq. 5. Served from the
+    /// cache (cloning the cached pmf), refreshing stale layers on the way.
     pub fn response_pmf(&self, rec: &ReplicaRecord, deferred: bool) -> Option<Pmf> {
+        self.with_response_pmf(rec, deferred, Pmf::clone)
+    }
+
+    /// From-scratch recomputation of the response-time pmf, bypassing (and
+    /// never touching) the cache: fresh empirical pmfs from the windows,
+    /// one `S⊛W` convolution, the gateway shift, and — for the deferred
+    /// path — the `⊛U` convolution.
+    ///
+    /// This is the seed's original evaluation path, kept as the reference
+    /// the cache is property-tested against (bit-identical results) and as
+    /// the "before" measurement in the Figure 3 overhead study.
+    pub fn response_pmf_uncached(&self, rec: &ReplicaRecord, deferred: bool) -> Option<Pmf> {
         let s = Pmf::from_samples(rec.s.iter());
         let w = Pmf::from_samples(rec.w.iter());
         if s.is_empty() || w.is_empty() {
             return None;
         }
-        let mut pmf = s.convolve(&w).shift(rec.last_gateway_us.unwrap_or(0));
+        let mut pmf = s.convolve(&w);
+        if let Some(bin) = self.config.cdf_bin_us {
+            pmf = pmf.binned(bin);
+        }
+        pmf = pmf.shift(rec.last_gateway_us.unwrap_or(0));
         if deferred {
             let u = Pmf::from_samples(rec.u.iter());
             if u.is_empty() {
                 return None;
             }
             pmf = pmf.convolve(&u);
+            if let Some(bin) = self.config.cdf_bin_us {
+                pmf = pmf.binned(bin);
+            }
         }
         Some(pmf)
+    }
+
+    /// `F^I_Ri(d)` recomputed from scratch (no cache) — reference path for
+    /// property tests and before/after benchmarks.
+    pub fn immediate_cdf_uncached(&self, replica: ActorId, d: SimDuration) -> f64 {
+        self.replicas
+            .get(&replica)
+            .and_then(|rec| self.response_pmf_uncached(rec, false))
+            .map(|pmf| pmf.cdf(d.as_micros()))
+            .unwrap_or(0.0)
+    }
+
+    /// `F^D_Ri(d)` recomputed from scratch (no cache) — reference path for
+    /// property tests and before/after benchmarks.
+    pub fn deferred_cdf_uncached(&self, replica: ActorId, d: SimDuration) -> f64 {
+        let Some(rec) = self.replicas.get(&replica) else {
+            return 0.0;
+        };
+        if rec.u.is_empty() {
+            return 0.0;
+        }
+        self.response_pmf_uncached(rec, true)
+            .map(|pmf| pmf.cdf(d.as_micros()))
+            .unwrap_or(0.0)
+    }
+
+    /// Counters of the memoized CDF engine.
+    pub fn cache_stats(&self) -> CdfCacheStats {
+        self.cache_stats.get()
     }
 
     /// Direct access to a replica's record (diagnostics, benchmarks).

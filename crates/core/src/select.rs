@@ -12,7 +12,9 @@
 //!   visiting replicas by decreasing CDF instead of decreasing `ert`;
 //!   demonstrates the hot-spot problem the ert sort exists to avoid.
 
-use crate::model::{select_replicas, Candidate, InclusionState, Selection};
+use crate::model::{
+    select_replicas, select_replicas_ordered, Candidate, CandidateOrder, InclusionState, Selection,
+};
 use aqf_sim::ActorId;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -37,13 +39,20 @@ pub enum SelectionPolicy {
 #[derive(Debug, Clone)]
 pub struct Selector {
     policy: SelectionPolicy,
-    rr_next: usize,
+    /// Round-robin position, tracked as the last-served replica rather than
+    /// a raw index: the candidate list shifts as replicas are quarantined or
+    /// rejoin, and an index into yesterday's list silently skips or
+    /// double-serves replicas in today's.
+    last_served: Option<ActorId>,
 }
 
 impl Selector {
     /// Creates a selector for `policy`.
     pub fn new(policy: SelectionPolicy) -> Self {
-        Self { policy, rr_next: 0 }
+        Self {
+            policy,
+            last_served: None,
+        }
     }
 
     /// The configured policy.
@@ -89,8 +98,20 @@ impl Selector {
                 let mut replicas = Vec::with_capacity(2);
                 let mut state = InclusionState::new(stale_factor);
                 if !candidates.is_empty() {
-                    let c = &candidates[self.rr_next % candidates.len()];
-                    self.rr_next = self.rr_next.wrapping_add(1);
+                    let idx = match self.last_served {
+                        None => 0,
+                        Some(last) => match candidates.iter().position(|c| c.id == last) {
+                            // The replica we served last is still a candidate:
+                            // resume with its successor.
+                            Some(i) => (i + 1) % candidates.len(),
+                            // It left the pool (quarantined, removed): resume
+                            // with the first candidate ranked after it, so the
+                            // rotation continues instead of restarting at 0.
+                            None => candidates.iter().position(|c| c.id > last).unwrap_or(0),
+                        },
+                    };
+                    let c = &candidates[idx];
+                    self.last_served = Some(c.id);
                     state.include(c);
                     replicas.push(c.id);
                 }
@@ -123,11 +144,13 @@ impl Selector {
             SelectionPolicy::GreedyCdf => {
                 // Identical inclusion logic to Algorithm 1 but sorted by CDF
                 // only: every client picks the same "best" replicas.
-                let mut forced: Vec<Candidate> = candidates.to_vec();
-                for c in &mut forced {
-                    c.ert_us = 0; // neutralize the LRU ordering
-                }
-                select_replicas(&forced, stale_factor, min_probability, sequencer)
+                select_replicas_ordered(
+                    candidates,
+                    stale_factor,
+                    min_probability,
+                    sequencer,
+                    CandidateOrder::CdfDescending,
+                )
             }
         }
     }
@@ -181,6 +204,59 @@ mod tests {
             first_ids.push(out.replicas[0]);
         }
         assert_eq!(first_ids, vec![a(0), a(1), a(2), a(0), a(1), a(2)]);
+    }
+
+    #[test]
+    fn round_robin_survives_quarantine_of_unserved_replica() {
+        // Serve 0, then replica 1 is quarantined out of the pool. The old
+        // index-based rotation would re-serve 0 (index 1 of [0, 2] is 2, but
+        // index math after *two* removals double-served); tracking the last
+        // served id resumes cleanly after it.
+        let mut sel = Selector::new(SelectionPolicy::SingleRoundRobin);
+        let full = cands(3);
+        let out = sel.select(&full, 1.0, 0.1, Some(a(SEQ)), &mut rng());
+        assert_eq!(out.replicas[0], a(0));
+        // Replica 1 drops out: next up is 2, not a repeat of 0.
+        let without_1: Vec<Candidate> = full.iter().copied().filter(|c| c.id != a(1)).collect();
+        let out = sel.select(&without_1, 1.0, 0.1, Some(a(SEQ)), &mut rng());
+        assert_eq!(out.replicas[0], a(2));
+        // Pool restored: rotation wraps to 0 without skipping anyone.
+        let out = sel.select(&full, 1.0, 0.1, Some(a(SEQ)), &mut rng());
+        assert_eq!(out.replicas[0], a(0));
+    }
+
+    #[test]
+    fn round_robin_resumes_when_last_served_is_quarantined() {
+        let mut sel = Selector::new(SelectionPolicy::SingleRoundRobin);
+        let full = cands(4);
+        let out = sel.select(&full, 1.0, 0.1, Some(a(SEQ)), &mut rng());
+        assert_eq!(out.replicas[0], a(0));
+        let out = sel.select(&full, 1.0, 0.1, Some(a(SEQ)), &mut rng());
+        assert_eq!(out.replicas[0], a(1));
+        // The replica just served is itself quarantined. Rotation continues
+        // with the first id ranked after it — no restart from 0.
+        let without_1: Vec<Candidate> = full.iter().copied().filter(|c| c.id != a(1)).collect();
+        let out = sel.select(&without_1, 1.0, 0.1, Some(a(SEQ)), &mut rng());
+        assert_eq!(out.replicas[0], a(2));
+        let out = sel.select(&without_1, 1.0, 0.1, Some(a(SEQ)), &mut rng());
+        assert_eq!(out.replicas[0], a(3));
+        let out = sel.select(&without_1, 1.0, 0.1, Some(a(SEQ)), &mut rng());
+        assert_eq!(out.replicas[0], a(0));
+    }
+
+    #[test]
+    fn round_robin_growing_pool_serves_new_replica_in_turn() {
+        let mut sel = Selector::new(SelectionPolicy::SingleRoundRobin);
+        let small = cands(2);
+        sel.select(&small, 1.0, 0.1, Some(a(SEQ)), &mut rng()); // serves 0
+        sel.select(&small, 1.0, 0.1, Some(a(SEQ)), &mut rng()); // serves 1
+
+        // A third replica joins; it is next after 1, then wrap to 0.
+        let grown = cands(3);
+        let out = sel.select(&grown, 1.0, 0.1, Some(a(SEQ)), &mut rng());
+        assert_eq!(out.replicas[0], a(2));
+        let out = sel.select(&grown, 1.0, 0.1, Some(a(SEQ)), &mut rng());
+        assert_eq!(out.replicas[0], a(0));
     }
 
     #[test]

@@ -104,6 +104,13 @@ impl Output {
         Self { csv_dir }
     }
 
+    /// The configured CSV directory, if any. Experiments that emit extra
+    /// machine-readable artifacts (e.g. `BENCH_selection.json`) write them
+    /// next to the CSVs.
+    pub fn csv_dir(&self) -> Option<&std::path::Path> {
+        self.csv_dir.as_deref()
+    }
+
     /// Prints `table` and, if configured, writes `<dir>/<slug>.csv`.
     pub fn emit(&self, table: &Table, slug: &str) {
         table.print();

@@ -28,13 +28,38 @@ use std::collections::BTreeMap;
 /// assert!((pmf.cdf(2) - 2.0 / 3.0).abs() < 1e-12);
 /// assert_eq!(pmf.cdf(3), 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Pmf {
     /// Sorted `(value, probability)` pairs with strictly increasing values.
     points: Vec<(u64, f64)>,
+    /// Prefix sums of the probabilities: `cum[i] = sum(points[..=i].1)`.
+    /// Precomputed once at construction so every CDF query is a binary
+    /// search plus one lookup instead of a linear accumulation — the hot
+    /// operation of the cached CDF engine, which evaluates a memoized
+    /// response-time pmf at many deadlines between window changes.
+    cum: Vec<f64>,
+}
+
+impl PartialEq for Pmf {
+    fn eq(&self, other: &Self) -> bool {
+        // `cum` is derived deterministically from `points`.
+        self.points == other.points
+    }
 }
 
 impl Pmf {
+    /// Builds a pmf from already sorted, deduplicated points, computing the
+    /// cumulative prefix sums.
+    fn with_points(points: Vec<(u64, f64)>) -> Self {
+        let mut cum = Vec::with_capacity(points.len());
+        let mut acc = 0.0f64;
+        for &(_, p) in &points {
+            acc += p;
+            cum.push(acc);
+        }
+        Self { points, cum }
+    }
+
     /// Builds the empirical pmf of a set of samples by relative frequency.
     ///
     /// Returns an empty pmf if the iterator yields no samples; an empty pmf
@@ -47,13 +72,14 @@ impl Pmf {
             n += 1;
         }
         if n == 0 {
-            return Self { points: Vec::new() };
+            return Self::with_points(Vec::new());
         }
-        let points = counts
-            .into_iter()
-            .map(|(v, c)| (v, c as f64 / n as f64))
-            .collect();
-        Self { points }
+        Self::with_points(
+            counts
+                .into_iter()
+                .map(|(v, c)| (v, c as f64 / n as f64))
+                .collect(),
+        )
     }
 
     /// A distribution placing all mass on a single value.
@@ -61,12 +87,14 @@ impl Pmf {
     /// Used for the gateway delay `G_i`, for which the paper uses "its most
     /// recently recorded value instead of its history" (§5.2.2).
     pub fn point_mass(value: u64) -> Self {
-        Self {
-            points: vec![(value, 1.0)],
-        }
+        Self::with_points(vec![(value, 1.0)])
     }
 
     /// Builds a pmf from explicit `(value, probability)` pairs.
+    ///
+    /// Total mass within `1e-6` of 1 is accepted and then renormalized to
+    /// exactly 1, so rounding drift in externally supplied probabilities
+    /// cannot compound through repeated convolutions.
     ///
     /// # Errors
     ///
@@ -90,8 +118,13 @@ impl Pmf {
             if (total - 1.0).abs() > 1e-6 {
                 return Err(PmfError::NotNormalized { total });
             }
+            if total != 1.0 {
+                for (_, p) in &mut points {
+                    *p /= total;
+                }
+            }
         }
-        Ok(Self { points })
+        Ok(Self::with_points(points))
     }
 
     /// Whether this pmf carries no mass (built from zero samples).
@@ -120,19 +153,21 @@ impl Pmf {
 
     /// Cumulative distribution function `P(X <= x)`.
     ///
+    /// A binary search over the support plus one prefix-sum lookup —
+    /// `O(log n)` rather than a linear accumulation, so repeated deadline
+    /// queries against a cached response-time pmf stay cheap.
+    ///
     /// An empty pmf returns 0 for every `x` ("no information recorded yet"),
     /// which makes a replica with no history look unable to meet any
     /// deadline; the selection algorithm then keeps adding replicas, which is
     /// the conservative behaviour we want during warm-up.
     pub fn cdf(&self, x: u64) -> f64 {
-        let mut acc = 0.0;
-        for &(v, p) in &self.points {
-            if v > x {
-                break;
-            }
-            acc += p;
+        let idx = self.points.partition_point(|&(v, _)| v <= x);
+        if idx == 0 {
+            0.0
+        } else {
+            self.cum[idx - 1].min(1.0)
         }
-        acc.min(1.0)
     }
 
     /// Mean of the distribution, or `None` when empty.
@@ -151,7 +186,7 @@ impl Pmf {
     /// unknown quantity is unknown).
     pub fn convolve(&self, other: &Pmf) -> Pmf {
         if self.is_empty() || other.is_empty() {
-            return Pmf { points: Vec::new() };
+            return Pmf::with_points(Vec::new());
         }
         let mut acc: BTreeMap<u64, f64> = BTreeMap::new();
         for &(v1, p1) in &self.points {
@@ -159,21 +194,18 @@ impl Pmf {
                 *acc.entry(v1.saturating_add(v2)).or_insert(0.0) += p1 * p2;
             }
         }
-        Pmf {
-            points: acc.into_iter().collect(),
-        }
+        Pmf::with_points(acc.into_iter().collect())
     }
 
     /// Shifts the distribution right by a constant (convolution with a point
     /// mass at `offset`).
     pub fn shift(&self, offset: u64) -> Pmf {
-        Pmf {
-            points: self
-                .points
+        Pmf::with_points(
+            self.points
                 .iter()
                 .map(|&(v, p)| (v.saturating_add(offset), p))
                 .collect(),
-        }
+        )
     }
 
     /// Re-bins the support onto multiples of `bin` (rounding up), merging
@@ -193,9 +225,7 @@ impl Pmf {
             let b = v.div_ceil(bin).saturating_mul(bin);
             *acc.entry(b).or_insert(0.0) += p;
         }
-        Pmf {
-            points: acc.into_iter().collect(),
-        }
+        Pmf::with_points(acc.into_iter().collect())
     }
 
     /// Total probability mass (1 for non-empty pmfs, up to rounding).
@@ -340,6 +370,15 @@ mod tests {
     }
 
     #[test]
+    fn from_points_renormalizes_drift() {
+        // Off by 5e-7: accepted, then renormalized back onto mass 1 (to
+        // within one ulp of the division) instead of carrying the drift.
+        let pmf = Pmf::from_points(vec![(1, 0.5), (2, 0.5 - 5e-7)]).unwrap();
+        assert!((pmf.total_mass() - 1.0).abs() < 1e-15);
+        assert!((pmf.cdf(2) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
     fn saturating_convolution_does_not_overflow() {
         let a = Pmf::point_mass(u64::MAX - 1);
         let b = Pmf::point_mass(10);
@@ -392,6 +431,61 @@ mod tests {
             let pmf = Pmf::from_samples(samples.into_iter());
             let binned = pmf.binned(bin);
             prop_assert!((binned.total_mass() - pmf.total_mass()).abs() < 1e-9);
+        }
+
+        #[test]
+        fn cdf_matches_linear_accumulation(
+            samples in proptest::collection::vec(0u64..10_000, 1..64),
+            queries in proptest::collection::vec(0u64..12_000, 1..32),
+        ) {
+            // The prefix-sum binary search must agree bit-for-bit with the
+            // naive left-to-right accumulation it replaced.
+            let pmf = Pmf::from_samples(samples.into_iter());
+            for x in queries {
+                let mut acc = 0.0f64;
+                for (v, p) in pmf.iter() {
+                    if v > x {
+                        break;
+                    }
+                    acc += p;
+                }
+                prop_assert_eq!(pmf.cdf(x), acc.min(1.0));
+            }
+        }
+
+        #[test]
+        fn renormalized_mass_stable_under_chained_convolve(
+            weights in proptest::collection::vec((0u64..2_000, 1u32..1000), 2..12),
+            rounds in 1usize..5,
+        ) {
+            // Feed from_points probabilities that are deliberately off by up
+            // to ~1e-6 (rounded to 6 decimal places), then convolve the
+            // result with itself repeatedly: renormalization at construction
+            // must keep the total mass pinned to 1 instead of letting the
+            // drift compound exponentially in the number of convolutions.
+            let total: u32 = weights.iter().map(|&(_, w)| w).sum();
+            let pairs: Vec<(u64, f64)> = weights
+                .iter()
+                .map(|&(v, w)| {
+                    let p = w as f64 / total as f64;
+                    (v, (p * 1e7).round() / 1e7) // inject rounding drift
+                })
+                .collect();
+            // <= 12 entries each off by <= 5e-8: total drift stays within
+            // the 1e-6 acceptance band.
+            let drifted_total: f64 = pairs.iter().map(|&(_, p)| p).sum();
+            prop_assert!((drifted_total - 1.0).abs() <= 1e-6);
+            let pmf = Pmf::from_points(pairs).unwrap();
+            prop_assert!((pmf.total_mass() - 1.0).abs() < 1e-12);
+            let mut chained = pmf.clone();
+            for _ in 0..rounds {
+                chained = chained.convolve(&pmf);
+                prop_assert!(
+                    (chained.total_mass() - 1.0).abs() < 1e-9,
+                    "mass drifted to {}",
+                    chained.total_mass()
+                );
+            }
         }
     }
 }

@@ -28,6 +28,7 @@ use std::collections::VecDeque;
 pub struct SlidingWindow {
     buf: VecDeque<u64>,
     capacity: usize,
+    generation: u64,
 }
 
 impl SlidingWindow {
@@ -41,6 +42,7 @@ impl SlidingWindow {
         Self {
             buf: VecDeque::with_capacity(capacity),
             capacity,
+            generation: 0,
         }
     }
 
@@ -50,6 +52,15 @@ impl SlidingWindow {
             self.buf.pop_front();
         }
         self.buf.push_back(value);
+        self.generation += 1;
+    }
+
+    /// Monotone counter bumped by every content change ([`Self::push`] and
+    /// [`Self::clear`]). Two reads of the same window with equal generations
+    /// are guaranteed to see identical contents, which is what lets derived
+    /// quantities (empirical pmfs, convolutions) be memoized against it.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of measurements currently held.
@@ -94,6 +105,7 @@ impl SlidingWindow {
     /// Removes all retained measurements.
     pub fn clear(&mut self) {
         self.buf.clear();
+        self.generation += 1;
     }
 }
 
@@ -152,6 +164,19 @@ mod tests {
         assert!(w.is_empty());
         w.push(9);
         assert_eq!(w.last(), Some(9));
+    }
+
+    #[test]
+    fn generation_tracks_every_content_change() {
+        let mut w = SlidingWindow::new(2);
+        assert_eq!(w.generation(), 0);
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.generation(), 2);
+        w.push(3); // eviction still changes contents
+        assert_eq!(w.generation(), 3);
+        w.clear();
+        assert_eq!(w.generation(), 4);
     }
 
     #[test]

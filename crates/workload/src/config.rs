@@ -149,6 +149,10 @@ pub struct ScenarioConfig {
     pub lazy_interval: SimDuration,
     /// Sliding-window size `l` of the client repositories.
     pub window_size: usize,
+    /// Optional bin width (µs) for the cached response-time pmfs of the
+    /// client repositories; `None` keeps exact support. Bounds memory for
+    /// long-tailed windows at a small resolution cost.
+    pub cdf_bin_us: Option<u64>,
     /// Virtual cost of each selection (Figure 3 territory).
     pub selection_overhead: SimDuration,
     /// Server service-time model (the paper's simulated background load:
@@ -198,6 +202,7 @@ impl ScenarioConfig {
             num_secondaries: 6,
             lazy_interval: SimDuration::from_secs(lazy_secs),
             window_size: 20,
+            cdf_bin_us: None,
             selection_overhead: SimDuration::from_millis(1),
             service_delay: DelayModel::normal_ms(100.0, 50.0),
             link_delay: DelayModel::Uniform {

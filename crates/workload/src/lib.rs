@@ -37,4 +37,4 @@ pub use config::{
 pub use runner::{
     build_scenario, run_scenario, BuiltScenario, ClientOutcome, ScenarioMetrics, ServerOutcome,
 };
-pub use synthetic::{build_candidates, synthetic_repository};
+pub use synthetic::{build_candidates, build_candidates_uncached, synthetic_repository};

@@ -45,6 +45,14 @@ pub struct ClientOutcome {
     pub hedges: u64,
     /// Quarantine windows opened against suspected replicas.
     pub quarantines: u64,
+    /// Response-time CDF queries answered from the repository's memoized
+    /// pmf (no convolution performed).
+    pub cdf_cache_hits: u64,
+    /// CDF queries that had to rebuild at least one cached layer.
+    pub cdf_cache_misses: u64,
+    /// Full `S⊛W` base convolutions performed (at most one per replica per
+    /// window generation).
+    pub cdf_base_rebuilds: u64,
     /// Per-replica selection counts (hot-spot studies).
     pub selection_counts: HashMap<ActorId, u64>,
     /// Mean `P_K(d)` prediction over all reads (model calibration: the
@@ -262,6 +270,7 @@ pub fn build_scenario(config: &ScenarioConfig) -> BuiltScenario {
             secondary_view.clone(),
             ClientConfig {
                 window_size: config.window_size,
+                cdf_bin_us: config.cdf_bin_us,
                 rate_window: 16,
                 selection_overhead: config.selection_overhead,
                 policy: spec.policy,
@@ -404,6 +413,9 @@ fn collect(
             retries: stats.retries,
             hedges: stats.hedges,
             quarantines: stats.quarantines,
+            cdf_cache_hits: stats.cdf_cache_hits,
+            cdf_cache_misses: stats.cdf_cache_misses,
+            cdf_base_rebuilds: stats.cdf_base_rebuilds,
             selection_counts: gw.selection_counts().clone(),
             mean_predicted: gw.mean_predicted(),
             record: actor.record().clone(),

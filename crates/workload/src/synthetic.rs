@@ -103,6 +103,37 @@ pub fn build_candidates(
         .collect()
 }
 
+/// [`build_candidates`] evaluated through the repository's from-scratch
+/// (uncached) CDF path: every call re-runs the `S⊛W` convolution per
+/// replica, exactly as the seed implementation did. This is the "before"
+/// arm of the cached-CDF overhead study (Figure 3 / `BENCH_selection.json`);
+/// production code always uses the cached [`build_candidates`].
+pub fn build_candidates_uncached(
+    repo: &InfoRepository,
+    n: usize,
+    n_primaries: usize,
+    deadline: SimDuration,
+    now: SimTime,
+) -> Vec<Candidate> {
+    (0..n)
+        .map(|i| {
+            let id = ActorId::from_index(i + 1);
+            let is_primary = i < n_primaries;
+            Candidate {
+                id,
+                is_primary,
+                immediate_cdf: repo.immediate_cdf_uncached(id, deadline),
+                deferred_cdf: if is_primary {
+                    0.0
+                } else {
+                    repo.deferred_cdf_uncached(id, deadline)
+                },
+                ert_us: repo.ert_us(id, now),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +169,18 @@ mod tests {
             "primaries have no deferred path"
         );
         assert!(cands[5].deferred_cdf >= 0.0);
+    }
+
+    #[test]
+    fn uncached_candidates_match_cached() {
+        let repo = synthetic_repository(8, 20, 3);
+        let d = SimDuration::from_millis(250);
+        let now = SimTime::from_secs(100);
+        let cached = build_candidates(&repo, 8, 3, d, now);
+        let uncached = build_candidates_uncached(&repo, 8, 3, d, now);
+        assert_eq!(cached, uncached);
+        // And again with the cache warm.
+        assert_eq!(build_candidates(&repo, 8, 3, d, now), uncached);
     }
 
     #[test]
