@@ -3,7 +3,9 @@
 //! handlers and deployment sizes.
 
 use aqf_core::OrderingGuarantee;
-use aqf_workload::{run_scenario, ObjectKind, ScenarioConfig};
+use aqf_workload::{
+    run_scenario, world_bench_config, ObjectKind, ScenarioConfig, WORLD_BENCH_SIZES,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn mini(ordering: OrderingGuarantee, replicas: (usize, usize)) -> ScenarioConfig {
@@ -44,6 +46,24 @@ fn bench_scenarios(c: &mut Criterion) {
                 })
             },
         );
+    }
+    // The canonical world-core sizes, same configurations the `world_core`
+    // bench reports to results/BENCH_world.json.
+    for actors in WORLD_BENCH_SIZES {
+        for faults in [false, true] {
+            group.bench_with_input(
+                BenchmarkId::new(
+                    "world_bench",
+                    format!("{actors}actors{}", if faults { "_faults" } else { "" }),
+                ),
+                &(actors, faults),
+                |b, &(actors, faults)| {
+                    b.iter(|| {
+                        std::hint::black_box(run_scenario(&world_bench_config(actors, faults)))
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -85,16 +85,21 @@ fn run_burst(members: usize, messages: u64, loss: f64) -> u64 {
 fn bench_multicast(c: &mut Criterion) {
     let mut group = c.benchmark_group("multicast");
     group.sample_size(10);
+    // Report the lossless and the 10%-loss regime at every member count, so
+    // the with/without-loss comparison the module docs promise is available
+    // per deployment size rather than at a single size.
     for members in [4usize, 8, 16] {
         group.bench_with_input(
             BenchmarkId::new("reliable_500msgs", members),
             &members,
             |b, &m| b.iter(|| std::hint::black_box(run_burst(m, 500, 0.0))),
         );
+        group.bench_with_input(
+            BenchmarkId::new("reliable_500msgs_loss10pct", members),
+            &members,
+            |b, &m| b.iter(|| std::hint::black_box(run_burst(m, 500, 0.10))),
+        );
     }
-    group.bench_function("reliable_500msgs_loss10pct_8members", |b| {
-        b.iter(|| std::hint::black_box(run_burst(8, 500, 0.10)))
-    });
     group.finish();
 }
 

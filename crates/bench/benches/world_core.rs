@@ -1,0 +1,317 @@
+//! Simulator event-core throughput: micro-benchmarks of the optimized hot
+//! paths (reusable command buffer, slab timers, dense network tables,
+//! shared-payload multicast) plus the canonical end-to-end scenarios from
+//! [`aqf_workload::world_bench_config`].
+//!
+//! Besides printing criterion-style timings, this bench writes
+//! `results/BENCH_world.json` comparing measured events/sec against the
+//! recorded pre-optimization baseline at 4/16/64 actors, with and without
+//! the standard fault schedule. Each scenario's per-run event count is
+//! asserted against the count recorded before the overhaul, so the report
+//! doubles as a determinism check: the optimized core must replay the
+//! exact same event history, just faster.
+//!
+//! Run quickly (CI smoke mode, one timed run per scenario):
+//!
+//! ```text
+//! cargo bench -p aqf-bench --bench world_core -- --quick
+//! ```
+
+use aqf_sim::{Actor, ActorId, Context, SimDuration, SimTime, Timer, World};
+use aqf_workload::{run_scenario, world_bench_config};
+use criterion::Criterion;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Pre-optimization reference points, measured in release mode on the
+/// commit preceding the event-core overhaul (per-event `Vec` command
+/// buffers, tombstone-`HashSet` timer cancellation, hash-map network
+/// lookups, clone-per-target multicast, B-tree PMF accumulation).
+/// `events_per_run` is seed-determined and must be reproduced exactly;
+/// `events_per_sec` is the wall-clock baseline the speedup is quoted
+/// against.
+struct Baseline {
+    actors: usize,
+    faults: bool,
+    events_per_run: u64,
+    events_per_sec: f64,
+}
+
+const BASELINES: [Baseline; 6] = [
+    Baseline {
+        actors: 4,
+        faults: false,
+        events_per_run: 1_013,
+        events_per_sec: 291_631.0,
+    },
+    Baseline {
+        actors: 4,
+        faults: true,
+        events_per_run: 1_183,
+        events_per_sec: 261_361.0,
+    },
+    Baseline {
+        actors: 16,
+        faults: false,
+        events_per_run: 8_866,
+        events_per_sec: 58_313.0,
+    },
+    Baseline {
+        actors: 16,
+        faults: true,
+        events_per_run: 13_925,
+        events_per_sec: 87_540.0,
+    },
+    Baseline {
+        actors: 64,
+        faults: false,
+        events_per_run: 170_327,
+        events_per_sec: 32_830.0,
+    },
+    Baseline {
+        actors: 64,
+        faults: true,
+        events_per_run: 1_036_314,
+        events_per_sec: 760_545.0,
+    },
+];
+
+// --- Micro-benchmarks of the raw event core ------------------------------
+
+/// Forwards a decrementing token around a ring: every event is one
+/// delivery plus one send, exercising the dispatch/scratch-buffer path
+/// with no application logic.
+struct Relay {
+    next: ActorId,
+}
+
+impl Actor<u32> for Relay {
+    fn on_message(&mut self, _: ActorId, msg: u32, ctx: &mut Context<'_, u32>) {
+        if msg > 0 {
+            ctx.send(self.next, msg - 1);
+        }
+    }
+    fn on_timer(&mut self, _: Timer, _: &mut Context<'_, u32>) {}
+}
+
+fn ring_run(hops: u32) -> u64 {
+    const N: usize = 8;
+    let mut world: World<u32> = World::new(11);
+    for i in 0..N {
+        world.add_actor(Box::new(Relay {
+            next: ActorId::from_index((i + 1) % N),
+        }));
+    }
+    world.send_external(ActorId::from_index(0), hops, SimTime::ZERO);
+    world.run_until_idle(u64::MAX);
+    world.stats().delivered
+}
+
+/// Arms several timers per tick and cancels all but the tick itself:
+/// the slab's arm/consume churn path.
+struct TimerChurn {
+    rounds: u32,
+}
+
+impl Actor<u32> for TimerChurn {
+    fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+        ctx.set_timer(1, SimDuration::from_micros(10));
+    }
+    fn on_message(&mut self, _: ActorId, _: u32, _: &mut Context<'_, u32>) {}
+    fn on_timer(&mut self, t: Timer, ctx: &mut Context<'_, u32>) {
+        if t.kind != 1 || self.rounds == 0 {
+            return;
+        }
+        self.rounds -= 1;
+        for k in 0..8 {
+            let id = ctx.set_timer(100 + k, SimDuration::from_millis(500));
+            ctx.cancel_timer(id);
+        }
+        ctx.set_timer(1, SimDuration::from_micros(10));
+    }
+}
+
+fn timer_churn_run(rounds: u32) -> u64 {
+    let mut world: World<u32> = World::new(12);
+    let id = world.add_actor(Box::new(TimerChurn { rounds }));
+    world.run_until_idle(u64::MAX);
+    assert_eq!(world.live_timers(), 0, "all timers fired or cancelled");
+    let _ = id;
+    world.stats().timers
+}
+
+/// One sender multicasting to the rest of the world over a lossy,
+/// duplicating network: the shared-payload `SendMany` path.
+struct Spray {
+    peers: Vec<ActorId>,
+    rounds: u32,
+}
+
+impl Actor<Vec<u8>> for Spray {
+    fn on_start(&mut self, ctx: &mut Context<'_, Vec<u8>>) {
+        if !self.peers.is_empty() {
+            ctx.set_timer(1, SimDuration::from_micros(50));
+        }
+    }
+    fn on_message(&mut self, _: ActorId, _: Vec<u8>, _: &mut Context<'_, Vec<u8>>) {}
+    fn on_timer(&mut self, _: Timer, ctx: &mut Context<'_, Vec<u8>>) {
+        if self.rounds == 0 {
+            return;
+        }
+        self.rounds -= 1;
+        // A payload big enough that per-copy clones are visible.
+        ctx.multicast(&self.peers, vec![0u8; 256]);
+        ctx.set_timer(1, SimDuration::from_micros(50));
+    }
+}
+
+fn multicast_run(members: usize, rounds: u32) -> u64 {
+    let mut world: World<Vec<u8>> = World::new(13);
+    world.net_mut().set_loss_probability(0.05);
+    world.net_mut().set_duplicate_probability(0.02);
+    let ids: Vec<ActorId> = (0..members).map(ActorId::from_index).collect();
+    for i in 0..members {
+        let peers = if i == 0 {
+            ids[1..].to_vec()
+        } else {
+            Vec::new()
+        };
+        world.add_actor(Box::new(Spray { peers, rounds }));
+    }
+    world.run_until_idle(u64::MAX);
+    world.stats().delivered
+}
+
+fn micro_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("world_core");
+    group.bench_function("ring_delivery_8actors_4khops", |b| {
+        b.iter(|| std::hint::black_box(ring_run(4_000)))
+    });
+    group.bench_function("timer_churn_1krounds_8arm8cancel", |b| {
+        b.iter(|| std::hint::black_box(timer_churn_run(1_000)))
+    });
+    group.bench_function("multicast_16actors_500rounds_lossy", |b| {
+        b.iter(|| std::hint::black_box(multicast_run(16, 500)))
+    });
+    group.finish();
+}
+
+// --- End-to-end scenario measurement + BENCH_world.json ------------------
+
+struct Row {
+    actors: usize,
+    faults: bool,
+    events_per_run: u64,
+    virtual_secs: f64,
+    before: f64,
+    after: f64,
+}
+
+fn measure_scenarios(quick: bool) -> Vec<Row> {
+    BASELINES
+        .iter()
+        .map(|base| {
+            let config = world_bench_config(base.actors, base.faults);
+            let reps: u32 = match (quick, base.actors) {
+                (true, _) => 1,
+                (false, 64) => 2,
+                (false, _) => 4,
+            };
+            if !quick {
+                // Warm-up run, outside the timed window.
+                let warm = run_scenario(&config);
+                assert_eq!(
+                    warm.events, base.events_per_run,
+                    "event history diverged from the pre-optimization core \
+                     (actors={} faults={})",
+                    base.actors, base.faults
+                );
+            }
+            let t0 = Instant::now();
+            let mut events = 0u64;
+            let mut virtual_secs = 0.0;
+            for _ in 0..reps {
+                let m = run_scenario(&config);
+                assert_eq!(
+                    m.events, base.events_per_run,
+                    "event history diverged from the pre-optimization core \
+                     (actors={} faults={})",
+                    base.actors, base.faults
+                );
+                events += m.events;
+                virtual_secs = m.virtual_secs;
+            }
+            let after = events as f64 / t0.elapsed().as_secs_f64();
+            println!(
+                "world_core/end_to_end/{}actors{}: {:>10.0} events/sec ({:.2}x baseline)",
+                base.actors,
+                if base.faults { "_faults" } else { "" },
+                after,
+                after / base.events_per_sec
+            );
+            Row {
+                actors: base.actors,
+                faults: base.faults,
+                events_per_run: base.events_per_run,
+                virtual_secs,
+                before: base.events_per_sec,
+                after,
+            }
+        })
+        .collect()
+}
+
+fn render_json(rows: &[Row], quick: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"world_core\",\n");
+    out.push_str("  \"unit\": \"events_per_sec\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(
+        "  \"baseline\": \"pre-optimization event core: per-event Vec command buffers, \
+         tombstone-HashSet timer cancellation, hash-map network lookups, \
+         clone-per-target multicast, B-tree PMF accumulation\",\n",
+    );
+    out.push_str("  \"scenarios\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"actors\": {}, \"faults\": {}, \"events_per_run\": {}, \
+             \"virtual_secs\": {:.1}, \"before_events_per_sec\": {:.0}, \
+             \"after_events_per_sec\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            r.actors,
+            r.faults,
+            r.events_per_run,
+            r.virtual_secs,
+            r.before,
+            r.after,
+            r.after / r.before,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn write_report(rows: &[Row], quick: bool) {
+    // Anchor on the workspace root so the output lands in `results/`
+    // regardless of the invocation directory.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let dir = root.join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_world.json");
+    let mut f = std::fs::File::create(&path).expect("create BENCH_world.json");
+    f.write_all(render_json(rows, quick).as_bytes())
+        .expect("write BENCH_world.json");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut criterion = Criterion::default();
+    micro_benches(&mut criterion);
+    let rows = measure_scenarios(quick);
+    write_report(&rows, quick);
+}

@@ -12,9 +12,9 @@
 //! * Figure 4b: observed probability of timing failure for client 2 (with
 //!   95% binomial confidence intervals).
 
+use crate::pool::map_bounded;
 use crate::table::{Output, Table};
 use aqf_workload::{run_scenario, ScenarioConfig};
-use std::thread;
 
 /// The deadline grid of the paper's x-axis (ms).
 pub const DEADLINES_MS: [u64; 8] = [80, 100, 120, 140, 160, 180, 200, 220];
@@ -68,18 +68,17 @@ pub fn run_point(pc: f64, lui_secs: u64, deadline_ms: u64, seed: u64) -> Validat
     }
 }
 
-/// Runs the full grid (all four curves x all deadlines), in parallel.
+/// Runs the full grid (all four curves x all deadlines) on a bounded
+/// worker pool.
 pub fn run_grid(seed: u64) -> Vec<ValidationPoint> {
-    let mut handles = Vec::new();
+    let mut grid = Vec::new();
     for &(pc, lui) in &CONFIGS {
         for &d in &DEADLINES_MS {
-            handles.push(thread::spawn(move || run_point(pc, lui, d, seed)));
+            grid.push((pc, lui, d));
         }
     }
-    let mut points: Vec<ValidationPoint> = handles
-        .into_iter()
-        .map(|h| h.join().expect("validation run panicked"))
-        .collect();
+    let mut points: Vec<ValidationPoint> =
+        map_bounded(grid, |(pc, lui, d)| run_point(pc, lui, d, seed));
     points.sort_by(|a, b| {
         a.pc.total_cmp(&b.pc)
             .then(a.lui_secs.cmp(&b.lui_secs))

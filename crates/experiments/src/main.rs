@@ -25,6 +25,7 @@ mod fig3;
 mod fig4;
 mod hotspot;
 mod ordering;
+mod pool;
 mod staleness;
 mod sweeps;
 mod table;

@@ -8,40 +8,40 @@
 //! quantifies the trade: protocol messages, selected-set sizes, and
 //! delivered QoS on a commuting (per-account banking) workload.
 
+use crate::pool::map_bounded;
 use crate::table::{Output, Table};
 use aqf_core::OrderingGuarantee;
 use aqf_workload::{run_scenario, ObjectKind, ScenarioConfig};
-use std::thread;
 
 /// Runs the comparison and prints it.
 pub fn run(seed: u64, out: &Output) {
     let deadlines = [100u64, 160, 220];
-    let mut handles = Vec::new();
+    let mut grid = Vec::new();
     for &d in &deadlines {
         for ordering in [
             OrderingGuarantee::Sequential,
             OrderingGuarantee::Causal,
             OrderingGuarantee::Fifo,
         ] {
-            handles.push(thread::spawn(move || {
-                let mut config = ScenarioConfig::paper_validation(d, 0.9, 2, seed);
-                config.ordering = ordering;
-                config.object = ObjectKind::Bank;
-                let m = run_scenario(&config);
-                let c = m.client(1);
-                (
-                    d,
-                    ordering,
-                    m.events,
-                    c.avg_replicas_selected,
-                    c.failure_ci.map(|x| x.estimate).unwrap_or(0.0),
-                    c.record.read_response_ms.mean().unwrap_or(0.0),
-                    m.max_applied_divergence(),
-                )
-            }));
+            grid.push((d, ordering));
         }
     }
-    let mut rows: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let mut rows: Vec<_> = map_bounded(grid, |(d, ordering)| {
+        let mut config = ScenarioConfig::paper_validation(d, 0.9, 2, seed);
+        config.ordering = ordering;
+        config.object = ObjectKind::Bank;
+        let m = run_scenario(&config);
+        let c = m.client(1);
+        (
+            d,
+            ordering,
+            m.events,
+            c.avg_replicas_selected,
+            c.failure_ci.map(|x| x.estimate).unwrap_or(0.0),
+            c.record.read_response_ms.mean().unwrap_or(0.0),
+            m.max_applied_divergence(),
+        )
+    });
     rows.sort_by_key(|r| (r.0, format!("{:?}", r.1)));
     let mut table = Table::new(
         "EXT-ORD: sequential vs causal vs FIFO handlers (banking workload, Pc = 0.9, LUI = 2 s)",

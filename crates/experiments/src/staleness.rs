@@ -9,11 +9,11 @@
 //! against the empirical rate-mixture estimator, both end to end (delivered
 //! QoS) and in isolation (the factors they produce).
 
+use crate::pool::map_bounded;
 use crate::table::{Output, Table};
 use aqf_core::{QosSpec, SelectionPolicy, StalenessModel};
 use aqf_sim::SimDuration;
 use aqf_workload::{run_scenario, ClientSpec, OpPattern, ScenarioConfig};
-use std::thread;
 
 fn scenario(model: StalenessModel, deadline_ms: u64, seed: u64) -> ScenarioConfig {
     let mut config = ScenarioConfig::paper_validation(deadline_ms, 0.9, 2, seed);
@@ -44,27 +44,27 @@ fn scenario(model: StalenessModel, deadline_ms: u64, seed: u64) -> ScenarioConfi
 /// Runs the comparison and prints it.
 pub fn run(seed: u64, out: &Output) {
     let deadlines = [100u64, 160, 220];
-    let mut handles = Vec::new();
+    let mut grid = Vec::new();
     for &d in &deadlines {
         for model in [
             StalenessModel::Poisson,
             StalenessModel::EmpiricalRateMixture,
         ] {
-            handles.push(thread::spawn(move || {
-                let m = run_scenario(&scenario(model, d, seed));
-                let c = m.client(1);
-                let server_deferred: u64 = m.servers.iter().map(|s| s.stats.reads_deferred).sum();
-                (
-                    d,
-                    model,
-                    c.avg_replicas_selected - 1.0,
-                    c.failure_ci.map(|x| x.estimate).unwrap_or(0.0),
-                    server_deferred,
-                )
-            }));
+            grid.push((d, model));
         }
     }
-    let mut rows: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let mut rows: Vec<_> = map_bounded(grid, |(d, model)| {
+        let m = run_scenario(&scenario(model, d, seed));
+        let c = m.client(1);
+        let server_deferred: u64 = m.servers.iter().map(|s| s.stats.reads_deferred).sum();
+        (
+            d,
+            model,
+            c.avg_replicas_selected - 1.0,
+            c.failure_ci.map(|x| x.estimate).unwrap_or(0.0),
+            server_deferred,
+        )
+    });
     rows.sort_by_key(|r| (r.0, format!("{:?}", r.1)));
     let mut table = Table::new(
         "EXT-STALE: Poisson vs empirical rate-mixture staleness model (bursty updates)",

@@ -2,32 +2,32 @@
 //! summarizes ("varying the different parameters, such as the lazy update
 //! interval and request delay").
 
+use crate::pool::map_bounded;
 use crate::table::{Output, Table};
 use aqf_workload::{run_scenario, ScenarioConfig};
-use std::thread;
 
 /// Sweeps the lazy update interval at fixed deadlines.
 pub fn sweep_lui(seed: u64, out: &Output) {
     let luis = [1u64, 2, 4, 8];
     let deadlines = [100u64, 200];
-    let mut handles = Vec::new();
+    let mut grid = Vec::new();
     for &lui in &luis {
         for &d in &deadlines {
-            handles.push(thread::spawn(move || {
-                let config = ScenarioConfig::paper_validation(d, 0.9, lui, seed);
-                let m = run_scenario(&config);
-                let c = m.client(1);
-                (
-                    lui,
-                    d,
-                    c.avg_replicas_selected - 1.0,
-                    c.failure_ci.map(|x| x.estimate).unwrap_or(0.0),
-                    c.deferred_replies,
-                )
-            }));
+            grid.push((lui, d));
         }
     }
-    let mut rows: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let mut rows: Vec<_> = map_bounded(grid, |(lui, d)| {
+        let config = ScenarioConfig::paper_validation(d, 0.9, lui, seed);
+        let m = run_scenario(&config);
+        let c = m.client(1);
+        (
+            lui,
+            d,
+            c.avg_replicas_selected - 1.0,
+            c.failure_ci.map(|x| x.estimate).unwrap_or(0.0),
+            c.deferred_replies,
+        )
+    });
     rows.sort_by_key(|r| (r.0, r.1));
     let mut table = Table::new(
         "EXT-LUI: lazy update interval sweep (Pc = 0.9, a = 2)",
@@ -58,25 +58,21 @@ pub fn sweep_lui(seed: u64, out: &Output) {
 /// Sweeps the client request delay (offered load).
 pub fn sweep_request_delay(seed: u64, out: &Output) {
     let delays = [250u64, 500, 1000, 2000];
-    let mut handles = Vec::new();
-    for &rd in &delays {
-        handles.push(thread::spawn(move || {
-            let mut config = ScenarioConfig::paper_validation(140, 0.9, 4, seed);
-            for c in &mut config.clients {
-                c.request_delay = aqf_sim::SimDuration::from_millis(rd);
-            }
-            let m = run_scenario(&config);
-            let c = m.client(1);
-            (
-                rd,
-                c.avg_replicas_selected - 1.0,
-                c.failure_ci.map(|x| x.estimate).unwrap_or(0.0),
-                c.deferred_replies,
-                c.record.read_response_ms.mean().unwrap_or(0.0),
-            )
-        }));
-    }
-    let mut rows: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let mut rows: Vec<_> = map_bounded(delays.to_vec(), |rd| {
+        let mut config = ScenarioConfig::paper_validation(140, 0.9, 4, seed);
+        for c in &mut config.clients {
+            c.request_delay = aqf_sim::SimDuration::from_millis(rd);
+        }
+        let m = run_scenario(&config);
+        let c = m.client(1);
+        (
+            rd,
+            c.avg_replicas_selected - 1.0,
+            c.failure_ci.map(|x| x.estimate).unwrap_or(0.0),
+            c.deferred_replies,
+            c.record.read_response_ms.mean().unwrap_or(0.0),
+        )
+    });
     rows.sort_by_key(|r| r.0);
     let mut table = Table::new(
         "EXT-REQD: request delay sweep (d = 140 ms, Pc = 0.9, LUI = 4 s)",

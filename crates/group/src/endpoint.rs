@@ -286,11 +286,14 @@ impl<A: Clone> GroupEndpoint<A> {
             for m in state.view.members().to_vec() {
                 state.last_heard.insert(m, now);
             }
-            for m in state.view.members() {
-                if *m != self.me {
-                    ctx.send(*m, GroupMsg::JoinRequest { group: *group });
-                }
-            }
+            let knock: Vec<ActorId> = state
+                .view
+                .members()
+                .iter()
+                .copied()
+                .filter(|m| *m != self.me)
+                .collect();
+            ctx.multicast(&knock, GroupMsg::JoinRequest { group: *group });
         }
         ctx.set_timer(TICK_TIMER, self.config.tick_interval);
     }
@@ -680,9 +683,8 @@ impl<A: Clone> GroupEndpoint<A> {
                 ch.abandon_gaps();
             }
         }
-        for r in recipients {
-            ctx.send(r, GroupMsg::ViewAnnounce(new_view.clone()));
-        }
+        let recipients: Vec<ActorId> = recipients.into_iter().collect();
+        ctx.multicast(&recipients, GroupMsg::ViewAnnounce(new_view.clone()));
         Some(new_view)
     }
 
@@ -704,16 +706,14 @@ impl<A: Clone> GroupEndpoint<A> {
                     .collect(),
                 None => continue,
             };
-            for t in targets {
-                ctx.send(
-                    t,
-                    GroupMsg::StreamStatus {
-                        group,
-                        incarnation: self.incarnation,
-                        next_seq,
-                    },
-                );
-            }
+            ctx.multicast(
+                &targets,
+                GroupMsg::StreamStatus {
+                    group,
+                    incarnation: self.incarnation,
+                    next_seq,
+                },
+            );
         }
         let now = ctx.now();
         let timeout = self.config.failure_timeout;
@@ -770,20 +770,22 @@ impl<A: Clone> GroupEndpoint<A> {
 
             if !in_view {
                 // Keep knocking until a leader lets us back in.
-                for m in rejoin_targets {
-                    ctx.send(m, GroupMsg::JoinRequest { group });
-                }
+                ctx.multicast(&rejoin_targets, GroupMsg::JoinRequest { group });
                 continue;
             }
 
             if am_leader {
                 // The leader's heartbeat is a full view announce, which also
-                // resynchronizes lagging members and observers.
-                for m in members.iter().chain(observers.iter()) {
-                    if *m != self.me {
-                        ctx.send(*m, GroupMsg::ViewAnnounce(view.clone()));
-                    }
-                }
+                // resynchronizes lagging members and observers. One shared
+                // payload for the whole round: the view is deep-cloned per
+                // *delivered* copy, not per recipient.
+                let announce_to: Vec<ActorId> = members
+                    .iter()
+                    .chain(observers.iter())
+                    .copied()
+                    .filter(|m| *m != self.me)
+                    .collect();
+                ctx.multicast(&announce_to, GroupMsg::ViewAnnounce(view.clone()));
                 let has_joiners = !self.groups[&group].join_requests.is_empty();
                 if !suspects.is_empty() || has_joiners {
                     if let Some(new_view) = self.install_successor(group, &suspects, ctx) {
@@ -795,17 +797,15 @@ impl<A: Clone> GroupEndpoint<A> {
                     }
                 }
             } else {
-                for m in &members {
-                    if *m != self.me {
-                        ctx.send(
-                            *m,
-                            GroupMsg::Heartbeat {
-                                group,
-                                view_id: view.id,
-                            },
-                        );
-                    }
-                }
+                let heartbeat_to: Vec<ActorId> =
+                    members.iter().copied().filter(|m| *m != self.me).collect();
+                ctx.multicast(
+                    &heartbeat_to,
+                    GroupMsg::Heartbeat {
+                        group,
+                        view_id: view.id,
+                    },
+                );
             }
         }
     }

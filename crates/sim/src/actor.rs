@@ -1,6 +1,7 @@
 //! The actor abstraction: event-driven state machines over virtual time.
 
 use crate::time::{SimDuration, SimTime};
+use crate::timer::TimerSlab;
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -79,6 +80,15 @@ pub(crate) enum Command<M> {
         to: ActorId,
         msg: M,
     },
+    /// Send one logical payload to every target, cloning it only per
+    /// delivered copy at routing time. Semantically identical to a
+    /// `Send` per target in `targets` order; the world resolves routing
+    /// once per target against a single shared payload instead of
+    /// carrying one deep-cloned message per command.
+    SendMany {
+        targets: Vec<ActorId>,
+        msg: M,
+    },
     /// Deliver `msg` back to the issuing actor after `delay`, bypassing the
     /// network model. Models local asynchronous work (e.g. handing a request
     /// to the hosted application).
@@ -102,7 +112,7 @@ pub struct Context<'a, M> {
     pub(crate) degrade: f64,
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) commands: &'a mut Vec<Command<M>>,
-    pub(crate) next_timer: &'a mut u64,
+    pub(crate) timers: &'a mut TimerSlab,
 }
 
 impl<M> Context<'_, M> {
@@ -137,19 +147,20 @@ impl<M> Context<'_, M> {
         self.commands.push(Command::Send { to, msg });
     }
 
-    /// Sends `msg` to every actor in `targets`, cloning it per target. Each
-    /// copy samples its own link delay, as on a switched LAN.
+    /// Sends `msg` to every actor in `targets`. Each copy samples its own
+    /// link delay, as on a switched LAN. Equivalent to one [`Context::send`]
+    /// per target, but the payload is shared until routing resolves, so it
+    /// is cloned only for copies that are actually delivered.
     pub fn multicast<'t, I>(&mut self, targets: I, msg: M)
     where
         M: Clone,
         I: IntoIterator<Item = &'t ActorId>,
     {
-        for to in targets {
-            self.commands.push(Command::Send {
-                to: *to,
-                msg: msg.clone(),
-            });
+        let targets: Vec<ActorId> = targets.into_iter().copied().collect();
+        if targets.is_empty() {
+            return;
         }
+        self.commands.push(Command::SendMany { targets, msg });
     }
 
     /// Delivers `msg` back to this actor after `delay`, bypassing the network
@@ -161,8 +172,7 @@ impl<M> Context<'_, M> {
 
     /// Arms a timer that fires after `delay`, tagged with `kind`.
     pub fn set_timer(&mut self, kind: u32, delay: SimDuration) -> TimerId {
-        let id = TimerId(*self.next_timer);
-        *self.next_timer += 1;
+        let id = self.timers.arm();
         self.commands.push(Command::SetTimer { id, kind, delay });
         id
     }
@@ -183,23 +193,24 @@ mod tests {
     fn context_records_commands() {
         let mut rng = SmallRng::seed_from_u64(0);
         let mut commands: Vec<Command<u32>> = Vec::new();
-        let mut next_timer = 0;
+        let mut timers = TimerSlab::default();
         let mut ctx = Context {
             me: ActorId(3),
             now: SimTime::from_millis(5),
             degrade: 1.0,
             rng: &mut rng,
             commands: &mut commands,
-            next_timer: &mut next_timer,
+            timers: &mut timers,
         };
         assert_eq!(ctx.me(), ActorId(3));
         assert_eq!(ctx.now(), SimTime::from_millis(5));
         ctx.send(ActorId(1), 10);
         ctx.multicast(&[ActorId(1), ActorId(2)], 20);
+        ctx.multicast(&[], 21); // empty multicast records nothing
         let t = ctx.set_timer(7, SimDuration::from_millis(1));
         ctx.cancel_timer(t);
         ctx.schedule_local(99, SimDuration::from_micros(10));
-        assert_eq!(commands.len(), 6);
+        assert_eq!(commands.len(), 5);
         assert!(matches!(
             commands[0],
             Command::Send {
@@ -207,23 +218,27 @@ mod tests {
                 msg: 10
             }
         ));
-        assert!(matches!(commands[3], Command::SetTimer { kind: 7, .. }));
-        assert!(matches!(commands[4], Command::CancelTimer(_)));
-        assert!(matches!(commands[5], Command::Local { msg: 99, .. }));
+        assert!(matches!(
+            &commands[1],
+            Command::SendMany { targets, msg: 20 } if *targets == [ActorId(1), ActorId(2)]
+        ));
+        assert!(matches!(commands[2], Command::SetTimer { kind: 7, .. }));
+        assert!(matches!(commands[3], Command::CancelTimer(_)));
+        assert!(matches!(commands[4], Command::Local { msg: 99, .. }));
     }
 
     #[test]
     fn timer_ids_unique() {
         let mut rng = SmallRng::seed_from_u64(0);
         let mut commands: Vec<Command<u32>> = Vec::new();
-        let mut next_timer = 0;
+        let mut timers = TimerSlab::default();
         let mut ctx = Context {
             me: ActorId(0),
             now: SimTime::ZERO,
             degrade: 1.0,
             rng: &mut rng,
             commands: &mut commands,
-            next_timer: &mut next_timer,
+            timers: &mut timers,
         };
         let a = ctx.set_timer(0, SimDuration::from_millis(1));
         let b = ctx.set_timer(0, SimDuration::from_millis(1));

@@ -66,10 +66,11 @@ pub mod delay;
 pub mod net;
 pub mod rt;
 pub mod time;
+mod timer;
 pub mod world;
 
 pub use actor::{Actor, ActorId, Context, Timer, TimerId};
 pub use delay::DelayModel;
 pub use net::NetworkModel;
 pub use time::{SimDuration, SimTime};
-pub use world::World;
+pub use world::{World, WorldStats};

@@ -19,14 +19,17 @@ use std::collections::{HashMap, HashSet};
 #[derive(Debug, Clone)]
 pub struct NetworkModel {
     default_delay: DelayModel,
+    // Pair-keyed state stays in hash containers (sparse, two-dimensional);
+    // every per-actor table is a dense `Vec` indexed by `ActorId::index`,
+    // so the per-message hot path (`dropped` / `sample_delay`) does array
+    // probes instead of hashing. None of these is ever iterated, so
+    // container order cannot leak into simulation behavior.
     pair_delay: HashMap<(ActorId, ActorId), DelayModel>,
-    dest_delay: HashMap<ActorId, DelayModel>,
+    dest_delay: Vec<Option<DelayModel>>,
     loss_probability: f64,
     partitioned: HashSet<(ActorId, ActorId)>,
-    // Gray-failure state (maps are lookup-only, never iterated, so hashing
-    // order cannot leak into simulation behavior).
-    degraded: HashMap<ActorId, f64>,
-    actor_loss: HashMap<ActorId, f64>,
+    degraded: Vec<Option<f64>>,
+    actor_loss: Vec<Option<f64>>,
     link_loss: HashMap<(ActorId, ActorId), f64>,
     duplicate_probability: f64,
 }
@@ -58,11 +61,11 @@ impl NetworkModel {
         Self {
             default_delay,
             pair_delay: HashMap::new(),
-            dest_delay: HashMap::new(),
+            dest_delay: Vec::new(),
             loss_probability: 0.0,
             partitioned: HashSet::new(),
-            degraded: HashMap::new(),
-            actor_loss: HashMap::new(),
+            degraded: Vec::new(),
+            actor_loss: Vec::new(),
             link_loss: HashMap::new(),
             duplicate_probability: 0.0,
         }
@@ -75,8 +78,12 @@ impl NetworkModel {
 
     /// Overrides the delay model for all messages delivered *to* `dest`
     /// (unless a per-pair override exists). Models a slow host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest` is the reserved external sender id.
     pub fn set_dest_delay(&mut self, dest: ActorId, model: DelayModel) {
-        self.dest_delay.insert(dest, model);
+        dense_insert(&mut self.dest_delay, dest, model);
     }
 
     /// Sets the iid per-message loss probability.
@@ -113,10 +120,11 @@ impl NetworkModel {
     ///
     /// # Panics
     ///
-    /// Panics if `factor` is not at least 1.
+    /// Panics if `factor` is not at least 1, or if `target` is the reserved
+    /// external sender id.
     pub fn degrade(&mut self, target: ActorId, factor: f64) {
         assert!(factor >= 1.0, "degrade factor must be >= 1");
-        self.degraded.insert(target, factor);
+        dense_insert(&mut self.degraded, target, factor);
     }
 
     /// Sets an iid loss probability for every message to or from `target`
@@ -124,13 +132,14 @@ impl NetworkModel {
     ///
     /// # Panics
     ///
-    /// Panics if `p` is not in `[0, 1]`.
+    /// Panics if `p` is not in `[0, 1]`, or if `target` is the reserved
+    /// external sender id.
     pub fn set_actor_loss(&mut self, target: ActorId, p: f64) {
         assert!(
             (0.0..=1.0).contains(&p),
             "loss probability must be in [0, 1]"
         );
-        self.actor_loss.insert(target, p);
+        dense_insert(&mut self.actor_loss, target, p);
     }
 
     /// Sets an iid loss probability for the ordered link `from -> to`.
@@ -149,13 +158,17 @@ impl NetworkModel {
     /// Clears gray-failure state (degradation and per-actor loss) for
     /// `target`, restoring it to nominal behavior.
     pub fn restore(&mut self, target: ActorId) {
-        self.degraded.remove(&target);
-        self.actor_loss.remove(&target);
+        if let Some(slot) = self.degraded.get_mut(target.index()) {
+            *slot = None;
+        }
+        if let Some(slot) = self.actor_loss.get_mut(target.index()) {
+            *slot = None;
+        }
     }
 
     /// The latency multiplier currently applied to `target`, if any.
     pub fn degrade_factor(&self, target: ActorId) -> Option<f64> {
-        self.degraded.get(&target).copied()
+        self.degraded.get(target.index()).copied().flatten()
     }
 
     /// Sets the iid probability that a delivered message is delivered
@@ -174,19 +187,27 @@ impl NetworkModel {
     }
 
     fn dropped(&self, from: ActorId, to: ActorId, rng: &mut SmallRng) -> bool {
-        if self.is_partitioned(from, to) {
+        // Each sparse container is guarded by an emptiness check so the
+        // common no-fault configuration pays no hashing at all. The RNG is
+        // consulted under exactly the same conditions as before the dense
+        // tables: only when an applicable probability is configured and
+        // positive, keeping the draw sequence (and thus every seeded
+        // history) unchanged.
+        if !self.partitioned.is_empty() && self.is_partitioned(from, to) {
             return true;
         }
         if self.loss_probability > 0.0 && rng.gen_bool(self.loss_probability) {
             return true;
         }
-        if let Some(&p) = self.link_loss.get(&(from, to)) {
-            if p > 0.0 && rng.gen_bool(p) {
-                return true;
+        if !self.link_loss.is_empty() {
+            if let Some(&p) = self.link_loss.get(&(from, to)) {
+                if p > 0.0 && rng.gen_bool(p) {
+                    return true;
+                }
             }
         }
         for end in [from, to] {
-            if let Some(&p) = self.actor_loss.get(&end) {
+            if let Some(p) = self.actor_loss.get(end.index()).copied().flatten() {
                 if p > 0.0 && rng.gen_bool(p) {
                     return true;
                 }
@@ -196,16 +217,21 @@ impl NetworkModel {
     }
 
     fn sample_delay(&self, from: ActorId, to: ActorId, rng: &mut SmallRng) -> SimDuration {
-        let model = self
-            .pair_delay
-            .get(&(from, to))
-            .or_else(|| self.dest_delay.get(&to))
+        let pair = if self.pair_delay.is_empty() {
+            None
+        } else {
+            self.pair_delay.get(&(from, to))
+        };
+        let model = pair
+            .or_else(|| self.dest_delay.get(to.index()).and_then(Option::as_ref))
             .unwrap_or(&self.default_delay);
         let base = model.sample(rng);
         let mut factor = 1.0;
-        for end in [from, to] {
-            if let Some(&f) = self.degraded.get(&end) {
-                factor *= f;
+        if !self.degraded.is_empty() {
+            for end in [from, to] {
+                if let Some(f) = self.degraded.get(end.index()).copied().flatten() {
+                    factor *= f;
+                }
             }
         }
         if factor > 1.0 {
@@ -246,6 +272,23 @@ fn ordered(a: ActorId, b: ActorId) -> (ActorId, ActorId) {
     } else {
         (b, a)
     }
+}
+
+/// Writes `value` into a dense per-actor table, growing it on demand.
+///
+/// The reserved external sender id ([`crate::world::EXTERNAL`]) is rejected:
+/// it is not a configurable endpoint, and its `u32::MAX` index would force
+/// the table to allocate for the entire id space.
+fn dense_insert<T>(table: &mut Vec<Option<T>>, id: ActorId, value: T) {
+    assert!(
+        id != crate::world::EXTERNAL,
+        "cannot configure the external sender"
+    );
+    let idx = id.index();
+    if table.len() <= idx {
+        table.resize_with(idx + 1, || None);
+    }
+    table[idx] = Some(value);
 }
 
 #[cfg(test)]

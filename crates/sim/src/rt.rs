@@ -15,15 +15,16 @@
 //!
 //! [`Actor`]: crate::Actor
 
-use crate::actor::{ActorId, Command, Context, Timer, TimerId};
+use crate::actor::{ActorId, Command, Context, Timer};
 use crate::delay::DelayModel;
 use crate::time::{SimDuration, SimTime};
+use crate::timer::TimerSlab;
 use crate::Actor;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::any::Any;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -212,15 +213,15 @@ fn actor_thread<M: Send + Clone + 'static>(
         config.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1)),
     );
     let mut net_rng = SmallRng::seed_from_u64(config.seed ^ ((index as u64) << 7) ^ 0xA5A5);
-    let mut next_timer = 0u64;
     let mut seq = 0u64;
     let mut heap: BinaryHeap<Due<M>> = BinaryHeap::new();
-    let mut cancelled: HashSet<TimerId> = HashSet::new();
+    let mut timers = TimerSlab::default();
+    // Reusable command buffer: drained by `apply` after every handler.
+    let mut commands: Vec<Command<M>> = Vec::new();
 
     let now = |epoch: Instant| SimTime::from_micros(epoch.elapsed().as_micros() as u64);
 
     // Start the actor.
-    let mut commands: Vec<Command<M>> = Vec::new();
     {
         let mut ctx = Context {
             me,
@@ -228,16 +229,16 @@ fn actor_thread<M: Send + Clone + 'static>(
             degrade: 1.0,
             rng: &mut rng,
             commands: &mut commands,
-            next_timer: &mut next_timer,
+            timers: &mut timers,
         };
         actor.on_start(&mut ctx);
     }
     apply(
         me,
-        commands,
+        &mut commands,
         &mut heap,
         &mut seq,
-        &mut cancelled,
+        &mut timers,
         &config,
         &mut net_rng,
     );
@@ -247,11 +248,10 @@ fn actor_thread<M: Send + Clone + 'static>(
         let wall = Instant::now();
         while heap.peek().map(|d| d.at <= wall).unwrap_or(false) {
             let due = heap.pop().expect("peeked");
-            let mut commands: Vec<Command<M>> = Vec::new();
             match due.what {
                 DueKind::Timer(timer) => {
-                    if cancelled.remove(&timer.id) {
-                        continue;
+                    if !timers.consume(timer.id) {
+                        continue; // cancelled after this entry was queued
                     }
                     let mut ctx = Context {
                         me,
@@ -259,7 +259,7 @@ fn actor_thread<M: Send + Clone + 'static>(
                         degrade: 1.0,
                         rng: &mut rng,
                         commands: &mut commands,
-                        next_timer: &mut next_timer,
+                        timers: &mut timers,
                     };
                     actor.on_timer(timer, &mut ctx);
                 }
@@ -274,17 +274,17 @@ fn actor_thread<M: Send + Clone + 'static>(
                         degrade: 1.0,
                         rng: &mut rng,
                         commands: &mut commands,
-                        next_timer: &mut next_timer,
+                        timers: &mut timers,
                     };
                     actor.on_message(me, msg, &mut ctx);
                 }
             }
             apply(
                 me,
-                commands,
+                &mut commands,
                 &mut heap,
                 &mut seq,
-                &mut cancelled,
+                &mut timers,
                 &config,
                 &mut net_rng,
             );
@@ -297,7 +297,6 @@ fn actor_thread<M: Send + Clone + 'static>(
             .unwrap_or(Duration::from_millis(50));
         match rx.recv_timeout(timeout) {
             Ok(RtEvent::Deliver { from, msg }) => {
-                let mut commands: Vec<Command<M>> = Vec::new();
                 {
                     let mut ctx = Context {
                         me,
@@ -305,16 +304,16 @@ fn actor_thread<M: Send + Clone + 'static>(
                         degrade: 1.0,
                         rng: &mut rng,
                         commands: &mut commands,
-                        next_timer: &mut next_timer,
+                        timers: &mut timers,
                     };
                     actor.on_message(from, msg, &mut ctx);
                 }
                 apply(
                     me,
-                    commands,
+                    &mut commands,
                     &mut heap,
                     &mut seq,
-                    &mut cancelled,
+                    &mut timers,
                     &config,
                     &mut net_rng,
                 );
@@ -328,42 +327,66 @@ fn actor_thread<M: Send + Clone + 'static>(
 
 fn apply<M: Send + Clone + 'static>(
     me: ActorId,
-    commands: Vec<Command<M>>,
+    commands: &mut Vec<Command<M>>,
     heap: &mut BinaryHeap<Due<M>>,
     seq: &mut u64,
-    cancelled: &mut HashSet<TimerId>,
+    timers: &mut TimerSlab,
     config: &RtConfig,
     net_rng: &mut SmallRng,
 ) {
     let wall = Instant::now();
-    for cmd in commands {
-        let (at, what) = match cmd {
-            Command::Send { to, msg } => {
-                let delay = config.link_delay.sample(net_rng);
-                (
-                    wall + Duration::from_micros(delay.as_micros()),
-                    DueKind::Outbound { to, from: me, msg },
-                )
-            }
-            Command::Local { msg, delay } => (
-                wall + Duration::from_micros(delay.as_micros()),
-                DueKind::SelfDeliver(msg),
-            ),
-            Command::SetTimer { id, kind, delay } => (
-                wall + Duration::from_micros(delay.as_micros()),
-                DueKind::Timer(Timer { id, kind }),
-            ),
-            Command::CancelTimer(id) => {
-                cancelled.insert(id);
-                continue;
-            }
-        };
+    let mut push = |heap: &mut BinaryHeap<Due<M>>, at: Instant, what: DueKind<M>| {
         *seq += 1;
         heap.push(Due {
             at,
             seq: *seq,
             what,
         });
+    };
+    for cmd in commands.drain(..) {
+        match cmd {
+            Command::Send { to, msg } => {
+                let delay = config.link_delay.sample(net_rng);
+                push(
+                    heap,
+                    wall + Duration::from_micros(delay.as_micros()),
+                    DueKind::Outbound { to, from: me, msg },
+                );
+            }
+            Command::SendMany { targets, msg } => {
+                // Shared payload: each target samples its own link delay,
+                // cloning the message per outbound copy only here.
+                for &to in &targets {
+                    let delay = config.link_delay.sample(net_rng);
+                    push(
+                        heap,
+                        wall + Duration::from_micros(delay.as_micros()),
+                        DueKind::Outbound {
+                            to,
+                            from: me,
+                            msg: msg.clone(),
+                        },
+                    );
+                }
+            }
+            Command::Local { msg, delay } => {
+                push(
+                    heap,
+                    wall + Duration::from_micros(delay.as_micros()),
+                    DueKind::SelfDeliver(msg),
+                );
+            }
+            Command::SetTimer { id, kind, delay } => {
+                push(
+                    heap,
+                    wall + Duration::from_micros(delay.as_micros()),
+                    DueKind::Timer(Timer { id, kind }),
+                );
+            }
+            Command::CancelTimer(id) => {
+                timers.consume(id);
+            }
+        }
     }
 }
 

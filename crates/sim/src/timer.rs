@@ -1,0 +1,122 @@
+//! Slab-indexed timer slots with generation counters.
+//!
+//! Timer cancellation used to be implemented with a tombstone
+//! `HashSet<TimerId>`: cancelling inserted the id, and a popped fire event
+//! checked membership. That made every fire pay a hash lookup and let the
+//! set grow without bound when actors cancelled timers whose fire events
+//! were far in the future. The slab replaces both: a [`TimerId`] encodes
+//! `(generation, slot)`, cancellation bumps the slot's generation (O(1)
+//! array write), and a popped fire event is live exactly when its encoded
+//! generation still matches the slot. Slots are recycled through a free
+//! list, so memory is bounded by the peak number of concurrently armed
+//! timers rather than by cancel churn.
+
+use crate::actor::TimerId;
+
+/// Allocator and liveness oracle for timer ids.
+///
+/// Each armed timer occupies one slot until it is *consumed* — either by
+/// its fire event popping from the queue or by an explicit cancel,
+/// whichever comes first. Consuming bumps the slot's generation, which
+/// atomically invalidates the old id (a later cancel of a fired timer, or
+/// the fire event of a cancelled timer, sees a generation mismatch and is
+/// a no-op) and returns the slot to the free list for reuse. A slot's
+/// generation wraps after 2^32 consumes, far beyond any simulated run.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TimerSlab {
+    /// Current generation of each slot ever allocated.
+    gens: Vec<u32>,
+    /// Slots available for reuse.
+    free: Vec<u32>,
+}
+
+impl TimerSlab {
+    /// Arms a timer: allocates a slot (recycling a free one if available)
+    /// and returns the id encoding its current generation.
+    pub(crate) fn arm(&mut self) -> TimerId {
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                let slot = u32::try_from(self.gens.len()).expect("timer slab exhausted");
+                self.gens.push(0);
+                slot
+            }
+        };
+        TimerId(u64::from(self.gens[slot as usize]) << 32 | u64::from(slot))
+    }
+
+    /// Consumes `id` if it is still live: bumps the slot's generation,
+    /// frees the slot, and returns `true`. Returns `false` when `id` was
+    /// already consumed (fired or cancelled) — the caller treats the event
+    /// as stale.
+    pub(crate) fn consume(&mut self, id: TimerId) -> bool {
+        let slot = (id.0 & u64::from(u32::MAX)) as usize;
+        let gen = (id.0 >> 32) as u32;
+        match self.gens.get_mut(slot) {
+            Some(current) if *current == gen => {
+                *current = current.wrapping_add(1);
+                self.free.push(slot as u32);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of currently armed timers.
+    pub(crate) fn live(&self) -> usize {
+        self.gens.len() - self.free.len()
+    }
+
+    /// Number of slots ever allocated: the high-water mark of concurrently
+    /// armed timers. Bounded regardless of how many timers are armed and
+    /// cancelled over a run's lifetime.
+    pub(crate) fn slot_capacity(&self) -> usize {
+        self.gens.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_while_live() {
+        let mut slab = TimerSlab::default();
+        let a = slab.arm();
+        let b = slab.arm();
+        assert_ne!(a, b);
+        assert_eq!(slab.live(), 2);
+    }
+
+    #[test]
+    fn consume_is_once_only() {
+        let mut slab = TimerSlab::default();
+        let a = slab.arm();
+        assert!(slab.consume(a));
+        assert!(!slab.consume(a), "second consume (stale fire) is a no-op");
+        assert_eq!(slab.live(), 0);
+    }
+
+    #[test]
+    fn recycled_slot_gets_fresh_generation() {
+        let mut slab = TimerSlab::default();
+        let a = slab.arm();
+        assert!(slab.consume(a));
+        let b = slab.arm();
+        assert_ne!(a, b, "recycled slot must not alias the consumed id");
+        assert!(!slab.consume(a), "stale id stays stale after slot reuse");
+        assert!(slab.consume(b));
+        assert_eq!(slab.slot_capacity(), 1, "one slot served both timers");
+    }
+
+    #[test]
+    fn capacity_tracks_peak_not_churn() {
+        let mut slab = TimerSlab::default();
+        for _ in 0..10_000 {
+            let id = slab.arm();
+            assert!(slab.consume(id));
+        }
+        assert_eq!(slab.slot_capacity(), 1);
+        assert_eq!(slab.live(), 0);
+    }
+}

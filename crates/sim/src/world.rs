@@ -1,12 +1,13 @@
 //! The simulation world: event queue, scheduler, and fault injection.
 
-use crate::actor::{Actor, ActorId, Command, Context, Timer, TimerId};
+use crate::actor::{Actor, ActorId, Command, Context, Timer};
 use crate::net::NetworkModel;
 use crate::time::{SimDuration, SimTime};
+use crate::timer::TimerSlab;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::any::Any;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 /// Sender id attached to messages injected from outside the simulation via
 /// [`World::send_external`].
@@ -84,8 +85,11 @@ pub struct World<M> {
     seq: u64,
     net: NetworkModel,
     net_rng: SmallRng,
-    cancelled: HashSet<TimerId>,
-    next_timer: u64,
+    timers: TimerSlab,
+    /// Reusable command buffer handed to actor handlers: taken before each
+    /// handler invocation and put back drained, so steady-state event
+    /// processing does not allocate a fresh `Vec` per event.
+    scratch: Vec<Command<M>>,
     started: bool,
     seed: u64,
     stats: WorldStats,
@@ -103,8 +107,8 @@ impl<M: Clone + 'static> World<M> {
             seq: 0,
             net: NetworkModel::default(),
             net_rng,
-            cancelled: HashSet::new(),
-            next_timer: 0,
+            timers: TimerSlab::default(),
+            scratch: Vec::new(),
             started: false,
             seed,
             stats: WorldStats::default(),
@@ -154,6 +158,19 @@ impl<M: Clone + 'static> World<M> {
     /// Aggregate event counters.
     pub fn stats(&self) -> WorldStats {
         self.stats
+    }
+
+    /// Number of currently armed timers (armed, not yet fired or cancelled).
+    pub fn live_timers(&self) -> usize {
+        self.timers.live()
+    }
+
+    /// High-water mark of concurrently armed timers: the number of timer
+    /// slots ever allocated. Bounded by peak concurrency, not by how many
+    /// timers are armed and cancelled over the run — useful for asserting
+    /// that cancellation churn does not leak memory.
+    pub fn timer_slot_capacity(&self) -> usize {
+        self.timers.slot_capacity()
     }
 
     /// Mutable access to the network model (for configuring delays, loss,
@@ -367,7 +384,18 @@ impl<M: Clone + 'static> World<M> {
     }
 
     fn start_actor(&mut self, id: ActorId) {
-        let mut commands = Vec::new();
+        self.dispatch(id, |actor, ctx| actor.on_start(ctx));
+    }
+
+    /// Runs one actor handler against the reusable command buffer, then
+    /// applies the commands it recorded. `apply_commands` never re-enters
+    /// actor code, so taking the buffer for the duration is safe.
+    fn dispatch(
+        &mut self,
+        id: ActorId,
+        f: impl FnOnce(&mut dyn HostedActor<M>, &mut Context<'_, M>),
+    ) {
+        let mut commands = std::mem::take(&mut self.scratch);
         {
             let degrade = self.net.degrade_factor(id).unwrap_or(1.0);
             let slot = &mut self.slots[id.index()];
@@ -377,11 +405,12 @@ impl<M: Clone + 'static> World<M> {
                 degrade,
                 rng: &mut slot.rng,
                 commands: &mut commands,
-                next_timer: &mut self.next_timer,
+                timers: &mut self.timers,
             };
-            slot.actor.on_start(&mut ctx);
+            f(&mut *slot.actor, &mut ctx);
         }
-        self.apply_commands(id, commands);
+        self.apply_commands(id, &mut commands);
+        self.scratch = commands;
     }
 
     fn step_inner(&mut self) -> bool {
@@ -398,45 +427,19 @@ impl<M: Clone + 'static> World<M> {
                     return true;
                 }
                 self.stats.delivered += 1;
-                let mut commands = Vec::new();
-                {
-                    let degrade = self.net.degrade_factor(to).unwrap_or(1.0);
-                    let slot = &mut self.slots[to.index()];
-                    let mut ctx = Context {
-                        me: to,
-                        now: self.now,
-                        degrade,
-                        rng: &mut slot.rng,
-                        commands: &mut commands,
-                        next_timer: &mut self.next_timer,
-                    };
-                    slot.actor.on_message(from, msg, &mut ctx);
-                }
-                self.apply_commands(to, commands);
+                self.dispatch(to, |actor, ctx| actor.on_message(from, msg, ctx));
             }
             EventKind::Fire { actor, timer } => {
-                if self.cancelled.remove(&timer.id) {
+                // Consuming frees the slot and invalidates the id; a stale
+                // fire (cancelled after this event was queued) is discarded.
+                if !self.timers.consume(timer.id) {
                     return true;
                 }
                 if !self.slots[actor.index()].alive {
                     return true;
                 }
                 self.stats.timers += 1;
-                let mut commands = Vec::new();
-                {
-                    let degrade = self.net.degrade_factor(actor).unwrap_or(1.0);
-                    let slot = &mut self.slots[actor.index()];
-                    let mut ctx = Context {
-                        me: actor,
-                        now: self.now,
-                        degrade,
-                        rng: &mut slot.rng,
-                        commands: &mut commands,
-                        next_timer: &mut self.next_timer,
-                    };
-                    slot.actor.on_timer(timer, &mut ctx);
-                }
-                self.apply_commands(actor, commands);
+                self.dispatch(actor, |a, ctx| a.on_timer(timer, ctx));
             }
             EventKind::Crash(actor) => {
                 self.slots[actor.index()].alive = false;
@@ -459,29 +462,15 @@ impl<M: Clone + 'static> World<M> {
             EventKind::Restart(actor) => {
                 if !self.slots[actor.index()].alive {
                     self.slots[actor.index()].alive = true;
-                    let mut commands = Vec::new();
-                    {
-                        let degrade = self.net.degrade_factor(actor).unwrap_or(1.0);
-                        let slot = &mut self.slots[actor.index()];
-                        let mut ctx = Context {
-                            me: actor,
-                            now: self.now,
-                            degrade,
-                            rng: &mut slot.rng,
-                            commands: &mut commands,
-                            next_timer: &mut self.next_timer,
-                        };
-                        slot.actor.on_restart(&mut ctx);
-                    }
-                    self.apply_commands(actor, commands);
+                    self.dispatch(actor, |a, ctx| a.on_restart(ctx));
                 }
             }
         }
         true
     }
 
-    fn apply_commands(&mut self, me: ActorId, commands: Vec<Command<M>>) {
-        for cmd in commands {
+    fn apply_commands(&mut self, me: ActorId, commands: &mut Vec<Command<M>>) {
+        for cmd in commands.drain(..) {
             match cmd {
                 Command::Send { to, msg } => {
                     assert!(to.index() < self.slots.len(), "send to unknown actor {to}");
@@ -503,6 +492,41 @@ impl<M: Clone + 'static> World<M> {
                             self.push(at, EventKind::Deliver { from: me, to, msg });
                         }
                         None => self.stats.dropped += 1,
+                    }
+                }
+                Command::SendMany { targets, msg } => {
+                    // One shared payload for the whole fan-out: each target
+                    // resolves its own routing fate (identical RNG draws and
+                    // event order to an equivalent run of `Send` commands),
+                    // and the payload is cloned only per delivered copy.
+                    for &to in &targets {
+                        assert!(to.index() < self.slots.len(), "send to unknown actor {to}");
+                        let fate = self.net.deliveries(me, to, &mut self.net_rng);
+                        match fate.first {
+                            Some(delay) => {
+                                if let Some(dup_delay) = fate.duplicate {
+                                    self.stats.duplicated += 1;
+                                    self.push(
+                                        self.now + dup_delay,
+                                        EventKind::Deliver {
+                                            from: me,
+                                            to,
+                                            msg: msg.clone(),
+                                        },
+                                    );
+                                }
+                                let at = self.now + delay;
+                                self.push(
+                                    at,
+                                    EventKind::Deliver {
+                                        from: me,
+                                        to,
+                                        msg: msg.clone(),
+                                    },
+                                );
+                            }
+                            None => self.stats.dropped += 1,
+                        }
                     }
                 }
                 Command::Local { msg, delay } => {
@@ -527,7 +551,10 @@ impl<M: Clone + 'static> World<M> {
                     );
                 }
                 Command::CancelTimer(id) => {
-                    self.cancelled.insert(id);
+                    // Bumps the slot generation so the queued fire event is
+                    // stale when it pops; cancelling a fired or already
+                    // cancelled timer is a no-op.
+                    self.timers.consume(id);
                 }
             }
         }

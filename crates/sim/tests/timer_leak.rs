@@ -1,0 +1,81 @@
+//! Long-run timer memory boundedness.
+//!
+//! The original kernel tracked cancellations in a tombstone
+//! `HashSet<TimerId>` that grew without bound until each cancelled timer's
+//! deadline finally drained from the heap — a leak proportional to total
+//! churn. The generation-counter slab frees a slot the moment a timer is
+//! cancelled, so slab capacity tracks *peak concurrent* timers, not
+//! lifetime churn. This test drives millions of arm/cancel cycles and
+//! pins that bound.
+
+use aqf_sim::{Actor, ActorId, Context, SimDuration, Timer, TimerId, World};
+
+/// Each tick arms `BATCH` long-deadline timers, cancels the whole batch
+/// from the previous tick, and re-arms its own heartbeat.
+struct CancelStorm {
+    previous: Vec<TimerId>,
+    rounds: u64,
+    fired_heartbeats: u64,
+}
+
+const BATCH: usize = 64;
+const HEARTBEAT: u32 = u32::MAX;
+
+impl Actor<()> for CancelStorm {
+    fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+        ctx.set_timer(HEARTBEAT, SimDuration::from_millis(1));
+    }
+
+    fn on_message(&mut self, _: ActorId, _: (), _: &mut Context<'_, ()>) {}
+
+    fn on_timer(&mut self, timer: Timer, ctx: &mut Context<'_, ()>) {
+        if timer.kind != HEARTBEAT {
+            return;
+        }
+        self.fired_heartbeats += 1;
+        for id in self.previous.drain(..) {
+            ctx.cancel_timer(id);
+        }
+        // Deadlines far beyond the run horizon: under the old tombstone
+        // scheme every one of these would linger until its deadline.
+        for k in 0..BATCH {
+            self.previous
+                .push(ctx.set_timer(k as u32, SimDuration::from_secs(3_600)));
+        }
+        if self.rounds > 0 {
+            self.rounds -= 1;
+            ctx.set_timer(HEARTBEAT, SimDuration::from_millis(1));
+        }
+    }
+}
+
+#[test]
+fn cancel_churn_does_not_grow_timer_state() {
+    const ROUNDS: u64 = 10_000;
+    let mut world: World<()> = World::new(7);
+    let storm = world.add_actor(Box::new(CancelStorm {
+        previous: Vec::new(),
+        rounds: ROUNDS,
+        fired_heartbeats: 0,
+    }));
+    world.run_for(SimDuration::from_secs(40));
+
+    let actor = world.actor::<CancelStorm>(storm).unwrap();
+    assert_eq!(
+        actor.fired_heartbeats,
+        ROUNDS + 1,
+        "storm ran to completion"
+    );
+
+    // Over 600k arms went through the slab; only the final batch may
+    // still be live (the heartbeat slot was consumed by its last fire).
+    assert_eq!(world.live_timers(), BATCH);
+    // Peak concurrency is one batch plus the heartbeat; allow slack for
+    // slot-reuse ordering within a tick.
+    assert!(
+        world.timer_slot_capacity() <= 2 * BATCH + 2,
+        "slab capacity {} should track peak concurrent timers, not {} total arms",
+        world.timer_slot_capacity(),
+        (ROUNDS + 1) * BATCH as u64
+    );
+}

@@ -14,7 +14,24 @@
 //! Figure 3 measures as "computation of the response time distribution
 //! function" (90% of the selection overhead).
 
-use std::collections::BTreeMap;
+/// Merges an already sorted `(value, weight)` sequence by accumulating
+/// runs of equal values left to right.
+///
+/// For any given value, the floating-point additions happen in exactly the
+/// order the pairs appear in `pairs` — the same order a `BTreeMap`
+/// accumulator (`*acc.entry(v).or_insert(0.0) += p`) would perform them —
+/// so replacing the tree with sort-and-merge is bit-identical while
+/// avoiding a node allocation per distinct value.
+fn merge_sorted_runs(pairs: Vec<(u64, f64)>) -> Vec<(u64, f64)> {
+    let mut points: Vec<(u64, f64)> = Vec::new();
+    for (v, p) in pairs {
+        match points.last_mut() {
+            Some(last) if last.0 == v => last.1 += p,
+            _ => points.push((v, p)),
+        }
+    }
+    points
+}
 
 /// A sparse empirical probability mass function over `u64` sample values.
 ///
@@ -65,21 +82,29 @@ impl Pmf {
     /// Returns an empty pmf if the iterator yields no samples; an empty pmf
     /// behaves as "no information" (its CDF is zero everywhere).
     pub fn from_samples<I: Iterator<Item = u64>>(samples: I) -> Self {
-        let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
-        let mut n = 0u64;
-        for s in samples {
-            *counts.entry(s).or_insert(0) += 1;
-            n += 1;
-        }
-        if n == 0 {
+        let mut values: Vec<u64> = samples.collect();
+        if values.is_empty() {
             return Self::with_points(Vec::new());
         }
-        Self::with_points(
-            counts
-                .into_iter()
-                .map(|(v, c)| (v, c as f64 / n as f64))
-                .collect(),
-        )
+        values.sort_unstable();
+        let n = values.len() as f64;
+        // Run-length encode the sorted samples; the counts are exact
+        // integers, so the probabilities are the same divisions a map-based
+        // counter would produce.
+        let mut points: Vec<(u64, f64)> = Vec::new();
+        let mut run_value = values[0];
+        let mut run_len = 0u64;
+        for v in values {
+            if v == run_value {
+                run_len += 1;
+            } else {
+                points.push((run_value, run_len as f64 / n));
+                run_value = v;
+                run_len = 1;
+            }
+        }
+        points.push((run_value, run_len as f64 / n));
+        Self::with_points(points)
     }
 
     /// A distribution placing all mass on a single value.
@@ -188,13 +213,21 @@ impl Pmf {
         if self.is_empty() || other.is_empty() {
             return Pmf::with_points(Vec::new());
         }
-        let mut acc: BTreeMap<u64, f64> = BTreeMap::new();
+        // Materialize every pairwise term in `(i, j)` generation order,
+        // stable-sort by sum, and merge adjacent runs. Stability keeps
+        // equal sums in generation order, so each support point accumulates
+        // its terms in exactly the sequence the former `BTreeMap`
+        // implementation used — bit-identical probabilities without a tree
+        // node allocation per term. This is the hottest function of the
+        // whole evaluation pipeline (response-time model rebuilds).
+        let mut pairs: Vec<(u64, f64)> = Vec::with_capacity(self.points.len() * other.points.len());
         for &(v1, p1) in &self.points {
             for &(v2, p2) in &other.points {
-                *acc.entry(v1.saturating_add(v2)).or_insert(0.0) += p1 * p2;
+                pairs.push((v1.saturating_add(v2), p1 * p2));
             }
         }
-        Pmf::with_points(acc.into_iter().collect())
+        pairs.sort_by_key(|&(v, _)| v);
+        Pmf::with_points(merge_sorted_runs(pairs))
     }
 
     /// Shifts the distribution right by a constant (convolution with a point
@@ -220,12 +253,19 @@ impl Pmf {
     /// Panics if `bin` is zero.
     pub fn binned(&self, bin: u64) -> Pmf {
         assert!(bin > 0, "bin width must be positive");
-        let mut acc: BTreeMap<u64, f64> = BTreeMap::new();
+        // The support is sorted, and rounding up to a bin boundary is
+        // monotone, so the binned keys come out already sorted: merge runs
+        // directly, accumulating in support order (the same order a map
+        // accumulator would add them).
+        let mut points: Vec<(u64, f64)> = Vec::new();
         for &(v, p) in &self.points {
             let b = v.div_ceil(bin).saturating_mul(bin);
-            *acc.entry(b).or_insert(0.0) += p;
+            match points.last_mut() {
+                Some(last) if last.0 == b => last.1 += p,
+                _ => points.push((b, p)),
+            }
         }
-        Pmf::with_points(acc.into_iter().collect())
+        Pmf::with_points(points)
     }
 
     /// Total probability mass (1 for non-empty pmfs, up to rounding).
@@ -263,9 +303,48 @@ impl std::error::Error for PmfError {}
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use std::collections::BTreeMap;
 
     fn assert_close(a: f64, b: f64) {
         assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    /// The accumulation strategy the flat-vector paths replaced; kept as a
+    /// test oracle for the bit-identity proofs below.
+    fn convolve_btree_reference(a: &Pmf, b: &Pmf) -> Vec<(u64, f64)> {
+        let mut acc: BTreeMap<u64, f64> = BTreeMap::new();
+        for (v1, p1) in a.iter() {
+            for (v2, p2) in b.iter() {
+                *acc.entry(v1.saturating_add(v2)).or_insert(0.0) += p1 * p2;
+            }
+        }
+        acc.into_iter().collect()
+    }
+
+    fn binned_btree_reference(pmf: &Pmf, bin: u64) -> Vec<(u64, f64)> {
+        let mut acc: BTreeMap<u64, f64> = BTreeMap::new();
+        for (v, p) in pmf.iter() {
+            *acc.entry(v.div_ceil(bin).saturating_mul(bin))
+                .or_insert(0.0) += p;
+        }
+        acc.into_iter().collect()
+    }
+
+    fn from_samples_btree_reference(samples: &[u64]) -> Vec<(u64, f64)> {
+        let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+        for &s in samples {
+            *counts.entry(s).or_insert(0) += 1;
+        }
+        let n = samples.len() as f64;
+        counts.into_iter().map(|(v, c)| (v, c as f64 / n)).collect()
+    }
+
+    fn assert_bit_identical(actual: &Pmf, expected: &[(u64, f64)]) {
+        assert_eq!(actual.support_len(), expected.len());
+        for ((va, pa), &(ve, pe)) in actual.iter().zip(expected) {
+            assert_eq!(va, ve);
+            assert_eq!(pa.to_bits(), pe.to_bits(), "probability at {va} differs");
+        }
     }
 
     #[test]
@@ -424,6 +503,37 @@ mod tests {
                 prop_assert_eq!(v1, v2);
                 prop_assert!((p1 - p2).abs() < 1e-12);
             }
+        }
+
+        #[test]
+        fn convolve_bit_identical_to_btree_accumulator(
+            a in proptest::collection::vec(0u64..5_000, 1..40),
+            b in proptest::collection::vec(0u64..5_000, 1..40),
+        ) {
+            // Duplicated sample values produce repeated sums, exercising the
+            // per-key accumulation order the stable sort must preserve.
+            let pa = Pmf::from_samples(a.into_iter());
+            let pb = Pmf::from_samples(b.into_iter());
+            let expected = convolve_btree_reference(&pa, &pb);
+            assert_bit_identical(&pa.convolve(&pb), &expected);
+        }
+
+        #[test]
+        fn binned_bit_identical_to_btree_accumulator(
+            samples in proptest::collection::vec(0u64..50_000, 1..64),
+            bin in 1u64..3_000,
+        ) {
+            let pmf = Pmf::from_samples(samples.into_iter());
+            let expected = binned_btree_reference(&pmf, bin);
+            assert_bit_identical(&pmf.binned(bin), &expected);
+        }
+
+        #[test]
+        fn from_samples_bit_identical_to_btree_counter(
+            samples in proptest::collection::vec(0u64..200, 1..64),
+        ) {
+            let expected = from_samples_btree_reference(&samples);
+            assert_bit_identical(&Pmf::from_samples(samples.into_iter()), &expected);
         }
 
         #[test]

@@ -26,11 +26,13 @@
 #![warn(missing_docs)]
 
 pub mod actors;
+pub mod bench_scenarios;
 pub mod config;
 pub mod runner;
 pub mod synthetic;
 
 pub use actors::{ClientActor, ClientRecord, NetMsg, ReplicaActor};
+pub use bench_scenarios::{world_bench_config, WORLD_BENCH_SIZES};
 pub use config::{
     ClientSpec, FaultEvent, FaultKind, FaultTarget, ObjectKind, OpPattern, ScenarioConfig,
 };

@@ -15,7 +15,7 @@ use aqf_group::endpoint::GroupMembership;
 use aqf_group::{EndpointConfig, GroupEndpoint, View, ViewId};
 use aqf_sim::{ActorId, SimDuration, World};
 use aqf_stats::BinomialCi;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-client outcome of a run.
 #[derive(Debug, Clone)]
@@ -54,7 +54,7 @@ pub struct ClientOutcome {
     /// window generation).
     pub cdf_base_rebuilds: u64,
     /// Per-replica selection counts (hot-spot studies).
-    pub selection_counts: HashMap<ActorId, u64>,
+    pub selection_counts: BTreeMap<ActorId, u64>,
     /// Mean `P_K(d)` prediction over all reads (model calibration: the
     /// observed timely frequency should be at least this).
     pub mean_predicted: Option<f64>,
@@ -416,7 +416,11 @@ fn collect(
             cdf_cache_hits: stats.cdf_cache_hits,
             cdf_cache_misses: stats.cdf_cache_misses,
             cdf_base_rebuilds: stats.cdf_base_rebuilds,
-            selection_counts: gw.selection_counts().clone(),
+            selection_counts: gw
+                .selection_counts()
+                .iter()
+                .map(|(&r, &n)| (r, n))
+                .collect(),
             mean_predicted: gw.mean_predicted(),
             record: actor.record().clone(),
             repository: gw.repository().clone(),

@@ -269,6 +269,33 @@ pub mod collection {
     }
 }
 
+pub mod option {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy for `Option<S::Value>`, produced by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `None` roughly one case in four and `Some` otherwise,
+    /// mirroring `proptest::option::of`'s default weighting.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64().is_multiple_of(4) {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
 pub mod test_runner {
     /// Per-test configuration, mirroring `proptest::test_runner::ProptestConfig`.
     #[derive(Debug, Clone)]
