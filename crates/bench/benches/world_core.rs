@@ -68,11 +68,18 @@ const BASELINES: [Baseline; 6] = [
         events_per_run: 170_327,
         events_per_sec: 32_830.0,
     },
+    // Re-baselined when the sequencer recovery-round livelock was fixed:
+    // the original 1,036,314-event trace was ~85% client give-up/retry
+    // churn against a sequencer wedged in `recovering` after gray-fault
+    // flapping (a lost GsnReport was never re-queried). With the watchdog
+    // the run completes normally; the speedup column reads ~1x because the
+    // rate is measured against the post-fix trace, not the pre-optimization
+    // core.
     Baseline {
         actors: 64,
         faults: true,
-        events_per_run: 1_036_314,
-        events_per_sec: 760_545.0,
+        events_per_run: 164_659,
+        events_per_sec: 106_000.0,
     },
 ];
 

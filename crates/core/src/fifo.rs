@@ -1085,7 +1085,9 @@ mod tests {
         assert!(p
             .on_payload(a(0), Payload::GsnSnapshot { req, gsn: 1 }, t(0))
             .is_empty());
-        assert!(p.on_payload(a(0), Payload::GsnQuery, t(0)).is_empty());
+        assert!(p
+            .on_payload(a(0), Payload::GsnQuery { csn: 0 }, t(0))
+            .is_empty());
         assert_eq!(p.version(), 0);
     }
 

@@ -27,7 +27,7 @@ use crate::wire::{
     Payload, PerfBroadcast, PublisherInfo, ReadMeasurement, ReadRequest, Reply, RequestId,
     UpdateRequest, PRIMARY_GROUP, SECONDARY_GROUP,
 };
-use aqf_group::View;
+use aqf_group::{GroupId, View};
 use aqf_sim::{ActorId, SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -63,6 +63,11 @@ pub struct ServerConfig {
     /// How many update replies to retain for answering retransmitted
     /// requests without re-applying them.
     pub reply_cache: usize,
+    /// Primary-group replenishment threshold (0 disables, the default):
+    /// when the sequencer's primary view shrinks below this size, it
+    /// promotes the freshest secondary (lowest `my_GSN − my_CSN`) into the
+    /// primary group through the existing state-transfer path.
+    pub min_primary_size: usize,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +79,7 @@ impl Default for ServerConfig {
             committed_log: 1024,
             reply_cache: 1024,
             commit_stall_timeout: SimDuration::from_secs(3),
+            min_primary_size: 0,
         }
     }
 }
@@ -104,6 +110,19 @@ pub enum ServerAction {
         /// Delay until the next lazy propagation.
         after: SimDuration,
     },
+    /// Join `group`: the host's endpoint converts its observed view of the
+    /// group into a (not yet admitted) membership and knocks. Emitted by a
+    /// secondary promoted into the primary group.
+    JoinGroup {
+        /// The group to join.
+        group: GroupId,
+    },
+    /// Voluntarily leave `group`. Emitted by a promoted secondary
+    /// departing the secondary group.
+    LeaveGroup {
+        /// The group to leave.
+        group: GroupId,
+    },
 }
 
 /// Counters exposed for tests and experiments.
@@ -130,6 +149,17 @@ pub struct ServerStats {
     /// Duplicate updates absorbed (retransmissions and at-least-once
     /// deliveries answered from the reply cache or dropped).
     pub dedup_hits: u64,
+    /// Replenishment promotions issued while acting as sequencer.
+    pub promotions: u64,
+    /// Times this replica was promoted from secondary to primary.
+    pub promoted: u64,
+    /// Longest observed sequencer-unavailability window in µs: from the
+    /// last sequencing activity this replica observed to the completion of
+    /// its own takeover reconciliation (new sequencer only).
+    pub seq_unavail_us: u64,
+    /// Longest update-commit stall healed by a recovery or catch-up state
+    /// transfer, in µs.
+    pub commit_stall_us: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -184,6 +214,15 @@ pub struct ServerGateway {
     recovering: bool,
     awaiting_reports: BTreeSet<ActorId>,
     reported_csns: Vec<u64>,
+    /// Assignments learned from `GsnReport`s during the open round:
+    /// interim history this replica may have missed while partitioned,
+    /// keyed by GSN. Folded into `finish_recovery`'s reconciliation so a
+    /// stale re-leading sequencer re-broadcasts the real assignments
+    /// instead of re-sequencing committed updates as orphans.
+    reported_assignments: BTreeMap<u64, RequestId>,
+    /// When the open reconciliation round last multicast a `GsnQuery`;
+    /// the recovery watchdog re-queries past this plus the stall timeout.
+    last_gsn_query_at: SimTime,
     queued_snapshot_reqs: Vec<RequestId>,
 
     // Primary commit machinery.
@@ -223,6 +262,17 @@ pub struct ServerGateway {
     /// interim leader's view and would otherwise resume sequencing from a
     /// wiped counter).
     recover_when_leading: bool,
+
+    // Primary-group replenishment (sequencer only).
+    /// When the current freshness-probe round opened, if one is running.
+    promote_round: Option<SimTime>,
+    /// Freshness reports collected this round: candidate -> (staleness, csn).
+    promote_reports: BTreeMap<ActorId, (u64, u64)>,
+    /// An issued promotion we are waiting to see join the primary view.
+    promotion_inflight: Option<(ActorId, SimTime)>,
+    /// Last time this replica observed the sequencer function working (an
+    /// accepted assignment/snapshot, or its own sequencing).
+    last_seq_activity: SimTime,
 
     synced: bool,
     stats: ServerStats,
@@ -280,6 +330,8 @@ impl ServerGateway {
             recovering: false,
             awaiting_reports: BTreeSet::new(),
             reported_csns: Vec::new(),
+            reported_assignments: BTreeMap::new(),
+            last_gsn_query_at: SimTime::ZERO,
             queued_snapshot_reqs: Vec::new(),
             unassigned_updates: BTreeMap::new(),
             gsn_assignments: BTreeMap::new(),
@@ -302,6 +354,10 @@ impl ServerGateway {
             last_transfer_request: SimTime::ZERO,
             donor_rr: 0,
             recover_when_leading: false,
+            promote_round: None,
+            promote_reports: BTreeMap::new(),
+            promotion_inflight: None,
+            last_seq_activity: SimTime::ZERO,
             synced: true,
             stats: ServerStats::default(),
         }
@@ -391,6 +447,7 @@ impl ServerGateway {
         self.last_broadcast_at = now;
         self.last_lazy_at = now;
         self.last_progress = now;
+        self.last_seq_activity = now;
         let mut actions = Vec::new();
         if self.is_publisher() {
             self.arm_lazy(&mut actions);
@@ -434,6 +491,7 @@ impl ServerGateway {
         if self.role != ReplicaRole::Primary {
             return;
         }
+        self.check_recovery_stall(now, actions);
         if self.staleness() == 0 && self.synced {
             return;
         }
@@ -449,6 +507,31 @@ impl ServerGateway {
                 to: donor,
                 payload: Payload::StateRequest,
             });
+        }
+    }
+
+    /// Reconciliation-round watchdog: a leader stuck awaiting `GsnReport`s
+    /// past the stall timeout prunes departed members from the waiting set
+    /// and re-queries the stragglers. Reports lost to a lossy network (the
+    /// round's only unreliable leg — replies travel point-to-point, outside
+    /// the NACK-recovered multicast) would otherwise leave the round open,
+    /// and sequencing suspended, forever.
+    fn check_recovery_stall(&mut self, now: SimTime, actions: &mut Vec<ServerAction>) {
+        if !self.recovering || self.primary_view.leader() != self.me {
+            return;
+        }
+        if now.saturating_since(self.last_gsn_query_at) <= self.config.commit_stall_timeout {
+            return;
+        }
+        self.last_gsn_query_at = now;
+        let members: BTreeSet<ActorId> = self.primary_view.members().iter().copied().collect();
+        self.awaiting_reports.retain(|m| members.contains(m));
+        if self.awaiting_reports.is_empty() {
+            actions.extend(self.finish_recovery(now));
+        } else {
+            actions.push(ServerAction::MulticastPrimary(Payload::GsnQuery {
+                csn: self.my_csn,
+            }));
         }
     }
 
@@ -471,6 +554,7 @@ impl ServerGateway {
         self.last_lazy_at = now;
         self.last_progress = now;
         self.last_transfer_request = now;
+        self.last_seq_activity = now;
         // Never ask ourselves (a restarted ex-leader's stale view says the
         // leader is itself); rotate through peers instead.
         let mut actions = Vec::new();
@@ -500,12 +584,19 @@ impl ServerGateway {
             Payload::GsnSnapshot { req, gsn } => self.on_gsn_snapshot(from, req, gsn, now),
             Payload::GsnRequest { req } => self.on_gsn_request(req),
             Payload::LazyUpdate { csn, snapshot } => self.on_lazy_update(csn, &snapshot, now),
-            Payload::GsnQuery => self.on_gsn_query(from),
-            Payload::GsnReport { max_gsn, csn } => self.on_gsn_report(from, max_gsn, csn, now),
+            Payload::GsnQuery { csn } => self.on_gsn_query(from, csn),
+            Payload::GsnReport {
+                max_gsn,
+                csn,
+                assignments,
+            } => self.on_gsn_report(from, max_gsn, csn, assignments, now),
             Payload::StateRequest => self.on_state_request(from),
             Payload::StateResponse { csn, gsn, snapshot } => {
                 self.on_state_response(csn, gsn, &snapshot, now)
             }
+            Payload::PromoteQuery => self.on_promote_query(from),
+            Payload::PromoteReport { csn, gsn } => self.on_promote_report(from, csn, gsn, now),
+            Payload::Promote => self.on_promote(from, now),
             // Replies and perf broadcasts are client-bound, and FIFO/causal
             // handler traffic has no meaning here; ignore them.
             Payload::Reply(_)
@@ -553,6 +644,7 @@ impl ServerGateway {
                     gsn,
                 }));
                 self.note_assignment(u.id, gsn);
+                self.last_seq_activity = now;
             }
         }
         match self.gsn_assignments.remove(&u.id) {
@@ -611,6 +703,7 @@ impl ServerGateway {
             return Vec::new();
         }
         self.note_assignment(req, gsn);
+        self.last_seq_activity = now;
         let mut actions = self.try_commit(now);
         self.check_commit_stall(now, &mut actions);
         actions
@@ -707,6 +800,7 @@ impl ServerGateway {
             self.queued_snapshot_reqs.push(r.id);
             return Vec::new();
         }
+        self.last_seq_activity = now;
         let mut actions = vec![
             ServerAction::MulticastPrimary(Payload::GsnSnapshot {
                 req: r.id,
@@ -744,6 +838,7 @@ impl ServerGateway {
             return Vec::new();
         }
         self.my_gsn = self.my_gsn.max(gsn);
+        self.last_seq_activity = now;
         let mut actions = match self.pending_reads.remove(&req) {
             Some(pending) => self.admit_read(pending, gsn, now),
             None => {
@@ -1012,15 +1107,37 @@ impl ServerGateway {
         actions
     }
 
-    fn on_gsn_query(&mut self, from: ActorId) -> Vec<ServerAction> {
+    fn on_gsn_query(&mut self, from: ActorId, querier_csn: u64) -> Vec<ServerAction> {
         if self.role != ReplicaRole::Primary {
             return Vec::new();
+        }
+        // Report every assignment known locally above the querier's CSN.
+        // The querier may be an ex-sequencer re-merged after a partition:
+        // it never saw the interim sequencer's assignments, and counters
+        // alone would let it re-sequence those committed updates as
+        // orphans under fresh GSNs.
+        let mut assignments: BTreeMap<u64, RequestId> = BTreeMap::new();
+        for (req, &gsn) in &self.gsn_assignments {
+            if gsn > querier_csn {
+                assignments.insert(gsn, *req);
+            }
+        }
+        for (&gsn, u) in &self.commit_ready {
+            if gsn > querier_csn {
+                assignments.insert(gsn, u.id);
+            }
+        }
+        for &(gsn, req) in &self.committed_log {
+            if gsn > querier_csn {
+                assignments.insert(gsn, req);
+            }
         }
         vec![ServerAction::SendDirect {
             to: from,
             payload: Payload::GsnReport {
                 max_gsn: self.my_gsn,
                 csn: self.my_csn,
+                assignments: assignments.into_iter().collect(),
             },
         }]
     }
@@ -1030,6 +1147,7 @@ impl ServerGateway {
         from: ActorId,
         max_gsn: u64,
         csn: u64,
+        assignments: Vec<(u64, RequestId)>,
         now: SimTime,
     ) -> Vec<ServerAction> {
         if !self.recovering {
@@ -1037,6 +1155,7 @@ impl ServerGateway {
         }
         self.seq_gsn = self.seq_gsn.max(max_gsn);
         self.reported_csns.push(csn);
+        self.reported_assignments.extend(assignments);
         self.awaiting_reports.remove(&from);
         if self.awaiting_reports.is_empty() {
             self.finish_recovery(now)
@@ -1051,6 +1170,17 @@ impl ServerGateway {
     fn finish_recovery(&mut self, now: SimTime) -> Vec<ServerAction> {
         self.recovering = false;
         self.stats.recoveries += 1;
+        // SLO: the sequencer function was unavailable from the last
+        // sequencing activity this replica observed until now, when its
+        // own takeover completes; commits were stalled since the last CSN
+        // progress.
+        let unavail = now.saturating_since(self.last_seq_activity).as_micros();
+        self.stats.seq_unavail_us = self.stats.seq_unavail_us.max(unavail);
+        if self.staleness() > 0 {
+            let stall = now.saturating_since(self.last_progress).as_micros();
+            self.stats.commit_stall_us = self.stats.commit_stall_us.max(stall);
+        }
+        self.last_seq_activity = now;
         let mut actions = Vec::new();
         // Re-broadcast every assignment this replica knows about above the
         // lowest reported CSN, so primaries that missed an assignment from
@@ -1062,15 +1192,35 @@ impl ServerGateway {
             .chain(std::iter::once(self.my_csn))
             .min()
             .unwrap_or(0);
+        // Weakest to strongest: a later insert wins a GSN conflict. Peer
+        // reports beat local speculative assignments (a re-merged leader's
+        // pre-partition table may disagree with the interim history), but
+        // nothing overrides what is locally commit-ready or committed.
         let mut known: BTreeMap<u64, RequestId> = BTreeMap::new();
-        for &(gsn, req) in &self.committed_log {
+        for (req, gsn) in &self.gsn_assignments {
+            known.insert(*gsn, *req);
+        }
+        for (&gsn, &req) in &self.reported_assignments {
             known.insert(gsn, req);
         }
         for (gsn, u) in &self.commit_ready {
             known.insert(*gsn, u.id);
         }
-        for (req, gsn) in &self.gsn_assignments {
-            known.insert(*gsn, *req);
+        for &(gsn, req) in &self.committed_log {
+            known.insert(gsn, req);
+        }
+        // Adopt reconciled assignments this replica was missing: pairs
+        // buffered update bodies (NACK-recovered while re-merging) with
+        // their real GSNs so the local commit path can replay the interim
+        // history instead of stalling behind it.
+        let learned: Vec<(u64, RequestId)> = known
+            .range(self.my_csn + 1..)
+            .filter(|&(_, req)| !self.gsn_assignments.contains_key(req))
+            .filter(|&(&gsn, _)| !self.commit_ready.contains_key(&gsn))
+            .map(|(&gsn, &req)| (gsn, req))
+            .collect();
+        for (gsn, req) in learned {
+            self.note_assignment(req, gsn);
         }
         for (&gsn, &req) in known.range(floor + 1..) {
             self.seq_gsn = self.seq_gsn.max(gsn);
@@ -1088,6 +1238,7 @@ impl ServerGateway {
             .filter(|r| !known.values().any(|kr| kr == r))
             .collect();
         orphans.sort_unstable();
+        self.reported_assignments.clear();
         for req in orphans {
             self.seq_gsn += 1;
             let gsn = self.seq_gsn;
@@ -1108,6 +1259,154 @@ impl ServerGateway {
                 req,
                 gsn: self.seq_gsn,
             }));
+        }
+        self.maybe_replenish(now, &mut actions);
+        actions
+    }
+
+    /// The replenishment round timeout: how long the sequencer waits for
+    /// freshness reports, and for an issued promotion to show up in the
+    /// primary view, before starting over.
+    fn promote_timeout(&self) -> SimDuration {
+        self.config.lazy_interval.max(SimDuration::from_secs(2))
+    }
+
+    /// Sequencer-side primary-group replenishment (§4.1 extension): when
+    /// the primary view has shrunk below `min_primary_size`, probe the
+    /// secondaries for freshness, promote the freshest one (lowest
+    /// `my_GSN − my_CSN`, then highest CSN, then lowest id), and wait for
+    /// it to join the primary group via the restart state-transfer path.
+    fn maybe_replenish(&mut self, now: SimTime, actions: &mut Vec<ServerAction>) {
+        if self.config.min_primary_size == 0 {
+            return;
+        }
+        if self.primary_view.len() >= self.config.min_primary_size {
+            self.promote_round = None;
+            self.promote_reports.clear();
+            self.promotion_inflight = None;
+            return;
+        }
+        if !self.is_sequencer() || self.recovering {
+            return;
+        }
+        if let Some((cand, at)) = self.promotion_inflight {
+            if self.primary_view.contains(cand) {
+                self.promotion_inflight = None;
+            } else if now.saturating_since(at) <= self.promote_timeout() {
+                return; // give the promotee time to join
+            } else {
+                self.promotion_inflight = None; // candidate failed; retry
+            }
+        }
+        let candidates: Vec<ActorId> = self
+            .secondary_view
+            .members()
+            .iter()
+            .copied()
+            .filter(|m| !self.primary_view.contains(*m) && *m != self.me)
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        match self.promote_round {
+            None => {
+                self.promote_reports.clear();
+                self.promote_round = Some(now);
+                for c in &candidates {
+                    actions.push(ServerAction::SendDirect {
+                        to: *c,
+                        payload: Payload::PromoteQuery,
+                    });
+                }
+            }
+            Some(opened) => {
+                let all_in = candidates
+                    .iter()
+                    .all(|c| self.promote_reports.contains_key(c));
+                let expired = now.saturating_since(opened) > self.promote_timeout();
+                if all_in || (expired && !self.promote_reports.is_empty()) {
+                    let best = self
+                        .promote_reports
+                        .iter()
+                        .filter(|(c, _)| candidates.contains(c))
+                        .min_by_key(|(c, &(stale, csn))| (stale, u64::MAX - csn, **c))
+                        .map(|(c, _)| *c);
+                    self.promote_round = None;
+                    self.promote_reports.clear();
+                    if let Some(best) = best {
+                        self.stats.promotions += 1;
+                        self.promotion_inflight = Some((best, now));
+                        actions.push(ServerAction::SendDirect {
+                            to: best,
+                            payload: Payload::Promote,
+                        });
+                    }
+                } else if expired {
+                    self.promote_round = None; // nobody answered; reopen later
+                }
+            }
+        }
+    }
+
+    /// A secondary answers the sequencer's freshness probe.
+    fn on_promote_query(&mut self, from: ActorId) -> Vec<ServerAction> {
+        if self.role != ReplicaRole::Secondary {
+            return Vec::new();
+        }
+        vec![ServerAction::SendDirect {
+            to: from,
+            payload: Payload::PromoteReport {
+                csn: self.my_csn,
+                gsn: self.my_gsn,
+            },
+        }]
+    }
+
+    /// The sequencer collects freshness reports and closes the round once
+    /// every candidate has answered (or the round times out).
+    fn on_promote_report(
+        &mut self,
+        from: ActorId,
+        csn: u64,
+        gsn: u64,
+        now: SimTime,
+    ) -> Vec<ServerAction> {
+        if self.promote_round.is_none() {
+            return Vec::new();
+        }
+        self.promote_reports
+            .insert(from, (gsn.saturating_sub(csn), csn));
+        let mut actions = Vec::new();
+        self.maybe_replenish(now, &mut actions);
+        actions
+    }
+
+    /// A secondary accepts a promotion from the current sequencer: it
+    /// flips to the primary role, joins the primary group, leaves the
+    /// secondary group, and state-transfers from a current primary (the
+    /// same catch-up path a restarted replica uses).
+    fn on_promote(&mut self, from: ActorId, now: SimTime) -> Vec<ServerAction> {
+        if self.role != ReplicaRole::Secondary || from != self.primary_view.leader() {
+            return Vec::new();
+        }
+        self.role = ReplicaRole::Primary;
+        self.stats.promoted += 1;
+        self.synced = false;
+        self.last_progress = now;
+        self.last_transfer_request = now;
+        let mut actions = vec![
+            ServerAction::JoinGroup {
+                group: PRIMARY_GROUP,
+            },
+            ServerAction::LeaveGroup {
+                group: SECONDARY_GROUP,
+            },
+        ];
+        if let Some(donor) = self.next_donor() {
+            actions.push(ServerAction::SendDirect {
+                to: donor,
+                payload: Payload::StateRequest,
+            });
         }
         actions
     }
@@ -1148,6 +1447,11 @@ impl ServerGateway {
         if !acceptable || self.applied_csn != self.my_csn {
             return Vec::new();
         }
+        if csn > self.my_csn {
+            // SLO: a catch-up transfer heals however long commits stalled.
+            let stall = now.saturating_since(self.last_progress).as_micros();
+            self.stats.commit_stall_us = self.stats.commit_stall_us.max(stall);
+        }
         self.object.install_snapshot(snapshot);
         self.my_csn = csn;
         self.applied_csn = csn;
@@ -1178,16 +1482,20 @@ impl ServerGateway {
                 // also a membership change under a standing leader (a
                 // re-merged partition may carry assignments from an interim
                 // sequencer, and rejoined members may have gaps only a
-                // re-broadcast can fill).
+                // re-broadcast can fill). A round already in flight is
+                // restarted against the new membership — reports from a
+                // departed member never arrive, and a re-merged member was
+                // never queried; either would wedge the round open (and
+                // sequencing with it) for good.
                 if new_leader == self.me
                     && (old_leader != self.me || membership_changed || self.recover_when_leading)
-                    && !self.recovering
                 {
                     self.recover_when_leading = false;
                     // Sequencer takeover (§4.1 failure handling).
                     self.recovering = true;
                     self.seq_gsn = self.seq_gsn.max(self.my_gsn);
                     self.reported_csns.clear();
+                    self.reported_assignments.clear();
                     self.awaiting_reports = self
                         .primary_view
                         .members()
@@ -1195,11 +1503,23 @@ impl ServerGateway {
                         .copied()
                         .filter(|m| *m != self.me)
                         .collect();
+                    self.last_gsn_query_at = now;
                     if self.awaiting_reports.is_empty() {
                         actions.extend(self.finish_recovery(now));
                     } else {
-                        actions.push(ServerAction::MulticastPrimary(Payload::GsnQuery));
+                        actions.push(ServerAction::MulticastPrimary(Payload::GsnQuery {
+                            csn: self.my_csn,
+                        }));
                     }
+                } else if self.recovering && new_leader != self.me {
+                    // Lost leadership mid-round: abandon it. The new leader
+                    // runs its own round, and any reads queued here will be
+                    // re-requested from it by their serving primaries.
+                    self.recovering = false;
+                    self.awaiting_reports.clear();
+                    self.reported_csns.clear();
+                    self.reported_assignments.clear();
+                    self.queued_snapshot_reqs.clear();
                 }
                 if self.is_publisher() && !was_publisher {
                     // Freshly designated publisher: start a new lazy period.
@@ -1221,6 +1541,10 @@ impl ServerGateway {
         } else if view.group == SECONDARY_GROUP {
             self.secondary_view = view;
         }
+        // Either view changing may open (or close) a replenishment round:
+        // the primary view defines the deficit, the secondary view the
+        // candidates.
+        self.maybe_replenish(now, &mut actions);
         actions
     }
 }
@@ -1775,9 +2099,17 @@ mod tests {
         let actions = p.on_view(new_view, t(1000));
         assert!(actions
             .iter()
-            .any(|x| matches!(x, ServerAction::MulticastPrimary(Payload::GsnQuery))));
+            .any(|x| matches!(x, ServerAction::MulticastPrimary(Payload::GsnQuery { .. }))));
         // Peer 2 reports max_gsn 2.
-        let actions = p.on_payload(a(2), Payload::GsnReport { max_gsn: 2, csn: 2 }, t(1001));
+        let actions = p.on_payload(
+            a(2),
+            Payload::GsnReport {
+                max_gsn: 2,
+                csn: 2,
+                assignments: Vec::new(),
+            },
+            t(1001),
+        );
         assert!(!actions.is_empty() || p.stats().recoveries == 1);
         assert_eq!(p.stats().recoveries, 1);
         // New update gets GSN 3, not a duplicate.
@@ -1806,7 +2138,15 @@ mod tests {
         assert_eq!(p.csn(), 1);
         let new_view = pview().successor(&[a(0)], &[]).unwrap();
         let _ = p.on_view(new_view, t(1000));
-        let actions = p.on_payload(a(2), Payload::GsnReport { max_gsn: 0, csn: 0 }, t(1001));
+        let actions = p.on_payload(
+            a(2),
+            Payload::GsnReport {
+                max_gsn: 0,
+                csn: 0,
+                assignments: Vec::new(),
+            },
+            t(1001),
+        );
         assert!(
             actions.iter().any(|x| matches!(
                 x,
@@ -1824,7 +2164,15 @@ mod tests {
         assert_eq!(p.csn(), 0);
         let new_view = pview().successor(&[a(0)], &[]).unwrap();
         let _ = p.on_view(new_view, t(1000));
-        let actions = p.on_payload(a(2), Payload::GsnReport { max_gsn: 0, csn: 0 }, t(1001));
+        let actions = p.on_payload(
+            a(2),
+            Payload::GsnReport {
+                max_gsn: 0,
+                csn: 0,
+                assignments: Vec::new(),
+            },
+            t(1001),
+        );
         assert!(actions.iter().any(|x| matches!(
             x,
             ServerAction::MulticastPrimary(Payload::GsnAssign { gsn: 1, .. })

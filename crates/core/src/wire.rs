@@ -221,8 +221,12 @@ pub enum Payload {
     /// Server -> clients: performance broadcast.
     Perf(PerfBroadcast),
     /// New sequencer -> primary group: collect GSN state after a sequencer
-    /// failure.
-    GsnQuery,
+    /// failure. Carries the querier's own commit sequence number so each
+    /// reporter can bound the assignment history it sends back.
+    GsnQuery {
+        /// The querier's local commit sequence number.
+        csn: u64,
+    },
     /// Primary replica -> new sequencer: report of locally known sequencing
     /// state.
     GsnReport {
@@ -230,6 +234,12 @@ pub enum Payload {
         max_gsn: u64,
         /// Local commit sequence number.
         csn: u64,
+        /// Every `(gsn, request)` pair the reporter knows above the
+        /// querier's CSN. A leader re-merged after a partition may have
+        /// missed an interim sequencer's assignments entirely; without the
+        /// request identities it would re-sequence already-committed
+        /// updates under fresh GSNs (duplicate commits).
+        assignments: Vec<(u64, RequestId)>,
     },
     /// Rejoining replica -> any primary: request a full state transfer.
     StateRequest,
@@ -279,6 +289,21 @@ pub enum Payload {
         /// Publisher-estimated update arrival rate (arrivals/µs).
         rate_per_us: f64,
     },
+    /// Sequencer -> secondary replicas: freshness probe opening a
+    /// primary-group replenishment round.
+    PromoteQuery,
+    /// Secondary replica -> sequencer: freshness report answering a
+    /// [`Payload::PromoteQuery`].
+    PromoteReport {
+        /// The secondary's commit sequence number (snapshot version).
+        csn: u64,
+        /// Highest global sequence number the secondary has observed.
+        gsn: u64,
+    },
+    /// Sequencer -> the chosen secondary: promotion into the primary
+    /// group. The promotee joins the primary group, leaves the secondary
+    /// group, and state-transfers from a current primary.
+    Promote,
 }
 
 impl Payload {
@@ -294,13 +319,16 @@ impl Payload {
             Payload::LazyUpdate { .. } => "lazy-update",
             Payload::FifoLazyUpdate { .. } => "fifo-lazy-update",
             Payload::Perf(_) => "perf",
-            Payload::GsnQuery => "gsn-query",
+            Payload::GsnQuery { .. } => "gsn-query",
             Payload::GsnReport { .. } => "gsn-report",
             Payload::StateRequest => "state-request",
             Payload::StateResponse { .. } => "state-response",
             Payload::CausalUpdate { .. } => "causal-update",
             Payload::CausalRead { .. } => "causal-read",
             Payload::CausalLazyUpdate { .. } => "causal-lazy-update",
+            Payload::PromoteQuery => "promote-query",
+            Payload::PromoteReport { .. } => "promote-report",
+            Payload::Promote => "promote",
         }
     }
 
@@ -392,8 +420,13 @@ mod tests {
             }
             .tag(),
             Payload::GsnRequest { req: rid(0, 0) }.tag(),
-            Payload::GsnQuery.tag(),
-            Payload::GsnReport { max_gsn: 0, csn: 0 }.tag(),
+            Payload::GsnQuery { csn: 0 }.tag(),
+            Payload::GsnReport {
+                max_gsn: 0,
+                csn: 0,
+                assignments: Vec::new(),
+            }
+            .tag(),
             Payload::StateRequest.tag(),
             Payload::StateResponse {
                 csn: 0,
@@ -456,6 +489,9 @@ mod tests {
                 rate_per_us: 0.0,
             }
             .tag(),
+            Payload::PromoteQuery.tag(),
+            Payload::PromoteReport { csn: 0, gsn: 0 }.tag(),
+            Payload::Promote.tag(),
         ];
         let tags: Vec<_> = tags.iter().chain(causal.iter()).collect();
         let unique: std::collections::HashSet<_> = tags.iter().collect();

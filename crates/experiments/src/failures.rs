@@ -2,13 +2,24 @@
 //! roles (paper §5.3's single-failure proposal and §4.1's failure
 //! handling).
 //!
-//! Crashes the sequencer, the lazy publisher, and a serving replica in the
-//! middle of a validation run and reports how the client's QoS held up, how
-//! many recoveries the gateways performed, and whether replicated state
-//! stayed convergent.
+//! Three studies:
+//!
+//! 1. **Crash grid** — crashes the sequencer, the lazy publisher, and a
+//!    serving replica mid-run and reports how the client's QoS held up,
+//!    how many recoveries the gateways performed, and whether replicated
+//!    state stayed convergent.
+//! 2. **Gray-fault grid** — pits the fixed-timeout failure detector
+//!    against the φ-accrual detector (with and without flap damping)
+//!    under near-threshold loss and degradation faults, reporting view
+//!    churn, damped joins, and the failover SLOs.
+//! 3. **Replenishment** — crashes the sequencer with `min_primary_size`
+//!    set and reports the promotion plus the measured
+//!    sequencer-unavailability window.
 
 use crate::table::{Output, Table};
+use aqf_group::{FailureDetector, FlapDamping, PhiAccrualConfig};
 use aqf_sim::SimTime;
+use aqf_workload::runner::ScenarioMetrics;
 use aqf_workload::{run_scenario, FaultEvent, FaultKind, FaultTarget, ScenarioConfig};
 
 struct FaultRun {
@@ -85,10 +96,7 @@ pub fn run(seed: u64, out: &Output) {
         ],
     );
     for run in &runs {
-        let mut config = ScenarioConfig::paper_validation(160, 0.9, 2, seed);
-        // Faster failure detection for the fault runs.
-        config.group_tick = aqf_sim::SimDuration::from_millis(250);
-        config.failure_timeout = aqf_sim::SimDuration::from_millis(900);
+        let mut config = ScenarioConfig::paper_validation(160, 0.9, 2, seed).with_fast_detection();
         config.faults = run.faults.clone();
         let m = run_scenario(&config);
         let c = m.client(1);
@@ -115,5 +123,266 @@ pub fn run(seed: u64, out: &Output) {
          leader, a sequencer crash one under its successor, and a\n\
          crash+restart two), and live replicas always converge (divergence\n\
          0 when every replica is alive)."
+    );
+
+    gray_grid(seed, out);
+    replenishment(seed, out);
+}
+
+/// The three failure-detection configurations under comparison.
+fn detector_variants() -> [(&'static str, FailureDetector, Option<FlapDamping>); 3] {
+    [
+        ("fixed 900ms", FailureDetector::FixedTimeout, None),
+        (
+            "fixed+damping",
+            FailureDetector::FixedTimeout,
+            Some(FlapDamping::default()),
+        ),
+        (
+            "phi-accrual",
+            FailureDetector::PhiAccrual(PhiAccrualConfig::default()),
+            None,
+        ),
+    ]
+}
+
+/// A gray fault on a high-rank serving primary from 300 s to 600 s: the
+/// member stays alive but its heartbeat gaps straddle the fixed timeout.
+fn gray_faults(kind: FaultKind) -> Vec<FaultEvent> {
+    vec![
+        FaultEvent {
+            at: SimTime::from_secs(300),
+            target: FaultTarget::Primary(2),
+            kind,
+        },
+        FaultEvent {
+            at: SimTime::from_secs(600),
+            target: FaultTarget::Primary(2),
+            kind: FaultKind::RestoreGray,
+        },
+    ]
+}
+
+fn sum_group(m: &ScenarioMetrics, f: impl Fn(&aqf_group::endpoint::GroupStats) -> u64) -> u64 {
+    m.servers.iter().map(|s| f(&s.group)).sum()
+}
+
+fn max_group(m: &ScenarioMetrics, f: impl Fn(&aqf_group::endpoint::GroupStats) -> u64) -> u64 {
+    m.servers.iter().map(|s| f(&s.group)).max().unwrap_or(0)
+}
+
+/// EXT-FAIL gray-fault grid: fixed timeout vs flap damping vs φ-accrual
+/// under near-threshold loss and degradation.
+fn gray_grid(seed: u64, out: &Output) {
+    let faults: [(&str, FaultKind); 2] = [
+        ("lossy p=0.5 @300..600s", FaultKind::Lossy { p: 0.5 }),
+        (
+            "degrade x2500 @300..600s",
+            FaultKind::Degrade { factor: 2500.0 },
+        ),
+    ];
+    let mut table = Table::new(
+        "EXT-FAIL: gray faults vs failure detection (d = 160 ms, Pc = 0.9, LUI = 2 s)",
+        &[
+            "fault",
+            "detector",
+            "views",
+            "suspicions",
+            "damped",
+            "t-suspect (ms)",
+            "t-view (ms)",
+            "P(timing failure)",
+            "done",
+        ],
+    );
+    for (fault_label, kind) in faults {
+        for (det_label, detector, damping) in detector_variants() {
+            let mut config =
+                ScenarioConfig::paper_validation(160, 0.9, 2, seed).with_fast_detection();
+            config.detector = detector;
+            config.damping = damping;
+            config.faults = gray_faults(kind);
+            let m = run_scenario(&config);
+            let c = m.client(1);
+            let completed: u64 = m.clients.iter().map(|c| c.record.completed).sum();
+            let issued: u64 = m.clients.iter().map(|c| c.reads + c.updates).sum();
+            table.row(vec![
+                fault_label.to_string(),
+                det_label.to_string(),
+                sum_group(&m, |g| g.views_installed).to_string(),
+                sum_group(&m, |g| g.suspicions).to_string(),
+                sum_group(&m, |g| g.joins_damped).to_string(),
+                format!("{}", max_group(&m, |g| g.max_suspect_silence_us) / 1000),
+                format!("{}", max_group(&m, |g| g.max_suspect_to_view_us) / 1000),
+                format!("{:.3}", c.failure_ci.map(|x| x.estimate).unwrap_or(0.0)),
+                format!("{completed}/{issued}"),
+            ]);
+        }
+    }
+    out.emit(&table, "ext_failures_gray");
+    println!(
+        "expected shape: the fixed timeout misreads near-threshold gray\n\
+         faults as churn (many suspicions, many views). Flap damping bounds\n\
+         the re-admissions; the phi-accrual detector widens its effective\n\
+         timeout to the observed jitter and installs strictly fewer views,\n\
+         without raising the timing-failure probability."
+    );
+}
+
+/// EXT-FAIL replenishment: a sequencer crash under `min_primary_size`
+/// triggers promotion of the freshest secondary.
+fn replenishment(seed: u64, out: &Output) {
+    let mut table = Table::new(
+        "EXT-FAIL: primary-group replenishment after sequencer crash (min size 5)",
+        &[
+            "scenario",
+            "promotions",
+            "promoted",
+            "primary view",
+            "seq unavail (ms)",
+            "commit stall (ms)",
+            "P(timing failure)",
+            "divergence",
+            "done",
+        ],
+    );
+    for (label, min_primary_size) in [("no replenishment", 0), ("min_primary_size=5", 5)] {
+        let mut config = ScenarioConfig::paper_validation(160, 0.9, 2, seed).with_fast_detection();
+        config.min_primary_size = min_primary_size;
+        config.faults = vec![FaultEvent {
+            at: SimTime::from_secs(300),
+            target: FaultTarget::Sequencer,
+            kind: FaultKind::Crash,
+        }];
+        let (m, primary_view_len) = run_inspecting_primary_view(&config);
+        let c = m.client(1);
+        let completed: u64 = m.clients.iter().map(|c| c.record.completed).sum();
+        let issued: u64 = m.clients.iter().map(|c| c.reads + c.updates).sum();
+        let promotions: u64 = m.servers.iter().map(|s| s.stats.promotions).sum();
+        let promoted: u64 = m.servers.iter().map(|s| s.stats.promoted).sum();
+        let seq_unavail: u64 = m
+            .servers
+            .iter()
+            .map(|s| s.stats.seq_unavail_us)
+            .max()
+            .unwrap_or(0);
+        let stall: u64 = m
+            .servers
+            .iter()
+            .map(|s| s.stats.commit_stall_us)
+            .max()
+            .unwrap_or(0);
+        table.row(vec![
+            label.to_string(),
+            promotions.to_string(),
+            promoted.to_string(),
+            primary_view_len.to_string(),
+            format!("{}", seq_unavail / 1000),
+            format!("{}", stall / 1000),
+            format!("{:.3}", c.failure_ci.map(|x| x.estimate).unwrap_or(0.0)),
+            m.max_applied_divergence().to_string(),
+            format!("{completed}/{issued}"),
+        ]);
+    }
+    out.emit(&table, "ext_failures_replenish");
+    println!(
+        "expected shape: without replenishment the crash leaves the primary\n\
+         view a member short for the rest of the run; with min_primary_size\n\
+         the new sequencer promotes the freshest secondary (one promotion,\n\
+         one promoted, view back at 5) and the measured sequencer\n\
+         unavailability window stays near the detection timeout."
+    );
+}
+
+/// Runs `config` to completion and also reports the size of the primary
+/// view as known by the live sequencer at the end of the run.
+fn run_inspecting_primary_view(config: &ScenarioConfig) -> (ScenarioMetrics, usize) {
+    use aqf_sim::SimDuration;
+    use aqf_workload::{build_scenario, ReplicaActor};
+
+    let mut built = build_scenario(config);
+    let chunk = SimDuration::from_secs(10);
+    loop {
+        let until = built.world.now() + chunk;
+        built.run_until_with_faults(until);
+        if built.all_clients_done()
+            || built.world.now().as_secs_f64() > config.run_limit.as_secs_f64()
+        {
+            break;
+        }
+    }
+    let drain = built.world.now() + SimDuration::from_secs(5);
+    built.run_until_with_faults(drain);
+    let m = built.metrics();
+    let view_len = m
+        .servers
+        .iter()
+        .find(|s| s.alive && s.is_sequencer)
+        .and_then(|s| built.world.actor::<ReplicaActor>(s.id))
+        .and_then(|a| a.endpoint().view(aqf_core::PRIMARY_GROUP))
+        .map(|v| v.len())
+        .unwrap_or(0);
+    (m, view_len)
+}
+
+/// CI smoke: one crash fault and one gray fault at reduced request counts;
+/// asserts completion and convergence so regressions fail the pipeline.
+///
+/// # Panics
+///
+/// Panics if any client fails to complete its workload, if live replicas
+/// diverge, or if no recovery/suspicion was observed.
+pub fn smoke(seed: u64) {
+    // Sequencer crash with replenishment.
+    let mut config = ScenarioConfig::paper_validation(160, 0.9, 2, seed).with_fast_detection();
+    for c in &mut config.clients {
+        c.total_requests = 300;
+    }
+    config.min_primary_size = 5;
+    config.faults = vec![FaultEvent {
+        at: SimTime::from_secs(60),
+        target: FaultTarget::Sequencer,
+        kind: FaultKind::Crash,
+    }];
+    let (m, view_len) = run_inspecting_primary_view(&config);
+    for c in &m.clients {
+        assert_eq!(c.record.completed, 300, "crash smoke: client {} done", c.id);
+    }
+    assert_eq!(m.max_applied_divergence(), 0, "crash smoke: divergence");
+    let recoveries: u64 = m.servers.iter().map(|s| s.stats.recoveries).sum();
+    assert!(recoveries >= 1, "crash smoke: a successor recovered");
+    let promoted: u64 = m.servers.iter().map(|s| s.stats.promoted).sum();
+    assert_eq!(promoted, 1, "crash smoke: one secondary promoted");
+    assert!(view_len >= 5, "crash smoke: primary view replenished");
+    println!("failures smoke: crash+replenishment ok (primary view {view_len})");
+
+    // Near-threshold gray fault under the accrual detector.
+    let mut config = ScenarioConfig::paper_validation(160, 0.9, 2, seed).with_fast_detection();
+    for c in &mut config.clients {
+        c.total_requests = 300;
+    }
+    config.detector = FailureDetector::PhiAccrual(PhiAccrualConfig::default());
+    config.damping = Some(FlapDamping::default());
+    config.faults = vec![
+        FaultEvent {
+            at: SimTime::from_secs(60),
+            target: FaultTarget::Primary(2),
+            kind: FaultKind::Lossy { p: 0.5 },
+        },
+        FaultEvent {
+            at: SimTime::from_secs(240),
+            target: FaultTarget::Primary(2),
+            kind: FaultKind::RestoreGray,
+        },
+    ];
+    let m = run_scenario(&config);
+    for c in &m.clients {
+        assert_eq!(c.record.completed, 300, "gray smoke: client {} done", c.id);
+    }
+    assert_eq!(m.max_applied_divergence(), 0, "gray smoke: divergence");
+    println!(
+        "failures smoke: gray fault ok (views {}, suspicions {})",
+        sum_group(&m, |g| g.views_installed),
+        sum_group(&m, |g| g.suspicions)
     );
 }

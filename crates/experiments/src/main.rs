@@ -12,7 +12,8 @@
 //!   sweep-lui      lazy-update-interval sweep (EXT-LUI)
 //!   sweep-reqdelay request-delay sweep (EXT-REQD)
 //!   hotspot        selection-policy load-balance ablation (EXT-HOT)
-//!   failures       crash-fault injection suite (EXT-FAIL)
+//!   failures       crash/gray-fault injection suite (EXT-FAIL)
+//!   failures-smoke short asserting EXT-FAIL subset for CI
 //!   admission      admission-control extension (EXT-ADM)
 //!   ordering       sequential vs causal vs FIFO handler comparison (EXT-ORD)
 //!   staleness      Poisson vs empirical staleness model (EXT-STALE)
@@ -79,7 +80,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: aqf-experiments <fig3|fig4|fig4a|fig4b|sweep-lui|sweep-reqdelay|hotspot|failures|admission|ordering|staleness|all> [--seed N] [--iters N] [--csv DIR]".to_string()
+    "usage: aqf-experiments <fig3|fig4|fig4a|fig4b|sweep-lui|sweep-reqdelay|hotspot|failures|failures-smoke|admission|ordering|staleness|all> [--seed N] [--iters N] [--csv DIR]".to_string()
 }
 
 fn main() -> ExitCode {
@@ -113,6 +114,7 @@ fn main() -> ExitCode {
         "sweep-reqdelay" => sweeps::sweep_request_delay(args.seed, &out),
         "hotspot" => hotspot::run(args.seed, &out),
         "failures" => failures::run(args.seed, &out),
+        "failures-smoke" => failures::smoke(args.seed),
         "admission" => admission::run(args.seed, &out),
         "ordering" => ordering::run(args.seed, &out),
         "staleness" => staleness::run(args.seed, &out),

@@ -7,6 +7,7 @@
 //! fresh incarnation after a crash.
 
 use crate::channel::ReceiveChannel;
+use crate::detector::{FailureDetector, FlapDamping, PhiAccrual};
 use crate::msg::{DataMsg, GroupMsg};
 use crate::view::{GroupId, View};
 use aqf_sim::{ActorId, Context, SimDuration, SimTime, Timer};
@@ -32,6 +33,15 @@ pub struct EndpointConfig {
     /// How many recently multicast messages are retained per group for
     /// nack-driven retransmission.
     pub sent_buffer_capacity: usize,
+    /// Failure-detection policy. [`FailureDetector::FixedTimeout`] (the
+    /// default) suspects on `failure_timeout` of silence; the φ-accrual
+    /// mode adapts the effective timeout to each peer's observed heartbeat
+    /// jitter.
+    pub detector: FailureDetector,
+    /// Optional leader-side flap damping: exponentially growing
+    /// re-admission hold-down for members that are repeatedly suspected
+    /// and re-merged. `None` (the default) re-admits immediately.
+    pub damping: Option<FlapDamping>,
 }
 
 impl Default for EndpointConfig {
@@ -40,6 +50,8 @@ impl Default for EndpointConfig {
             tick_interval: SimDuration::from_millis(250),
             failure_timeout: SimDuration::from_millis(1000),
             sent_buffer_capacity: 4096,
+            detector: FailureDetector::FixedTimeout,
+            damping: None,
         }
     }
 }
@@ -100,6 +112,25 @@ struct MemberState {
     last_heard: BTreeMap<ActorId, SimTime>,
     observers: Vec<ActorId>,
     join_requests: BTreeSet<ActorId>,
+    /// Per-peer arrival histories (φ-accrual mode only; empty otherwise).
+    accrual: BTreeMap<ActorId, PhiAccrual>,
+    /// Members that announced a voluntary [`GroupMsg::Leave`]; excluded
+    /// from the next view like suspects even though they keep talking.
+    departing: BTreeSet<ActorId>,
+    /// When each currently suspected member first crossed the suspicion
+    /// threshold (SLO bookkeeping; cleared when the member is heard from
+    /// again or excluded).
+    suspected_since: BTreeMap<ActorId, SimTime>,
+    /// Leader-side flap history for re-admission hold-down.
+    flaps: BTreeMap<ActorId, FlapRecord>,
+}
+
+/// One member's suspect/re-merge history, as tracked by the leader.
+#[derive(Debug, Clone, Copy)]
+struct FlapRecord {
+    count: u32,
+    last_flap: SimTime,
+    hold_until: SimTime,
 }
 
 #[derive(Debug)]
@@ -135,6 +166,19 @@ pub struct GroupStats {
     pub views_installed: u64,
     /// Members this node re-merged after partitions/restarts (leader only).
     pub merges: u64,
+    /// Members that newly crossed the suspicion threshold.
+    pub suspicions: u64,
+    /// Join requests / stray heartbeats ignored because the member was in
+    /// a flap-damping hold-down (leader only).
+    pub joins_damped: u64,
+    /// Longest silence at the moment a member became suspect, in µs
+    /// (time-to-suspect SLO).
+    pub max_suspect_silence_us: u64,
+    /// Longest lag from the start of a suspect member's silence to a view
+    /// excluding it being installed, in µs (time-to-new-view SLO; leader
+    /// only). Exceeds the time-to-suspect when the primary-partition rule
+    /// or damping delays the reconfiguration past the detection.
+    pub max_suspect_to_view_us: u64,
 }
 
 /// Group communication state machine embedded in a host actor.
@@ -188,6 +232,10 @@ impl<A: Clone> GroupEndpoint<A> {
                     last_heard: BTreeMap::new(),
                     observers: m.observers,
                     join_requests: BTreeSet::new(),
+                    accrual: BTreeMap::new(),
+                    departing: BTreeSet::new(),
+                    suspected_since: BTreeMap::new(),
+                    flaps: BTreeMap::new(),
                     view: m.view,
                 },
             );
@@ -348,7 +396,16 @@ impl<A: Clone> GroupEndpoint<A> {
     ) -> Vec<GroupEvent<A>> {
         if let Some(group) = msg.group() {
             if let Some(state) = self.groups.get_mut(&group) {
-                state.last_heard.insert(from, ctx.now());
+                let now = ctx.now();
+                state.last_heard.insert(from, now);
+                if let FailureDetector::PhiAccrual(cfg) = self.config.detector {
+                    let expected = self.config.tick_interval;
+                    state
+                        .accrual
+                        .entry(from)
+                        .or_insert_with(|| PhiAccrual::new(&cfg, expected, now))
+                        .heartbeat(now);
+                }
             }
         }
         match msg {
@@ -382,11 +439,25 @@ impl<A: Clone> GroupEndpoint<A> {
                 // An announce from a stale leader on the minority side of a
                 // healed partition: re-merge the sender.
                 let group = view.group;
+                let stale_id = view.id;
                 let mut events = self.handle_view(view);
                 events.extend(self.merge_strayed(from, group, ctx));
+                // A stale announce from an ex-leader we have excluded: it
+                // does not know the successor view (which omits it, so the
+                // new leader never announces to it, and its own announces
+                // go only to its stale membership — possibly omitting the
+                // new leader). Echo the current view back so it steps down
+                // and rejoins; without this, two disjoint-leader views can
+                // deadlock forever.
+                if let Some(state) = self.groups.get(&group) {
+                    if state.in_view && stale_id < state.view.id && !state.view.contains(from) {
+                        ctx.send(from, GroupMsg::ViewAnnounce(state.view.clone()));
+                    }
+                }
                 events
             }
             GroupMsg::JoinRequest { group } => self.handle_join_request(from, group, ctx),
+            GroupMsg::Leave { group } => self.handle_leave(from, group, ctx),
             GroupMsg::StreamStatus {
                 group,
                 incarnation,
@@ -567,6 +638,9 @@ impl<A: Clone> GroupEndpoint<A> {
             // Reset liveness clocks so fresh members are not instantly
             // suspected; forget departed members entirely.
             state.last_heard.retain(|m, _| view.contains(*m));
+            state.accrual.retain(|m, _| view.contains(*m));
+            state.suspected_since.retain(|m, _| view.contains(*m));
+            state.departing.retain(|m| view.contains(*m));
             state.view = view.clone();
             for d in departed {
                 if let Some(ch) = self.channels.get_mut(&(group, d)) {
@@ -606,6 +680,11 @@ impl<A: Clone> GroupEndpoint<A> {
         if !state.in_view || state.view.leader() != self.me || state.view.contains(from) {
             return Vec::new();
         }
+        if Self::readmission_held(&self.config, state, from, ctx.now()) {
+            self.stats.joins_damped += 1;
+            return Vec::new();
+        }
+        state.departing.remove(&from);
         state.join_requests.insert(from);
         match self.install_successor(group, &[], ctx) {
             Some(view) => {
@@ -615,6 +694,16 @@ impl<A: Clone> GroupEndpoint<A> {
             }
             None => Vec::new(),
         }
+    }
+
+    /// Whether flap damping currently forbids re-admitting `joiner`.
+    fn readmission_held(
+        config: &EndpointConfig,
+        state: &MemberState,
+        joiner: ActorId,
+        now: SimTime,
+    ) -> bool {
+        config.damping.is_some() && state.flaps.get(&joiner).is_some_and(|r| now < r.hold_until)
     }
 
     fn handle_join_request(
@@ -637,6 +726,11 @@ impl<A: Clone> GroupEndpoint<A> {
             ctx.send(joiner, GroupMsg::ViewAnnounce(state.view.clone()));
             return Vec::new();
         }
+        if Self::readmission_held(&self.config, state, joiner, ctx.now()) {
+            self.stats.joins_damped += 1;
+            return Vec::new();
+        }
+        state.departing.remove(&joiner);
         state.join_requests.insert(joiner);
         match self.install_successor(group, &[], ctx) {
             Some(view) => {
@@ -645,6 +739,102 @@ impl<A: Clone> GroupEndpoint<A> {
             }
             None => Vec::new(),
         }
+    }
+
+    /// A member announced a voluntary departure: remember it as departing
+    /// (the next leader tick excludes it) and, if this node leads, install
+    /// the shrunken view immediately.
+    fn handle_leave(
+        &mut self,
+        from: ActorId,
+        group: GroupId,
+        ctx: &mut Context<'_, GroupMsg<A>>,
+    ) -> Vec<GroupEvent<A>> {
+        let Some(state) = self.groups.get_mut(&group) else {
+            return Vec::new();
+        };
+        if !state.view.contains(from) {
+            return Vec::new();
+        }
+        state.departing.insert(from);
+        state.join_requests.remove(&from);
+        if !state.in_view || state.view.leader() != self.me {
+            return Vec::new();
+        }
+        match self.install_successor(group, &[from], ctx) {
+            Some(view) => {
+                let is_member = view.contains(self.me);
+                vec![GroupEvent::ViewChanged { view, is_member }]
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Voluntarily departs `group`: announces the departure to the current
+    /// members and demotes the membership to an observed view, so
+    /// open-group multicast into the group (and this node's existing send
+    /// streams) keep working. No-op if this node is not a member.
+    pub fn leave(&mut self, group: GroupId, ctx: &mut Context<'_, GroupMsg<A>>) {
+        let Some(state) = self.groups.remove(&group) else {
+            return;
+        };
+        let targets: Vec<ActorId> = state
+            .view
+            .members()
+            .iter()
+            .copied()
+            .filter(|m| *m != self.me)
+            .collect();
+        ctx.multicast(&targets, GroupMsg::Leave { group });
+        self.observed.insert(group, state.view);
+    }
+
+    /// Begins joining `group`, which this node currently observes (e.g. a
+    /// secondary promoted into the primary group): converts the observed
+    /// view into a not-yet-admitted membership and knocks with a join
+    /// request. The leader's answering view announce flips the node to a
+    /// full member; until then every tick keeps knocking. `observers` is
+    /// the announce list this node will use if it ever leads the group.
+    /// No-op if already a member or the group is unknown.
+    pub fn begin_join(
+        &mut self,
+        group: GroupId,
+        observers: Vec<ActorId>,
+        ctx: &mut Context<'_, GroupMsg<A>>,
+    ) {
+        if self.groups.contains_key(&group) {
+            return;
+        }
+        let Some(view) = self.observed.remove(&group) else {
+            return;
+        };
+        let now = ctx.now();
+        // Without a shared FIFO history, the first data message observed on
+        // each new channel fast-forwards instead of nacking the entire
+        // stream prefix; application-level state transfer covers the gap
+        // (same contract as a post-crash rejoin).
+        self.fast_forward_new_channels = true;
+        let state = MemberState {
+            in_view: false,
+            roster_size: view.len() + 1,
+            last_heard: view.members().iter().map(|&m| (m, now)).collect(),
+            observers,
+            join_requests: BTreeSet::new(),
+            accrual: BTreeMap::new(),
+            departing: BTreeSet::new(),
+            suspected_since: BTreeMap::new(),
+            flaps: BTreeMap::new(),
+            view,
+        };
+        let knock: Vec<ActorId> = state
+            .view
+            .members()
+            .iter()
+            .copied()
+            .filter(|m| *m != self.me)
+            .collect();
+        self.groups.insert(group, state);
+        ctx.multicast(&knock, GroupMsg::JoinRequest { group });
     }
 
     /// Installs `view.successor(suspects, pending joiners)` for `group` and
@@ -670,9 +860,43 @@ impl<A: Clone> GroupEndpoint<A> {
         recipients.extend(state.observers.iter().copied());
         recipients.remove(&self.me);
         let now = ctx.now();
+        // Record the flap history of every *suspected* exclusion (voluntary
+        // leavers are not flaps) and the suspect-to-new-view SLO lag.
+        for s in suspects {
+            if new_view.contains(*s) {
+                continue;
+            }
+            if let Some(since) = state.suspected_since.remove(s) {
+                // Time-to-new-view runs from the onset of silence, not the
+                // suspicion threshold: suspicion and exclusion land in the
+                // same tick on the leader, so the threshold-to-view gap
+                // alone would read zero.
+                let silent_from = state.last_heard.get(s).copied().unwrap_or(since).min(since);
+                let lag = now.saturating_since(silent_from).as_micros();
+                self.stats.max_suspect_to_view_us = self.stats.max_suspect_to_view_us.max(lag);
+            }
+            if let Some(damping) = self.config.damping {
+                if !state.departing.contains(s) {
+                    let rec = state.flaps.entry(*s).or_insert(FlapRecord {
+                        count: 0,
+                        last_flap: SimTime::ZERO,
+                        hold_until: SimTime::ZERO,
+                    });
+                    if now.saturating_since(rec.last_flap) > damping.forget_after {
+                        rec.count = 0;
+                    }
+                    rec.count += 1;
+                    rec.last_flap = now;
+                    rec.hold_until = now + damping.hold_for(rec.count);
+                }
+            }
+        }
         state.join_requests.clear();
         state.in_view = new_view.contains(self.me);
         state.last_heard.retain(|m, _| new_view.contains(*m));
+        state.accrual.retain(|m, _| new_view.contains(*m));
+        state.suspected_since.retain(|m, _| new_view.contains(*m));
+        state.departing.retain(|m| new_view.contains(*m));
         for m in new_view.members() {
             state.last_heard.entry(*m).or_insert(now);
         }
@@ -717,26 +941,69 @@ impl<A: Clone> GroupEndpoint<A> {
         }
         let now = ctx.now();
         let timeout = self.config.failure_timeout;
+        let me = self.me;
+        if let FailureDetector::PhiAccrual(cfg) = self.config.detector {
+            // Prime an arrival record for every in-view peer we have not
+            // heard from yet, so a member that never speaks still accrues
+            // suspicion (silence measured from this tick).
+            let expected = self.config.tick_interval;
+            for state in self.groups.values_mut() {
+                for m in state.view.members().to_vec() {
+                    if m == me {
+                        continue;
+                    }
+                    state
+                        .accrual
+                        .entry(m)
+                        .or_insert_with(|| PhiAccrual::new(&cfg, expected, now));
+                }
+            }
+        }
         let group_ids: Vec<GroupId> = self.groups.keys().copied().collect();
         for group in group_ids {
             let (in_view, am_leader, members, observers, view, suspects, rejoin_targets) = {
                 let state = &self.groups[&group];
-                let suspects: Vec<ActorId> = if state.in_view {
-                    state
-                        .view
-                        .members()
-                        .iter()
-                        .copied()
-                        .filter(|m| {
-                            *m != self.me
-                                && now.saturating_since(
-                                    state.last_heard.get(m).copied().unwrap_or(now),
-                                ) > timeout
-                        })
-                        .collect()
+                let mut suspects: Vec<ActorId> = if state.in_view {
+                    match self.config.detector {
+                        FailureDetector::FixedTimeout => state
+                            .view
+                            .members()
+                            .iter()
+                            .copied()
+                            .filter(|m| {
+                                *m != self.me
+                                    && now.saturating_since(
+                                        state.last_heard.get(m).copied().unwrap_or(now),
+                                    ) > timeout
+                            })
+                            .collect(),
+                        FailureDetector::PhiAccrual(cfg) => state
+                            .view
+                            .members()
+                            .iter()
+                            .copied()
+                            .filter(|m| {
+                                *m != self.me
+                                    && state
+                                        .accrual
+                                        .get(m)
+                                        .is_some_and(|d| d.is_suspect(now, &cfg))
+                            })
+                            .collect(),
+                    }
                 } else {
                     Vec::new()
                 };
+                // Voluntary leavers are excluded like suspects, however
+                // alive their liveness clock looks.
+                if !state.departing.is_empty() && state.in_view {
+                    for m in state.view.members() {
+                        if state.departing.contains(m) && !suspects.contains(m) && *m != self.me {
+                            suspects.push(*m);
+                        }
+                    }
+                    suspects.sort_unstable();
+                }
                 // Acting leader: lowest-ranked member that is not suspected.
                 let am_leader = state.in_view
                     && state
@@ -767,6 +1034,27 @@ impl<A: Clone> GroupEndpoint<A> {
                     rejoin,
                 )
             };
+
+            // SLO bookkeeping: stamp newly crossed suspicion thresholds and
+            // clear records of members that have been heard from again.
+            {
+                let state = self.groups.get_mut(&group).expect("group exists");
+                state
+                    .suspected_since
+                    .retain(|m, _| suspects.contains(m) && !state.departing.contains(m));
+                for s in &suspects {
+                    if state.departing.contains(s) || state.suspected_since.contains_key(s) {
+                        continue;
+                    }
+                    state.suspected_since.insert(*s, now);
+                    self.stats.suspicions += 1;
+                    let silence = now
+                        .saturating_since(state.last_heard.get(s).copied().unwrap_or(now))
+                        .as_micros();
+                    self.stats.max_suspect_silence_us =
+                        self.stats.max_suspect_silence_us.max(silence);
+                }
+            }
 
             if !in_view {
                 // Keep knocking until a leader lets us back in.

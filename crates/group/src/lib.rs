@@ -37,10 +37,12 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod detector;
 pub mod endpoint;
 pub mod msg;
 pub mod view;
 
+pub use detector::{FailureDetector, FlapDamping, PhiAccrual, PhiAccrualConfig};
 pub use endpoint::{EndpointConfig, GroupEndpoint, GroupEvent, GroupStats, GROUP_TIMER_KIND_BASE};
 pub use msg::{DataMsg, GroupMsg};
 pub use view::{GroupId, View, ViewId};

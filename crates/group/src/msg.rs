@@ -56,6 +56,15 @@ pub enum GroupMsg<A> {
         /// The group to join.
         group: GroupId,
     },
+    /// Voluntary departure announcement: the sender asks to be excluded
+    /// from the group's next view (e.g. a secondary promoted into the
+    /// primary group leaving the secondary group). Unlike a suspicion,
+    /// the leader excludes the sender even though it is demonstrably
+    /// alive.
+    Leave {
+        /// The group being left.
+        group: GroupId,
+    },
     /// Sender's reply to a nack it can no longer serve: the requested
     /// range fell out of the bounded retransmission buffer. The receiver
     /// fast-forwards its channel to `resume_at`; the skipped prefix is
@@ -91,6 +100,7 @@ impl<A> GroupMsg<A> {
             GroupMsg::Heartbeat { group, .. } => Some(*group),
             GroupMsg::ViewAnnounce(v) => Some(v.group),
             GroupMsg::JoinRequest { group } => Some(*group),
+            GroupMsg::Leave { group } => Some(*group),
             GroupMsg::StreamStatus { group, .. } => Some(*group),
             GroupMsg::GapSkip { group, .. } => Some(*group),
         }
@@ -138,5 +148,6 @@ mod tests {
             Some(g)
         );
         assert_eq!(GroupMsg::<u8>::JoinRequest { group: g }.group(), Some(g));
+        assert_eq!(GroupMsg::<u8>::Leave { group: g }.group(), Some(g));
     }
 }

@@ -1,8 +1,11 @@
 //! Simulation-driven integration tests for the group communication layer.
 
 use aqf_group::endpoint::GroupMembership;
-use aqf_group::{EndpointConfig, GroupEndpoint, GroupEvent, GroupId, GroupMsg, View, ViewId};
+use aqf_group::{
+    EndpointConfig, FlapDamping, GroupEndpoint, GroupEvent, GroupId, GroupMsg, View, ViewId,
+};
 use aqf_sim::{Actor, ActorId, Context, DelayModel, SimDuration, SimTime, Timer, World};
+use proptest::prelude::*;
 
 const GROUP: GroupId = GroupId(1);
 const APP_TIMER_SEND: u32 = 1;
@@ -493,6 +496,154 @@ fn healed_partition_remerges_members() {
         .filter(|&&id| world.actor::<Host>(id).unwrap().ep.is_leader(GROUP))
         .collect();
     assert_eq!(leaders.len(), 1);
+}
+
+/// One randomized churn scenario for the membership properties below: `n`
+/// members, one victim hit by a randomly chosen fault (near-threshold
+/// heartbeat loss, a crash/restart cycle, or a full partition) that heals
+/// mid-run, then a long quiet tail for re-admission hold-downs to expire.
+/// Returns the total views installed across all members.
+fn churn_scenario(
+    n: usize,
+    victim: usize,
+    fault: u8,
+    loss_centi: u64,
+    fault_secs: u64,
+    seed: u64,
+    damping: Option<FlapDamping>,
+) -> u64 {
+    let mut world: World<Msg> = World::new(seed);
+    let ids: Vec<ActorId> = (0..n).map(ActorId::from_index).collect();
+    let config = EndpointConfig {
+        damping,
+        ..EndpointConfig::default()
+    };
+    for &id in &ids {
+        let ep = GroupEndpoint::new(
+            id,
+            config.clone(),
+            vec![GroupMembership {
+                view: View::new(GROUP, ViewId(0), ids.clone()),
+                observers: vec![],
+            }],
+            vec![],
+        );
+        world.add_actor(Box::new(Host::new(
+            ep,
+            vec![],
+            SimDuration::from_millis(10),
+        )));
+    }
+    let victim = ids[victim];
+    let start = SimTime::from_secs(5);
+    let heal = start + SimDuration::from_secs(fault_secs);
+    match fault {
+        // Near-threshold heartbeat loss: alive, but silences straddle the
+        // failure timeout.
+        0 => {
+            world.schedule_lossy(victim, loss_centi as f64 / 100.0, start);
+            world.schedule_restore(victim, heal);
+        }
+        // Crash then restart: rejoin runs through the join-request path,
+        // where damping hold-downs apply.
+        1 => {
+            world.schedule_crash(victim, start);
+            world.schedule_restart(victim, heal);
+        }
+        // Full partition from everyone, then heal: the majority excludes
+        // the victim; the minority side must not forge views.
+        _ => {
+            for &other in &ids {
+                if other != victim {
+                    world.schedule_partition(victim, other, start);
+                }
+            }
+            for &other in &ids {
+                if other != victim {
+                    world.schedule_heal(victim, other, heal);
+                }
+            }
+        }
+    }
+    // Quiet tail: longer than the maximum damping hold-down (30 s default)
+    // plus detection and re-merge time.
+    world.run_until(heal + SimDuration::from_secs(45));
+
+    let mut total_views = 0;
+    for &id in &ids {
+        let host = world.actor::<Host>(id).unwrap();
+        total_views += host.ep.stats().views_installed;
+        // Safety: the primary-partition rule means no member ever installs
+        // a minority view — split-brain would need two disjoint view
+        // majorities, which a majority-of-roster floor makes impossible.
+        for v in &host.views {
+            assert!(
+                2 * v.len() > n,
+                "member {id} installed minority view {:?} of roster {n}",
+                v.members()
+            );
+        }
+        // Views install in strictly increasing id order (a restarted
+        // victim starts a fresh incarnation, so skip it in that case).
+        if !(fault == 1 && id == victim) {
+            assert!(
+                host.views.windows(2).all(|w| w[0].id < w[1].id),
+                "member {id} saw view ids regress"
+            );
+        }
+        // Liveness: every member re-merged — one full view, one leader.
+        let latest = host.ep.view(GROUP).unwrap();
+        assert_eq!(
+            latest.len(),
+            n,
+            "member {id} not re-merged after heal + quiet tail"
+        );
+    }
+    let leaders = ids
+        .iter()
+        .filter(|&&id| world.actor::<Host>(id).unwrap().ep.is_leader(GROUP))
+        .count();
+    assert_eq!(leaders, 1, "exactly one leader after convergence");
+    total_views
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random churn — near-threshold loss, crash/restart, or partition on
+    /// a random victim — never yields split-brain (no minority views, no
+    /// view-id regressions) and always re-merges to one full view with one
+    /// leader, with or without flap damping. Damping reshapes flap timing
+    /// (hold-downs shift when re-merges land), so it is not pointwise
+    /// monotone in total views; what it must never do is make view churn
+    /// explode — re-admissions are spaced by exponentially growing
+    /// hold-downs, so the damped run stays within a constant factor of the
+    /// undamped one.
+    #[test]
+    fn churn_converges_without_split_brain(
+        n in 4usize..7,
+        victim in 0usize..4,
+        fault in 0u8..3,
+        loss_centi in 35u64..60,
+        fault_secs in 15u64..40,
+        seed in 0u64..1_000,
+    ) {
+        let victim = victim % n;
+        let undamped = churn_scenario(n, victim, fault, loss_centi, fault_secs, seed, None);
+        let damped = churn_scenario(
+            n,
+            victim,
+            fault,
+            loss_centi,
+            fault_secs,
+            seed,
+            Some(FlapDamping::default()),
+        );
+        prop_assert!(
+            damped <= 2 * undamped + 10,
+            "damping blew up view churn: {damped} views vs {undamped} undamped"
+        );
+    }
 }
 
 #[test]

@@ -9,11 +9,11 @@ use aqf_core::{
     AccountBook, Operation, Payload, QosSpec, ReplicatedObject, ResponseInfo, SharedDocument,
     TickerBoard, VersionedRegister, PRIMARY_GROUP, SECONDARY_GROUP,
 };
-use aqf_group::{GroupEndpoint, GroupEvent, GroupMsg};
+use aqf_group::{GroupEndpoint, GroupEvent, GroupId, GroupMsg};
 use aqf_sim::{Actor, ActorId, Context, DelayModel, SimDuration, Timer, TimerId};
 use aqf_stats::Summary;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// The world message type: group-layer envelopes carrying gateway payloads.
 pub type NetMsg = GroupMsg<Payload>;
@@ -80,6 +80,11 @@ pub struct ReplicaActor {
     service_delay: DelayModel,
     object_kind: ObjectKind,
     service_timers: HashMap<TimerId, u64>,
+    /// Observer rosters per group, consulted when the gateway asks to join
+    /// a group it only observed so far (promotion): should this replica
+    /// ever lead that group, these are the non-members it announces views
+    /// to.
+    group_observers: BTreeMap<GroupId, Vec<ActorId>>,
 }
 
 impl ReplicaActor {
@@ -96,12 +101,25 @@ impl ReplicaActor {
             service_delay,
             object_kind,
             service_timers: HashMap::new(),
+            group_observers: BTreeMap::new(),
         }
+    }
+
+    /// Registers the per-group observer rosters used for promotion joins.
+    pub fn with_group_observers(mut self, observers: BTreeMap<GroupId, Vec<ActorId>>) -> Self {
+        self.group_observers = observers;
+        self
     }
 
     /// The server gateway (post-run inspection).
     pub fn gateway(&self) -> &dyn ServerProtocol {
         &*self.gw
+    }
+
+    /// The group endpoint (post-run inspection: transport and membership
+    /// counters).
+    pub fn endpoint(&self) -> &GroupEndpoint<Payload> {
+        &self.ep
     }
 
     fn apply(&mut self, actions: Vec<ServerAction>, ctx: &mut Context<'_, NetMsg>) {
@@ -125,6 +143,15 @@ impl ReplicaActor {
                 ServerAction::ArmLazyTimer { after } => {
                     ctx.set_timer(LAZY_TIMER, after);
                 }
+                ServerAction::JoinGroup { group } => {
+                    let observers = self
+                        .group_observers
+                        .get(&group)
+                        .cloned()
+                        .unwrap_or_default();
+                    self.ep.begin_join(group, observers, ctx);
+                }
+                ServerAction::LeaveGroup { group } => self.ep.leave(group, ctx),
             }
         }
     }

@@ -1,6 +1,7 @@
 //! Scenario configuration: replica deployment, workload shapes, faults.
 
 use aqf_core::{OrderingGuarantee, QosSpec, RecoveryPolicy, SelectionPolicy, StalenessModel};
+use aqf_group::{FailureDetector, FlapDamping};
 use aqf_sim::{DelayModel, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -172,6 +173,15 @@ pub struct ScenarioConfig {
     pub group_tick: SimDuration,
     /// Group-layer failure timeout.
     pub failure_timeout: SimDuration,
+    /// Failure-detection policy for every group endpoint. The default
+    /// fixed timeout replays the seed bit-identically; φ-accrual is the
+    /// opt-in adaptive detector for gray-fault studies.
+    pub detector: FailureDetector,
+    /// Optional leader-side re-admission hold-down for flapping members.
+    pub damping: Option<FlapDamping>,
+    /// If positive, the sequencer promotes the freshest secondary whenever
+    /// the primary view shrinks below this size (0 disables replenishment).
+    pub min_primary_size: usize,
     /// The hosted object.
     pub object: ObjectKind,
     /// Which timed-consistency handler the service runs (paper §4,
@@ -214,6 +224,9 @@ impl ScenarioConfig {
             recovery: RecoveryPolicy::disabled(),
             group_tick: SimDuration::from_millis(1000),
             failure_timeout: SimDuration::from_millis(3500),
+            detector: FailureDetector::FixedTimeout,
+            damping: None,
+            min_primary_size: 0,
             object: ObjectKind::Register,
             ordering: OrderingGuarantee::Sequential,
             staleness_model: StalenessModel::Poisson,
@@ -230,6 +243,16 @@ impl ScenarioConfig {
     /// secondaries).
     pub fn num_servers(&self) -> usize {
         1 + self.num_primaries + self.num_secondaries
+    }
+
+    /// Fast failure detection for the failure-injection studies: a 250 ms
+    /// group tick with a 900 ms timeout, so crashes surface in about one
+    /// second rather than the paper's leisurely 3.5 s default.
+    #[must_use]
+    pub fn with_fast_detection(mut self) -> Self {
+        self.group_tick = SimDuration::from_millis(250);
+        self.failure_timeout = SimDuration::from_millis(900);
+        self
     }
 
     /// Validates structural invariants.
@@ -257,6 +280,16 @@ impl ScenarioConfig {
             if !(0.0..1.0).contains(&h) {
                 return Err("hedge fraction must be in [0, 1)".into());
             }
+        }
+        if self.failure_timeout < self.group_tick * 2 {
+            return Err("failure timeout must be at least two group ticks".into());
+        }
+        if self.min_primary_size > self.num_primaries + 1 {
+            return Err(format!(
+                "min primary size {} exceeds the {} initial primary-view members",
+                self.min_primary_size,
+                self.num_primaries + 1
+            ));
         }
         if self.clients.is_empty() {
             return Err("need at least one client".into());
@@ -349,6 +382,24 @@ mod tests {
         let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
         c.window_size = 0;
         assert!(c.validate().is_err());
+
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
+        c.failure_timeout = SimDuration::from_millis(1500); // < 2 ticks
+        assert!(c.validate().is_err());
+
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
+        c.min_primary_size = 6; // view starts at sequencer + 4 primaries
+        assert!(c.validate().is_err());
+        c.min_primary_size = 5;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn fast_detection_preset_is_valid() {
+        let c = ScenarioConfig::paper_validation(200, 0.9, 4, 1).with_fast_detection();
+        assert_eq!(c.group_tick, SimDuration::from_millis(250));
+        assert_eq!(c.failure_timeout, SimDuration::from_millis(900));
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod runner;
 pub mod synthetic;
 
 pub use actors::{ClientActor, ClientRecord, NetMsg, ReplicaActor};
+pub use aqf_group::{FailureDetector, FlapDamping, PhiAccrualConfig};
 pub use bench_scenarios::{world_bench_config, WORLD_BENCH_SIZES};
 pub use config::{
     ClientSpec, FaultEvent, FaultKind, FaultTarget, ObjectKind, OpPattern, ScenarioConfig,

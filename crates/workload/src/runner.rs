@@ -2,7 +2,7 @@
 //! metrics.
 
 use crate::actors::{ClientActor, ClientRecord, NetMsg, ReplicaActor};
-use crate::config::{FaultKind, FaultTarget, ScenarioConfig};
+use crate::config::{FaultEvent, FaultKind, FaultTarget, ScenarioConfig};
 use aqf_core::client::ClientConfig;
 use aqf_core::protocol::ServerProtocol;
 use aqf_core::server::{ServerConfig, ServerStats};
@@ -11,9 +11,9 @@ use aqf_core::{
     CausalServerGateway, ClientGateway, FifoServerGateway, OrderingGuarantee, ServerGateway,
     PRIMARY_GROUP, SECONDARY_GROUP,
 };
-use aqf_group::endpoint::GroupMembership;
+use aqf_group::endpoint::{GroupMembership, GroupStats};
 use aqf_group::{EndpointConfig, GroupEndpoint, View, ViewId};
-use aqf_sim::{ActorId, SimDuration, World};
+use aqf_sim::{ActorId, SimDuration, SimTime, World};
 use aqf_stats::BinomialCi;
 use std::collections::BTreeMap;
 
@@ -82,6 +82,9 @@ pub struct ServerOutcome {
     pub gsn: u64,
     /// Gateway counters.
     pub stats: ServerStats,
+    /// Group-endpoint counters (views installed, merges, suspicion/flap
+    /// bookkeeping — the membership-robustness observables).
+    pub group: GroupStats,
     /// Whether the replica was alive at the end of the run.
     pub alive: bool,
 }
@@ -136,6 +139,18 @@ pub struct BuiltScenario {
     pub secondary_ids: Vec<ActorId>,
     /// Client gateways, in `config.clients` order.
     pub client_ids: Vec<ActorId>,
+    /// Role-targeted faults ([`FaultTarget::Sequencer`] /
+    /// [`FaultTarget::Publisher`]) not yet injected. These cannot be bound
+    /// to a process at build time — a failover moves the role — so
+    /// [`BuiltScenario::run_until_with_faults`] resolves each against the
+    /// live role holder at its injection instant. Sorted by fire time.
+    pub pending_faults: Vec<FaultEvent>,
+    /// The process the last damaging role-targeted fault actually struck,
+    /// so a later healing fault (restart, reconnect, gray restore) on the
+    /// same role repairs that process — by then the role itself has
+    /// usually failed over to someone else.
+    struck_sequencer: Option<ActorId>,
+    struck_publisher: Option<ActorId>,
 }
 
 impl BuiltScenario {
@@ -147,6 +162,87 @@ impl BuiltScenario {
                 .map(ClientActor::is_done)
                 .unwrap_or(true)
         })
+    }
+
+    /// Runs virtual time forward to `until`, injecting any pending
+    /// role-targeted faults at their scheduled instants against whichever
+    /// process *currently* holds the role. With no pending faults this is
+    /// exactly `world.run_until(until)`.
+    pub fn run_until_with_faults(&mut self, until: SimTime) {
+        while let Some(&fault) = self.pending_faults.first() {
+            if fault.at > until {
+                break;
+            }
+            self.world.run_until(fault.at);
+            self.pending_faults.remove(0);
+            let healing = matches!(
+                fault.kind,
+                FaultKind::Restart | FaultKind::Reconnect | FaultKind::RestoreGray
+            );
+            let struck = match fault.target {
+                FaultTarget::Sequencer => &mut self.struck_sequencer,
+                FaultTarget::Publisher => &mut self.struck_publisher,
+                // Static targets never reach the pending list.
+                FaultTarget::Primary(_) | FaultTarget::Secondary(_) => &mut None,
+            };
+            let target = if healing {
+                // Repair the process the damaging fault hit, not whoever
+                // holds the role now.
+                struck.take()
+            } else {
+                None
+            }
+            .unwrap_or_else(|| self.resolve_live_target(fault.target));
+            if !healing {
+                match fault.target {
+                    FaultTarget::Sequencer => self.struck_sequencer = Some(target),
+                    FaultTarget::Publisher => self.struck_publisher = Some(target),
+                    FaultTarget::Primary(_) | FaultTarget::Secondary(_) => {}
+                }
+            }
+            match fault.kind {
+                FaultKind::Crash => self.world.schedule_crash(target, fault.at),
+                FaultKind::Restart => self.world.schedule_restart(target, fault.at),
+                FaultKind::Isolate => self.world.schedule_isolation(target, fault.at),
+                FaultKind::Reconnect => self.world.schedule_reconnection(target, fault.at),
+                FaultKind::Degrade { factor } => {
+                    self.world.schedule_degrade(target, factor, fault.at);
+                }
+                FaultKind::Lossy { p } => self.world.schedule_lossy(target, p, fault.at),
+                FaultKind::RestoreGray => self.world.schedule_restore(target, fault.at),
+            }
+        }
+        self.world.run_until(until);
+    }
+
+    /// Resolves a role-targeted fault against the live role holder,
+    /// falling back to the initial holder if no live process claims the
+    /// role (e.g. mid-failover).
+    fn resolve_live_target(&self, target: FaultTarget) -> ActorId {
+        let find = |pred: &dyn Fn(&dyn ServerProtocol) -> bool, fallback: ActorId| {
+            self.primary_ids
+                .iter()
+                .chain(self.secondary_ids.iter())
+                .copied()
+                .find(|&id| {
+                    self.world.is_alive(id)
+                        && self
+                            .world
+                            .actor::<ReplicaActor>(id)
+                            .is_some_and(|a| pred(a.gateway()))
+                })
+                .unwrap_or(fallback)
+        };
+        match target {
+            FaultTarget::Sequencer => find(&|gw| gw.is_sequencer(), self.primary_ids[0]),
+            FaultTarget::Publisher => find(
+                &|gw| gw.is_publisher(),
+                *self.primary_ids.last().expect("primary group non-empty"),
+            ),
+            // Static targets never reach the pending list.
+            FaultTarget::Primary(i) => self.primary_ids[i + 1],
+            FaultTarget::Secondary(i) => self.secondary_ids[i],
+        }
     }
 
     /// Collects the run's metrics (callable at any point).
@@ -204,6 +300,8 @@ pub fn build_scenario(config: &ScenarioConfig) -> BuiltScenario {
         tick_interval: config.group_tick,
         failure_timeout: config.failure_timeout,
         sent_buffer_capacity: 4096,
+        detector: config.detector,
+        damping: config.damping,
     };
 
     // Observers: clients see both groups; each replication group's members
@@ -212,6 +310,15 @@ pub fn build_scenario(config: &ScenarioConfig) -> BuiltScenario {
     primary_observers.extend(secondary_ids.iter().copied());
     let mut secondary_observers: Vec<ActorId> = client_ids.clone();
     secondary_observers.extend(primary_ids.iter().copied());
+
+    // Observer directory handed to every replica so a promotion-driven
+    // group join announces the resulting views to the right audience.
+    let group_observers: BTreeMap<_, _> = [
+        (PRIMARY_GROUP, primary_observers.clone()),
+        (SECONDARY_GROUP, secondary_observers.clone()),
+    ]
+    .into_iter()
+    .collect();
 
     // Primary replicas (index 0 of the primary view is the sequencer).
     for &id in &primary_ids {
@@ -225,12 +332,10 @@ pub fn build_scenario(config: &ScenarioConfig) -> BuiltScenario {
             vec![secondary_view.clone()],
         );
         let gw = make_gateway(config, id, &primary_view, &secondary_view, &client_ids);
-        let got = world.add_actor(Box::new(ReplicaActor::new(
-            ep,
-            gw,
-            config.service_delay.clone(),
-            config.object,
-        )));
+        let got = world.add_actor(Box::new(
+            ReplicaActor::new(ep, gw, config.service_delay.clone(), config.object)
+                .with_group_observers(group_observers.clone()),
+        ));
         assert_eq!(got, id);
     }
 
@@ -246,12 +351,10 @@ pub fn build_scenario(config: &ScenarioConfig) -> BuiltScenario {
             vec![primary_view.clone()],
         );
         let gw = make_gateway(config, id, &primary_view, &secondary_view, &client_ids);
-        let got = world.add_actor(Box::new(ReplicaActor::new(
-            ep,
-            gw,
-            config.service_delay.clone(),
-            config.object,
-        )));
+        let got = world.add_actor(Box::new(
+            ReplicaActor::new(ep, gw, config.service_delay.clone(), config.object)
+                .with_group_observers(group_observers.clone()),
+        ));
         assert_eq!(got, id);
     }
 
@@ -294,11 +397,18 @@ pub fn build_scenario(config: &ScenarioConfig) -> BuiltScenario {
         assert_eq!(got, id);
     }
 
-    // Fault schedule.
+    // Fault schedule. Faults pinned to a concrete process are scheduled
+    // now; role-targeted faults (sequencer, publisher) go to the pending
+    // list so [`BuiltScenario::run_until_with_faults`] can resolve them
+    // against whichever process holds the role when the fault fires —
+    // after a failover the role has usually moved.
+    let mut pending_faults: Vec<FaultEvent> = Vec::new();
     for fault in &config.faults {
         let target = match fault.target {
-            FaultTarget::Sequencer => sequencer,
-            FaultTarget::Publisher => *primary_ids.last().expect("primary group non-empty"),
+            FaultTarget::Sequencer | FaultTarget::Publisher => {
+                pending_faults.push(*fault);
+                continue;
+            }
             FaultTarget::Primary(i) => primary_ids[i + 1],
             FaultTarget::Secondary(i) => secondary_ids[i],
         };
@@ -312,12 +422,16 @@ pub fn build_scenario(config: &ScenarioConfig) -> BuiltScenario {
             FaultKind::RestoreGray => world.schedule_restore(target, fault.at),
         }
     }
+    pending_faults.sort_by_key(|f| f.at);
 
     BuiltScenario {
         world,
         primary_ids,
         secondary_ids,
         client_ids,
+        pending_faults,
+        struck_sequencer: None,
+        struck_publisher: None,
     }
 }
 
@@ -329,10 +443,13 @@ pub fn build_scenario(config: &ScenarioConfig) -> BuiltScenario {
 pub fn run_scenario(config: &ScenarioConfig) -> ScenarioMetrics {
     let mut built = build_scenario(config);
     // Drive until every client finished its workload (or the safety limit).
+    // Chunked `run_until_with_faults` is event-for-event identical to the
+    // plain `run_for` loop when no role-targeted faults are pending.
     let chunk = SimDuration::from_secs(10);
     let limit = config.run_limit;
     loop {
-        built.world.run_for(chunk);
+        let until = built.world.now() + chunk;
+        built.run_until_with_faults(until);
         if built.all_clients_done() {
             break;
         }
@@ -341,7 +458,8 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioMetrics {
         }
     }
     // Small drain so in-flight replies and broadcasts settle.
-    built.world.run_for(SimDuration::from_secs(5));
+    let drain = built.world.now() + SimDuration::from_secs(5);
+    built.run_until_with_faults(drain);
     built.metrics()
 }
 
@@ -356,6 +474,7 @@ fn make_gateway(
     let server_config = ServerConfig {
         lazy_interval: config.lazy_interval,
         clients: client_ids.to_vec(),
+        min_primary_size: config.min_primary_size,
         ..ServerConfig::default()
     };
     match config.ordering {
@@ -439,6 +558,7 @@ fn collect(
             applied_csn: gw.applied_csn(),
             gsn: gw.gsn(),
             stats: gw.stats(),
+            group: actor.endpoint().stats(),
             alive: world.is_alive(id),
         });
     }

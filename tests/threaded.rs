@@ -32,6 +32,7 @@ fn middleware_runs_on_real_threads() {
         tick_interval: SimDuration::from_millis(100),
         failure_timeout: SimDuration::from_millis(500),
         sent_buffer_capacity: 4096,
+        ..EndpointConfig::default()
     };
     let server_config = ServerConfig {
         lazy_interval: SimDuration::from_millis(300),
@@ -150,5 +151,5 @@ fn middleware_runs_on_real_threads() {
     }
     // Sanity on the payload type parameter.
     let _: &dyn RtHosted<NetMsg> = &*actors[0];
-    let _ = Payload::GsnQuery;
+    let _ = Payload::GsnQuery { csn: 0 };
 }
