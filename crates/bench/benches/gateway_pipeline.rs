@@ -68,6 +68,7 @@ fn bench_gateway(c: &mut Criterion) {
                 id: client(seq),
                 op: Operation::new("get", Vec::new()),
                 staleness_threshold: 2,
+                deadline_us: 0,
                 attempt: 1,
             };
             let a1 = gw.on_payload(ActorId::from_index(999), Payload::Read(r), now);

@@ -134,6 +134,10 @@ pub struct CausalServerGateway {
     last_transfer_request: SimTime,
     donor_rr: usize,
 
+    /// EWMA of observed service times in µs (overload protection); 0 until
+    /// the first sample.
+    avg_service_us: u64,
+
     synced: bool,
     stats: ServerStats,
     /// Updates that had to wait for causal dependencies at least once.
@@ -205,6 +209,7 @@ impl CausalServerGateway {
             lazy_timer_pending: false,
             last_transfer_request: SimTime::ZERO,
             donor_rr: 0,
+            avg_service_us: 0,
             synced: true,
             stats: ServerStats::default(),
             causal_holds: 0,
@@ -533,6 +538,24 @@ impl CausalServerGateway {
         self.deferred = kept;
     }
 
+    /// Overload protection (reads only — shedding a causal update at a
+    /// single primary would permanently diverge the group): queue bound
+    /// plus the deadline-aware backlog estimate.
+    fn should_shed_read(&self, req: &ReadRequest) -> bool {
+        let ovl = &self.config.overload;
+        if !ovl.enabled {
+            return false;
+        }
+        let depth = self.service_queue.len() + usize::from(self.in_service.is_some());
+        if depth >= ovl.queue_bound {
+            return true;
+        }
+        ovl.deadline_shedding
+            && req.deadline_us > 0
+            && self.avg_service_us > 0
+            && (depth as u64 + 1).saturating_mul(self.avg_service_us) > req.deadline_us
+    }
+
     fn on_read(
         &mut self,
         from: ActorId,
@@ -540,6 +563,13 @@ impl CausalServerGateway {
         deps: VersionVector,
         now: SimTime,
     ) -> Vec<ServerAction> {
+        if self.should_shed_read(&req) {
+            self.stats.shed_reads += 1;
+            return vec![ServerAction::SendDirect {
+                to: from,
+                payload: Payload::Busy { req: req.id },
+            }];
+        }
         let pending = PendingRead {
             req,
             client: from,
@@ -691,6 +721,14 @@ impl CausalServerGateway {
         assert_eq!(t, token, "service completion for unexpected token");
         let mut actions = Vec::new();
         let ts = now.saturating_since(started_at);
+        if self.config.overload.enabled {
+            let sample = ts.as_micros().max(1);
+            self.avg_service_us = if self.avg_service_us == 0 {
+                sample
+            } else {
+                (self.avg_service_us * 7 + sample) / 8
+            };
+        }
         match work.kind {
             WorkKind::Update { update } => {
                 let result = self.object.apply_update(&update.op);
@@ -964,6 +1002,7 @@ mod tests {
                 },
                 op: Operation::new("fetch", vec![]),
                 staleness_threshold: 1000,
+                deadline_us: 0,
                 attempt: 1,
             },
             deps,

@@ -13,8 +13,10 @@
 //! executes the returned [`ClientAction`]s and feeds back payloads and
 //! timer expirations.
 
+use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::model::{Candidate, Selection};
 use crate::monitor::{InfoRepository, MonitorConfig, StalenessModel};
+use crate::overload::{DegradeTransition, OverloadConfig};
 use crate::qos::{OperationKind, OrderingGuarantee, QosSpec};
 use crate::select::{SelectionPolicy, Selector};
 use crate::timing::TimingFailureDetector;
@@ -61,6 +63,10 @@ pub struct ClientConfig {
     /// End-to-end recovery knobs: retries, hedged reads, and replica
     /// quarantine.
     pub recovery: RecoveryPolicy,
+    /// Overload protection: circuit breakers, the graceful-degradation
+    /// ladder, and runtime admission re-evaluation. Disabled by default
+    /// (bit-identical to a gateway without the subsystem).
+    pub overload: OverloadConfig,
 }
 
 impl Default for ClientConfig {
@@ -76,6 +82,7 @@ impl Default for ClientConfig {
             cdf_bin_us: None,
             ordering: OrderingGuarantee::Sequential,
             recovery: RecoveryPolicy::default(),
+            overload: OverloadConfig::disabled(),
         }
     }
 }
@@ -184,6 +191,14 @@ pub struct ResponseInfo {
     pub staleness: u64,
     /// True when no reply arrived within the give-up window.
     pub timed_out: bool,
+    /// True when the graceful-degradation controller rejected the request
+    /// locally (ladder exhausted); no replica was contacted.
+    pub shed: bool,
+    /// True when the request ran under a degraded QoS specification
+    /// (widened staleness threshold and/or relaxed probability). Consumers
+    /// auditing staleness against the *original* specification must skip
+    /// or adjust for degraded responses.
+    pub degraded: bool,
     /// Size of the replica set selected for this request (including the
     /// sequencer; 0 for updates).
     pub replicas_selected: usize,
@@ -221,6 +236,15 @@ pub enum ClientAction {
         /// The minimum probability the client requested.
         requested: f64,
     },
+    /// The graceful-degradation controller changed level (metrics event;
+    /// level 0 = nominal, each rung widens the QoS, beyond the ladder =
+    /// local rejection).
+    Degrade {
+        /// Level before the transition.
+        from_level: u32,
+        /// Level after the transition.
+        to_level: u32,
+    },
 }
 
 /// Counters exposed for tests and experiments.
@@ -256,6 +280,23 @@ pub struct ClientStats {
     /// generation per replica; the quantity Figure 3 bills at ~90% of the
     /// selection overhead.
     pub cdf_base_rebuilds: u64,
+    /// Explicit `Busy` rejections received from shedding replicas
+    /// (classified apart from timeouts and gray faults; they never charge
+    /// quarantine strikes).
+    pub busy_rejections: u64,
+    /// Reads rejected locally by the degradation controller's final rung
+    /// (no replica contacted).
+    pub local_sheds: u64,
+    /// Graceful-degradation level transitions (either direction).
+    pub degrade_transitions: u64,
+    /// Admission re-evaluations triggered by view changes or quarantine
+    /// openings.
+    pub admission_reevals: u64,
+    /// Re-evaluations that found the requested specification no longer
+    /// attainable.
+    pub admission_rejects: u64,
+    /// Circuit breakers tripped open against overloaded replicas.
+    pub breaker_opens: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -285,6 +326,30 @@ struct Pending {
     retry_pending: bool,
     /// A hedged read was already fired (at most one per request).
     hedged: bool,
+    /// The request was issued under a degraded (ladder-widened) QoS
+    /// specification; `qos` holds the *effective* spec.
+    degraded: bool,
+}
+
+/// Per-replica circuit breaker: closed → open after consecutive strikes →
+/// half-open probing → closed again on a timely reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Normal operation; the replica is selectable.
+    Closed,
+    /// Tripped: the replica is excluded from selection until the open
+    /// window elapses.
+    Open { since: SimTime },
+    /// Open window elapsed: one probe request per `probe_interval` is let
+    /// through; a timely reply recloses, a strike re-opens.
+    HalfOpen { last_probe: Option<SimTime> },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Breaker {
+    /// Consecutive busy/timeout strikes since the last timely reply.
+    strikes: u32,
+    state: BreakerState,
 }
 
 /// The client-side gateway state machine. See the [module docs](self).
@@ -315,6 +380,21 @@ pub struct ClientGateway {
     /// reads immediately, whatever the Poisson model says.
     observed_advanced_at: Option<SimTime>,
     stats: ClientStats,
+    // Overload-protection state (inert unless `config.overload.enabled`).
+    /// Per-replica circuit breakers, keyed deterministically.
+    breakers: std::collections::BTreeMap<ActorId, Breaker>,
+    /// Current graceful-degradation level: 0 = nominal, `1..=ladder.len()`
+    /// = that rung of the ladder, `ladder.len() + 1` = local rejection.
+    degrade_level: u32,
+    /// Read outcomes recorded since the last level transition (hysteresis).
+    outcomes_since_transition: u32,
+    /// Every level transition, in order (metrics/audit).
+    transitions: Vec<DegradeTransition>,
+    /// The most recent *requested* (un-degraded) specification — the
+    /// recovery target the controller steps back up toward.
+    last_requested: Option<QosSpec>,
+    /// When the rejection rung last admitted a probe read.
+    last_reject_probe_at: Option<SimTime>,
 }
 
 impl ClientGateway {
@@ -333,11 +413,19 @@ impl ClientGateway {
             staleness_model: config.staleness_model,
             cdf_bin_us: config.cdf_bin_us,
         };
+        // With overload protection on, the detector gains a sliding window
+        // sized to the recovery hysteresis; otherwise the lifetime-only
+        // detector keeps the original (seed) alert behavior.
+        let detector = if config.overload.enabled {
+            TimingFailureDetector::with_window(config.overload.recover_window)
+        } else {
+            TimingFailureDetector::new()
+        };
         Self {
             me,
             repo: InfoRepository::new(monitor),
             selector: Selector::new(config.policy),
-            detector: TimingFailureDetector::new(),
+            detector,
             rng: SmallRng::seed_from_u64(config.seed),
             config,
             next_seq: 0,
@@ -353,6 +441,12 @@ impl ClientGateway {
             updates_issued: 0,
             observed_advanced_at: None,
             stats: ClientStats::default(),
+            breakers: std::collections::BTreeMap::new(),
+            degrade_level: 0,
+            outcomes_since_transition: 0,
+            transitions: Vec::new(),
+            last_requested: None,
+            last_reject_probe_at: None,
         }
     }
 
@@ -404,6 +498,17 @@ impl ClientGateway {
     /// The staleness factor used for the most recent selection.
     pub fn last_stale_factor(&self) -> f64 {
         self.last_stale_factor
+    }
+
+    /// The current graceful-degradation level (0 = nominal; each rung of
+    /// the ladder widens the QoS; `ladder.len() + 1` rejects locally).
+    pub fn degrade_level(&self) -> u32 {
+        self.degrade_level
+    }
+
+    /// Every degradation-level transition so far, in order.
+    pub fn degrade_transitions(&self) -> &[DegradeTransition] {
+        &self.transitions
     }
 
     /// The current sequencer (leader of the primary group).
@@ -463,6 +568,7 @@ impl ClientGateway {
                 template: recovery.enabled.then(|| payload.clone()),
                 retry_pending: false,
                 hedged: false,
+                degraded: false,
             },
         );
         let mut actions = vec![
@@ -503,6 +609,47 @@ impl ClientGateway {
         let id = self.next_id();
         self.stats.reads += 1;
 
+        // Graceful degradation (when enabled): remember the requested spec
+        // as the recovery target, reject locally past the last rung, and
+        // otherwise run under the ladder-widened effective spec.
+        let requested = qos;
+        let qos = if self.config.overload.enabled {
+            self.last_requested = Some(requested);
+            if self.rejecting() {
+                let probe_due = self.last_reject_probe_at.is_none_or(|at| {
+                    now.saturating_since(at) >= self.config.overload.probe_interval
+                });
+                if !probe_due {
+                    // Ladder exhausted: answer "no" locally without
+                    // contacting (and further loading) any replica. Local
+                    // rejections are not service outcomes, so they do not
+                    // feed the timing-failure detector.
+                    self.stats.local_sheds += 1;
+                    return (
+                        id,
+                        vec![ClientAction::Completed(ResponseInfo {
+                            req: id,
+                            kind: OperationKind::ReadOnly,
+                            result: Bytes::new(),
+                            response_time: SimDuration::ZERO,
+                            timely: false,
+                            deferred: false,
+                            staleness: 0,
+                            timed_out: false,
+                            shed: true,
+                            degraded: true,
+                            replicas_selected: 0,
+                        })],
+                    );
+                }
+                self.last_reject_probe_at = Some(now);
+            }
+            self.effective_spec(requested)
+        } else {
+            qos
+        };
+        let degraded = self.config.overload.enabled && self.degrade_level > 0;
+
         let candidates = self.build_candidates(qos.deadline, now, &[]);
         let mut stale_factor = self.repo.staleness_factor(qos.staleness_threshold, now);
         if self.config.ordering == OrderingGuarantee::Causal {
@@ -541,6 +688,7 @@ impl ClientGateway {
             id,
             op,
             staleness_threshold: qos.staleness_threshold,
+            deadline_us: qos.deadline.as_micros(),
             attempt: 1,
         };
         let read_payload = if self.config.ordering == OrderingGuarantee::Causal {
@@ -578,6 +726,7 @@ impl ClientGateway {
                 template: recovery.enabled.then(|| read_payload.clone()),
                 retry_pending: false,
                 hedged: false,
+                degraded,
             },
         );
         (
@@ -593,12 +742,13 @@ impl ClientGateway {
     /// Builds the candidate list: every primary replica (except the
     /// sequencer when the service has one) plus every secondary replica,
     /// with model inputs from the repository. Replicas in `exclude`
-    /// (already tried by the current request) and quarantined replicas
-    /// are filtered out — unless that would leave no candidate at all,
-    /// in which case the filters are relaxed in order (quarantine first,
-    /// then `exclude`) so a request can always be transmitted.
+    /// (already tried by the current request), quarantined replicas, and
+    /// replicas behind an open circuit breaker are filtered out — unless
+    /// that would leave no candidate at all, in which case the filters are
+    /// relaxed in order (quarantine/breakers first, then `exclude`) so a
+    /// request can always be transmitted.
     fn build_candidates(
-        &self,
+        &mut self,
         deadline: SimDuration,
         now: SimTime,
         exclude: &[ActorId],
@@ -629,12 +779,28 @@ impl ClientGateway {
                 ert_us: self.repo.ert_us(m, now),
             });
         }
-        if !self.config.recovery.enabled {
+        if !self.config.recovery.enabled && !self.config.overload.enabled {
             return all;
+        }
+        // Open circuit breakers exclude a replica the same way quarantine
+        // does (and with the same last-resort relaxation below). The check
+        // also advances open breakers to half-open and stamps probe times,
+        // hence the pre-pass over the built list.
+        let mut broken: Vec<ActorId> = Vec::new();
+        if self.config.overload.enabled {
+            for c in &all {
+                if !self.breaker_allows(c.id, now) {
+                    broken.push(c.id);
+                }
+            }
         }
         let healthy_untried: Vec<Candidate> = all
             .iter()
-            .filter(|c| !exclude.contains(&c.id) && !self.repo.is_quarantined(c.id, now))
+            .filter(|c| {
+                !exclude.contains(&c.id)
+                    && !self.repo.is_quarantined(c.id, now)
+                    && !broken.contains(&c.id)
+            })
             .cloned()
             .collect();
         if !healthy_untried.is_empty() {
@@ -716,6 +882,7 @@ impl ClientGateway {
         self.detector.record_failure();
         self.stats.timing_failures += 1;
         let mut actions = self.maybe_alert(min_probability);
+        actions.extend(self.update_degradation(now));
         // The deadline doubles as attempt 1's expiry: charge the silent
         // replicas and schedule a retransmission if budget remains.
         actions.extend(self.schedule_retry(req, now));
@@ -741,11 +908,12 @@ impl ClientGateway {
         let attempt = p.attempt;
         let horizon = p.tm.unwrap_or(p.t0) + self.config.give_up;
         let charge = p.kind == OperationKind::ReadOnly;
+        let mut actions = Vec::new();
         if charge {
-            self.charge_timeouts(&unacked, now);
+            actions.extend(self.charge_timeouts(&unacked, now));
         }
         if attempt >= recovery.max_attempts {
-            return Vec::new();
+            return actions;
         }
         // Capped exponential backoff with deterministic jitter in
         // [backoff/2, backoff), from the gateway's seeded RNG.
@@ -758,21 +926,26 @@ impl ClientGateway {
         let jittered = SimDuration::from_micros(self.rng.gen_range(exp / 2..exp.max(2)));
         if now + jittered >= horizon {
             // No room left before give-up; let the give-up timer settle it.
-            return Vec::new();
+            return actions;
         }
         let p = self.pending.get_mut(&req).expect("checked above");
         p.retry_pending = true;
-        vec![ClientAction::ArmTimer {
+        actions.push(ClientAction::ArmTimer {
             req,
             purpose: TimerPurpose::Retry,
             after: jittered,
-        }]
+        });
+        actions
     }
 
     /// Charges one timeout strike per silent replica, opening quarantine
-    /// windows when a replica crosses the threshold.
-    fn charge_timeouts(&mut self, silent: &[ActorId], now: SimTime) {
+    /// windows when a replica crosses the threshold. Silent replicas also
+    /// take a circuit-breaker strike, and an opened quarantine triggers an
+    /// admission re-evaluation (the capacity the client planned around is
+    /// gone) — both only when overload protection is enabled.
+    fn charge_timeouts(&mut self, silent: &[ActorId], now: SimTime) -> Vec<ClientAction> {
         let recovery = self.config.recovery;
+        let mut opened = false;
         for &r in silent {
             if self.repo.record_timeout(
                 r,
@@ -782,7 +955,14 @@ impl ClientGateway {
                 recovery.quarantine_max,
             ) {
                 self.stats.quarantines += 1;
+                opened = true;
             }
+            self.record_breaker_strike(r, now);
+        }
+        if opened {
+            self.reevaluate_admission(now)
+        } else {
+            Vec::new()
         }
     }
 
@@ -928,16 +1108,17 @@ impl ClientGateway {
         }
         let p = self.pending.remove(&req).expect("checked above");
         self.stats.give_ups += 1;
+        let mut actions = Vec::new();
         if p.kind == OperationKind::ReadOnly && self.config.recovery.enabled {
             // The replicas still silent at give-up never answered any
             // attempt; charge them before forgetting the request.
-            self.charge_timeouts(&p.unacked, now);
+            actions.extend(self.charge_timeouts(&p.unacked, now));
         }
-        let mut actions = Vec::new();
         if !p.outcome_recorded && p.kind == OperationKind::ReadOnly {
             self.detector.record_failure();
             self.stats.timing_failures += 1;
             actions.extend(self.maybe_alert(p.qos.map(|q| q.min_probability)));
+            actions.extend(self.update_degradation(now));
         }
         actions.push(ClientAction::Completed(ResponseInfo {
             req,
@@ -948,6 +1129,8 @@ impl ClientGateway {
             deferred: false,
             staleness: 0,
             timed_out: true,
+            shed: false,
+            degraded: p.degraded,
             replicas_selected: p.selected,
         }));
         actions
@@ -981,12 +1164,37 @@ impl ClientGateway {
     ) -> Vec<ClientAction> {
         match payload {
             Payload::Reply(r) => self.on_reply(from, r, now),
+            Payload::Busy { req } => self.on_busy(from, req, now),
             Payload::Perf(p) => {
                 self.repo.record_perf(from, &p, now);
                 Vec::new()
             }
             _ => Vec::new(),
         }
+    }
+
+    /// An overloaded replica explicitly refused the request. A `Busy` is a
+    /// healthy "no": the sender is removed from the attempt's unacked set
+    /// so it is never charged a quarantine strike, it takes a
+    /// circuit-breaker strike instead, and — once every target of the
+    /// attempt has refused — the retry machinery fires early rather than
+    /// waiting for the deadline (re-selection excludes the shedders, which
+    /// stay in `tried`).
+    fn on_busy(&mut self, from: ActorId, req: RequestId, now: SimTime) -> Vec<ClientAction> {
+        if !self.config.overload.enabled {
+            return Vec::new();
+        }
+        self.stats.busy_rejections += 1;
+        self.record_breaker_strike(from, now);
+        let Some(p) = self.pending.get_mut(&req) else {
+            return Vec::new();
+        };
+        p.unacked.retain(|&a| a != from);
+        if p.replied || !p.unacked.is_empty() {
+            return Vec::new();
+        }
+        // `unacked` is empty, so schedule_retry charges no timeouts.
+        self.schedule_retry(req, now)
     }
 
     fn on_reply(
@@ -1015,6 +1223,11 @@ impl ClientGateway {
         };
         if probe_ok {
             self.repo.record_probe_success(from);
+            // A timely reply recloses the sender's circuit breaker (the
+            // half-open → closed transition; also clears pending strikes).
+            if self.config.overload.enabled {
+                self.breakers.remove(&from);
+            }
         }
         // Causal mode: merge the replica's vector into the session state so
         // subsequent operations carry the right dependencies.
@@ -1048,6 +1261,7 @@ impl ClientGateway {
                 self.stats.timing_failures += 1;
             }
             actions.extend(self.maybe_alert(min_probability));
+            actions.extend(self.update_degradation(now));
         }
         if r.deferred {
             self.stats.deferred_replies += 1;
@@ -1062,20 +1276,200 @@ impl ClientGateway {
             deferred: r.deferred,
             staleness: r.staleness,
             timed_out: false,
+            shed: false,
+            degraded: p.degraded,
             replicas_selected: p.selected,
         }));
         actions
     }
 
     /// Tracks replication-group views announced to this client (as an
-    /// observer of both groups).
-    pub fn on_view(&mut self, view: View) {
+    /// observer of both groups). When the membership actually changes —
+    /// a replica crashed out or rejoined — the admission decision is
+    /// re-evaluated against the new capacity (returned actions surface a
+    /// degradation step when the requested QoS is no longer attainable).
+    pub fn on_view(&mut self, view: View, now: SimTime) -> Vec<ClientAction> {
+        let mut changed = false;
         if view.group == PRIMARY_GROUP {
             if view.id >= self.primary_view.id {
+                changed = view.id > self.primary_view.id;
                 self.primary_view = view;
             }
         } else if view.group == SECONDARY_GROUP && view.id >= self.secondary_view.id {
+            changed = view.id > self.secondary_view.id;
             self.secondary_view = view;
+        }
+        if changed {
+            self.reevaluate_admission(now)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// True when the degradation controller is past the last rung of the
+    /// ladder (local-rejection mode).
+    fn rejecting(&self) -> bool {
+        self.config.overload.enabled
+            && (self.degrade_level as usize) > self.config.overload.ladder.len()
+    }
+
+    /// The QoS specification in force at the current degradation level:
+    /// rung `L` of the ladder widens the staleness threshold and relaxes
+    /// `Pc(d)`; level 0 returns the requested spec unchanged. Past the
+    /// ladder (rejection mode) the last rung's spec applies to the probe
+    /// reads that are still admitted.
+    fn effective_spec(&self, requested: QosSpec) -> QosSpec {
+        let ladder = &self.config.overload.ladder;
+        if !self.config.overload.enabled || self.degrade_level == 0 || ladder.is_empty() {
+            return requested;
+        }
+        let step = ladder[(self.degrade_level as usize).min(ladder.len()) - 1];
+        QosSpec {
+            staleness_threshold: requested
+                .staleness_threshold
+                .saturating_add(step.widen_staleness),
+            deadline: requested.deadline,
+            min_probability: (requested.min_probability - step.relax_probability).max(0.0),
+        }
+    }
+
+    /// Re-assesses the degradation level after a recorded read outcome:
+    /// steps *down* the ladder when the windowed timely frequency falls
+    /// below the currently effective `Pc(d)`, and back *up* once the
+    /// window clears the client's original requirement. Transitions are
+    /// separated by at least `recover_window` outcomes (and the window
+    /// must be full), so one bad burst cannot walk the whole ladder.
+    fn update_degradation(&mut self, now: SimTime) -> Vec<ClientAction> {
+        if !self.config.overload.enabled {
+            return Vec::new();
+        }
+        let Some(requested) = self.last_requested else {
+            return Vec::new();
+        };
+        self.outcomes_since_transition = self.outcomes_since_transition.saturating_add(1);
+        let recover_window = self.config.overload.recover_window;
+        if !self.detector.window_full() || self.outcomes_since_transition < recover_window {
+            return Vec::new();
+        }
+        let Some(freq) = self.detector.window_frequency() else {
+            return Vec::new();
+        };
+        let max_level = self.config.overload.ladder.len() as u32 + 1;
+        let effective_pc = self.effective_spec(requested).min_probability;
+        let to = if freq < effective_pc && self.degrade_level < max_level {
+            self.degrade_level + 1
+        } else if freq >= requested.min_probability && self.degrade_level > 0 {
+            self.degrade_level - 1
+        } else {
+            return Vec::new();
+        };
+        self.transition_to(to, now)
+    }
+
+    /// Moves the degradation controller to `to`, recording the transition
+    /// and emitting the metrics event.
+    fn transition_to(&mut self, to: u32, now: SimTime) -> Vec<ClientAction> {
+        let from = self.degrade_level;
+        self.degrade_level = to;
+        self.outcomes_since_transition = 0;
+        self.stats.degrade_transitions += 1;
+        self.transitions.push(DegradeTransition {
+            at_us: now.as_micros(),
+            from_level: from,
+            to_level: to,
+        });
+        vec![ClientAction::Degrade {
+            from_level: from,
+            to_level: to,
+        }]
+    }
+
+    /// Re-runs the §7 admission check against the current candidate set
+    /// (after a view change or a quarantine opening). When the requested
+    /// specification is no longer attainable, the degradation ladder steps
+    /// down proactively instead of waiting for the windowed frequency to
+    /// confirm the capacity loss request by request.
+    fn reevaluate_admission(&mut self, now: SimTime) -> Vec<ClientAction> {
+        if !self.config.overload.enabled {
+            return Vec::new();
+        }
+        let Some(requested) = self.last_requested else {
+            return Vec::new();
+        };
+        let headroom = self.config.overload.admission_headroom;
+        let max_level = self.config.overload.ladder.len() as u32 + 1;
+        self.stats.admission_reevals += 1;
+        let candidates = self.build_candidates(requested.deadline, now, &[]);
+        let controller = AdmissionController::new(AdmissionConfig { headroom });
+        let decision = controller.decide(&candidates, self.last_stale_factor, &requested);
+        if decision.admit {
+            return Vec::new();
+        }
+        self.stats.admission_rejects += 1;
+        if self.degrade_level < max_level {
+            self.transition_to(self.degrade_level + 1, now)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Registers a busy/timeout strike against `replica`'s breaker:
+    /// `breaker_threshold` consecutive strikes trip it open, and a strike
+    /// against a half-open breaker (a failed probe) re-opens it.
+    fn record_breaker_strike(&mut self, replica: ActorId, now: SimTime) {
+        if !self.config.overload.enabled {
+            return;
+        }
+        let threshold = self.config.overload.breaker_threshold;
+        let b = self.breakers.entry(replica).or_insert(Breaker {
+            strikes: 0,
+            state: BreakerState::Closed,
+        });
+        b.strikes = b.strikes.saturating_add(1);
+        match b.state {
+            BreakerState::Closed if b.strikes >= threshold => {
+                b.state = BreakerState::Open { since: now };
+                self.stats.breaker_opens += 1;
+            }
+            BreakerState::HalfOpen { .. } => {
+                b.state = BreakerState::Open { since: now };
+                self.stats.breaker_opens += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether `replica`'s breaker admits a request right now, advancing
+    /// open breakers to half-open once `breaker_open` has elapsed and
+    /// spacing half-open probes by `probe_interval`.
+    fn breaker_allows(&mut self, replica: ActorId, now: SimTime) -> bool {
+        let open_for = self.config.overload.breaker_open;
+        let probe_every = self.config.overload.probe_interval;
+        let Some(b) = self.breakers.get_mut(&replica) else {
+            return true;
+        };
+        match b.state {
+            BreakerState::Closed => true,
+            BreakerState::Open { since } => {
+                if now.saturating_since(since) >= open_for {
+                    // Open window over: this request is the probe.
+                    b.state = BreakerState::HalfOpen {
+                        last_probe: Some(now),
+                    };
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen { last_probe } => {
+                let due = last_probe.is_none_or(|at| now.saturating_since(at) >= probe_every);
+                if due {
+                    b.state = BreakerState::HalfOpen {
+                        last_probe: Some(now),
+                    };
+                }
+                due
+            }
         }
     }
 }
@@ -1083,6 +1477,7 @@ impl ClientGateway {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::overload::DegradeStep;
     use crate::wire::{PerfBroadcast, ReadMeasurement, Reply};
     use aqf_group::ViewId;
 
@@ -1365,7 +1760,7 @@ mod tests {
         // Sequencer a(0) fails; a(1) leads. Candidates: a(2) + secondaries.
         let (p, _) = views();
         let newer = p.successor(&[a(0)], &[]).unwrap();
-        c.on_view(newer);
+        let _ = c.on_view(newer, t(0));
         assert_eq!(c.sequencer(), a(1));
         let (_, _) = c.submit_read(Operation::new("get", vec![]), qos(200, 0.99), t(0));
         let sel = c.last_selection().unwrap().clone();
@@ -1373,7 +1768,7 @@ mod tests {
         assert!(sel.replicas.contains(&a(1)), "new sequencer appended");
         // Stale view replay is ignored.
         let (old_p, _) = views();
-        c.on_view(old_p);
+        let _ = c.on_view(old_p, t(0));
         assert_eq!(c.sequencer(), a(1));
     }
 
@@ -1671,5 +2066,281 @@ mod tests {
         assert_eq!(resent.2, original.2, "same deps on retry");
         assert_eq!(resent.0.attempt, 2);
         assert_eq!(c.stats().retries, 1);
+    }
+
+    fn overload_client(overload: OverloadConfig) -> ClientGateway {
+        let (p, s) = views();
+        ClientGateway::new(
+            a(20),
+            p,
+            s,
+            ClientConfig {
+                overload,
+                ..ClientConfig::default()
+            },
+        )
+    }
+
+    fn timely_reply(c: &mut ClientGateway, from: ActorId, id: RequestId, at: SimTime) {
+        let _ = c.on_payload(
+            from,
+            Payload::Reply(Reply {
+                id,
+                result: Bytes::new(),
+                t1_us: 0,
+                staleness: 0,
+                deferred: false,
+                csn: 0,
+                vector: Vec::new(),
+            }),
+            at,
+        );
+    }
+
+    #[test]
+    fn busy_retries_elsewhere_without_quarantine_strikes() {
+        let mut c = overload_client(OverloadConfig {
+            enabled: true,
+            ..OverloadConfig::disabled()
+        });
+        // Warm the repository so selection picks a small set rather than
+        // every replica (leaving someone untried for the retry).
+        for r in [a(1), a(2), a(10), a(11)] {
+            feed_perf(&mut c, r, 10, 10);
+        }
+        let (id, _) = c.submit_read(Operation::new("get", vec![]), qos(200, 0.5), t(0));
+        let first = c.on_timer(id, TimerPurpose::Transmit, t(1));
+        let shedders: Vec<ActorId> = sends_of(&first).iter().map(|&(to, _)| to).collect();
+        assert!(
+            shedders.len() < 5,
+            "warm selection must leave untried replicas"
+        );
+        // Every targeted replica answers Busy; the last one triggers an
+        // accelerated retry (backoff timer) instead of waiting for the
+        // deadline.
+        let mut backoff = None;
+        for &s in &shedders {
+            let actions = c.on_payload(s, Payload::Busy { req: id }, t(2));
+            if let Some(b) = retry_timer(&actions) {
+                backoff = Some(b);
+            }
+        }
+        assert_eq!(c.stats().busy_rejections, shedders.len() as u64);
+        assert_eq!(
+            c.stats().quarantines,
+            0,
+            "Busy is a healthy no, never a quarantine strike"
+        );
+        let backoff = backoff.expect("accelerated retry armed once all targets refused");
+        let actions = c.on_timer(id, TimerPurpose::Retry, t(2) + backoff);
+        let resent = sends_of(&actions);
+        assert!(!resent.is_empty(), "retry retransmits the read");
+        // The sequencer is structurally re-included by Sequential-mode
+        // selection; every other retry target must be a fresh replica.
+        assert!(
+            resent.iter().any(|&(to, _)| !shedders.contains(&to)),
+            "retry reaches at least one fresh replica"
+        );
+        for &(to, attempt) in &resent {
+            assert!(
+                to == a(0) || !shedders.contains(&to),
+                "re-selection must exclude the shedders"
+            );
+            assert_eq!(attempt, 2);
+        }
+        assert_eq!(c.stats().quarantines, 0);
+    }
+
+    #[test]
+    fn breaker_opens_after_strikes_then_probes_and_recloses() {
+        let mut c = overload_client(OverloadConfig {
+            enabled: true,
+            breaker_threshold: 2,
+            breaker_open: SimDuration::from_millis(500),
+            probe_interval: SimDuration::from_millis(250),
+            ..OverloadConfig::disabled()
+        });
+        // Two Busy strikes from a(1) on separate requests trip its breaker.
+        for round in 0..2u64 {
+            let (id, _) =
+                c.submit_read(Operation::new("get", vec![]), qos(200, 0.5), t(round * 10));
+            let _ = c.on_timer(id, TimerPurpose::Transmit, t(round * 10 + 1));
+            let _ = c.on_payload(a(1), Payload::Busy { req: id }, t(round * 10 + 2));
+        }
+        assert_eq!(c.stats().breaker_opens, 1);
+        // While open, a(1) is excluded from selection.
+        let (_, _) = c.submit_read(Operation::new("get", vec![]), qos(200, 0.5), t(50));
+        let sel = c.last_selection().unwrap().clone();
+        assert!(
+            !sel.replicas.contains(&a(1)),
+            "open breaker excludes the replica"
+        );
+        // After the open window elapses, one half-open probe is admitted.
+        let (id, _) = c.submit_read(Operation::new("get", vec![]), qos(200, 0.5), t(600));
+        let sel = c.last_selection().unwrap().clone();
+        assert!(
+            sel.replicas.contains(&a(1)),
+            "half-open breaker admits a probe"
+        );
+        let _ = c.on_timer(id, TimerPurpose::Transmit, t(601));
+        // A timely reply from the probed replica recloses the breaker.
+        timely_reply(&mut c, a(1), id, t(650));
+        let (_, _) = c.submit_read(Operation::new("get", vec![]), qos(200, 0.5), t(660));
+        let sel = c.last_selection().unwrap().clone();
+        assert!(
+            sel.replicas.contains(&a(1)),
+            "reclosed breaker selects again"
+        );
+        assert_eq!(c.stats().breaker_opens, 1);
+    }
+
+    #[test]
+    fn ladder_steps_down_then_recovers() {
+        let mut c = overload_client(OverloadConfig {
+            enabled: true,
+            recover_window: 4,
+            ladder: vec![DegradeStep {
+                widen_staleness: 2,
+                relax_probability: 0.2,
+            }],
+            ..OverloadConfig::disabled()
+        });
+        let spec = qos(200, 0.9);
+        // Four straight timing failures fill the window (cap 4) and drop
+        // the windowed frequency to 0 < 0.9: step down to rung 1.
+        let mut stepped = false;
+        for round in 0..4u64 {
+            let at = round * 1000;
+            let (id, _) = c.submit_read(Operation::new("get", vec![]), spec, t(at));
+            let _ = c.on_timer(id, TimerPurpose::Transmit, t(at + 1));
+            let actions = c.on_timer(id, TimerPurpose::Deadline, t(at + 201));
+            stepped |= actions.iter().any(|x| {
+                matches!(
+                    x,
+                    ClientAction::Degrade {
+                        from_level: 0,
+                        to_level: 1
+                    }
+                )
+            });
+        }
+        assert!(stepped, "degradation step surfaced as an action");
+        assert_eq!(c.degrade_level(), 1);
+        assert_eq!(c.stats().degrade_transitions, 1);
+        // Reads now carry the widened staleness threshold (2 + 2).
+        let (id, _) = c.submit_read(Operation::new("get", vec![]), spec, t(5000));
+        let actions = c.on_timer(id, TimerPurpose::Transmit, t(5001));
+        let widened = actions.iter().any(|x| {
+            matches!(
+                x,
+                ClientAction::SendDirect {
+                    payload: Payload::Read(r),
+                    ..
+                } if r.staleness_threshold == 4 && r.deadline_us == 200_000
+            )
+        });
+        assert!(widened, "degraded read runs under the widened threshold");
+        timely_reply(&mut c, a(1), id, t(5050));
+        // Three more timely outcomes: the window clears the original Pc
+        // and the controller steps back up.
+        for round in 0..3u64 {
+            let at = 6000 + round * 1000;
+            let (id, _) = c.submit_read(Operation::new("get", vec![]), spec, t(at));
+            let _ = c.on_timer(id, TimerPurpose::Transmit, t(at + 1));
+            timely_reply(&mut c, a(1), id, t(at + 50));
+        }
+        assert_eq!(c.degrade_level(), 0, "recovered to the nominal level");
+        assert_eq!(c.stats().degrade_transitions, 2);
+        let (id, _) = c.submit_read(Operation::new("get", vec![]), spec, t(20_000));
+        let actions = c.on_timer(id, TimerPurpose::Transmit, t(20_001));
+        let restored = actions.iter().any(|x| {
+            matches!(
+                x,
+                ClientAction::SendDirect {
+                    payload: Payload::Read(r),
+                    ..
+                } if r.staleness_threshold == 2
+            )
+        });
+        assert!(restored, "recovery restores the requested threshold");
+    }
+
+    #[test]
+    fn exhausted_ladder_sheds_locally_but_admits_probes() {
+        // Empty ladder: the first step lands straight on the rejection
+        // rung.
+        let mut c = overload_client(OverloadConfig {
+            enabled: true,
+            recover_window: 2,
+            ladder: Vec::new(),
+            probe_interval: SimDuration::from_millis(250),
+            ..OverloadConfig::disabled()
+        });
+        let spec = qos(200, 0.9);
+        for round in 0..2u64 {
+            let at = round * 1000;
+            let (id, _) = c.submit_read(Operation::new("get", vec![]), spec, t(at));
+            let _ = c.on_timer(id, TimerPurpose::Transmit, t(at + 1));
+            let _ = c.on_timer(id, TimerPurpose::Deadline, t(at + 201));
+        }
+        assert_eq!(c.degrade_level(), 1, "empty ladder rejects immediately");
+        let outcomes_before = c.detector().total();
+        // First read in rejection mode is the probe: it goes out normally.
+        let (_, actions) = c.submit_read(Operation::new("get", vec![]), spec, t(3000));
+        assert!(matches!(
+            actions[0],
+            ClientAction::ArmTimer {
+                purpose: TimerPurpose::Transmit,
+                ..
+            }
+        ));
+        // A second read inside the probe interval is shed locally.
+        let (_, actions) = c.submit_read(Operation::new("get", vec![]), spec, t(3100));
+        let info = actions
+            .iter()
+            .find_map(|x| match x {
+                ClientAction::Completed(info) => Some(info.clone()),
+                _ => None,
+            })
+            .expect("local shed completes immediately");
+        assert!(info.shed && info.degraded && !info.timed_out && !info.timely);
+        assert_eq!(info.replicas_selected, 0);
+        assert_eq!(c.stats().local_sheds, 1);
+        assert_eq!(
+            c.detector().total(),
+            outcomes_before,
+            "local sheds are not service outcomes"
+        );
+    }
+
+    #[test]
+    fn view_change_reevaluates_admission_and_steps_down() {
+        let mut c = overload_client(OverloadConfig {
+            enabled: true,
+            ladder: vec![DegradeStep {
+                widen_staleness: 2,
+                relax_probability: 0.2,
+            }],
+            ..OverloadConfig::disabled()
+        });
+        // Make every replica look far too slow for a 200 ms deadline so
+        // the admission check deterministically rejects Pc = 0.9.
+        for r in [a(1), a(2), a(10), a(11)] {
+            feed_perf(&mut c, r, 1000, 10);
+        }
+        let (_, _) = c.submit_read(Operation::new("get", vec![]), qos(200, 0.9), t(0));
+        let (p, _) = views();
+        let newer = p.successor(&[a(2)], &[]).unwrap();
+        let actions = c.on_view(newer, t(10));
+        assert_eq!(c.stats().admission_reevals, 1);
+        assert_eq!(c.stats().admission_rejects, 1);
+        assert!(actions.iter().any(|x| matches!(
+            x,
+            ClientAction::Degrade {
+                from_level: 0,
+                to_level: 1
+            }
+        )));
+        assert_eq!(c.degrade_level(), 1);
     }
 }

@@ -108,6 +108,10 @@ pub struct FifoServerGateway {
     last_transfer_request: SimTime,
     donor_rr: usize,
 
+    /// EWMA of observed service times in µs (overload protection); 0 until
+    /// the first sample.
+    avg_service_us: u64,
+
     synced: bool,
     stats: ServerStats,
 }
@@ -173,6 +177,7 @@ impl FifoServerGateway {
             lazy_timer_pending: false,
             last_transfer_request: SimTime::ZERO,
             donor_rr: 0,
+            avg_service_us: 0,
             synced: true,
             stats: ServerStats::default(),
         }
@@ -408,7 +413,33 @@ impl FifoServerGateway {
         actions
     }
 
+    /// Overload protection (reads only — FIFO updates apply wherever they
+    /// arrive, so shedding one at a single primary would permanently
+    /// diverge the group): queue bound plus the deadline-aware backlog
+    /// estimate.
+    fn should_shed_read(&self, req: &ReadRequest) -> bool {
+        let ovl = &self.config.overload;
+        if !ovl.enabled {
+            return false;
+        }
+        let depth = self.service_queue.len() + usize::from(self.in_service.is_some());
+        if depth >= ovl.queue_bound {
+            return true;
+        }
+        ovl.deadline_shedding
+            && req.deadline_us > 0
+            && self.avg_service_us > 0
+            && (depth as u64 + 1).saturating_mul(self.avg_service_us) > req.deadline_us
+    }
+
     fn on_read(&mut self, from: ActorId, r: ReadRequest, now: SimTime) -> Vec<ServerAction> {
+        if self.should_shed_read(&r) {
+            self.stats.shed_reads += 1;
+            return vec![ServerAction::SendDirect {
+                to: from,
+                payload: Payload::Busy { req: r.id },
+            }];
+        }
         let pending = PendingRead {
             req: r,
             client: from,
@@ -568,6 +599,14 @@ impl FifoServerGateway {
         assert_eq!(t, token, "service completion for unexpected token");
         let mut actions = Vec::new();
         let ts = now.saturating_since(started_at);
+        if self.config.overload.enabled {
+            let sample = ts.as_micros().max(1);
+            self.avg_service_us = if self.avg_service_us == 0 {
+                sample
+            } else {
+                (self.avg_service_us * 7 + sample) / 8
+            };
+        }
         match work.kind {
             WorkKind::Update { update } => {
                 let result = self.object.apply_update(&update.op);
@@ -815,6 +854,7 @@ mod tests {
             id: RequestId { client: a(20), seq },
             op: Operation::new("balance", b"acct".to_vec()),
             staleness_threshold: staleness,
+            deadline_us: 0,
             attempt: 1,
         }
     }

@@ -27,6 +27,8 @@
 //!   failure detection (paper §5.3, §5.4).
 //! * [`timing`] — the timing failure detector.
 //! * [`admission`] — the admission-control extension (paper §7).
+//! * [`overload`] — overload protection: bounded admission queues,
+//!   deadline-aware shedding, circuit breakers, graceful degradation.
 //! * [`level`] — priority/cost-based higher-level specifications (paper §7).
 //! * [`fifo`] — the FIFO timed-consistency handler (paper §4, Figure 2).
 //! * [`causal`] — the causal timed-consistency handler (the third ordering
@@ -63,6 +65,7 @@ pub mod level;
 pub mod model;
 pub mod monitor;
 pub mod object;
+pub mod overload;
 pub mod protocol;
 pub mod qos;
 pub mod select;
@@ -80,6 +83,7 @@ pub use level::{CostCurve, Priority, PriorityMap};
 pub use model::{select_replicas, select_replicas_ordered, Candidate, CandidateOrder, Selection};
 pub use monitor::{CdfCacheStats, InfoRepository, MonitorConfig, StalenessModel};
 pub use object::{AccountBook, ReplicatedObject, SharedDocument, TickerBoard, VersionedRegister};
+pub use overload::{DegradeStep, DegradeTransition, OverloadConfig};
 pub use protocol::ServerProtocol;
 pub use qos::{OperationKind, OrderingGuarantee, QosSpec, ReadOnlyRegistry};
 pub use select::{SelectionPolicy, Selector};

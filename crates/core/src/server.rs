@@ -23,6 +23,7 @@
 
 use crate::dedup::ReplyCache;
 use crate::object::ReplicatedObject;
+use crate::overload::OverloadConfig;
 use crate::wire::{
     Payload, PerfBroadcast, PublisherInfo, ReadMeasurement, ReadRequest, Reply, RequestId,
     UpdateRequest, PRIMARY_GROUP, SECONDARY_GROUP,
@@ -68,6 +69,10 @@ pub struct ServerConfig {
     /// promotes the freshest secondary (lowest `my_GSN − my_CSN`) into the
     /// primary group through the existing state-transfer path.
     pub min_primary_size: usize,
+    /// Overload protection: bounded admission queue, deadline-aware read
+    /// shedding, and the sequencer commit-backlog watermark. Disabled by
+    /// default (bit-identical to a gateway without the subsystem).
+    pub overload: OverloadConfig,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +85,7 @@ impl Default for ServerConfig {
             reply_cache: 1024,
             commit_stall_timeout: SimDuration::from_secs(3),
             min_primary_size: 0,
+            overload: OverloadConfig::disabled(),
         }
     }
 }
@@ -160,6 +166,12 @@ pub struct ServerStats {
     /// Longest update-commit stall healed by a recovery or catch-up state
     /// transfer, in µs.
     pub commit_stall_us: u64,
+    /// Reads shed with `Busy` by the bounded admission queue or the
+    /// deadline-aware shedding predicate (overload protection only).
+    pub shed_reads: u64,
+    /// Updates shed with `Busy` by the sequencer's commit-backlog
+    /// watermark (overload protection only).
+    pub shed_updates: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -274,6 +286,10 @@ pub struct ServerGateway {
     /// accepted assignment/snapshot, or its own sequencing).
     last_seq_activity: SimTime,
 
+    /// EWMA of observed service times in µs (`(7·old + new) / 8`); 0 until
+    /// the first sample. Drives deadline-aware shedding.
+    avg_service_us: u64,
+
     synced: bool,
     stats: ServerStats,
 }
@@ -358,6 +374,7 @@ impl ServerGateway {
             promote_reports: BTreeMap::new(),
             promotion_inflight: None,
             last_seq_activity: SimTime::ZERO,
+            avg_service_us: 0,
             synced: true,
             stats: ServerStats::default(),
         }
@@ -600,6 +617,7 @@ impl ServerGateway {
             // Replies and perf broadcasts are client-bound, and FIFO/causal
             // handler traffic has no meaning here; ignore them.
             Payload::Reply(_)
+            | Payload::Busy { .. }
             | Payload::Perf(_)
             | Payload::FifoLazyUpdate { .. }
             | Payload::CausalUpdate { .. }
@@ -628,6 +646,24 @@ impl ServerGateway {
                 }],
                 None => Vec::new(),
             };
+        }
+        // Sequencer commit-backlog watermark: shed *new* updates before the
+        // GSN pipeline wedges. Only the sequencer sheds — it alone gates
+        // GSN assignment, so a shed update never gets a number and the
+        // copies other primaries buffer stay harmless until a client
+        // retransmission is sequenced fresh. Duplicates were answered from
+        // the reply cache above.
+        if self.config.overload.enabled
+            && self.is_sequencer()
+            && !self.recovering
+            && self.commit_ready.len() + self.unassigned_updates.len()
+                >= self.config.overload.sequencer_watermark
+        {
+            self.stats.shed_updates += 1;
+            return vec![ServerAction::SendDirect {
+                to: u.id.client,
+                payload: Payload::Busy { req: u.id },
+            }];
         }
         self.updates_since_broadcast += 1;
         self.updates_since_lazy += 1;
@@ -856,10 +892,37 @@ impl ServerGateway {
         actions
     }
 
+    /// Whether overload protection sheds an arriving read: the bounded
+    /// admission queue is full, or the backlog estimate
+    /// `(queue_depth + 1) × avg_service_time` already exceeds the
+    /// request's remaining deadline budget — the reply could only be late.
+    fn should_shed_read(&self, req: &ReadRequest) -> bool {
+        let ovl = &self.config.overload;
+        if !ovl.enabled {
+            return false;
+        }
+        if self.queue_depth() >= ovl.queue_bound {
+            return true;
+        }
+        ovl.deadline_shedding
+            && req.deadline_us > 0
+            && self.avg_service_us > 0
+            && (self.queue_depth() as u64 + 1).saturating_mul(self.avg_service_us) > req.deadline_us
+    }
+
     /// Staleness check of §4.1.2: serve immediately if fresh enough,
     /// otherwise defer until the next state update.
     fn admit_read(&mut self, pending: PendingRead, gsn: u64, now: SimTime) -> Vec<ServerAction> {
         self.my_gsn = self.my_gsn.max(gsn);
+        if self.should_shed_read(&pending.req) {
+            self.stats.shed_reads += 1;
+            return vec![ServerAction::SendDirect {
+                to: pending.client,
+                payload: Payload::Busy {
+                    req: pending.req.id,
+                },
+            }];
+        }
         let staleness = self.staleness();
         let mut actions = Vec::new();
         if self.synced && staleness <= pending.req.staleness_threshold as u64 {
@@ -1033,6 +1096,14 @@ impl ServerGateway {
         assert_eq!(t, token, "service completion for unexpected token");
         let mut actions = Vec::new();
         let ts = now.saturating_since(started_at);
+        if self.config.overload.enabled {
+            let sample = ts.as_micros().max(1);
+            self.avg_service_us = if self.avg_service_us == 0 {
+                sample
+            } else {
+                (self.avg_service_us * 7 + sample) / 8
+            };
+        }
         match work.kind {
             WorkKind::Update { update, gsn } => {
                 let result = self.object.apply_update(&update.op);
@@ -1663,6 +1734,7 @@ mod tests {
             id: RequestId { client: a(20), seq },
             op: Operation::new("get", vec![]),
             staleness_threshold: staleness,
+            deadline_us: 0,
             attempt: 1,
         }
     }

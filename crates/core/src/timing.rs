@@ -5,6 +5,21 @@
 //! If the frequency of timely response from the service is lower than the
 //! minimum probability of timely response the client has requested, the
 //! client handler notifies the client by issuing a callback."
+//!
+//! Two estimates of the timely frequency coexist:
+//!
+//! * the **lifetime** frequency over all outcomes ever recorded, and
+//! * a **sliding-window** frequency over the last `window_cap` outcomes
+//!   (a 64-bit ring, so the window holds at most 64 outcomes).
+//!
+//! The cumulative estimate alone is a poor violation detector: after a long
+//! healthy history a fresh *sustained* violation must drag down an
+//! arbitrarily large average before the callback fires, so detection
+//! latency grows without bound. With a window of `w`, a sustained violation
+//! is visible within at most `w` outcomes. [`should_alert`] therefore
+//! prefers the windowed frequency once the window has filled.
+//!
+//! [`should_alert`]: TimingFailureDetector::should_alert
 
 /// Tracks timely vs. late responses for one client and decides when to
 /// issue the QoS-violation callback.
@@ -12,23 +27,64 @@
 pub struct TimingFailureDetector {
     timely: u64,
     failures: u64,
+    /// Ring of the most recent outcomes, bit `i` set = timely.
+    window_bits: u64,
+    /// Outcomes currently held in the ring (`<= window_cap`).
+    window_len: u8,
+    /// Capacity of the ring; 0 disables the window.
+    window_cap: u8,
+    /// Next write position in the ring.
+    pos: u8,
 }
 
 impl TimingFailureDetector {
-    /// Creates a detector with no observations.
+    /// Creates a detector with no observations and no sliding window
+    /// (lifetime counters only — the pre-window behavior).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a detector whose alert decision uses a sliding window of
+    /// the last `window` outcomes. The window is clamped to `1..=64`.
+    pub fn with_window(window: u32) -> Self {
+        Self {
+            window_cap: window.clamp(1, 64) as u8,
+            ..Self::default()
+        }
+    }
+
+    /// The configured sliding-window capacity (0 = lifetime-only).
+    pub fn window_capacity(&self) -> u32 {
+        u32::from(self.window_cap)
     }
 
     /// Records a response that met its deadline.
     pub fn record_timely(&mut self) {
         self.timely += 1;
+        self.push_window(true);
     }
 
     /// Records a timing failure (response missed its deadline or never
     /// arrived).
     pub fn record_failure(&mut self) {
         self.failures += 1;
+        self.push_window(false);
+    }
+
+    fn push_window(&mut self, timely: bool) {
+        if self.window_cap == 0 {
+            return;
+        }
+        let bit = 1u64 << self.pos;
+        if timely {
+            self.window_bits |= bit;
+        } else {
+            self.window_bits &= !bit;
+        }
+        self.pos = (self.pos + 1) % self.window_cap;
+        if self.window_len < self.window_cap {
+            self.window_len += 1;
+        }
     }
 
     /// Total read requests with a resolved outcome.
@@ -41,13 +97,34 @@ impl TimingFailureDetector {
         self.failures
     }
 
-    /// Observed frequency of timely response, or `None` before any outcome.
+    /// Observed lifetime frequency of timely response, or `None` before
+    /// any outcome.
     pub fn timely_frequency(&self) -> Option<f64> {
         let n = self.total();
         (n > 0).then(|| self.timely as f64 / n as f64)
     }
 
-    /// Observed timing-failure probability, or `None` before any outcome.
+    /// Timely frequency over the sliding window, or `None` when no window
+    /// is configured or it is still empty.
+    pub fn window_frequency(&self) -> Option<f64> {
+        (self.window_len > 0).then(|| {
+            let mask = if self.window_len == 64 {
+                u64::MAX
+            } else {
+                (1u64 << self.window_len) - 1
+            };
+            (self.window_bits & mask).count_ones() as f64 / f64::from(self.window_len)
+        })
+    }
+
+    /// Whether the sliding window has filled to capacity (always `false`
+    /// without a window).
+    pub fn window_full(&self) -> bool {
+        self.window_cap > 0 && self.window_len == self.window_cap
+    }
+
+    /// Observed lifetime timing-failure probability, or `None` before any
+    /// outcome.
     pub fn failure_probability(&self) -> Option<f64> {
         let n = self.total();
         (n > 0).then(|| self.failures as f64 / n as f64)
@@ -55,8 +132,19 @@ impl TimingFailureDetector {
 
     /// Whether the client should be notified: the observed timely frequency
     /// has dropped below the requested minimum probability.
+    ///
+    /// With a sliding window configured, the decision switches to the
+    /// windowed frequency once the window has filled (bounding detection
+    /// latency to the window size); before that — and always without a
+    /// window — the lifetime frequency decides, preserving the original
+    /// behavior.
     pub fn should_alert(&self, min_probability: f64) -> bool {
-        match self.timely_frequency() {
+        let freq = if self.window_full() {
+            self.window_frequency()
+        } else {
+            self.timely_frequency()
+        };
+        match freq {
             Some(f) => f < min_probability,
             None => false,
         }
@@ -98,5 +186,84 @@ mod tests {
         assert!(d.should_alert(0.9));
         assert!(!d.should_alert(0.5));
         assert!(!d.should_alert(0.1));
+    }
+
+    #[test]
+    fn window_tracks_recent_outcomes() {
+        let mut d = TimingFailureDetector::with_window(4);
+        assert_eq!(d.window_frequency(), None);
+        d.record_timely();
+        d.record_timely();
+        assert_eq!(d.window_frequency(), Some(1.0));
+        assert!(!d.window_full());
+        d.record_failure();
+        d.record_failure();
+        assert!(d.window_full());
+        assert_eq!(d.window_frequency(), Some(0.5));
+        // Two more failures evict the two timely outcomes.
+        d.record_failure();
+        d.record_failure();
+        assert_eq!(d.window_frequency(), Some(0.0));
+        // Lifetime counters are untouched by eviction.
+        assert_eq!(d.total(), 6);
+        assert_eq!(d.failures(), 4);
+    }
+
+    #[test]
+    fn window_capacity_clamps() {
+        assert_eq!(TimingFailureDetector::with_window(0).window_capacity(), 1);
+        assert_eq!(
+            TimingFailureDetector::with_window(1000).window_capacity(),
+            64
+        );
+        let mut d = TimingFailureDetector::with_window(64);
+        for _ in 0..64 {
+            d.record_timely();
+        }
+        assert!(d.window_full());
+        assert_eq!(d.window_frequency(), Some(1.0));
+        d.record_failure();
+        assert_eq!(d.window_frequency(), Some(63.0 / 64.0));
+    }
+
+    /// Regression: with cumulative counters only, a long healthy history
+    /// masks a fresh sustained violation — the callback fires arbitrarily
+    /// late. The sliding window bounds detection latency to the window
+    /// size.
+    #[test]
+    fn window_bounds_detection_latency() {
+        let mut lifetime = TimingFailureDetector::new();
+        let mut windowed = TimingFailureDetector::with_window(16);
+        // A long healthy history: 10 000 timely responses.
+        for _ in 0..10_000 {
+            lifetime.record_timely();
+            windowed.record_timely();
+        }
+        // Sustained violation begins. The windowed detector must alert
+        // within one window; count how long each takes at Pc = 0.9.
+        let mut lifetime_latency = None;
+        let mut windowed_latency = None;
+        for i in 1..=20_000u64 {
+            lifetime.record_failure();
+            windowed.record_failure();
+            if lifetime_latency.is_none() && lifetime.should_alert(0.9) {
+                lifetime_latency = Some(i);
+            }
+            if windowed_latency.is_none() && windowed.should_alert(0.9) {
+                windowed_latency = Some(i);
+            }
+        }
+        let windowed_latency = windowed_latency.expect("windowed detector must alert");
+        assert!(
+            windowed_latency <= 16,
+            "windowed detection latency {windowed_latency} exceeds the window"
+        );
+        // The cumulative detector needs >1000 failures before the lifetime
+        // average even dips below 0.9 — orders of magnitude slower.
+        let lifetime_latency = lifetime_latency.expect("lifetime detector eventually alerts");
+        assert!(
+            lifetime_latency > 1_000,
+            "lifetime detector alerted suspiciously fast ({lifetime_latency})"
+        );
     }
 }

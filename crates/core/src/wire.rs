@@ -93,6 +93,13 @@ pub struct ReadRequest {
     /// The staleness threshold `a` from the client's QoS specification; the
     /// serving replica compares its own staleness against this.
     pub staleness_threshold: u32,
+    /// The end-to-end deadline `d` from the client's QoS specification, in
+    /// microseconds. An overloaded replica whose backlog estimate already
+    /// exceeds this budget sheds the read with [`Payload::Busy`] instead of
+    /// returning a reply that could only arrive late. Zero means "no
+    /// deadline advertised" and disables deadline-aware shedding for the
+    /// request.
+    pub deadline_us: u64,
     /// Transmission attempt, starting at 1; retries and hedges of the same
     /// `id` carry higher attempts (hedges reuse the current attempt).
     pub attempt: u32,
@@ -197,6 +204,15 @@ pub enum Payload {
     },
     /// Replica -> client: reply to a read or update.
     Reply(Reply),
+    /// Overloaded replica -> client: explicit early rejection of a request
+    /// that was shed by the bounded admission queue, the deadline-aware
+    /// shedding predicate, or the sequencer's commit-backlog watermark.
+    /// A `Busy` is a *healthy* "no": it is classified apart from timeouts
+    /// and gray faults and must never contribute quarantine strikes.
+    Busy {
+        /// The request being rejected.
+        req: RequestId,
+    },
     /// Lazy publisher -> secondary group: state snapshot at commit `csn`.
     LazyUpdate {
         /// Commit sequence number captured by the snapshot.
@@ -316,6 +332,7 @@ impl Payload {
             Payload::GsnSnapshot { .. } => "gsn-snapshot",
             Payload::GsnRequest { .. } => "gsn-request",
             Payload::Reply(_) => "reply",
+            Payload::Busy { .. } => "busy",
             Payload::LazyUpdate { .. } => "lazy-update",
             Payload::FifoLazyUpdate { .. } => "fifo-lazy-update",
             Payload::Perf(_) => "perf",
@@ -406,9 +423,11 @@ mod tests {
                 id: rid(0, 0),
                 op: Operation::new("m", vec![]),
                 staleness_threshold: 0,
+                deadline_us: 0,
                 attempt: 1,
             })
             .tag(),
+            Payload::Busy { req: rid(0, 0) }.tag(),
             Payload::GsnAssign {
                 req: rid(0, 0),
                 gsn: 0,
@@ -471,6 +490,7 @@ mod tests {
                     id: rid(0, 0),
                     op: Operation::new("m", vec![]),
                     staleness_threshold: 0,
+                    deadline_us: 0,
                     attempt: 1,
                 },
                 deps: Vec::new(),

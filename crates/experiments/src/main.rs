@@ -17,6 +17,8 @@
 //!   admission      admission-control extension (EXT-ADM)
 //!   ordering       sequential vs causal vs FIFO handler comparison (EXT-ORD)
 //!   staleness      Poisson vs empirical staleness model (EXT-STALE)
+//!   overload       overload-protection goodput retention (EXT-OVL)
+//!   overload-smoke short asserting EXT-OVL subset for CI
 //!   all            everything above
 //! ```
 
@@ -26,6 +28,7 @@ mod fig3;
 mod fig4;
 mod hotspot;
 mod ordering;
+mod overload;
 mod pool;
 mod staleness;
 mod sweeps;
@@ -80,7 +83,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: aqf-experiments <fig3|fig4|fig4a|fig4b|sweep-lui|sweep-reqdelay|hotspot|failures|failures-smoke|admission|ordering|staleness|all> [--seed N] [--iters N] [--csv DIR]".to_string()
+    "usage: aqf-experiments <fig3|fig4|fig4a|fig4b|sweep-lui|sweep-reqdelay|hotspot|failures|failures-smoke|admission|ordering|staleness|overload|overload-smoke|all> [--seed N] [--iters N] [--csv DIR]".to_string()
 }
 
 fn main() -> ExitCode {
@@ -118,6 +121,8 @@ fn main() -> ExitCode {
         "admission" => admission::run(args.seed, &out),
         "ordering" => ordering::run(args.seed, &out),
         "staleness" => staleness::run(args.seed, &out),
+        "overload" => overload::run(args.seed, &out),
+        "overload-smoke" => overload::smoke(args.seed),
         "all" => {
             fig3::run(args.iters, &out);
             let points = fig4::run_grid(args.seed);
@@ -130,6 +135,7 @@ fn main() -> ExitCode {
             admission::run(args.seed, &out);
             ordering::run(args.seed, &out);
             staleness::run(args.seed, &out);
+            overload::run(args.seed, &out);
         }
         _ => {
             eprintln!("{}", usage());

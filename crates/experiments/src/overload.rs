@@ -1,0 +1,216 @@
+//! EXT-OVL: timely-goodput retention under offered-load multiplication
+//! (the §7 admission-control discussion taken to its overload limit).
+//!
+//! A closed-loop population of clients (each issues its next request a
+//! fixed delay after the previous one completes) is scaled from 1× to 8×
+//! the baseline. Each multiplier runs twice: **unprotected**
+//! ([`OverloadConfig::disabled`], the seed's behaviour) and **protected**
+//! ([`OverloadConfig::protective`]: bounded admission queues with
+//! deadline-aware shedding, a sequencer commit-backlog watermark, client
+//! circuit breakers, and the graceful-degradation ladder).
+//!
+//! The headline metric is **timely goodput**: reads the timing-failure
+//! detector scored as timely, per virtual second. Under saturation the
+//! unprotected system queues every read behind ~`depth × E[S]` of work and
+//! almost nothing meets the deadline; the protected system sheds what
+//! cannot make its deadline early (explicit `Busy`, retried elsewhere),
+//! widens the staleness bound to spread load, and keeps the admitted
+//! residue timely.
+
+use crate::table::{Output, Table};
+use aqf_core::{OverloadConfig, QosSpec, RecoveryPolicy, SelectionPolicy};
+use aqf_sim::SimDuration;
+use aqf_workload::runner::ScenarioMetrics;
+use aqf_workload::{run_scenario, ClientSpec, OpPattern, ScenarioConfig};
+
+/// Client population at load multiplier 1.
+const BASE_CLIENTS: usize = 2;
+
+/// Builds the overload scenario: `BASE_CLIENTS × mult` closed-loop
+/// clients, each issuing `requests` operations (80% reads) with a 250 ms
+/// think time against the paper's 11-server deployment, deadline 200 ms
+/// and `Pc = 0.9`. Recovery (retries, quarantine) is identical in both
+/// arms — only `overload` varies — and hedging is off so the comparison
+/// isolates the overload machinery rather than hedge amplification.
+fn scenario(mult: usize, requests: u64, overload: OverloadConfig, seed: u64) -> ScenarioConfig {
+    let mut config = ScenarioConfig::paper_validation(200, 0.9, 2, seed).with_fast_detection();
+    config.overload = overload;
+    config.recovery = RecoveryPolicy {
+        hedge_fraction: None,
+        ..RecoveryPolicy::default()
+    };
+    config.clients = (0..BASE_CLIENTS * mult)
+        .map(|i| ClientSpec {
+            qos: QosSpec::new(2, SimDuration::from_millis(200), 0.9).expect("valid overload qos"),
+            request_delay: SimDuration::from_millis(250),
+            total_requests: requests,
+            pattern: OpPattern::ReadFraction(0.8),
+            policy: SelectionPolicy::Probabilistic,
+            start_offset: SimDuration::from_millis(50 * i as u64),
+        })
+        .collect();
+    config
+}
+
+/// The observables of one arm of the grid.
+struct ArmOutcome {
+    goodput: f64,
+    failure_p: f64,
+    busy: u64,
+    local_sheds: u64,
+    shed_server: u64,
+    breaker_opens: u64,
+    transitions: u64,
+    staleness_violations: u64,
+    divergence: u64,
+    completed: u64,
+    issued: u64,
+}
+
+fn observe(m: &ScenarioMetrics) -> ArmOutcome {
+    let timely: u64 = m.clients.iter().map(|c| c.timely_responses).sum();
+    let failures: u64 = m.clients.iter().map(|c| c.timing_failures).sum();
+    let scored = timely + failures;
+    ArmOutcome {
+        goodput: timely as f64 / m.virtual_secs,
+        failure_p: if scored > 0 {
+            failures as f64 / scored as f64
+        } else {
+            0.0
+        },
+        busy: m.clients.iter().map(|c| c.busy_rejections).sum(),
+        local_sheds: m.clients.iter().map(|c| c.local_sheds).sum(),
+        shed_server: m
+            .servers
+            .iter()
+            .map(|s| s.stats.shed_reads + s.stats.shed_updates)
+            .sum(),
+        breaker_opens: m.clients.iter().map(|c| c.breaker_opens).sum(),
+        transitions: m
+            .clients
+            .iter()
+            .map(|c| c.degrade_transitions.len() as u64)
+            .sum(),
+        staleness_violations: m
+            .clients
+            .iter()
+            .map(|c| c.record.staleness_violations)
+            .sum(),
+        divergence: m.max_applied_divergence(),
+        completed: m.clients.iter().map(|c| c.record.completed).sum(),
+        issued: m.clients.iter().map(|c| c.reads + c.updates).sum(),
+    }
+}
+
+/// Runs the EXT-OVL grid and prints the comparison.
+pub fn run(seed: u64, out: &Output) {
+    let mut table = Table::new(
+        "EXT-OVL: timely goodput under offered-load multiplication \
+         (d = 200 ms, Pc = 0.9, think 250 ms)",
+        &[
+            "load",
+            "protection",
+            "clients",
+            "timely/s",
+            "P(timing failure)",
+            "busy",
+            "local sheds",
+            "server sheds",
+            "breakers",
+            "ladder moves",
+            "stale viol",
+            "divergence",
+            "done",
+        ],
+    );
+    for mult in [1usize, 2, 4, 8] {
+        for (label, overload) in [
+            ("off", OverloadConfig::disabled()),
+            ("on", OverloadConfig::protective()),
+        ] {
+            let config = scenario(mult, 200, overload, seed);
+            let m = run_scenario(&config);
+            let o = observe(&m);
+            table.row(vec![
+                format!("{mult}x"),
+                label.to_string(),
+                config.clients.len().to_string(),
+                format!("{:.2}", o.goodput),
+                format!("{:.3}", o.failure_p),
+                o.busy.to_string(),
+                o.local_sheds.to_string(),
+                o.shed_server.to_string(),
+                o.breaker_opens.to_string(),
+                o.transitions.to_string(),
+                o.staleness_violations.to_string(),
+                o.divergence.to_string(),
+                format!("{}/{}", o.completed, o.issued),
+            ]);
+        }
+    }
+    out.emit(&table, "ext_overload");
+    println!(
+        "expected shape: at 1x the two arms are close (the protective knobs\n\
+         barely engage). From 4x on the unprotected system queues every read\n\
+         behind seconds of backlog and its timely goodput collapses, while\n\
+         the protected system sheds early, walks the degradation ladder, and\n\
+         retains several times the timely goodput — with zero staleness\n\
+         violations against the effective specification and convergent\n\
+         replicas in both arms."
+    );
+}
+
+/// CI smoke: the 4× column of the grid at reduced request counts.
+///
+/// # Panics
+///
+/// Panics if the protected arm fails to retain at least twice the
+/// unprotected timely goodput, if protection produced no goodput at all,
+/// if any arm observed a staleness violation or a GSN conflict, or if
+/// live replicas diverged.
+pub fn smoke(seed: u64) {
+    let mut arms = Vec::new();
+    for overload in [OverloadConfig::disabled(), OverloadConfig::protective()] {
+        let config = scenario(4, 120, overload, seed);
+        let m = run_scenario(&config);
+        let gsn_conflicts: u64 = m.servers.iter().map(|s| s.stats.gsn_conflicts).sum();
+        assert_eq!(gsn_conflicts, 0, "overload smoke: gsn conflicts");
+        assert_eq!(m.max_applied_divergence(), 0, "overload smoke: divergence");
+        let o = observe(&m);
+        assert_eq!(o.staleness_violations, 0, "overload smoke: staleness");
+        assert_eq!(
+            o.completed, o.issued,
+            "overload smoke: all requests resolved"
+        );
+        arms.push(o);
+    }
+    let (unprotected, protected) = (&arms[0], &arms[1]);
+    assert!(
+        protected.goodput > 0.0,
+        "overload smoke: protected arm made timely progress"
+    );
+    assert!(
+        protected.goodput >= 2.0 * unprotected.goodput,
+        "overload smoke: retention {:.2}/s protected vs {:.2}/s unprotected (< 2x)",
+        protected.goodput,
+        unprotected.goodput
+    );
+    assert!(
+        protected.busy + protected.local_sheds > 0,
+        "overload smoke: protection engaged"
+    );
+    assert_eq!(
+        unprotected.busy + unprotected.local_sheds + unprotected.breaker_opens,
+        0,
+        "overload smoke: disabled arm stays inert"
+    );
+    println!(
+        "overload smoke: 4x load ok ({:.2}/s protected vs {:.2}/s unprotected, \
+         {} busy, {} local sheds, {} ladder moves)",
+        protected.goodput,
+        unprotected.goodput,
+        protected.busy,
+        protected.local_sheds,
+        protected.transitions
+    );
+}

@@ -1,6 +1,8 @@
 //! Scenario configuration: replica deployment, workload shapes, faults.
 
-use aqf_core::{OrderingGuarantee, QosSpec, RecoveryPolicy, SelectionPolicy, StalenessModel};
+use aqf_core::{
+    OrderingGuarantee, OverloadConfig, QosSpec, RecoveryPolicy, SelectionPolicy, StalenessModel,
+};
 use aqf_group::{FailureDetector, FlapDamping};
 use aqf_sim::{DelayModel, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -169,6 +171,11 @@ pub struct ScenarioConfig {
     /// Client-side recovery policy (retries, hedged reads, quarantine);
     /// [`RecoveryPolicy::disabled`] reproduces fire-and-forget clients.
     pub recovery: RecoveryPolicy,
+    /// Overload protection: server admission queues and shedding, client
+    /// circuit breakers, and the graceful-degradation ladder;
+    /// [`OverloadConfig::disabled`] replays the unprotected seed
+    /// bit-identically.
+    pub overload: OverloadConfig,
     /// Group-layer maintenance tick.
     pub group_tick: SimDuration,
     /// Group-layer failure timeout.
@@ -222,6 +229,7 @@ impl ScenarioConfig {
             loss_probability: 0.0,
             duplicate_probability: 0.0,
             recovery: RecoveryPolicy::disabled(),
+            overload: OverloadConfig::disabled(),
             group_tick: SimDuration::from_millis(1000),
             failure_timeout: SimDuration::from_millis(3500),
             detector: FailureDetector::FixedTimeout,
@@ -281,6 +289,7 @@ impl ScenarioConfig {
                 return Err("hedge fraction must be in [0, 1)".into());
             }
         }
+        self.overload.validate()?;
         if self.failure_timeout < self.group_tick * 2 {
             return Err("failure timeout must be at least two group ticks".into());
         }
@@ -391,6 +400,68 @@ mod tests {
         c.min_primary_size = 6; // view starts at sequencer + 4 primaries
         assert!(c.validate().is_err());
         c.min_primary_size = 5;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_covers_overload_knobs() {
+        use aqf_core::DegradeStep;
+
+        // The protective preset passes end to end.
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
+        c.overload = OverloadConfig::protective();
+        assert!(c.validate().is_ok());
+
+        // Queue bounds must be positive.
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
+        c.overload = OverloadConfig::protective();
+        c.overload.queue_bound = 0;
+        assert!(c.validate().unwrap_err().contains("queue_bound"));
+
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
+        c.overload = OverloadConfig::protective();
+        c.overload.sequencer_watermark = 0;
+        assert!(c.validate().unwrap_err().contains("sequencer_watermark"));
+
+        // The ladder must widen staleness monotonically.
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
+        c.overload = OverloadConfig::protective();
+        c.overload.ladder = vec![
+            DegradeStep {
+                widen_staleness: 4,
+                relax_probability: 0.0,
+            },
+            DegradeStep {
+                widen_staleness: 2,
+                relax_probability: 0.1,
+            },
+        ];
+        assert!(c.validate().unwrap_err().contains("monotone"));
+
+        // The half-open probe interval must be positive.
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
+        c.overload = OverloadConfig::protective();
+        c.overload.probe_interval = SimDuration::ZERO;
+        assert!(c.validate().unwrap_err().contains("probe_interval"));
+
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
+        c.overload = OverloadConfig::protective();
+        c.overload.breaker_threshold = 0;
+        assert!(c.validate().unwrap_err().contains("breaker_threshold"));
+
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
+        c.overload = OverloadConfig::protective();
+        c.overload.recover_window = 65;
+        assert!(c.validate().unwrap_err().contains("recover_window"));
+
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
+        c.overload = OverloadConfig::protective();
+        c.overload.admission_headroom = 0.0;
+        assert!(c.validate().unwrap_err().contains("admission_headroom"));
+
+        // Disabled configs skip knob validation entirely (the seed path).
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
+        c.overload.queue_bound = 0;
         assert!(c.validate().is_ok());
     }
 

@@ -8,8 +8,8 @@ use aqf_core::protocol::ServerProtocol;
 use aqf_core::server::{ServerConfig, ServerStats};
 use aqf_core::InfoRepository;
 use aqf_core::{
-    CausalServerGateway, ClientGateway, FifoServerGateway, OrderingGuarantee, ServerGateway,
-    PRIMARY_GROUP, SECONDARY_GROUP,
+    CausalServerGateway, ClientGateway, DegradeTransition, FifoServerGateway, OrderingGuarantee,
+    ServerGateway, PRIMARY_GROUP, SECONDARY_GROUP,
 };
 use aqf_group::endpoint::{GroupMembership, GroupStats};
 use aqf_group::{EndpointConfig, GroupEndpoint, View, ViewId};
@@ -28,6 +28,9 @@ pub struct ClientOutcome {
     pub updates: u64,
     /// Timing failures observed by the detector.
     pub timing_failures: u64,
+    /// Read outcomes the detector scored as timely (its total minus its
+    /// failures) — the timely-goodput numerator of the overload studies.
+    pub timely_responses: u64,
     /// Observed probability of timing failure with its 95% CI (Wilson),
     /// "computed under the assumption that the number of timing failures
     /// follows a binomial distribution" (§6).
@@ -53,6 +56,19 @@ pub struct ClientOutcome {
     /// Full `S⊛W` base convolutions performed (at most one per replica per
     /// window generation).
     pub cdf_base_rebuilds: u64,
+    /// Explicit `Busy` rejections received from shedding replicas.
+    pub busy_rejections: u64,
+    /// Reads rejected locally by the degradation controller.
+    pub local_sheds: u64,
+    /// Circuit breakers tripped open against overloaded replicas.
+    pub breaker_opens: u64,
+    /// Admission re-evaluations (view changes, quarantine openings) and
+    /// how many found the requested QoS unattainable.
+    pub admission_reevals: u64,
+    /// Re-evaluations that rejected the requested specification.
+    pub admission_rejects: u64,
+    /// Every graceful-degradation level transition, in order.
+    pub degrade_transitions: Vec<DegradeTransition>,
     /// Per-replica selection counts (hot-spot studies).
     pub selection_counts: BTreeMap<ActorId, u64>,
     /// Mean `P_K(d)` prediction over all reads (model calibration: the
@@ -382,6 +398,7 @@ pub fn build_scenario(config: &ScenarioConfig) -> BuiltScenario {
                 staleness_model: config.staleness_model,
                 ordering: config.ordering,
                 recovery: config.recovery,
+                overload: config.overload.clone(),
             },
         );
         let got = world.add_actor(Box::new(ClientActor::new(
@@ -475,6 +492,7 @@ fn make_gateway(
         lazy_interval: config.lazy_interval,
         clients: client_ids.to_vec(),
         min_primary_size: config.min_primary_size,
+        overload: config.overload.clone(),
         ..ServerConfig::default()
     };
     match config.ordering {
@@ -521,6 +539,7 @@ fn collect(
             reads: stats.reads,
             updates: stats.updates,
             timing_failures: stats.timing_failures,
+            timely_responses: det.total().saturating_sub(det.failures()),
             failure_ci,
             avg_replicas_selected: if stats.reads > 0 {
                 stats.selected_sum as f64 / stats.reads as f64
@@ -535,6 +554,12 @@ fn collect(
             cdf_cache_hits: stats.cdf_cache_hits,
             cdf_cache_misses: stats.cdf_cache_misses,
             cdf_base_rebuilds: stats.cdf_base_rebuilds,
+            busy_rejections: stats.busy_rejections,
+            local_sheds: stats.local_sheds,
+            breaker_opens: stats.breaker_opens,
+            admission_reevals: stats.admission_reevals,
+            admission_rejects: stats.admission_rejects,
+            degrade_transitions: gw.degrade_transitions().to_vec(),
             selection_counts: gw
                 .selection_counts()
                 .iter()
