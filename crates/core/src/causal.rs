@@ -28,6 +28,7 @@
 
 use crate::dedup::ReplyCache;
 use crate::object::ReplicatedObject;
+use crate::obs::{req_ref, ObsEvent, ObsHandle};
 use crate::qos::OrderingGuarantee;
 use crate::server::{ReplicaRole, ServerAction, ServerConfig, ServerStats};
 use crate::wire::{
@@ -140,6 +141,7 @@ pub struct CausalServerGateway {
 
     synced: bool,
     stats: ServerStats,
+    obs: ObsHandle,
     /// Updates that had to wait for causal dependencies at least once.
     causal_holds: u64,
     /// Reads deferred because the replica did not dominate the client's
@@ -212,6 +214,7 @@ impl CausalServerGateway {
             avg_service_us: 0,
             synced: true,
             stats: ServerStats::default(),
+            obs: ObsHandle::disabled(),
             causal_holds: 0,
             causal_read_waits: 0,
         }
@@ -220,6 +223,12 @@ impl CausalServerGateway {
     /// This replica's role.
     pub fn role(&self) -> ReplicaRole {
         self.role
+    }
+
+    /// Installs an observability handle (disabled handles record nothing
+    /// and leave behaviour bit-identical).
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     /// Total updates committed by this replica.
@@ -565,6 +574,12 @@ impl CausalServerGateway {
     ) -> Vec<ServerAction> {
         if self.should_shed_read(&req) {
             self.stats.shed_reads += 1;
+            let queue_depth =
+                (self.service_queue.len() + usize::from(self.in_service.is_some())) as u64;
+            self.obs.emit(now, self.me, || ObsEvent::ShedRead {
+                req: req_ref(req.id),
+                queue_depth,
+            });
             return vec![ServerAction::SendDirect {
                 to: from,
                 payload: Payload::Busy { req: req.id },
@@ -729,6 +744,21 @@ impl CausalServerGateway {
                 (self.avg_service_us * 7 + sample) / 8
             };
         }
+        if self.obs.is_enabled() {
+            let req_id = match &work.kind {
+                WorkKind::Update { update } => update.id,
+                WorkKind::Read { read, .. } => read.req.id,
+            };
+            self.obs.emit(now, self.me, || ObsEvent::ServiceDone {
+                req: req_ref(req_id),
+                service_us: ts.as_micros(),
+            });
+            self.obs.observe(
+                "server.service_us",
+                aqf_obs::LATENCY_BOUNDS_US,
+                ts.as_micros(),
+            );
+        }
         match work.kind {
             WorkKind::Update { update } => {
                 let result = self.object.apply_update(&update.op);
@@ -862,6 +892,9 @@ impl CausalServerGateway {
 
     /// Handles a view change of either replication group.
     pub fn on_view(&mut self, view: View, now: SimTime) -> Vec<ServerAction> {
+        let (view_id, members) = (view.id.0, view.members().len() as u64);
+        self.obs
+            .emit(now, self.me, || ObsEvent::ViewChange { view_id, members });
         let mut actions = Vec::new();
         if view.group == PRIMARY_GROUP {
             let was_publisher = self.is_publisher();
@@ -943,6 +976,10 @@ impl crate::protocol::ServerProtocol for CausalServerGateway {
 
     fn stats(&self) -> ServerStats {
         CausalServerGateway::stats(self)
+    }
+
+    fn set_obs(&mut self, obs: ObsHandle) {
+        CausalServerGateway::set_obs(self, obs)
     }
 }
 
@@ -1252,5 +1289,55 @@ mod tests {
         use crate::protocol::ServerProtocol;
         assert_eq!(gw(1).ordering(), OrderingGuarantee::Causal);
         assert!(!ServerProtocol::is_sequencer(&gw(1)));
+    }
+
+    /// Regression: the first service-time sample seeds the EWMA directly
+    /// instead of being folded into the zero initial average (which would
+    /// start at `sample/8` and warm up slowly).
+    #[test]
+    fn ewma_seeds_with_first_sample() {
+        let mut p = gw(1);
+        p.config.overload = crate::overload::OverloadConfig::protective();
+        assert_eq!(p.avg_service_us, 0);
+        let mut actions = p.on_payload(a(20), update(20, 0, "x", vec![]), t(0));
+        let pos = actions
+            .iter()
+            .position(|x| matches!(x, ServerAction::StartService { .. }))
+            .unwrap();
+        let ServerAction::StartService { token } = actions.remove(pos) else {
+            unreachable!()
+        };
+        p.on_service_start(token, t(0));
+        let _ = p.on_service_done(token, t(10));
+        assert_eq!(p.avg_service_us, 10_000, "first sample seeds the average");
+        let mut actions = p.on_payload(a(20), update(20, 1, "y", vec![]), t(20));
+        let pos = actions
+            .iter()
+            .position(|x| matches!(x, ServerAction::StartService { .. }))
+            .unwrap();
+        let ServerAction::StartService { token } = actions.remove(pos) else {
+            unreachable!()
+        };
+        p.on_service_start(token, t(20));
+        let _ = p.on_service_done(token, t(22));
+        assert_eq!(p.avg_service_us, (10_000 * 7 + 2_000) / 8);
+    }
+
+    /// Regression: `deadline_us == 0` means "no deadline advertised" and
+    /// must never shed on deadline grounds, however hot the average.
+    #[test]
+    fn zero_deadline_never_sheds_on_deadline_grounds() {
+        let mut p = gw(1);
+        p.config.overload = crate::overload::OverloadConfig::protective();
+        p.avg_service_us = 50_000;
+        let rr = |seq: u64, deadline_us: u64| ReadRequest {
+            id: RequestId { client: a(20), seq },
+            op: Operation::new("fetch", vec![]),
+            staleness_threshold: 1000,
+            deadline_us,
+            attempt: 1,
+        };
+        assert!(!p.should_shed_read(&rr(0, 0)));
+        assert!(p.should_shed_read(&rr(1, 1)));
     }
 }

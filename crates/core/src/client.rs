@@ -16,6 +16,7 @@
 use crate::admission::{AdmissionConfig, AdmissionController};
 use crate::model::{Candidate, Selection};
 use crate::monitor::{InfoRepository, MonitorConfig, StalenessModel};
+use crate::obs::{req_ref, ObsEvent, ObsHandle};
 use crate::overload::{DegradeTransition, OverloadConfig};
 use crate::qos::{OperationKind, OrderingGuarantee, QosSpec};
 use crate::select::{SelectionPolicy, Selector};
@@ -352,6 +353,17 @@ struct Breaker {
     state: BreakerState,
 }
 
+impl BreakerState {
+    /// The state name written to breaker trace events.
+    fn obs_name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen { .. } => "half_open",
+        }
+    }
+}
+
 /// The client-side gateway state machine. See the [module docs](self).
 #[derive(Debug)]
 pub struct ClientGateway {
@@ -395,6 +407,9 @@ pub struct ClientGateway {
     last_requested: Option<QosSpec>,
     /// When the rejection rung last admitted a probe read.
     last_reject_probe_at: Option<SimTime>,
+    /// Observability sink (disabled by default; recording only, never
+    /// steering — see [`crate::obs`]).
+    obs: ObsHandle,
 }
 
 impl ClientGateway {
@@ -447,7 +462,16 @@ impl ClientGateway {
             transitions: Vec::new(),
             last_requested: None,
             last_reject_probe_at: None,
+            obs: ObsHandle::disabled(),
         }
+    }
+
+    /// Installs an observability handle; events from this gateway (and its
+    /// repository's quarantine bookkeeping) flow into it. Installing a
+    /// disabled handle keeps the gateway un-instrumented.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.repo.set_obs(self.me, obs.clone());
+        self.obs = obs;
     }
 
     /// This client's id.
@@ -532,6 +556,11 @@ impl ClientGateway {
     pub fn submit_update(&mut self, op: Operation, now: SimTime) -> (RequestId, Vec<ClientAction>) {
         let id = self.next_id();
         self.stats.updates += 1;
+        self.obs.emit(now, self.me, || ObsEvent::RequestIssued {
+            req: req_ref(id),
+            read: false,
+            deadline_us: 0,
+        });
         let payload = if self.config.ordering == OrderingGuarantee::Causal {
             // Causal mode: number the update and attach everything this
             // client has observed as its dependency set.
@@ -608,6 +637,11 @@ impl ClientGateway {
     ) -> (RequestId, Vec<ClientAction>) {
         let id = self.next_id();
         self.stats.reads += 1;
+        self.obs.emit(now, self.me, || ObsEvent::RequestIssued {
+            req: req_ref(id),
+            read: true,
+            deadline_us: qos.deadline.as_micros(),
+        });
 
         // Graceful degradation (when enabled): remember the requested spec
         // as the recovery target, reject locally past the last rung, and
@@ -625,6 +659,8 @@ impl ClientGateway {
                     // rejections are not service outcomes, so they do not
                     // feed the timing-failure detector.
                     self.stats.local_sheds += 1;
+                    self.obs
+                        .emit(now, self.me, || ObsEvent::LocalShed { req: req_ref(id) });
                     return (
                         id,
                         vec![ClientAction::Completed(ResponseInfo {
@@ -706,6 +742,11 @@ impl ClientGateway {
             .collect();
         let selected = selection.replicas.len();
         let targets: Vec<ActorId> = selection.replicas.clone();
+        self.obs.emit(now, self.me, || ObsEvent::ReplicasSelected {
+            req: req_ref(id),
+            attempt: 1,
+            targets: targets.clone(),
+        });
         self.last_selection = Some(selection);
 
         let recovery = self.config.recovery;
@@ -881,7 +922,7 @@ impl ClientGateway {
         let min_probability = p.qos.map(|q| q.min_probability);
         self.detector.record_failure();
         self.stats.timing_failures += 1;
-        let mut actions = self.maybe_alert(min_probability);
+        let mut actions = self.maybe_alert(min_probability, now);
         actions.extend(self.update_degradation(now));
         // The deadline doubles as attempt 1's expiry: charge the silent
         // replicas and schedule a retransmission if budget remains.
@@ -930,6 +971,11 @@ impl ClientGateway {
         }
         let p = self.pending.get_mut(&req).expect("checked above");
         p.retry_pending = true;
+        self.obs.emit(now, self.me, || ObsEvent::RetryScheduled {
+            req: req_ref(req),
+            attempt: attempt as u64 + 1,
+            delay_us: jittered.as_micros(),
+        });
         actions.push(ClientAction::ArmTimer {
             req,
             purpose: TimerPurpose::Retry,
@@ -1027,6 +1073,11 @@ impl ClientGateway {
                     &mut self.rng,
                 );
                 let targets = selection.replicas;
+                self.obs.emit(now, self.me, || ObsEvent::ReplicasSelected {
+                    req: req_ref(req),
+                    attempt: attempt as u64,
+                    targets: targets.clone(),
+                });
                 let p = self.pending.get_mut(&req).expect("checked above");
                 for &t in &targets {
                     if !p.tried.contains(&t) {
@@ -1091,6 +1142,10 @@ impl ClientGateway {
         p.tried.push(target.id);
         p.unacked.push(target.id);
         self.stats.hedges += 1;
+        self.obs.emit(now, self.me, || ObsEvent::HedgeSent {
+            req: req_ref(req),
+            target: target.id,
+        });
         vec![ClientAction::SendDirect {
             to: target.id,
             payload: template.with_attempt(attempt),
@@ -1108,6 +1163,10 @@ impl ClientGateway {
         }
         let p = self.pending.remove(&req).expect("checked above");
         self.stats.give_ups += 1;
+        self.obs.emit(now, self.me, || ObsEvent::GaveUp {
+            req: req_ref(req),
+            response_us: now.saturating_since(p.t0).as_micros(),
+        });
         let mut actions = Vec::new();
         if p.kind == OperationKind::ReadOnly && self.config.recovery.enabled {
             // The replicas still silent at give-up never answered any
@@ -1117,7 +1176,7 @@ impl ClientGateway {
         if !p.outcome_recorded && p.kind == OperationKind::ReadOnly {
             self.detector.record_failure();
             self.stats.timing_failures += 1;
-            actions.extend(self.maybe_alert(p.qos.map(|q| q.min_probability)));
+            actions.extend(self.maybe_alert(p.qos.map(|q| q.min_probability), now));
             actions.extend(self.update_degradation(now));
         }
         actions.push(ClientAction::Completed(ResponseInfo {
@@ -1136,15 +1195,20 @@ impl ClientGateway {
         actions
     }
 
-    fn maybe_alert(&mut self, min_probability: Option<f64>) -> Vec<ClientAction> {
+    fn maybe_alert(&mut self, min_probability: Option<f64>, now: SimTime) -> Vec<ClientAction> {
         let Some(requested) = min_probability else {
             return Vec::new();
         };
         if self.detector.should_alert(requested) {
             if !self.alerted {
                 self.alerted = true;
+                let observed_timely = self.detector.timely_frequency().unwrap_or(0.0);
+                self.obs.emit(now, self.me, || ObsEvent::QosAlert {
+                    observed_ppm: TimingFailureDetector::to_ppm(observed_timely),
+                    threshold_ppm: TimingFailureDetector::to_ppm(requested),
+                });
                 return vec![ClientAction::QosAlert {
-                    observed_timely: self.detector.timely_frequency().unwrap_or(0.0),
+                    observed_timely,
                     requested,
                 }];
             }
@@ -1185,6 +1249,10 @@ impl ClientGateway {
             return Vec::new();
         }
         self.stats.busy_rejections += 1;
+        self.obs.emit(now, self.me, || ObsEvent::BusyReceived {
+            req: req_ref(req),
+            from,
+        });
         self.record_breaker_strike(from, now);
         let Some(p) = self.pending.get_mut(&req) else {
             return Vec::new();
@@ -1221,12 +1289,28 @@ impl ClientGateway {
             Some(qos) => now.saturating_since(tm) <= qos.deadline,
             None => true,
         };
+        self.obs.emit(now, self.me, || ObsEvent::ReplyReceived {
+            req: req_ref(r.id),
+            from,
+            timely: probe_ok,
+            deferred: r.deferred,
+            staleness_us: r.staleness,
+        });
         if probe_ok {
-            self.repo.record_probe_success(from);
+            self.repo.record_probe_success(from, now);
             // A timely reply recloses the sender's circuit breaker (the
             // half-open → closed transition; also clears pending strikes).
             if self.config.overload.enabled {
-                self.breakers.remove(&from);
+                if let Some(b) = self.breakers.remove(&from) {
+                    let from_state = b.state.obs_name();
+                    if from_state != "closed" {
+                        self.obs.emit(now, self.me, || ObsEvent::Breaker {
+                            replica: from,
+                            from_state,
+                            to_state: "closed",
+                        });
+                    }
+                }
             }
         }
         // Causal mode: merge the replica's vector into the session state so
@@ -1260,13 +1344,33 @@ impl ClientGateway {
                 self.detector.record_failure();
                 self.stats.timing_failures += 1;
             }
-            actions.extend(self.maybe_alert(min_probability));
+            actions.extend(self.maybe_alert(min_probability, now));
             actions.extend(self.update_degradation(now));
         }
         if r.deferred {
             self.stats.deferred_replies += 1;
         }
         let p = self.pending.get(&r.id).expect("still pending");
+        self.obs.emit(now, self.me, || ObsEvent::Delivered {
+            req: req_ref(r.id),
+            response_us: tr.as_micros(),
+            timely,
+        });
+        if self.obs.is_enabled() {
+            let name = match p.kind {
+                OperationKind::ReadOnly => "client.read_response_us",
+                OperationKind::Update => "client.update_response_us",
+            };
+            self.obs
+                .observe(name, aqf_obs::LATENCY_BOUNDS_US, tr.as_micros());
+            if p.kind == OperationKind::ReadOnly {
+                self.obs.observe(
+                    "client.staleness_us",
+                    aqf_obs::LATENCY_BOUNDS_US,
+                    r.staleness,
+                );
+            }
+        }
         actions.push(ClientAction::Completed(ResponseInfo {
             req: r.id,
             kind: p.kind,
@@ -1289,6 +1393,7 @@ impl ClientGateway {
     /// re-evaluated against the new capacity (returned actions surface a
     /// degradation step when the requested QoS is no longer attainable).
     pub fn on_view(&mut self, view: View, now: SimTime) -> Vec<ClientAction> {
+        let (view_id, members) = (view.id.0, view.members().len() as u64);
         let mut changed = false;
         if view.group == PRIMARY_GROUP {
             if view.id >= self.primary_view.id {
@@ -1300,6 +1405,8 @@ impl ClientGateway {
             self.secondary_view = view;
         }
         if changed {
+            self.obs
+                .emit(now, self.me, || ObsEvent::ViewChange { view_id, members });
             self.reevaluate_admission(now)
         } else {
             Vec::new()
@@ -1378,6 +1485,10 @@ impl ClientGateway {
             from_level: from,
             to_level: to,
         });
+        self.obs.emit(now, self.me, || ObsEvent::Ladder {
+            from_level: from as u64,
+            to_level: to as u64,
+        });
         vec![ClientAction::Degrade {
             from_level: from,
             to_level: to,
@@ -1426,16 +1537,19 @@ impl ClientGateway {
             state: BreakerState::Closed,
         });
         b.strikes = b.strikes.saturating_add(1);
-        match b.state {
-            BreakerState::Closed if b.strikes >= threshold => {
-                b.state = BreakerState::Open { since: now };
-                self.stats.breaker_opens += 1;
-            }
-            BreakerState::HalfOpen { .. } => {
-                b.state = BreakerState::Open { since: now };
-                self.stats.breaker_opens += 1;
-            }
-            _ => {}
+        let tripped_from = match b.state {
+            BreakerState::Closed if b.strikes >= threshold => Some("closed"),
+            BreakerState::HalfOpen { .. } => Some("half_open"),
+            _ => None,
+        };
+        if let Some(from_state) = tripped_from {
+            b.state = BreakerState::Open { since: now };
+            self.stats.breaker_opens += 1;
+            self.obs.emit(now, self.me, || ObsEvent::Breaker {
+                replica,
+                from_state,
+                to_state: "open",
+            });
         }
     }
 
@@ -1456,6 +1570,11 @@ impl ClientGateway {
                     b.state = BreakerState::HalfOpen {
                         last_probe: Some(now),
                     };
+                    self.obs.emit(now, self.me, || ObsEvent::Breaker {
+                        replica,
+                        from_state: "open",
+                        to_state: "half_open",
+                    });
                     true
                 } else {
                     false

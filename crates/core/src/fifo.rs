@@ -30,6 +30,7 @@
 
 use crate::dedup::ReplyCache;
 use crate::object::ReplicatedObject;
+use crate::obs::{req_ref, ObsEvent, ObsHandle};
 use crate::qos::OrderingGuarantee;
 use crate::server::{ReplicaRole, ServerAction, ServerConfig, ServerStats};
 use crate::wire::{
@@ -114,6 +115,7 @@ pub struct FifoServerGateway {
 
     synced: bool,
     stats: ServerStats,
+    obs: ObsHandle,
 }
 
 impl std::fmt::Debug for FifoServerGateway {
@@ -180,12 +182,19 @@ impl FifoServerGateway {
             avg_service_us: 0,
             synced: true,
             stats: ServerStats::default(),
+            obs: ObsHandle::disabled(),
         }
     }
 
     /// This replica's role.
     pub fn role(&self) -> ReplicaRole {
         self.role
+    }
+
+    /// Installs an observability handle (disabled handles record nothing
+    /// and leave behaviour bit-identical).
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     /// The replica's version: updates applied so far.
@@ -435,6 +444,12 @@ impl FifoServerGateway {
     fn on_read(&mut self, from: ActorId, r: ReadRequest, now: SimTime) -> Vec<ServerAction> {
         if self.should_shed_read(&r) {
             self.stats.shed_reads += 1;
+            let queue_depth =
+                (self.service_queue.len() + usize::from(self.in_service.is_some())) as u64;
+            self.obs.emit(now, self.me, || ObsEvent::ShedRead {
+                req: req_ref(r.id),
+                queue_depth,
+            });
             return vec![ServerAction::SendDirect {
                 to: from,
                 payload: Payload::Busy { req: r.id },
@@ -607,6 +622,21 @@ impl FifoServerGateway {
                 (self.avg_service_us * 7 + sample) / 8
             };
         }
+        if self.obs.is_enabled() {
+            let req_id = match &work.kind {
+                WorkKind::Update { update } => update.id,
+                WorkKind::Read { read, .. } => read.req.id,
+            };
+            self.obs.emit(now, self.me, || ObsEvent::ServiceDone {
+                req: req_ref(req_id),
+                service_us: ts.as_micros(),
+            });
+            self.obs.observe(
+                "server.service_us",
+                aqf_obs::LATENCY_BOUNDS_US,
+                ts.as_micros(),
+            );
+        }
         match work.kind {
             WorkKind::Update { update } => {
                 let result = self.object.apply_update(&update.op);
@@ -727,6 +757,9 @@ impl FifoServerGateway {
 
     /// Handles a view change of either replication group.
     pub fn on_view(&mut self, view: View, now: SimTime) -> Vec<ServerAction> {
+        let (view_id, members) = (view.id.0, view.members().len() as u64);
+        self.obs
+            .emit(now, self.me, || ObsEvent::ViewChange { view_id, members });
         let mut actions = Vec::new();
         if view.group == PRIMARY_GROUP {
             let was_publisher = self.is_publisher();
@@ -808,6 +841,10 @@ impl crate::protocol::ServerProtocol for FifoServerGateway {
 
     fn stats(&self) -> ServerStats {
         FifoServerGateway::stats(self)
+    }
+
+    fn set_obs(&mut self, obs: ObsHandle) {
+        FifoServerGateway::set_obs(self, obs)
     }
 }
 
@@ -1158,5 +1195,51 @@ mod tests {
         );
         let _ = drain(&mut p, &mut actions, t(0));
         assert_eq!(p.version(), 1);
+    }
+
+    /// Regression: the first service-time sample seeds the EWMA directly
+    /// instead of being folded into the zero initial average (which would
+    /// start at `sample/8` and warm up slowly).
+    #[test]
+    fn ewma_seeds_with_first_sample() {
+        let mut p = gw(1);
+        p.config.overload = crate::overload::OverloadConfig::protective();
+        assert_eq!(p.avg_service_us, 0);
+        let mut actions = p.on_payload(a(20), Payload::Update(upd(20, 0)), t(0));
+        let pos = actions
+            .iter()
+            .position(|x| matches!(x, ServerAction::StartService { .. }))
+            .unwrap();
+        let ServerAction::StartService { token } = actions.remove(pos) else {
+            unreachable!()
+        };
+        p.on_service_start(token, t(0));
+        let _ = p.on_service_done(token, t(10));
+        assert_eq!(p.avg_service_us, 10_000, "first sample seeds the average");
+        let mut actions = p.on_payload(a(20), Payload::Update(upd(20, 1)), t(20));
+        let pos = actions
+            .iter()
+            .position(|x| matches!(x, ServerAction::StartService { .. }))
+            .unwrap();
+        let ServerAction::StartService { token } = actions.remove(pos) else {
+            unreachable!()
+        };
+        p.on_service_start(token, t(20));
+        let _ = p.on_service_done(token, t(22));
+        assert_eq!(p.avg_service_us, (10_000 * 7 + 2_000) / 8);
+    }
+
+    /// Regression: `deadline_us == 0` means "no deadline advertised" and
+    /// must never shed on deadline grounds, however hot the average.
+    #[test]
+    fn zero_deadline_never_sheds_on_deadline_grounds() {
+        let mut p = gw(1);
+        p.config.overload = crate::overload::OverloadConfig::protective();
+        p.avg_service_us = 50_000;
+        let no_deadline = read(0, 1000); // helper sets deadline_us: 0
+        assert!(!p.should_shed_read(&no_deadline));
+        let mut tight = read(1, 1000);
+        tight.deadline_us = 1;
+        assert!(p.should_shed_read(&tight));
     }
 }

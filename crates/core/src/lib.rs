@@ -21,6 +21,8 @@
 //!   recovery (paper §4).
 //! * [`monitor`] — the client information repository: sliding windows,
 //!   response-time distributions, staleness factor (paper §5.2, §5.4).
+//! * [`obs`] — glue to the deterministic observability layer (`aqf-obs`):
+//!   structured event traces, metrics, per-request timelines.
 //! * [`model`] — `P_K(d)` (Eqs. 1–4) and Algorithm 1.
 //! * [`select`] — selection policies: Algorithm 1 plus baselines.
 //! * [`client`] — the client-side handler: selection, transmission, timing
@@ -65,6 +67,7 @@ pub mod level;
 pub mod model;
 pub mod monitor;
 pub mod object;
+pub mod obs;
 pub mod overload;
 pub mod protocol;
 pub mod qos;
@@ -83,6 +86,7 @@ pub use level::{CostCurve, Priority, PriorityMap};
 pub use model::{select_replicas, select_replicas_ordered, Candidate, CandidateOrder, Selection};
 pub use monitor::{CdfCacheStats, InfoRepository, MonitorConfig, StalenessModel};
 pub use object::{AccountBook, ReplicatedObject, SharedDocument, TickerBoard, VersionedRegister};
+pub use obs::{req_ref, ObsEvent, ObsHandle};
 pub use overload::{DegradeStep, DegradeTransition, OverloadConfig};
 pub use protocol::ServerProtocol;
 pub use qos::{OperationKind, OrderingGuarantee, QosSpec, ReadOnlyRegistry};

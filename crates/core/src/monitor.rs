@@ -13,6 +13,7 @@
 //! convolution (Eqs. 5 and 6) and the staleness factor `P(A_s(t) <= a)`
 //! (Eq. 4).
 
+use crate::obs::{ObsEvent, ObsHandle};
 use crate::wire::{PerfBroadcast, PublisherInfo};
 use aqf_sim::{ActorId, SimDuration, SimTime};
 use aqf_stats::{poisson_cdf, Pmf, RateEstimator, SlidingWindow};
@@ -186,6 +187,8 @@ pub struct InfoRepository {
     rate: RateEstimator,
     publisher: Option<PublisherObservation>,
     cache_stats: Cell<CdfCacheStats>,
+    obs: ObsHandle,
+    obs_owner: ActorId,
 }
 
 impl InfoRepository {
@@ -197,7 +200,17 @@ impl InfoRepository {
             rate: RateEstimator::new(config.rate_window),
             publisher: None,
             cache_stats: Cell::new(CdfCacheStats::default()),
+            obs: ObsHandle::disabled(),
+            obs_owner: ActorId::from_index(0),
         }
+    }
+
+    /// Installs an observability handle; quarantine transitions are traced
+    /// as `owner` (the client gateway holding this repository). A disabled
+    /// handle (the default) leaves every code path bit-identical.
+    pub fn set_obs(&mut self, owner: ActorId, obs: ObsHandle) {
+        self.obs_owner = owner;
+        self.obs = obs;
     }
 
     /// The configured sliding-window size `l`.
@@ -254,11 +267,17 @@ impl InfoRepository {
     /// accumulated suspicion and lifts any active quarantine. Late replies
     /// deliberately do not count — they prove liveness, not timeliness, and
     /// a gray-degraded replica keeps answering late forever.
-    pub fn record_probe_success(&mut self, replica: ActorId) {
+    pub fn record_probe_success(&mut self, replica: ActorId, now: SimTime) {
         let rec = self.record(replica);
         rec.consecutive_timeouts = 0;
-        rec.quarantined_until = None;
+        let was_quarantined = rec.quarantined_until.take().is_some();
         rec.quarantine_level = 0;
+        if was_quarantined {
+            self.obs
+                .emit(now, self.obs_owner, || ObsEvent::QuarantineCleared {
+                    replica,
+                });
+        }
     }
 
     /// Charges a request timeout against `replica`. Once
@@ -282,8 +301,13 @@ impl InfoRepository {
             let dur = SimDuration::from_micros(base.as_micros().saturating_mul(factor))
                 .min(max)
                 .max(base);
-            rec.quarantined_until = Some(now + dur);
+            let until = now + dur;
+            rec.quarantined_until = Some(until);
             rec.quarantine_level = rec.quarantine_level.saturating_add(1);
+            self.obs.emit(now, self.obs_owner, || ObsEvent::Quarantine {
+                replica,
+                until_us: until.as_micros(),
+            });
             return true;
         }
         false
@@ -859,7 +883,7 @@ mod tests {
         assert!(repo.is_quarantined(r(1), t0 + SimDuration::from_secs(1)));
         // A timely probe success clears everything, including the backoff
         // level.
-        repo.record_probe_success(r(1));
+        repo.record_probe_success(r(1), t0 + SimDuration::from_secs(1));
         assert!(!repo.is_quarantined(r(1), t0 + SimDuration::from_secs(1)));
         for _ in 0..2 {
             repo.record_timeout(r(1), t0, 3, base, max);

@@ -72,4 +72,10 @@ pub trait ServerProtocol: Send {
 
     /// Protocol counters.
     fn stats(&self) -> ServerStats;
+
+    /// Installs an observability handle. The default keeps the handler
+    /// un-instrumented; implementations that record events override this.
+    /// Installing a disabled handle (or none) must leave the handler's
+    /// behaviour bit-identical — observability records, it never steers.
+    fn set_obs(&mut self, _obs: crate::obs::ObsHandle) {}
 }

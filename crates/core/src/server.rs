@@ -23,6 +23,7 @@
 
 use crate::dedup::ReplyCache;
 use crate::object::ReplicatedObject;
+use crate::obs::{req_ref, ObsEvent, ObsHandle};
 use crate::overload::OverloadConfig;
 use crate::wire::{
     Payload, PerfBroadcast, PublisherInfo, ReadMeasurement, ReadRequest, Reply, RequestId,
@@ -292,6 +293,7 @@ pub struct ServerGateway {
 
     synced: bool,
     stats: ServerStats,
+    obs: ObsHandle,
 }
 
 impl std::fmt::Debug for ServerGateway {
@@ -377,12 +379,20 @@ impl ServerGateway {
             avg_service_us: 0,
             synced: true,
             stats: ServerStats::default(),
+            obs: ObsHandle::disabled(),
         }
     }
 
     /// This replica's role.
     pub fn role(&self) -> ReplicaRole {
         self.role
+    }
+
+    /// Installs an observability handle. The disabled default leaves every
+    /// decision and action sequence bit-identical; an enabled handle only
+    /// records — it never steers.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     /// Whether this replica currently acts as the sequencer (leader of the
@@ -660,6 +670,11 @@ impl ServerGateway {
                 >= self.config.overload.sequencer_watermark
         {
             self.stats.shed_updates += 1;
+            let backlog = (self.commit_ready.len() + self.unassigned_updates.len()) as u64;
+            self.obs.emit(now, self.me, || ObsEvent::ShedUpdate {
+                req: req_ref(u.id),
+                backlog,
+            });
             return vec![ServerAction::SendDirect {
                 to: u.id.client,
                 payload: Payload::Busy { req: u.id },
@@ -916,6 +931,11 @@ impl ServerGateway {
         self.my_gsn = self.my_gsn.max(gsn);
         if self.should_shed_read(&pending.req) {
             self.stats.shed_reads += 1;
+            let queue_depth = self.queue_depth() as u64;
+            self.obs.emit(now, self.me, || ObsEvent::ShedRead {
+                req: req_ref(pending.req.id),
+                queue_depth,
+            });
             return vec![ServerAction::SendDirect {
                 to: pending.client,
                 payload: Payload::Busy {
@@ -1103,6 +1123,21 @@ impl ServerGateway {
             } else {
                 (self.avg_service_us * 7 + sample) / 8
             };
+        }
+        if self.obs.is_enabled() {
+            let req_id = match &work.kind {
+                WorkKind::Update { update, .. } => update.id,
+                WorkKind::Read { read, .. } => read.req.id,
+            };
+            self.obs.emit(now, self.me, || ObsEvent::ServiceDone {
+                req: req_ref(req_id),
+                service_us: ts.as_micros(),
+            });
+            self.obs.observe(
+                "server.service_us",
+                aqf_obs::LATENCY_BOUNDS_US,
+                ts.as_micros(),
+            );
         }
         match work.kind {
             WorkKind::Update { update, gsn } => {
@@ -1539,6 +1574,9 @@ impl ServerGateway {
 
     /// Handles a view change of either replication group.
     pub fn on_view(&mut self, view: View, now: SimTime) -> Vec<ServerAction> {
+        let (view_id, members) = (view.id.0, view.members().len() as u64);
+        self.obs
+            .emit(now, self.me, || ObsEvent::ViewChange { view_id, members });
         let mut actions = Vec::new();
         if view.group == PRIMARY_GROUP {
             let old_leader = self.primary_view.leader();
@@ -1683,6 +1721,10 @@ impl crate::protocol::ServerProtocol for ServerGateway {
 
     fn stats(&self) -> ServerStats {
         ServerGateway::stats(self)
+    }
+
+    fn set_obs(&mut self, obs: ObsHandle) {
+        ServerGateway::set_obs(self, obs)
     }
 }
 
@@ -2386,5 +2428,61 @@ mod tests {
             );
         }
         assert!(p.read_snapshot_gsn.len() <= 2);
+    }
+
+    /// Regression: the first service-time sample must seed the EWMA
+    /// directly. Folding it into the zero initial average would start the
+    /// estimate at `sample/8` and take many requests to warm up, blinding
+    /// deadline-aware shedding exactly when a burst arrives on a cold
+    /// server.
+    #[test]
+    fn ewma_seeds_with_first_sample() {
+        let mut s = gw(0);
+        s.config.overload = OverloadConfig::protective();
+        assert_eq!(s.avg_service_us, 0);
+        let mut actions = s.on_payload(a(20), Payload::Update(upd(0)), t(0));
+        let pos = actions
+            .iter()
+            .position(|x| matches!(x, ServerAction::StartService { .. }))
+            .unwrap();
+        let ServerAction::StartService { token } = actions.remove(pos) else {
+            unreachable!()
+        };
+        s.on_service_start(token, t(0));
+        let _ = s.on_service_done(token, t(10));
+        assert_eq!(s.avg_service_us, 10_000, "first sample seeds the average");
+        // Later samples blend 7:1 into the seeded average.
+        let mut actions = s.on_payload(a(20), Payload::Update(upd(1)), t(20));
+        let pos = actions
+            .iter()
+            .position(|x| matches!(x, ServerAction::StartService { .. }))
+            .unwrap();
+        let ServerAction::StartService { token } = actions.remove(pos) else {
+            unreachable!()
+        };
+        s.on_service_start(token, t(20));
+        let _ = s.on_service_done(token, t(22));
+        assert_eq!(s.avg_service_us, (10_000 * 7 + 2_000) / 8);
+    }
+
+    /// Regression: `deadline_us == 0` is the wire sentinel for "no deadline
+    /// advertised" and must never be treated as an already-expired deadline
+    /// by the shedding predicate.
+    #[test]
+    fn zero_deadline_never_sheds_on_deadline_grounds() {
+        let mut s = gw(0);
+        s.config.overload = OverloadConfig::protective();
+        s.avg_service_us = 50_000; // hot average: any tight deadline sheds
+        let no_deadline = read(0, 0); // helper sets deadline_us: 0
+        assert!(
+            !s.should_shed_read(&no_deadline),
+            "0 means no deadline, not an expired one"
+        );
+        let mut tight = read(1, 0);
+        tight.deadline_us = 1;
+        assert!(
+            s.should_shed_read(&tight),
+            "a positive deadline below the backlog estimate must shed"
+        );
     }
 }

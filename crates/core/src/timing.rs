@@ -130,6 +130,13 @@ impl TimingFailureDetector {
         (n > 0).then(|| self.failures as f64 / n as f64)
     }
 
+    /// Converts a probability in `[0, 1]` to integer parts-per-million, the
+    /// fixed-point representation used by trace events (floats would make
+    /// trace bytes depend on formatting).
+    pub fn to_ppm(p: f64) -> u64 {
+        (p.clamp(0.0, 1.0) * 1e6).round() as u64
+    }
+
     /// Whether the client should be notified: the observed timely frequency
     /// has dropped below the requested minimum probability.
     ///

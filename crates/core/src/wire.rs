@@ -96,9 +96,17 @@ pub struct ReadRequest {
     /// The end-to-end deadline `d` from the client's QoS specification, in
     /// microseconds. An overloaded replica whose backlog estimate already
     /// exceeds this budget sheds the read with [`Payload::Busy`] instead of
-    /// returning a reply that could only arrive late. Zero means "no
-    /// deadline advertised" and disables deadline-aware shedding for the
-    /// request.
+    /// returning a reply that could only arrive late.
+    ///
+    /// **Zero is a sentinel meaning "no deadline advertised"**, not a
+    /// deadline of 0 µs. Every consumer of this field must treat 0 as
+    /// "never shed on deadline grounds": all three server gateways guard
+    /// their deadline-shedding predicate with `deadline_us > 0`, so a
+    /// zero-deadline read can still be shed by the queue bound but never by
+    /// the backlog estimate. Clients without a QoS deadline (e.g. updates,
+    /// or reads issued before a QoS spec is installed) encode the absence
+    /// as 0 on the wire rather than `u64::MAX` so the field stays small in
+    /// the common case.
     pub deadline_us: u64,
     /// Transmission attempt, starting at 1; retries and hedges of the same
     /// `id` carry higher attempts (hedges reuse the current attempt).

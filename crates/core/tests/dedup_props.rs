@@ -1,0 +1,128 @@
+//! Properties of the bounded [`ReplyCache`]: size stays bounded by the
+//! capacity, eviction is FIFO by *first* insertion, re-inserting an id
+//! refreshes the payload without granting a fresh eviction slot, and a
+//! capacity of zero disables caching entirely.
+//!
+//! The cache is checked against an obviously-correct reference model (a
+//! flat vector in insertion order) under arbitrary insert scripts over a
+//! deliberately tiny id space, so duplicate inserts and evictions are
+//! frequent.
+
+use aqf_core::dedup::ReplyCache;
+use aqf_core::wire::{Reply, RequestId};
+use aqf_sim::ActorId;
+use bytes::Bytes;
+use proptest::prelude::*;
+
+fn id(client: usize, seq: u64) -> RequestId {
+    RequestId {
+        client: ActorId::from_index(client),
+        seq,
+    }
+}
+
+fn reply(id: RequestId, marker: u64) -> Reply {
+    Reply {
+        id,
+        result: Bytes::copy_from_slice(&marker.to_be_bytes()),
+        t1_us: marker,
+        staleness: 0,
+        deferred: false,
+        csn: marker,
+        vector: Vec::new(),
+    }
+}
+
+/// Reference model: entries in first-insertion order. Re-insert updates
+/// the payload in place (keeping the slot); overflow drops the front.
+struct Model {
+    cap: usize,
+    entries: Vec<(RequestId, u64)>,
+}
+
+impl Model {
+    fn insert(&mut self, rid: RequestId, marker: u64) {
+        if self.cap == 0 {
+            return;
+        }
+        match self.entries.iter_mut().find(|e| e.0 == rid) {
+            Some(e) => e.1 = marker,
+            None => self.entries.push((rid, marker)),
+        }
+        while self.entries.len() > self.cap {
+            self.entries.remove(0);
+        }
+    }
+}
+
+/// Runs an insert script against both implementations, checking full
+/// agreement (size, membership, payload freshness) after every step.
+fn run_script(capacity: usize, script: &[(usize, u64)]) {
+    let mut cache = ReplyCache::new(capacity);
+    let mut model = Model {
+        cap: capacity,
+        entries: Vec::new(),
+    };
+    for (marker, &(client, seq)) in script.iter().enumerate() {
+        let rid = id(client % 3, seq % 8);
+        let marker = marker as u64;
+        cache.insert(reply(rid, marker));
+        model.insert(rid, marker);
+
+        assert!(cache.len() <= capacity, "cache exceeded its capacity");
+        assert_eq!(cache.len(), model.entries.len(), "size diverged");
+        assert_eq!(cache.is_empty(), model.entries.is_empty());
+        for &(mid, mmarker) in &model.entries {
+            let got = cache.get(&mid).expect("model entry missing from cache");
+            assert_eq!(got.csn, mmarker, "stale payload for re-inserted id");
+            assert_eq!(got.result, Bytes::copy_from_slice(&mmarker.to_be_bytes()));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_matches_fifo_model(
+        capacity in 0usize..6,
+        script in proptest::collection::vec((0usize..3, 0u64..8), 1..100),
+    ) {
+        run_script(capacity, &script);
+    }
+
+    /// Capacity 0 stays empty whatever is inserted.
+    #[test]
+    fn zero_capacity_never_caches(
+        script in proptest::collection::vec((0usize..3, 0u64..8), 1..40),
+    ) {
+        let mut cache = ReplyCache::new(0);
+        for (marker, &(client, seq)) in script.iter().enumerate() {
+            cache.insert(reply(id(client, seq), marker as u64));
+            prop_assert!(cache.is_empty());
+            prop_assert_eq!(cache.len(), 0);
+        }
+    }
+}
+
+/// Deterministic spot-check of the exact FIFO order: the slot belongs to
+/// the first insertion, so a refreshed id is still evicted at its original
+/// position.
+#[test]
+fn refresh_keeps_original_eviction_slot() {
+    let mut cache = ReplyCache::new(2);
+    cache.insert(reply(id(0, 1), 1));
+    cache.insert(reply(id(0, 2), 2));
+    // Refresh the oldest id: payload updates, slot does not move.
+    cache.insert(reply(id(0, 1), 3));
+    assert_eq!(cache.get(&id(0, 1)).unwrap().csn, 3);
+    // A third distinct id evicts id(0,1) — the oldest by first insertion —
+    // even though it was refreshed most recently.
+    cache.insert(reply(id(0, 3), 4));
+    assert!(
+        cache.get(&id(0, 1)).is_none(),
+        "refresh must not reset FIFO slot"
+    );
+    assert!(cache.get(&id(0, 2)).is_some());
+    assert!(cache.get(&id(0, 3)).is_some());
+}

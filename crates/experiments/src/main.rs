@@ -19,14 +19,20 @@
 //!   staleness      Poisson vs empirical staleness model (EXT-STALE)
 //!   overload       overload-protection goodput retention (EXT-OVL)
 //!   overload-smoke short asserting EXT-OVL subset for CI
+//!   trace-smoke    observability purity + artifact reconstruction gate for CI
 //!   all            everything above
 //! ```
+//!
+//! With `--trace-out DIR` and/or `--metrics-out DIR`, a representative
+//! observed scenario is additionally captured and written as
+//! `<command>.trace.jsonl` / `<command>.metrics.json` artifacts.
 
 mod admission;
 mod failures;
 mod fig3;
 mod fig4;
 mod hotspot;
+mod obsout;
 mod ordering;
 mod overload;
 mod pool;
@@ -42,6 +48,8 @@ struct Args {
     seed: u64,
     iters: u32,
     csv_dir: Option<std::path::PathBuf>,
+    trace_dir: Option<std::path::PathBuf>,
+    metrics_dir: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,11 +58,23 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 7;
     let mut iters = 200;
     let mut csv_dir = None;
+    let mut trace_dir = None;
+    let mut metrics_dir = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--csv" => {
                 csv_dir = Some(std::path::PathBuf::from(
                     args.next().ok_or("--csv needs a directory")?,
+                ));
+            }
+            "--trace-out" => {
+                trace_dir = Some(std::path::PathBuf::from(
+                    args.next().ok_or("--trace-out needs a directory")?,
+                ));
+            }
+            "--metrics-out" => {
+                metrics_dir = Some(std::path::PathBuf::from(
+                    args.next().ok_or("--metrics-out needs a directory")?,
                 ));
             }
             "--seed" => {
@@ -79,11 +99,13 @@ fn parse_args() -> Result<Args, String> {
         seed,
         iters,
         csv_dir,
+        trace_dir,
+        metrics_dir,
     })
 }
 
 fn usage() -> String {
-    "usage: aqf-experiments <fig3|fig4|fig4a|fig4b|sweep-lui|sweep-reqdelay|hotspot|failures|failures-smoke|admission|ordering|staleness|overload|overload-smoke|all> [--seed N] [--iters N] [--csv DIR]".to_string()
+    "usage: aqf-experiments <fig3|fig4|fig4a|fig4b|sweep-lui|sweep-reqdelay|hotspot|failures|failures-smoke|admission|ordering|staleness|overload|overload-smoke|trace-smoke|all> [--seed N] [--iters N] [--csv DIR] [--trace-out DIR] [--metrics-out DIR]".to_string()
 }
 
 fn main() -> ExitCode {
@@ -123,6 +145,7 @@ fn main() -> ExitCode {
         "staleness" => staleness::run(args.seed, &out),
         "overload" => overload::run(args.seed, &out),
         "overload-smoke" => overload::smoke(args.seed),
+        "trace-smoke" => obsout::smoke(args.seed),
         "all" => {
             fig3::run(args.iters, &out);
             let points = fig4::run_grid(args.seed);
@@ -139,6 +162,13 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+    let obsout = obsout::ObsOut::new(args.trace_dir, args.metrics_dir);
+    if obsout.enabled() {
+        if let Err(e) = obsout.capture(&args.command, &obsout::traced_config(args.seed)) {
+            eprintln!("artifact capture failed: {e}");
             return ExitCode::FAILURE;
         }
     }

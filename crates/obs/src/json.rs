@@ -1,0 +1,499 @@
+//! A minimal JSON reader and the trace-line schema validator.
+//!
+//! The workspace vendors `serde` as a no-op shim, so the trace tooling
+//! carries its own small parser: enough JSON to read back what
+//! [`crate::TraceRecord::write_json_line`] writes (objects, arrays,
+//! strings, unsigned integers, floats, booleans, null) plus a
+//! schema table declaring, per event type, which fields must be present
+//! and with which JSON type.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number that parsed exactly as an unsigned 64-bit integer.
+    UInt(u64),
+    /// Any other number (negative or fractional).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved by the map's ordering.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value as an unsigned integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an object, if it is one.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("json error at byte {}: {}", self.pos, msg)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_lit("true").map(|_| Json::Bool(true)),
+            Some(b'f') => self.eat_lit("false").map(|_| Json::Bool(false)),
+            Some(b'n') => self.eat_lit("null").map(|_| Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut vals = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(vals));
+        }
+        loop {
+            vals.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(vals));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar, not one byte.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let ch = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("unterminated string"))?;
+                    s.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::UInt(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+/// Parses one complete JSON document, rejecting trailing garbage.
+pub fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser::new(s);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after value"));
+    }
+    Ok(v)
+}
+
+/// Field type expected by the trace schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    UInt,
+    Bool,
+    Str,
+    UIntArr,
+}
+
+fn check(obj: &BTreeMap<String, Json>, field: &str, kind: Kind) -> Result<(), String> {
+    let v = obj
+        .get(field)
+        .ok_or_else(|| format!("missing field \"{field}\""))?;
+    let ok = match kind {
+        Kind::UInt => v.as_u64().is_some(),
+        Kind::Bool => v.as_bool().is_some(),
+        Kind::Str => v.as_str().is_some(),
+        Kind::UIntArr => v
+            .as_arr()
+            .is_some_and(|a| a.iter().all(|e| e.as_u64().is_some())),
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(format!("field \"{field}\" has the wrong type"))
+    }
+}
+
+/// Per-type required fields beyond the `t`/`actor`/`type` envelope.
+const SCHEMA: &[(&str, &[(&str, Kind)])] = &[
+    (
+        "request_issued",
+        &[
+            ("client", Kind::UInt),
+            ("seq", Kind::UInt),
+            ("read", Kind::Bool),
+            ("deadline_us", Kind::UInt),
+        ],
+    ),
+    (
+        "replicas_selected",
+        &[
+            ("client", Kind::UInt),
+            ("seq", Kind::UInt),
+            ("attempt", Kind::UInt),
+            ("targets", Kind::UIntArr),
+        ],
+    ),
+    (
+        "retry_scheduled",
+        &[
+            ("client", Kind::UInt),
+            ("seq", Kind::UInt),
+            ("attempt", Kind::UInt),
+            ("delay_us", Kind::UInt),
+        ],
+    ),
+    (
+        "hedge_sent",
+        &[
+            ("client", Kind::UInt),
+            ("seq", Kind::UInt),
+            ("target", Kind::UInt),
+        ],
+    ),
+    (
+        "reply_received",
+        &[
+            ("client", Kind::UInt),
+            ("seq", Kind::UInt),
+            ("from", Kind::UInt),
+            ("timely", Kind::Bool),
+            ("deferred", Kind::Bool),
+            ("staleness_us", Kind::UInt),
+        ],
+    ),
+    (
+        "busy_received",
+        &[
+            ("client", Kind::UInt),
+            ("seq", Kind::UInt),
+            ("from", Kind::UInt),
+        ],
+    ),
+    (
+        "delivered",
+        &[
+            ("client", Kind::UInt),
+            ("seq", Kind::UInt),
+            ("response_us", Kind::UInt),
+            ("timely", Kind::Bool),
+        ],
+    ),
+    (
+        "gave_up",
+        &[
+            ("client", Kind::UInt),
+            ("seq", Kind::UInt),
+            ("response_us", Kind::UInt),
+        ],
+    ),
+    ("local_shed", &[("client", Kind::UInt), ("seq", Kind::UInt)]),
+    (
+        "shed_read",
+        &[
+            ("client", Kind::UInt),
+            ("seq", Kind::UInt),
+            ("queue_depth", Kind::UInt),
+        ],
+    ),
+    (
+        "shed_update",
+        &[
+            ("client", Kind::UInt),
+            ("seq", Kind::UInt),
+            ("backlog", Kind::UInt),
+        ],
+    ),
+    (
+        "service_done",
+        &[
+            ("client", Kind::UInt),
+            ("seq", Kind::UInt),
+            ("service_us", Kind::UInt),
+        ],
+    ),
+    (
+        "breaker",
+        &[
+            ("replica", Kind::UInt),
+            ("from_state", Kind::Str),
+            ("to_state", Kind::Str),
+        ],
+    ),
+    (
+        "ladder",
+        &[("from_level", Kind::UInt), ("to_level", Kind::UInt)],
+    ),
+    (
+        "qos_alert",
+        &[("observed_ppm", Kind::UInt), ("threshold_ppm", Kind::UInt)],
+    ),
+    (
+        "quarantine",
+        &[("replica", Kind::UInt), ("until_us", Kind::UInt)],
+    ),
+    ("quarantine_cleared", &[("replica", Kind::UInt)]),
+    (
+        "view_change",
+        &[("view_id", Kind::UInt), ("members", Kind::UInt)],
+    ),
+];
+
+/// Validates one JSONL trace line against the event schema: the envelope
+/// (`t`, `actor`, `type`) must be present with the right types, the type
+/// tag must be known, and every field the type requires must be present
+/// with the declared JSON type.
+pub fn validate_trace_line(line: &str) -> Result<(), String> {
+    let v = parse_json(line)?;
+    let obj = v.as_obj().ok_or("trace line is not a JSON object")?;
+    check(obj, "t", Kind::UInt)?;
+    check(obj, "actor", Kind::UInt)?;
+    check(obj, "type", Kind::Str)?;
+    let ty = obj["type"].as_str().expect("checked above");
+    let fields = SCHEMA
+        .iter()
+        .find(|(name, _)| *name == ty)
+        .map(|(_, f)| *f)
+        .ok_or_else(|| format!("unknown event type \"{ty}\""))?;
+    for (field, kind) in fields {
+        check(obj, field, *kind).map_err(|e| format!("{ty}: {e}"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let v = parse_json(r#"{"a":[1,2,{"b":true}],"c":"x\ny","d":null,"e":-1.5}"#).unwrap();
+        let obj = v.as_obj().unwrap();
+        assert_eq!(obj["a"].as_arr().unwrap()[1].as_u64(), Some(2));
+        assert_eq!(obj["c"].as_str(), Some("x\ny"));
+        assert_eq!(obj["d"], Json::Null);
+        assert_eq!(obj["e"], Json::Float(-1.5));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_truncation() {
+        assert!(parse_json("{\"a\":1} x").is_err());
+        assert!(parse_json("{\"a\":").is_err());
+        assert!(parse_json("[1,2").is_err());
+    }
+
+    #[test]
+    fn validates_known_event_lines() {
+        validate_trace_line(
+            r#"{"t":10,"actor":1,"type":"request_issued","client":1,"seq":3,"read":true,"deadline_us":200000}"#,
+        )
+        .unwrap();
+        validate_trace_line(r#"{"t":10,"actor":1,"type":"ladder","from_level":0,"to_level":1}"#)
+            .unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        // Unknown type.
+        assert!(validate_trace_line(r#"{"t":1,"actor":0,"type":"nope"}"#).is_err());
+        // Missing required field.
+        assert!(
+            validate_trace_line(r#"{"t":1,"actor":0,"type":"ladder","from_level":0}"#).is_err()
+        );
+        // Wrong field type.
+        assert!(validate_trace_line(
+            r#"{"t":1,"actor":0,"type":"ladder","from_level":"x","to_level":1}"#
+        )
+        .is_err());
+        // Envelope violations.
+        assert!(validate_trace_line(r#"{"actor":0,"type":"ladder"}"#).is_err());
+        assert!(validate_trace_line(r#"[1,2]"#).is_err());
+    }
+}

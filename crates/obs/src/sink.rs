@@ -1,0 +1,190 @@
+//! The observability handle installed into gateways, and the report
+//! drained out of it after a run.
+//!
+//! [`ObsHandle`] is the only type the instrumented code sees. Disabled
+//! (the default) it is a bare `None` — every record call is one branch
+//! and returns; event construction is deferred behind a closure so the
+//! disabled path allocates nothing. Enabled, it shares one collector
+//! between every gateway of a scenario via `Arc<Mutex<..>>` (gateways
+//! must stay `Send`; scenario runs drive actors from a single thread, so
+//! the mutex is uncontended).
+
+use crate::event::{Event, TraceRecord};
+use crate::metrics::MetricsRegistry;
+use aqf_sim::{ActorId, SimTime};
+use std::sync::{Arc, Mutex};
+
+/// The collected output of one observed run: the ordered trace plus the
+/// metrics registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObsReport {
+    /// Every trace record, in emission order (virtual-time order for a
+    /// single-threaded scenario run).
+    pub records: Vec<TraceRecord>,
+    /// The metrics registry at the end of the run.
+    pub metrics: MetricsRegistry,
+}
+
+impl ObsReport {
+    /// Renders the trace as JSONL — one schema-valid object per line.
+    pub fn trace_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            r.write_json_line(&mut out);
+        }
+        out
+    }
+
+    /// Renders the metrics registry as a JSON document.
+    pub fn metrics_json(&self) -> String {
+        self.metrics.to_json()
+    }
+}
+
+/// A cloneable handle to a shared trace/metrics collector; the disabled
+/// default records nothing at zero cost.
+#[derive(Debug, Clone, Default)]
+pub struct ObsHandle {
+    inner: Option<Arc<Mutex<ObsReport>>>,
+}
+
+impl ObsHandle {
+    /// The disabled handle: every record call is a no-op.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Creates an enabled handle with an empty collector.
+    pub fn enabled() -> Self {
+        Self {
+            inner: Some(Arc::new(Mutex::new(ObsReport::default()))),
+        }
+    }
+
+    /// Whether a collector is installed.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records a trace event. `make` runs only when enabled, so building
+    /// the event (including any `Vec` it carries) costs nothing on the
+    /// disabled path.
+    pub fn emit(&self, now: SimTime, actor: ActorId, make: impl FnOnce() -> Event) {
+        let Some(inner) = &self.inner else { return };
+        let mut report = inner.lock().expect("obs collector poisoned");
+        report.records.push(TraceRecord {
+            t_us: now.as_micros(),
+            actor,
+            event: make(),
+        });
+    }
+
+    /// Records one histogram observation under `name` (created over
+    /// `bounds` on first use). No-op when disabled.
+    pub fn observe(&self, name: &str, bounds: &'static [u64], value: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner
+            .lock()
+            .expect("obs collector poisoned")
+            .metrics
+            .observe(name, bounds, value);
+    }
+
+    /// Adds `delta` to counter `name`. No-op when disabled.
+    pub fn add(&self, name: &str, delta: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner
+            .lock()
+            .expect("obs collector poisoned")
+            .metrics
+            .add(name, delta);
+    }
+
+    /// Sets gauge `name` to `value`. No-op when disabled.
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner
+            .lock()
+            .expect("obs collector poisoned")
+            .metrics
+            .set_gauge(name, value);
+    }
+
+    /// Clones out the current report, or `None` when disabled.
+    pub fn report(&self) -> Option<ObsReport> {
+        self.inner
+            .as_ref()
+            .map(|i| i.lock().expect("obs collector poisoned").clone())
+    }
+
+    /// Drains the collector, leaving it empty; `None` when disabled.
+    pub fn take_report(&self) -> Option<ObsReport> {
+        self.inner
+            .as_ref()
+            .map(|i| std::mem::take(&mut *i.lock().expect("obs collector poisoned")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ReqId;
+
+    #[test]
+    fn disabled_handle_never_runs_the_closure() {
+        let h = ObsHandle::disabled();
+        let mut ran = false;
+        h.emit(SimTime::ZERO, ActorId::from_index(0), || {
+            ran = true;
+            Event::Ladder {
+                from_level: 0,
+                to_level: 1,
+            }
+        });
+        assert!(!ran);
+        assert!(h.report().is_none());
+        assert!(!h.is_enabled());
+    }
+
+    #[test]
+    fn clones_share_one_collector() {
+        let h = ObsHandle::enabled();
+        let h2 = h.clone();
+        h.emit(SimTime::from_millis(1), ActorId::from_index(3), || {
+            Event::RequestIssued {
+                req: ReqId::new(ActorId::from_index(3), 1),
+                read: true,
+                deadline_us: 200_000,
+            }
+        });
+        h2.add("x", 2);
+        let report = h.take_report().unwrap();
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.records[0].t_us, 1000);
+        assert_eq!(report.metrics.counter("x"), 2);
+        // Drained: the next report is empty.
+        assert_eq!(h2.take_report().unwrap().records.len(), 0);
+    }
+
+    #[test]
+    fn jsonl_lines_validate_against_schema() {
+        let h = ObsHandle::enabled();
+        let a = ActorId::from_index(7);
+        h.emit(SimTime::from_millis(2), a, || Event::ReplicasSelected {
+            req: ReqId::new(a, 9),
+            attempt: 1,
+            targets: vec![ActorId::from_index(1), ActorId::from_index(4)],
+        });
+        h.emit(SimTime::from_millis(3), a, || Event::Breaker {
+            replica: ActorId::from_index(1),
+            from_state: "closed",
+            to_state: "open",
+        });
+        let report = h.report().unwrap();
+        let jsonl = report.trace_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        for line in jsonl.lines() {
+            crate::json::validate_trace_line(line).unwrap();
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Per-request timeline reconstruction from a JSONL trace.
+//!
+//! Timelines are rebuilt from the serialized artifact, not from in-memory
+//! records: the round-trip through [`crate::validate_trace_line`]'s schema
+//! is the proof that the trace alone carries the full request lifecycle
+//! (issue → selections/retries/hedges → replies → deliver/give-up).
+
+use crate::json::{parse_json, Json};
+use std::collections::BTreeMap;
+
+/// One step of a request's lifecycle, in trace order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Virtual time of the step, in microseconds.
+    pub t_us: u64,
+    /// The actor that emitted the step.
+    pub actor: u64,
+    /// The event type tag (e.g. `"reply_received"`).
+    pub kind: String,
+    /// The event's full field set, as parsed JSON.
+    pub fields: BTreeMap<String, Json>,
+}
+
+/// The reconstructed lifecycle of one request.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    /// The steps of the request, ordered by `(t_us, trace position)`.
+    pub steps: Vec<Step>,
+}
+
+impl Timeline {
+    /// Whether any step has the given type tag.
+    pub fn has(&self, kind: &str) -> bool {
+        self.steps.iter().any(|s| s.kind == kind)
+    }
+
+    /// Virtual time the request was issued, if the trace saw it.
+    pub fn issued_us(&self) -> Option<u64> {
+        self.steps
+            .iter()
+            .find(|s| s.kind == "request_issued")
+            .map(|s| s.t_us)
+    }
+
+    /// Virtual time the request resolved (delivered or gave up), if it did.
+    pub fn resolved_us(&self) -> Option<u64> {
+        self.steps
+            .iter()
+            .find(|s| s.kind == "delivered" || s.kind == "gave_up")
+            .map(|s| s.t_us)
+    }
+
+    /// Whether the request experienced a shed, a busy rejection, a retry,
+    /// or a hedge anywhere in its lifecycle.
+    pub fn recovered_or_shed(&self) -> bool {
+        self.has("retry_scheduled")
+            || self.has("hedge_sent")
+            || self.has("busy_received")
+            || self.has("shed_read")
+            || self.has("shed_update")
+            || self.has("local_shed")
+    }
+
+    /// A compact one-line rendering: `t:kind@actor` hops joined by `->`.
+    pub fn render(&self) -> String {
+        self.steps
+            .iter()
+            .map(|s| format!("{}:{}@{}", s.t_us, s.kind, s.actor))
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+/// Builds per-request timelines from parsed trace steps. Steps without a
+/// `(client, seq)` pair (control-plane events) are skipped. Keys are
+/// `(client index, seq)`.
+pub fn build_timelines(steps: Vec<Step>) -> BTreeMap<(u64, u64), Timeline> {
+    let mut map: BTreeMap<(u64, u64), Timeline> = BTreeMap::new();
+    for step in steps {
+        let (Some(client), Some(seq)) = (
+            step.fields.get("client").and_then(Json::as_u64),
+            step.fields.get("seq").and_then(Json::as_u64),
+        ) else {
+            continue;
+        };
+        map.entry((client, seq)).or_default().steps.push(step);
+    }
+    // Emission order within one trace is already time-ordered, but merged
+    // traces may interleave; make the ordering explicit and stable.
+    for tl in map.values_mut() {
+        tl.steps.sort_by_key(|s| s.t_us);
+    }
+    map
+}
+
+/// Parses a JSONL trace into steps, validating each line's envelope.
+pub fn parse_trace(jsonl: &str) -> Result<Vec<Step>, String> {
+    let mut steps = Vec::new();
+    for (i, line) in jsonl.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| format!("line {}: not an object", i + 1))?;
+        let t_us = obj
+            .get("t")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line {}: missing t", i + 1))?;
+        let actor = obj
+            .get("actor")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line {}: missing actor", i + 1))?;
+        let kind = obj
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing type", i + 1))?
+            .to_string();
+        steps.push(Step {
+            t_us,
+            actor,
+            kind,
+            fields: obj.clone(),
+        });
+    }
+    Ok(steps)
+}
+
+/// Convenience: parses a JSONL trace and reconstructs every request
+/// timeline from it.
+pub fn timelines_from_jsonl(jsonl: &str) -> Result<BTreeMap<(u64, u64), Timeline>, String> {
+    Ok(build_timelines(parse_trace(jsonl)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, ReqId, TraceRecord};
+    use aqf_sim::ActorId;
+
+    fn rec(t_ms: u64, actor: usize, event: Event) -> TraceRecord {
+        TraceRecord {
+            t_us: t_ms * 1000,
+            actor: ActorId::from_index(actor),
+            event,
+        }
+    }
+
+    #[test]
+    fn reconstructs_lifecycle_from_jsonl() {
+        let c = ActorId::from_index(9);
+        let req = ReqId::new(c, 4);
+        let records = vec![
+            rec(
+                1,
+                9,
+                Event::RequestIssued {
+                    req,
+                    read: true,
+                    deadline_us: 200_000,
+                },
+            ),
+            rec(
+                1,
+                9,
+                Event::ReplicasSelected {
+                    req,
+                    attempt: 1,
+                    targets: vec![ActorId::from_index(2)],
+                },
+            ),
+            rec(
+                2,
+                2,
+                Event::ShedRead {
+                    req,
+                    queue_depth: 5,
+                },
+            ),
+            rec(
+                3,
+                9,
+                Event::BusyReceived {
+                    req,
+                    from: ActorId::from_index(2),
+                },
+            ),
+            rec(
+                4,
+                9,
+                Event::RetryScheduled {
+                    req,
+                    attempt: 2,
+                    delay_us: 1000,
+                },
+            ),
+            rec(
+                9,
+                9,
+                Event::Delivered {
+                    req,
+                    response_us: 8000,
+                    timely: true,
+                },
+            ),
+            // Control-plane noise that must not join the timeline.
+            rec(
+                5,
+                9,
+                Event::Ladder {
+                    from_level: 0,
+                    to_level: 1,
+                },
+            ),
+        ];
+        let mut jsonl = String::new();
+        for r in &records {
+            r.write_json_line(&mut jsonl);
+        }
+        let timelines = timelines_from_jsonl(&jsonl).unwrap();
+        assert_eq!(timelines.len(), 1);
+        let tl = &timelines[&(9, 4)];
+        assert_eq!(tl.steps.len(), 6);
+        assert_eq!(tl.issued_us(), Some(1000));
+        assert_eq!(tl.resolved_us(), Some(9000));
+        assert!(tl.recovered_or_shed());
+        assert!(tl.has("shed_read"));
+        assert!(!tl.has("ladder"));
+        let rendered = tl.render();
+        assert!(rendered.starts_with("1000:request_issued@9"));
+        assert!(rendered.ends_with("9000:delivered@9"));
+    }
+
+    #[test]
+    fn steps_sorted_by_time_even_if_interleaved() {
+        let c = ActorId::from_index(1);
+        let req = ReqId::new(c, 1);
+        let mut jsonl = String::new();
+        rec(
+            5,
+            1,
+            Event::Delivered {
+                req,
+                response_us: 1,
+                timely: false,
+            },
+        )
+        .write_json_line(&mut jsonl);
+        rec(
+            2,
+            1,
+            Event::RequestIssued {
+                req,
+                read: false,
+                deadline_us: 0,
+            },
+        )
+        .write_json_line(&mut jsonl);
+        let timelines = timelines_from_jsonl(&jsonl).unwrap();
+        let tl = &timelines[&(1, 1)];
+        assert_eq!(tl.steps[0].kind, "request_issued");
+        assert_eq!(tl.steps[1].kind, "delivered");
+    }
+}

@@ -63,6 +63,7 @@
 
 pub mod actor;
 pub mod delay;
+pub mod digest;
 pub mod net;
 pub mod rt;
 pub mod time;
@@ -71,6 +72,7 @@ pub mod world;
 
 pub use actor::{Actor, ActorId, Context, Timer, TimerId};
 pub use delay::DelayModel;
+pub use digest::Digest;
 pub use net::NetworkModel;
 pub use time::{SimDuration, SimTime};
 pub use world::{World, WorldStats};

@@ -17,23 +17,17 @@
 //! own reviewed PR that re-captures the goldens).
 
 use aqf_sim::world::WorldStats;
-use aqf_sim::{Actor, ActorId, Context, DelayModel, SimDuration, SimTime, Timer, TimerId, World};
+use aqf_sim::{
+    Actor, ActorId, Context, DelayModel, Digest, SimDuration, SimTime, Timer, TimerId, World,
+};
 use rand::Rng;
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-fn mix(h: &mut u64, v: u64) {
-    *h ^= v;
-    *h = h.wrapping_mul(FNV_PRIME);
-}
 
 /// An actor that hashes every observation into an order-sensitive digest
 /// while generating more traffic: replies, multicasts, local work, and
 /// timers that are armed and cancelled across handler invocations.
 struct Chaos {
     peers: Vec<ActorId>,
-    digest: u64,
+    digest: Digest,
     sent: u64,
     pending_cancel: Option<TimerId>,
 }
@@ -42,7 +36,7 @@ impl Chaos {
     fn new(peers: Vec<ActorId>) -> Self {
         Self {
             peers,
-            digest: FNV_OFFSET,
+            digest: Digest::new(),
             sent: 0,
             pending_cancel: None,
         }
@@ -55,9 +49,9 @@ impl Actor<u64> for Chaos {
     }
 
     fn on_message(&mut self, from: ActorId, msg: u64, ctx: &mut Context<'_, u64>) {
-        mix(&mut self.digest, ctx.now().as_micros());
-        mix(&mut self.digest, from.index() as u64);
-        mix(&mut self.digest, msg);
+        self.digest.mix(ctx.now().as_micros());
+        self.digest.mix(from.index() as u64);
+        self.digest.mix(msg);
         if msg.is_multiple_of(7) && msg > 0 {
             let to = self.peers[(msg as usize) % self.peers.len()];
             ctx.send(to, msg / 7);
@@ -70,9 +64,9 @@ impl Actor<u64> for Chaos {
     }
 
     fn on_timer(&mut self, t: Timer, ctx: &mut Context<'_, u64>) {
-        mix(&mut self.digest, 0x7133);
-        mix(&mut self.digest, ctx.now().as_micros());
-        mix(&mut self.digest, t.kind as u64);
+        self.digest.mix(0x7133);
+        self.digest.mix(ctx.now().as_micros());
+        self.digest.mix(t.kind as u64);
         if t.kind != 1 {
             // A decoy survived to fire: broadcast a multicast trigger.
             ctx.multicast(&self.peers, 15);
@@ -96,7 +90,7 @@ impl Actor<u64> for Chaos {
         } else {
             self.pending_cancel = Some(decoy);
         }
-        ctx.set_timer(1, SimDuration::from_millis(2 + self.digest % 5));
+        ctx.set_timer(1, SimDuration::from_millis(2 + self.digest.value() % 5));
     }
 }
 
@@ -136,13 +130,13 @@ fn run_chaos(seed: u64) -> (WorldStats, u64) {
     }
     world.run_for(SimDuration::from_secs(3));
 
-    let mut digest = FNV_OFFSET;
+    let mut digest = Digest::new();
     for &id in &ids {
         let actor = world.actor::<Chaos>(id).expect("chaos actor");
-        mix(&mut digest, actor.digest);
-        mix(&mut digest, actor.sent);
+        digest.mix(actor.digest.value());
+        digest.mix(actor.sent);
     }
-    (world.stats(), digest)
+    (world.stats(), digest.value())
 }
 
 /// The goldens, captured from the pre-optimization event core. See the

@@ -116,6 +116,11 @@ impl ReplicaActor {
         &*self.gw
     }
 
+    /// Installs an observability handle into the hosted gateway.
+    pub fn set_obs(&mut self, obs: aqf_core::ObsHandle) {
+        self.gw.set_obs(obs);
+    }
+
     /// The group endpoint (post-run inspection: transport and membership
     /// counters).
     pub fn endpoint(&self) -> &GroupEndpoint<Payload> {
@@ -302,6 +307,11 @@ impl ClientActor {
     /// The collected observations.
     pub fn record(&self) -> &ClientRecord {
         &self.record
+    }
+
+    /// Installs an observability handle into the hosted gateway.
+    pub fn set_obs(&mut self, obs: aqf_core::ObsHandle) {
+        self.gw.set_obs(obs);
     }
 
     fn next_is_read(&mut self, ctx: &mut Context<'_, NetMsg>) -> bool {

@@ -32,12 +32,14 @@ pub mod runner;
 pub mod synthetic;
 
 pub use actors::{ClientActor, ClientRecord, NetMsg, ReplicaActor};
+pub use aqf_core::ObsHandle;
 pub use aqf_group::{FailureDetector, FlapDamping, PhiAccrualConfig};
 pub use bench_scenarios::{world_bench_config, WORLD_BENCH_SIZES};
 pub use config::{
     ClientSpec, FaultEvent, FaultKind, FaultTarget, ObjectKind, OpPattern, ScenarioConfig,
 };
 pub use runner::{
-    build_scenario, run_scenario, BuiltScenario, ClientOutcome, ScenarioMetrics, ServerOutcome,
+    build_scenario, run_scenario, run_scenario_observed, BuiltScenario, ClientOutcome,
+    ScenarioMetrics, ServerOutcome,
 };
 pub use synthetic::{build_candidates, build_candidates_uncached, synthetic_repository};

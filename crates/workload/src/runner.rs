@@ -7,13 +7,14 @@ use aqf_core::client::ClientConfig;
 use aqf_core::protocol::ServerProtocol;
 use aqf_core::server::{ServerConfig, ServerStats};
 use aqf_core::InfoRepository;
+use aqf_core::ObsHandle;
 use aqf_core::{
     CausalServerGateway, ClientGateway, DegradeTransition, FifoServerGateway, OrderingGuarantee,
     ServerGateway, PRIMARY_GROUP, SECONDARY_GROUP,
 };
 use aqf_group::endpoint::{GroupMembership, GroupStats};
 use aqf_group::{EndpointConfig, GroupEndpoint, View, ViewId};
-use aqf_sim::{ActorId, SimDuration, SimTime, World};
+use aqf_sim::{ActorId, Digest, SimDuration, SimTime, World};
 use aqf_stats::BinomialCi;
 use std::collections::BTreeMap;
 
@@ -140,6 +141,119 @@ impl ScenarioMetrics {
             _ => 0,
         }
     }
+
+    /// Order-sensitive FNV digest over every counter, transition, and
+    /// summary moment the run produced. Two runs of the same scenario are
+    /// behaviourally bit-identical iff their digests match — the
+    /// observability layer's "disabled sinks never steer" contract is
+    /// checked against this (the struct holds `f64` summaries, so `Eq`
+    /// is deliberately not derived).
+    pub fn digest(&self) -> u64 {
+        let mut d = Digest::new();
+        d.mix(self.clients.len() as u64);
+        for c in &self.clients {
+            d.mix(c.id.index() as u64);
+            for v in [
+                c.reads,
+                c.updates,
+                c.timing_failures,
+                c.timely_responses,
+                c.deferred_replies,
+                c.give_ups,
+                c.retries,
+                c.hedges,
+                c.quarantines,
+                c.busy_rejections,
+                c.local_sheds,
+                c.breaker_opens,
+                c.admission_reevals,
+                c.admission_rejects,
+            ] {
+                d.mix(v);
+            }
+            d.mix(c.degrade_transitions.len() as u64);
+            for t in &c.degrade_transitions {
+                d.mix(t.at_us);
+                d.mix(u64::from(t.from_level));
+                d.mix(u64::from(t.to_level));
+            }
+            for (&r, &n) in &c.selection_counts {
+                d.mix(r.index() as u64);
+                d.mix(n);
+            }
+            let rec = &c.record;
+            for v in [
+                rec.completed,
+                rec.reads_completed,
+                rec.deferred_reads,
+                rec.timeouts,
+                rec.alerts,
+                rec.staleness_violations,
+                rec.local_sheds,
+                rec.overload_transitions,
+            ] {
+                d.mix(v);
+            }
+            for s in [
+                &rec.read_response_ms,
+                &rec.update_response_ms,
+                &rec.response_staleness,
+            ] {
+                d.mix(s.count() as u64);
+                d.mix_f64(s.mean().unwrap_or(0.0));
+                d.mix_f64(s.min().unwrap_or(0.0));
+                d.mix_f64(s.max().unwrap_or(0.0));
+            }
+        }
+        d.mix(self.servers.len() as u64);
+        for s in &self.servers {
+            d.mix(s.id.index() as u64);
+            d.mix(u64::from(s.is_sequencer));
+            d.mix(u64::from(s.is_publisher));
+            d.mix(u64::from(s.alive));
+            d.mix(s.csn);
+            d.mix(s.applied_csn);
+            d.mix(s.gsn);
+            let st = &s.stats;
+            for v in [
+                st.updates_committed,
+                st.reads_served,
+                st.reads_deferred,
+                st.gsn_conflicts,
+                st.stale_assigns,
+                st.lazy_updates_sent,
+                st.lazy_updates_applied,
+                st.recoveries,
+                st.state_transfers,
+                st.dedup_hits,
+                st.promotions,
+                st.promoted,
+                st.seq_unavail_us,
+                st.commit_stall_us,
+                st.shed_reads,
+                st.shed_updates,
+            ] {
+                d.mix(v);
+            }
+            let g = &s.group;
+            for v in [
+                g.multicasts_sent,
+                g.delivered,
+                g.duplicates_dropped,
+                g.nacks_sent,
+                g.retransmissions,
+                g.views_installed,
+                g.merges,
+                g.suspicions,
+                g.joins_damped,
+            ] {
+                d.mix(v);
+            }
+        }
+        d.mix(self.events);
+        d.mix_f64(self.virtual_secs);
+        d.value()
+    }
 }
 
 /// A fully constructed scenario: the simulation world plus the actor ids
@@ -170,6 +284,29 @@ pub struct BuiltScenario {
 }
 
 impl BuiltScenario {
+    /// Installs one shared observability handle into every client and
+    /// replica gateway of the scenario. Installing a disabled handle is a
+    /// no-op by construction; call this before driving the world so the
+    /// trace covers the whole run.
+    pub fn install_obs(&mut self, obs: &ObsHandle) {
+        for &id in &self.client_ids.clone() {
+            if let Some(c) = self.world.actor_mut::<ClientActor>(id) {
+                c.set_obs(obs.clone());
+            }
+        }
+        let replicas: Vec<ActorId> = self
+            .primary_ids
+            .iter()
+            .chain(self.secondary_ids.iter())
+            .copied()
+            .collect();
+        for id in replicas {
+            if let Some(r) = self.world.actor_mut::<ReplicaActor>(id) {
+                r.set_obs(obs.clone());
+            }
+        }
+    }
+
     /// Whether every client has issued and resolved its full workload.
     pub fn all_clients_done(&self) -> bool {
         self.client_ids.iter().all(|&c| {
@@ -458,7 +595,24 @@ pub fn build_scenario(config: &ScenarioConfig) -> BuiltScenario {
 ///
 /// Panics if the configuration fails validation.
 pub fn run_scenario(config: &ScenarioConfig) -> ScenarioMetrics {
+    run_scenario_observed(config, &ObsHandle::disabled())
+}
+
+/// [`run_scenario`] with an observability handle installed into every
+/// gateway before the first event. A disabled handle makes this
+/// event-for-event identical to `run_scenario` (that equivalence is pinned
+/// by the trace tests via [`ScenarioMetrics::digest`]); an enabled handle
+/// additionally fills the collector with the structured trace plus
+/// end-of-run metrics (counter/gauge exports of the scenario outcome).
+///
+/// # Panics
+///
+/// Panics if the configuration fails validation.
+pub fn run_scenario_observed(config: &ScenarioConfig, obs: &ObsHandle) -> ScenarioMetrics {
     let mut built = build_scenario(config);
+    if obs.is_enabled() {
+        built.install_obs(obs);
+    }
     // Drive until every client finished its workload (or the safety limit).
     // Chunked `run_until_with_faults` is event-for-event identical to the
     // plain `run_for` loop when no role-targeted faults are pending.
@@ -477,7 +631,48 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioMetrics {
     // Small drain so in-flight replies and broadcasts settle.
     let drain = built.world.now() + SimDuration::from_secs(5);
     built.run_until_with_faults(drain);
-    built.metrics()
+    let metrics = built.metrics();
+    if obs.is_enabled() {
+        export_run_metrics(&metrics, built.world.stats(), obs);
+    }
+    metrics
+}
+
+/// Exports the end-of-run scenario outcome into the observability
+/// registry: world counters as gauges, aggregate client/server counters
+/// as counters. Runs after the last event, so it cannot perturb the run.
+fn export_run_metrics(metrics: &ScenarioMetrics, world: aqf_sim::WorldStats, obs: &ObsHandle) {
+    obs.set_gauge("world.events", world.events);
+    obs.set_gauge("world.delivered", world.delivered);
+    obs.set_gauge("world.dropped", world.dropped);
+    obs.set_gauge("world.duplicated", world.duplicated);
+    obs.set_gauge("world.timers", world.timers);
+    obs.set_gauge("world.virtual_us", (metrics.virtual_secs * 1e6) as u64);
+    obs.set_gauge("scenario.digest", metrics.digest());
+    for c in &metrics.clients {
+        obs.add("client.reads", c.reads);
+        obs.add("client.updates", c.updates);
+        obs.add("client.timing_failures", c.timing_failures);
+        obs.add("client.timely_responses", c.timely_responses);
+        obs.add("client.deferred_replies", c.deferred_replies);
+        obs.add("client.give_ups", c.give_ups);
+        obs.add("client.retries", c.retries);
+        obs.add("client.hedges", c.hedges);
+        obs.add("client.quarantines", c.quarantines);
+        obs.add("client.busy_rejections", c.busy_rejections);
+        obs.add("client.local_sheds", c.local_sheds);
+        obs.add("client.breaker_opens", c.breaker_opens);
+    }
+    for s in &metrics.servers {
+        obs.add("server.updates_committed", s.stats.updates_committed);
+        obs.add("server.reads_served", s.stats.reads_served);
+        obs.add("server.reads_deferred", s.stats.reads_deferred);
+        obs.add("server.shed_reads", s.stats.shed_reads);
+        obs.add("server.shed_updates", s.stats.shed_updates);
+        obs.add("server.dedup_hits", s.stats.dedup_hits);
+        obs.add("server.state_transfers", s.stats.state_transfers);
+        obs.add("server.recoveries", s.stats.recoveries);
+    }
 }
 
 /// Builds the configured timed-consistency handler for one replica.
