@@ -13,6 +13,29 @@ fn window_pmf(model: &DelayModel, window: usize, seed: u64) -> Pmf {
     Pmf::from_samples((0..window).map(|_| model.sample(&mut rng).as_micros()))
 }
 
+/// The pre-merge convolution: materialize every pairwise term, stable-sort
+/// by sum, accumulate adjacent runs. Kept here (not in `aqf-stats`) purely
+/// as the same-binary A/B baseline for the k-way merge that replaced it —
+/// cross-run wall-clock comparisons on shared hardware are noise-dominated,
+/// so the before/after is measured inside one process.
+fn convolve_materialized(a: &Pmf, b: &Pmf) -> Vec<(u64, f64)> {
+    let mut pairs: Vec<(u64, f64)> = Vec::with_capacity(a.support_len() * b.support_len());
+    for (v1, p1) in a.iter() {
+        for (v2, p2) in b.iter() {
+            pairs.push((v1.saturating_add(v2), p1 * p2));
+        }
+    }
+    pairs.sort_by_key(|&(v, _)| v);
+    let mut points: Vec<(u64, f64)> = Vec::new();
+    for (v, p) in pairs {
+        match points.last_mut() {
+            Some(last) if last.0 == v => last.1 += p,
+            _ => points.push((v, p)),
+        }
+    }
+    points
+}
+
 fn bench_convolution(c: &mut Criterion) {
     let service = DelayModel::normal_ms(100.0, 50.0);
     let queue = DelayModel::Exponential {
@@ -61,6 +84,32 @@ fn bench_convolution(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // Same-binary before/after of the convolution engine itself: the old
+    // materialize-all-pairs sort versus the shipping k-way merge, at the
+    // window sizes above and at the wide-support shape (a second-stage
+    // convolution, where the left side is already a product of two windows)
+    // where the l^2 pair table was largest.
+    let mut ab = c.benchmark_group("convolve_kway_vs_sort");
+    for window in [10usize, 20, 40] {
+        let s = window_pmf(&service, window, 1);
+        let w = window_pmf(&queue, window, 2);
+        let u = window_pmf(&deferred, window, 3);
+        let sw = s.convolve(&w).shift(1_000); // wide left side: ~window^2 points
+        ab.bench_with_input(BenchmarkId::new("sort_s_w", window), &window, |b, _| {
+            b.iter(|| std::hint::black_box(convolve_materialized(&s, &w)))
+        });
+        ab.bench_with_input(BenchmarkId::new("kway_s_w", window), &window, |b, _| {
+            b.iter(|| std::hint::black_box(s.convolve(&w)))
+        });
+        ab.bench_with_input(BenchmarkId::new("sort_sw_u", window), &window, |b, _| {
+            b.iter(|| std::hint::black_box(convolve_materialized(&sw, &u)))
+        });
+        ab.bench_with_input(BenchmarkId::new("kway_sw_u", window), &window, |b, _| {
+            b.iter(|| std::hint::black_box(sw.convolve(&u)))
+        });
+    }
+    ab.finish();
 }
 
 criterion_group!(benches, bench_convolution);

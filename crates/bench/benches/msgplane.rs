@@ -1,0 +1,388 @@
+//! Message-plane cost: what a logical send pays per delivered copy.
+//!
+//! The zero-copy plane seals every [`aqf_group::GroupMsg`] into an
+//! `Arc`-shared [`aqf_group::Envelope`], so multicast fan-out, duplicate
+//! delivery, and retransmission buffering bump a refcount instead of
+//! deep-cloning the payload. This bench quantifies that mechanism three
+//! ways and writes `results/BENCH_msgplane.json`:
+//!
+//! 1. **Fan-out A/B** — deep-cloning a `GroupMsg<Vec<u8>>` per copy (the
+//!    pre-refactor plane) versus cloning its envelope, measured in the
+//!    same binary so shared-hardware noise cancels out of the ratio.
+//! 2. **Group-plane burst** — the reliable-multicast burst of the
+//!    `multicast` bench re-measured on the envelope plane, against the
+//!    wall-clock numbers recorded on the commit preceding the refactor
+//!    (cross-run, so noise-sensitive; the ratio in (1) is the load-bearing
+//!    number).
+//! 3. **Allocation counts** (`--features alloc-counter`) — allocations per
+//!    fanned-out copy under both planes, plus the per-event/per-op gate
+//!    measurements from `world_core` and `gateway_pipeline`.
+//!
+//! Run quickly (CI smoke mode):
+//!
+//! ```text
+//! cargo bench -p aqf-bench --bench msgplane --features alloc-counter -- --quick
+//! ```
+
+use aqf_group::endpoint::GroupMembership;
+use aqf_group::{
+    DataMsg, EndpointConfig, Envelope, GroupEndpoint, GroupEvent, GroupId, GroupMsg, View, ViewId,
+};
+use aqf_sim::{Actor, ActorId, Context, SimDuration, Timer, World};
+use criterion::Criterion;
+use std::io::Write as _;
+use std::time::Instant;
+
+// --- 1. Fan-out mechanism A/B --------------------------------------------
+
+/// Wall-clock per fan-out of `copies` clones, deep vs shared, for one
+/// payload size. `deep_ns`/`arc_ns` are ns per whole fan-out (not per copy).
+struct Fanout {
+    payload_bytes: usize,
+    copies: usize,
+    deep_ns: f64,
+    arc_ns: f64,
+}
+
+fn data_msg(payload_bytes: usize) -> GroupMsg<Vec<u8>> {
+    GroupMsg::Data(DataMsg {
+        group: GroupId(1),
+        incarnation: 0,
+        seq: 7,
+        payload: vec![0xA5; payload_bytes],
+    })
+}
+
+/// Times `f` over enough iterations to fill ~80 ms, returns ns/iter.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().max(std::time::Duration::from_nanos(20));
+    let iters = (80_000_000 / once.as_nanos().max(1)).clamp(10, 2_000_000) as u64;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn measure_fanout() -> Vec<Fanout> {
+    let mut rows = Vec::new();
+    for payload_bytes in [64usize, 1024, 4096] {
+        for copies in [4usize, 16, 64] {
+            let msg = data_msg(payload_bytes);
+            let env: Envelope<Vec<u8>> = data_msg(payload_bytes).seal();
+            let deep_ns = time_ns(|| {
+                for _ in 0..copies {
+                    std::hint::black_box(msg.clone());
+                }
+            });
+            let arc_ns = time_ns(|| {
+                for _ in 0..copies {
+                    std::hint::black_box(env.clone());
+                }
+            });
+            println!(
+                "msgplane/fanout/{payload_bytes}B_x{copies}: deep {deep_ns:.0} ns, \
+                 arc {arc_ns:.0} ns ({:.1}x)",
+                deep_ns / arc_ns
+            );
+            rows.push(Fanout {
+                payload_bytes,
+                copies,
+                deep_ns,
+                arc_ns,
+            });
+        }
+    }
+    rows
+}
+
+// --- 2. Group-plane burst (the `multicast` bench on the envelope plane) ---
+
+const GROUP: GroupId = GroupId(1);
+const SEND: u32 = 1;
+
+struct Member {
+    ep: GroupEndpoint<u64>,
+    to_send: u64,
+    sent: u64,
+    delivered: u64,
+}
+
+impl Actor<Envelope<u64>> for Member {
+    fn on_start(&mut self, ctx: &mut Context<'_, Envelope<u64>>) {
+        self.ep.on_start(ctx);
+        if self.to_send > 0 {
+            ctx.set_timer(SEND, SimDuration::from_micros(100));
+        }
+    }
+    fn on_message(
+        &mut self,
+        from: ActorId,
+        msg: Envelope<u64>,
+        ctx: &mut Context<'_, Envelope<u64>>,
+    ) {
+        for ev in self.ep.handle_message(from, msg, ctx) {
+            if matches!(ev, GroupEvent::Delivered { .. }) {
+                self.delivered += 1;
+            }
+        }
+    }
+    fn on_timer(&mut self, timer: Timer, ctx: &mut Context<'_, Envelope<u64>>) {
+        if self.ep.handle_timer(timer, ctx).is_some() {
+            return;
+        }
+        if timer.kind == SEND && self.sent < self.to_send {
+            self.ep.multicast(GROUP, self.sent, ctx);
+            self.sent += 1;
+            if self.sent < self.to_send {
+                ctx.set_timer(SEND, SimDuration::from_micros(100));
+            }
+        }
+    }
+}
+
+fn run_burst(members: usize, messages: u64, loss: f64) -> u64 {
+    let mut world: World<Envelope<u64>> = World::new(42);
+    world.net_mut().set_loss_probability(loss);
+    let ids: Vec<ActorId> = (0..members).map(ActorId::from_index).collect();
+    let view = View::new(GROUP, ViewId(0), ids.clone());
+    for (i, &id) in ids.iter().enumerate() {
+        let ep = GroupEndpoint::new(
+            id,
+            EndpointConfig::default(),
+            vec![GroupMembership {
+                view: view.clone(),
+                observers: vec![],
+            }],
+            vec![],
+        );
+        world.add_actor(Box::new(Member {
+            ep,
+            to_send: if i == 0 { messages } else { 0 },
+            sent: 0,
+            delivered: 0,
+        }));
+    }
+    world.run_for(SimDuration::from_secs(60));
+    ids.iter()
+        .map(|&id| world.actor::<Member>(id).unwrap().delivered)
+        .sum()
+}
+
+/// Burst wall clock on the envelope plane versus the numbers recorded on
+/// the commit preceding the refactor (same machine class; cross-run, so
+/// treat the ratio as indicative only).
+struct Burst {
+    members: usize,
+    loss_pct: u32,
+    before_ns: f64,
+    after_ns: f64,
+}
+
+const BURST_BASELINES: [(usize, u32, f64); 6] = [
+    // (members, loss %, ns per 500-message burst on the deep-clone plane)
+    (4, 0, 1_735_919.0),
+    (8, 0, 4_409_361.0),
+    (16, 0, 14_104_850.0),
+    (4, 10, 1_955_009.0),
+    (8, 10, 5_429_375.0),
+    (16, 10, 16_654_372.0),
+];
+
+fn measure_burst(quick: bool) -> Vec<Burst> {
+    BURST_BASELINES
+        .iter()
+        .map(|&(members, loss_pct, before_ns)| {
+            let loss = loss_pct as f64 / 100.0;
+            let expect = 500 * (members as u64 - 1);
+            assert_eq!(run_burst(members, 500, loss), expect, "all delivered");
+            let reps = if quick { 1 } else { 5 };
+            // Minimum over reps: the least noise-contaminated sample.
+            let after_ns = (0..reps)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    std::hint::black_box(run_burst(members, 500, loss));
+                    t0.elapsed().as_nanos() as f64
+                })
+                .fold(f64::INFINITY, f64::min);
+            println!(
+                "msgplane/burst/{members}members_loss{loss_pct}pct: \
+                 {after_ns:.0} ns (recorded pre-refactor: {before_ns:.0} ns)"
+            );
+            Burst {
+                members,
+                loss_pct,
+                before_ns,
+                after_ns,
+            }
+        })
+        .collect()
+}
+
+// --- 3. Allocation counts (--features alloc-counter) ----------------------
+
+#[cfg(feature = "alloc-counter")]
+struct AllocRow {
+    name: &'static str,
+    allocs: u64,
+    units: u64,
+    unit: &'static str,
+}
+
+/// Allocations per fanned-out copy under both planes: the deep clone pays
+/// two per copy for a `Data` message (payload `Vec` + enum box is one —
+/// the enum itself is inline, so it is the payload buffer), the envelope
+/// pays zero.
+#[cfg(feature = "alloc-counter")]
+fn measure_allocs() -> Vec<AllocRow> {
+    const FANOUTS: u64 = 1_000;
+    const COPIES: u64 = 64;
+    let msg = data_msg(1024);
+    let env: Envelope<Vec<u8>> = data_msg(1024).seal();
+    let (deep, ()) = aqf_bench::alloc_count::measure(|| {
+        for _ in 0..FANOUTS {
+            for _ in 0..COPIES {
+                std::hint::black_box(msg.clone());
+            }
+        }
+    });
+    let (arc, ()) = aqf_bench::alloc_count::measure(|| {
+        for _ in 0..FANOUTS {
+            for _ in 0..COPIES {
+                std::hint::black_box(env.clone());
+            }
+        }
+    });
+    let rows = vec![
+        AllocRow {
+            name: "fanout_deep_clone",
+            allocs: deep,
+            units: FANOUTS * COPIES,
+            unit: "copy",
+        },
+        AllocRow {
+            name: "fanout_arc_share",
+            allocs: arc,
+            units: FANOUTS * COPIES,
+            unit: "copy",
+        },
+    ];
+    for r in &rows {
+        println!(
+            "msgplane/allocs/{}: {} allocs / {} copies = {:.3} per copy",
+            r.name,
+            r.allocs,
+            r.units,
+            r.allocs as f64 / r.units as f64
+        );
+    }
+    assert_eq!(arc, 0, "envelope fan-out must not allocate");
+    rows
+}
+
+// --- Report ---------------------------------------------------------------
+
+fn render_json(
+    fanout: &[Fanout],
+    burst: &[Burst],
+    #[cfg(feature = "alloc-counter")] allocs: &[AllocRow],
+    quick: bool,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"msgplane\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(
+        "  \"baseline\": \"pre-zero-copy message plane: deep clone per delivered \
+         copy, String method names, per-reply buffer growth\",\n",
+    );
+    out.push_str("  \"fanout\": [\n");
+    for (i, f) in fanout.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"payload_bytes\": {}, \"copies\": {}, \"deep_clone_ns\": {:.0}, \
+             \"arc_share_ns\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            f.payload_bytes,
+            f.copies,
+            f.deep_ns,
+            f.arc_ns,
+            f.deep_ns / f.arc_ns,
+            if i + 1 < fanout.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"burst\": [\n");
+    for (i, b) in burst.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"members\": {}, \"messages\": 500, \"loss_pct\": {}, \
+             \"before_ns\": {:.0}, \"after_ns\": {:.0}}}{}\n",
+            b.members,
+            b.loss_pct,
+            b.before_ns,
+            b.after_ns,
+            if i + 1 < burst.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]");
+    #[cfg(feature = "alloc-counter")]
+    {
+        out.push_str(",\n  \"allocations\": [\n");
+        for (i, r) in allocs.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"allocs\": {}, \"units\": {}, \
+                 \"unit\": \"{}\", \"per_unit\": {:.3}}}{}\n",
+                r.name,
+                r.allocs,
+                r.units,
+                r.unit,
+                r.allocs as f64 / r.units as f64,
+                if i + 1 < allocs.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn write_report(json: &str) {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let dir = root.join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_msgplane.json");
+    let mut f = std::fs::File::create(&path).expect("create BENCH_msgplane.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_msgplane.json");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let _criterion = Criterion::default();
+    let fanout = measure_fanout();
+    let burst = measure_burst(quick);
+    #[cfg(feature = "alloc-counter")]
+    let allocs = measure_allocs();
+    let json = render_json(
+        &fanout,
+        &burst,
+        #[cfg(feature = "alloc-counter")]
+        &allocs,
+        quick,
+    );
+    write_report(&json);
+    let worst = fanout
+        .iter()
+        .filter(|f| f.payload_bytes >= 4096 && f.copies >= 16)
+        .map(|f| f.deep_ns / f.arc_ns)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        worst >= 2.0,
+        "zero-copy fan-out must stay >= 2x deep-clone at realistic \
+         payload sizes (got {worst:.2}x)"
+    );
+}

@@ -3,7 +3,7 @@
 //! without message loss.
 
 use aqf_group::endpoint::GroupMembership;
-use aqf_group::{EndpointConfig, GroupEndpoint, GroupEvent, GroupId, GroupMsg, View, ViewId};
+use aqf_group::{EndpointConfig, Envelope, GroupEndpoint, GroupEvent, GroupId, View, ViewId};
 use aqf_sim::{Actor, ActorId, Context, SimDuration, Timer, World};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -17,8 +17,8 @@ struct Member {
     delivered: u64,
 }
 
-impl Actor<GroupMsg<u64>> for Member {
-    fn on_start(&mut self, ctx: &mut Context<'_, GroupMsg<u64>>) {
+impl Actor<Envelope<u64>> for Member {
+    fn on_start(&mut self, ctx: &mut Context<'_, Envelope<u64>>) {
         self.ep.on_start(ctx);
         if self.to_send > 0 {
             ctx.set_timer(SEND, SimDuration::from_micros(100));
@@ -27,8 +27,8 @@ impl Actor<GroupMsg<u64>> for Member {
     fn on_message(
         &mut self,
         from: ActorId,
-        msg: GroupMsg<u64>,
-        ctx: &mut Context<'_, GroupMsg<u64>>,
+        msg: Envelope<u64>,
+        ctx: &mut Context<'_, Envelope<u64>>,
     ) {
         for ev in self.ep.handle_message(from, msg, ctx) {
             if matches!(ev, GroupEvent::Delivered { .. }) {
@@ -36,7 +36,7 @@ impl Actor<GroupMsg<u64>> for Member {
             }
         }
     }
-    fn on_timer(&mut self, timer: Timer, ctx: &mut Context<'_, GroupMsg<u64>>) {
+    fn on_timer(&mut self, timer: Timer, ctx: &mut Context<'_, Envelope<u64>>) {
         if self.ep.handle_timer(timer, ctx).is_some() {
             return;
         }
@@ -51,7 +51,7 @@ impl Actor<GroupMsg<u64>> for Member {
 }
 
 fn run_burst(members: usize, messages: u64, loss: f64) -> u64 {
-    let mut world: World<GroupMsg<u64>> = World::new(42);
+    let mut world: World<Envelope<u64>> = World::new(42);
     world.net_mut().set_loss_probability(loss);
     let ids: Vec<ActorId> = (0..members).map(ActorId::from_index).collect();
     let view = View::new(GROUP, ViewId(0), ids.clone());

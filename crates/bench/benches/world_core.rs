@@ -315,10 +315,70 @@ fn write_report(rows: &[Row], quick: bool) {
     println!("wrote {}", path.display());
 }
 
+// --- Allocation-regression gates (--features alloc-counter) --------------
+
+/// Asserts allocations-per-event ceilings on the event core's hot paths.
+/// The ceilings are ~2x the counts measured on the zero-copy message plane,
+/// so routine noise passes but reintroducing a per-copy deep clone (the
+/// regression this gate exists to catch) fails loudly.
+#[cfg(feature = "alloc-counter")]
+fn alloc_gates() {
+    /// Ring relay: `u32` messages, reused command buffer — the dispatch
+    /// path itself must not allocate per event.
+    const RING_CEILING: f64 = 0.05;
+    /// Lossy multicast of 256-byte `Vec` payloads: one clone per delivered
+    /// copy at the `World` level (`M = Vec<u8>` has no sharing), plus queue
+    /// amortization.
+    const MULTICAST_CEILING: f64 = 2.5;
+    /// Full 16-actor faulty scenario: every layer together (group plane,
+    /// gateways, clients, observability off). Measured: ~2.1 per event on
+    /// the zero-copy plane; the pre-refactor plane deep-cloned every
+    /// multicast copy and sat well above this.
+    const SCENARIO_CEILING: f64 = 5.0;
+
+    let mut failures = Vec::new();
+    let mut gate = |name: &str, allocs: u64, events: u64, ceiling: f64| {
+        let per_event = allocs as f64 / events as f64;
+        let verdict = if per_event <= ceiling { "ok" } else { "FAIL" };
+        println!(
+            "world_core/allocs/{name}: {allocs} allocs / {events} events \
+             = {per_event:.3} per event (ceiling {ceiling}) {verdict}"
+        );
+        if per_event > ceiling {
+            failures.push(format!("{name}: {per_event:.3} > {ceiling}"));
+        }
+    };
+
+    let _ = ring_run(4_000); // warm-up outside the counted window
+    let (allocs, events) = aqf_bench::alloc_count::measure(|| ring_run(4_000));
+    gate("ring_delivery", allocs, events, RING_CEILING);
+
+    let _ = multicast_run(16, 500);
+    let (allocs, delivered) = aqf_bench::alloc_count::measure(|| multicast_run(16, 500));
+    gate("multicast_lossy", allocs, delivered, MULTICAST_CEILING);
+
+    let config = world_bench_config(16, true);
+    let _ = run_scenario(&config);
+    let (allocs, m) = aqf_bench::alloc_count::measure(|| run_scenario(&config));
+    gate(
+        "scenario_16actors_faults",
+        allocs,
+        m.events,
+        SCENARIO_CEILING,
+    );
+
+    assert!(
+        failures.is_empty(),
+        "allocation ceilings exceeded: {failures:?}"
+    );
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let mut criterion = Criterion::default();
     micro_benches(&mut criterion);
     let rows = measure_scenarios(quick);
     write_report(&rows, quick);
+    #[cfg(feature = "alloc-counter")]
+    alloc_gates();
 }

@@ -7,6 +7,58 @@
 
 pub use aqf_workload::{build_candidates, build_candidates_uncached, synthetic_repository};
 
+/// Allocation counting for the bench suite's regression gates.
+///
+/// Compiled only with `--features alloc-counter`: installs a wrapper around
+/// the system allocator that counts every `alloc`/`realloc` call, so the
+/// `world_core` and `gateway_pipeline` benches can assert an
+/// allocations-per-event ceiling and fail when a change quietly reintroduces
+/// per-copy cloning on the message plane. Counting is a single relaxed
+/// atomic increment; it perturbs timings, which is why the gates run as a
+/// separate feature-gated pass rather than inside the timed benches.
+#[cfg(feature = "alloc-counter")]
+pub mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// Counts heap acquisitions (`alloc` and `realloc`) and forwards to the
+    /// system allocator.
+    pub struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static COUNTER: CountingAlloc = CountingAlloc;
+
+    /// Heap acquisitions since process start.
+    pub fn allocations() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f` and returns `(allocations during f, f's result)`.
+    pub fn measure<R>(f: impl FnOnce() -> R) -> (u64, R) {
+        let before = allocations();
+        let out = f();
+        (allocations() - before, out)
+    }
+}
+
 use aqf_core::object::VersionedRegister;
 use aqf_core::server::{ServerConfig, ServerGateway};
 use aqf_core::{PRIMARY_GROUP, SECONDARY_GROUP};

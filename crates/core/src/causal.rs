@@ -38,6 +38,7 @@ use crate::wire::{
 use aqf_group::View;
 use aqf_sim::{ActorId, SimDuration, SimTime};
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 /// Pointwise comparison: does `vector` dominate (cover) every entry of
 /// `deps`?
@@ -97,8 +98,8 @@ pub struct CausalServerGateway {
     config: ServerConfig,
     object: Box<dyn ReplicatedObject>,
 
-    primary_view: View,
-    secondary_view: View,
+    primary_view: Arc<View>,
+    secondary_view: Arc<View>,
 
     /// Per-client committed (enqueued-for-apply) update counts: the
     /// replica's version vector.
@@ -141,6 +142,9 @@ pub struct CausalServerGateway {
 
     synced: bool,
     stats: ServerStats,
+    /// Retained staging buffer for reply encoding: every serviced request
+    /// reuses this allocation via the object's `*_into` entry points.
+    reply_scratch: bytes::BytesMut,
     obs: ObsHandle,
     /// Updates that had to wait for causal dependencies at least once.
     causal_holds: u64,
@@ -168,11 +172,13 @@ impl CausalServerGateway {
     /// Panics if `me` is a member of neither (or both) initial views.
     pub fn new(
         me: ActorId,
-        primary_view: View,
-        secondary_view: View,
+        primary_view: impl Into<Arc<View>>,
+        secondary_view: impl Into<Arc<View>>,
         object: Box<dyn ReplicatedObject>,
         config: ServerConfig,
     ) -> Self {
+        let primary_view: Arc<View> = primary_view.into();
+        let secondary_view: Arc<View> = secondary_view.into();
         let in_p = primary_view.contains(me);
         let in_s = secondary_view.contains(me);
         assert!(
@@ -214,6 +220,7 @@ impl CausalServerGateway {
             avg_service_us: 0,
             synced: true,
             stats: ServerStats::default(),
+            reply_scratch: bytes::BytesMut::new(),
             obs: ObsHandle::disabled(),
             causal_holds: 0,
             causal_read_waits: 0,
@@ -761,7 +768,9 @@ impl CausalServerGateway {
         }
         match work.kind {
             WorkKind::Update { update } => {
-                let result = self.object.apply_update(&update.op);
+                let result = self
+                    .object
+                    .apply_update_into(&update.op, &mut self.reply_scratch);
                 let tq = started_at.saturating_since(work.enqueued_at);
                 let reply = Reply {
                     id: update.id,
@@ -785,7 +794,7 @@ impl CausalServerGateway {
                 tb,
                 vector,
             } => {
-                let result = self.object.read(&read.req.op);
+                let result = self.object.read_into(&read.req.op, &mut self.reply_scratch);
                 self.stats.reads_served += 1;
                 let total_wait = started_at.saturating_since(read.arrived_at);
                 let tq = total_wait.saturating_sub(tb);
@@ -891,7 +900,7 @@ impl CausalServerGateway {
     }
 
     /// Handles a view change of either replication group.
-    pub fn on_view(&mut self, view: View, now: SimTime) -> Vec<ServerAction> {
+    pub fn on_view(&mut self, view: Arc<View>, now: SimTime) -> Vec<ServerAction> {
         let (view_id, members) = (view.id.0, view.members().len() as u64);
         self.obs
             .emit(now, self.me, || ObsEvent::ViewChange { view_id, members });
@@ -946,7 +955,7 @@ impl crate::protocol::ServerProtocol for CausalServerGateway {
         CausalServerGateway::on_lazy_timer(self, now)
     }
 
-    fn on_view(&mut self, view: View, now: SimTime) -> Vec<ServerAction> {
+    fn on_view(&mut self, view: Arc<View>, now: SimTime) -> Vec<ServerAction> {
         CausalServerGateway::on_view(self, view, now)
     }
 

@@ -31,6 +31,7 @@ use bytes::Bytes;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Tuning knobs for a client gateway.
 #[derive(Debug, Clone)]
@@ -375,8 +376,8 @@ pub struct ClientGateway {
     rng: SmallRng,
     next_seq: u64,
     pending: HashMap<RequestId, Pending>,
-    primary_view: View,
-    secondary_view: View,
+    primary_view: Arc<View>,
+    secondary_view: Arc<View>,
     alerted: bool,
     last_selection: Option<Selection>,
     last_stale_factor: f64,
@@ -418,10 +419,12 @@ impl ClientGateway {
     /// announcements).
     pub fn new(
         me: ActorId,
-        primary_view: View,
-        secondary_view: View,
+        primary_view: impl Into<Arc<View>>,
+        secondary_view: impl Into<Arc<View>>,
         config: ClientConfig,
     ) -> Self {
+        let primary_view: Arc<View> = primary_view.into();
+        let secondary_view: Arc<View> = secondary_view.into();
         let monitor = MonitorConfig {
             window_size: config.window_size,
             rate_window: config.rate_window,
@@ -1392,7 +1395,7 @@ impl ClientGateway {
     /// a replica crashed out or rejoined — the admission decision is
     /// re-evaluated against the new capacity (returned actions surface a
     /// degradation step when the requested QoS is no longer attainable).
-    pub fn on_view(&mut self, view: View, now: SimTime) -> Vec<ClientAction> {
+    pub fn on_view(&mut self, view: Arc<View>, now: SimTime) -> Vec<ClientAction> {
         let (view_id, members) = (view.id.0, view.members().len() as u64);
         let mut changed = false;
         if view.group == PRIMARY_GROUP {
@@ -1879,7 +1882,7 @@ mod tests {
         // Sequencer a(0) fails; a(1) leads. Candidates: a(2) + secondaries.
         let (p, _) = views();
         let newer = p.successor(&[a(0)], &[]).unwrap();
-        let _ = c.on_view(newer, t(0));
+        let _ = c.on_view(Arc::new(newer), t(0));
         assert_eq!(c.sequencer(), a(1));
         let (_, _) = c.submit_read(Operation::new("get", vec![]), qos(200, 0.99), t(0));
         let sel = c.last_selection().unwrap().clone();
@@ -1887,7 +1890,7 @@ mod tests {
         assert!(sel.replicas.contains(&a(1)), "new sequencer appended");
         // Stale view replay is ignored.
         let (old_p, _) = views();
-        let _ = c.on_view(old_p, t(0));
+        let _ = c.on_view(Arc::new(old_p), t(0));
         assert_eq!(c.sequencer(), a(1));
     }
 
@@ -2450,7 +2453,7 @@ mod tests {
         let (_, _) = c.submit_read(Operation::new("get", vec![]), qos(200, 0.9), t(0));
         let (p, _) = views();
         let newer = p.successor(&[a(2)], &[]).unwrap();
-        let actions = c.on_view(newer, t(10));
+        let actions = c.on_view(Arc::new(newer), t(10));
         assert_eq!(c.stats().admission_reevals, 1);
         assert_eq!(c.stats().admission_rejects, 1);
         assert!(actions.iter().any(|x| matches!(

@@ -40,6 +40,7 @@ use crate::wire::{
 use aqf_group::View;
 use aqf_sim::{ActorId, SimDuration, SimTime};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 #[derive(Debug, Clone)]
 struct PendingRead {
@@ -74,8 +75,8 @@ pub struct FifoServerGateway {
     config: ServerConfig,
     object: Box<dyn ReplicatedObject>,
 
-    primary_view: View,
-    secondary_view: View,
+    primary_view: Arc<View>,
+    secondary_view: Arc<View>,
 
     /// Updates applied to the hosted object (the replica's version).
     version: u64,
@@ -115,6 +116,9 @@ pub struct FifoServerGateway {
 
     synced: bool,
     stats: ServerStats,
+    /// Retained staging buffer for reply encoding: every serviced request
+    /// reuses this allocation via the object's `*_into` entry points.
+    reply_scratch: bytes::BytesMut,
     obs: ObsHandle,
 }
 
@@ -137,11 +141,13 @@ impl FifoServerGateway {
     /// Panics if `me` is a member of neither (or both) initial views.
     pub fn new(
         me: ActorId,
-        primary_view: View,
-        secondary_view: View,
+        primary_view: impl Into<Arc<View>>,
+        secondary_view: impl Into<Arc<View>>,
         object: Box<dyn ReplicatedObject>,
         config: ServerConfig,
     ) -> Self {
+        let primary_view: Arc<View> = primary_view.into();
+        let secondary_view: Arc<View> = secondary_view.into();
         let in_p = primary_view.contains(me);
         let in_s = secondary_view.contains(me);
         assert!(
@@ -182,6 +188,7 @@ impl FifoServerGateway {
             avg_service_us: 0,
             synced: true,
             stats: ServerStats::default(),
+            reply_scratch: bytes::BytesMut::new(),
             obs: ObsHandle::disabled(),
         }
     }
@@ -639,7 +646,9 @@ impl FifoServerGateway {
         }
         match work.kind {
             WorkKind::Update { update } => {
-                let result = self.object.apply_update(&update.op);
+                let result = self
+                    .object
+                    .apply_update_into(&update.op, &mut self.reply_scratch);
                 self.version += 1;
                 self.applied_log.push_back(update.id);
                 while self.applied_log.len() > self.config.committed_log {
@@ -667,7 +676,7 @@ impl FifoServerGateway {
                 deferred,
                 tb,
             } => {
-                let result = self.object.read(&read.req.op);
+                let result = self.object.read_into(&read.req.op, &mut self.reply_scratch);
                 self.stats.reads_served += 1;
                 let total_wait = started_at.saturating_since(read.arrived_at);
                 let tq = total_wait.saturating_sub(tb);
@@ -756,7 +765,7 @@ impl FifoServerGateway {
     }
 
     /// Handles a view change of either replication group.
-    pub fn on_view(&mut self, view: View, now: SimTime) -> Vec<ServerAction> {
+    pub fn on_view(&mut self, view: Arc<View>, now: SimTime) -> Vec<ServerAction> {
         let (view_id, members) = (view.id.0, view.members().len() as u64);
         self.obs
             .emit(now, self.me, || ObsEvent::ViewChange { view_id, members });
@@ -811,7 +820,7 @@ impl crate::protocol::ServerProtocol for FifoServerGateway {
         FifoServerGateway::on_lazy_timer(self, now)
     }
 
-    fn on_view(&mut self, view: View, now: SimTime) -> Vec<ServerAction> {
+    fn on_view(&mut self, view: Arc<View>, now: SimTime) -> Vec<ServerAction> {
         FifoServerGateway::on_view(self, view, now)
     }
 
@@ -1142,7 +1151,7 @@ mod tests {
         let mut p = gw(1);
         assert!(!p.is_publisher());
         let new_view = pview().successor(&[a(2)], &[]).unwrap();
-        let actions = p.on_view(new_view, t(500));
+        let actions = p.on_view(Arc::new(new_view), t(500));
         assert!(p.is_publisher());
         assert!(actions
             .iter()

@@ -93,4 +93,4 @@ pub use qos::{OperationKind, OrderingGuarantee, QosSpec, ReadOnlyRegistry};
 pub use select::{SelectionPolicy, Selector};
 pub use server::{ReplicaRole, ServerAction, ServerConfig, ServerGateway};
 pub use timing::TimingFailureDetector;
-pub use wire::{Operation, Payload, RequestId, PRIMARY_GROUP, SECONDARY_GROUP};
+pub use wire::{MethodId, Operation, Payload, RequestId, PRIMARY_GROUP, SECONDARY_GROUP};

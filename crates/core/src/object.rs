@@ -27,6 +27,25 @@ pub trait ReplicatedObject: fmt::Debug + Send {
     /// Services a read-only operation against the current state.
     fn read(&self, op: &Operation) -> Bytes;
 
+    /// Like [`ReplicatedObject::apply_update`], but encodes the reply
+    /// through a caller-retained scratch buffer so a gateway servicing a
+    /// stream of requests reuses one staging allocation instead of growing
+    /// a fresh buffer per reply. The returned bytes must be identical to
+    /// what `apply_update` would return; the default ignores the scratch
+    /// and delegates, so third-party objects stay correct unmodified.
+    fn apply_update_into(&mut self, op: &Operation, scratch: &mut BytesMut) -> Bytes {
+        let _ = scratch;
+        self.apply_update(op)
+    }
+
+    /// Like [`ReplicatedObject::read`], but encodes the reply through a
+    /// caller-retained scratch buffer. Same contract as
+    /// [`ReplicatedObject::apply_update_into`].
+    fn read_into(&self, op: &Operation, scratch: &mut BytesMut) -> Bytes {
+        let _ = scratch;
+        self.read(op)
+    }
+
     /// Serializes the full state.
     fn snapshot(&self) -> Bytes;
 
@@ -68,18 +87,26 @@ impl VersionedRegister {
 
 impl ReplicatedObject for VersionedRegister {
     fn apply_update(&mut self, op: &Operation) -> Bytes {
-        self.version += 1;
-        self.value = op.payload.to_vec();
-        let mut out = BytesMut::with_capacity(8);
-        out.put_u64(self.version);
-        out.freeze()
+        self.apply_update_into(op, &mut BytesMut::new())
     }
 
-    fn read(&self, _op: &Operation) -> Bytes {
-        let mut out = BytesMut::with_capacity(8 + self.value.len());
-        out.put_u64(self.version);
-        out.put_slice(&self.value);
-        out.freeze()
+    fn read(&self, op: &Operation) -> Bytes {
+        self.read_into(op, &mut BytesMut::new())
+    }
+
+    fn apply_update_into(&mut self, op: &Operation, scratch: &mut BytesMut) -> Bytes {
+        self.version += 1;
+        self.value = op.payload.to_vec();
+        scratch.clear();
+        scratch.put_u64(self.version);
+        Bytes::copy_from_slice(scratch.as_ref())
+    }
+
+    fn read_into(&self, _op: &Operation, scratch: &mut BytesMut) -> Bytes {
+        scratch.clear();
+        scratch.put_u64(self.version);
+        scratch.put_slice(&self.value);
+        Bytes::copy_from_slice(scratch.as_ref())
     }
 
     fn snapshot(&self) -> Bytes {
@@ -134,18 +161,28 @@ impl SharedDocument {
 
 impl ReplicatedObject for SharedDocument {
     fn apply_update(&mut self, op: &Operation) -> Bytes {
-        self.lines.push(op.payload.to_vec());
-        let mut out = BytesMut::with_capacity(8);
-        out.put_u64(self.version());
-        out.freeze()
+        self.apply_update_into(op, &mut BytesMut::new())
     }
 
-    fn read(&self, _op: &Operation) -> Bytes {
+    fn read(&self, op: &Operation) -> Bytes {
+        self.read_into(op, &mut BytesMut::new())
+    }
+
+    fn apply_update_into(&mut self, op: &Operation, scratch: &mut BytesMut) -> Bytes {
+        self.lines.push(op.payload.to_vec());
+        scratch.clear();
+        scratch.put_u64(self.version());
+        Bytes::copy_from_slice(scratch.as_ref())
+    }
+
+    fn read_into(&self, _op: &Operation, scratch: &mut BytesMut) -> Bytes {
+        // `text()` lossy-converts each line; reply bytes must stay identical
+        // to the pre-scratch encoding, so the conversion is kept as-is.
         let text = self.text();
-        let mut out = BytesMut::with_capacity(8 + text.len());
-        out.put_u64(self.version());
-        out.put_slice(text.as_bytes());
-        out.freeze()
+        scratch.clear();
+        scratch.put_u64(self.version());
+        scratch.put_slice(text.as_bytes());
+        Bytes::copy_from_slice(scratch.as_ref())
     }
 
     fn snapshot(&self) -> Bytes {
@@ -213,6 +250,14 @@ impl TickerBoard {
 
 impl ReplicatedObject for TickerBoard {
     fn apply_update(&mut self, op: &Operation) -> Bytes {
+        self.apply_update_into(op, &mut BytesMut::new())
+    }
+
+    fn read(&self, op: &Operation) -> Bytes {
+        self.read_into(op, &mut BytesMut::new())
+    }
+
+    fn apply_update_into(&mut self, op: &Operation, scratch: &mut BytesMut) -> Bytes {
         let raw = op.payload.as_ref();
         let sep = raw
             .iter()
@@ -224,18 +269,18 @@ impl ReplicatedObject for TickerBoard {
         let price = rest.get_u64();
         self.prices.insert(symbol, price);
         self.updates += 1;
-        let mut out = BytesMut::with_capacity(8);
-        out.put_u64(self.updates);
-        out.freeze()
+        scratch.clear();
+        scratch.put_u64(self.updates);
+        Bytes::copy_from_slice(scratch.as_ref())
     }
 
-    fn read(&self, op: &Operation) -> Bytes {
+    fn read_into(&self, op: &Operation, scratch: &mut BytesMut) -> Bytes {
         let symbol = String::from_utf8_lossy(op.payload.as_ref());
         match self.prices.get(symbol.as_ref()) {
             Some(price) => {
-                let mut out = BytesMut::with_capacity(8);
-                out.put_u64(*price);
-                out.freeze()
+                scratch.clear();
+                scratch.put_u64(*price);
+                Bytes::copy_from_slice(scratch.as_ref())
             }
             None => Bytes::new(),
         }
@@ -328,6 +373,14 @@ impl AccountBook {
 
 impl ReplicatedObject for AccountBook {
     fn apply_update(&mut self, op: &Operation) -> Bytes {
+        self.apply_update_into(op, &mut BytesMut::new())
+    }
+
+    fn read(&self, op: &Operation) -> Bytes {
+        self.read_into(op, &mut BytesMut::new())
+    }
+
+    fn apply_update_into(&mut self, op: &Operation, scratch: &mut BytesMut) -> Bytes {
         let (account, amount) = Self::decode(op.payload.as_ref());
         let balance = self.balances.entry(account).or_insert(0);
         match op.method.as_str() {
@@ -337,16 +390,16 @@ impl ReplicatedObject for AccountBook {
             _ => *balance = balance.saturating_add(amount),
         }
         self.transactions += 1;
-        let mut out = BytesMut::with_capacity(8);
-        out.put_u64(*balance);
-        out.freeze()
+        scratch.clear();
+        scratch.put_u64(*balance);
+        Bytes::copy_from_slice(scratch.as_ref())
     }
 
-    fn read(&self, op: &Operation) -> Bytes {
+    fn read_into(&self, op: &Operation, scratch: &mut BytesMut) -> Bytes {
         let account = String::from_utf8_lossy(op.payload.as_ref());
-        let mut out = BytesMut::with_capacity(8);
-        out.put_u64(self.balance(account.as_ref()));
-        out.freeze()
+        scratch.clear();
+        scratch.put_u64(self.balance(account.as_ref()));
+        Bytes::copy_from_slice(scratch.as_ref())
     }
 
     fn snapshot(&self) -> Bytes {

@@ -12,6 +12,7 @@ use crate::server::{ServerAction, ServerStats};
 use crate::wire::Payload;
 use aqf_group::View;
 use aqf_sim::{ActorId, SimTime};
+use std::sync::Arc;
 
 /// A server-side gateway protocol: consumes payloads, timers, and view
 /// changes; produces [`ServerAction`]s for the host to execute.
@@ -47,8 +48,11 @@ pub trait ServerProtocol: Send {
     /// Called when the lazy propagation timer fires.
     fn on_lazy_timer(&mut self, now: SimTime) -> Vec<ServerAction>;
 
-    /// Called on every installed or observed view change.
-    fn on_view(&mut self, view: View, now: SimTime) -> Vec<ServerAction>;
+    /// Called on every installed or observed view change. The view is
+    /// shared with the group layer's own copy (and every other observer
+    /// of the same announce round); implementations store the `Arc`
+    /// rather than cloning the membership list.
+    fn on_view(&mut self, view: Arc<View>, now: SimTime) -> Vec<ServerAction>;
 
     /// Whether this replica currently sequences updates (always false for
     /// handlers without a sequencer).

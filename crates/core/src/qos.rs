@@ -6,6 +6,7 @@
 //! carry no timeliness constraint and are ordered by the service's
 //! guarantee (sequential, in this implementation).
 
+use crate::wire::MethodId;
 use aqf_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -118,10 +119,22 @@ impl std::error::Error for QosError {}
 /// it invokes on an object by their names. If an operation is not specified
 /// as read-only, then our middleware considers it to be an update operation"
 /// (paper §2).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ReadOnlyRegistry {
     methods: HashSet<String>,
+    /// Bitmap over interned [`MethodId`] indices, so classifying an
+    /// in-flight operation is an array probe instead of a string hash.
+    /// Derived from `methods`; not part of the registry's identity.
+    read_only_bits: Vec<bool>,
 }
+
+impl PartialEq for ReadOnlyRegistry {
+    fn eq(&self, other: &Self) -> bool {
+        self.methods == other.methods
+    }
+}
+
+impl Eq for ReadOnlyRegistry {}
 
 /// Classification of an invocation by the request model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -141,12 +154,33 @@ impl ReadOnlyRegistry {
 
     /// Declares `method` as read-only.
     pub fn declare_read_only(&mut self, method: impl Into<String>) {
-        self.methods.insert(method.into());
+        let method = method.into();
+        let idx = MethodId::intern(&method).index();
+        if idx >= self.read_only_bits.len() {
+            self.read_only_bits.resize(idx + 1, false);
+        }
+        self.read_only_bits[idx] = true;
+        self.methods.insert(method);
     }
 
     /// Classifies an invocation: read-only if declared, update otherwise.
     pub fn classify(&self, method: &str) -> OperationKind {
         if self.methods.contains(method) {
+            OperationKind::ReadOnly
+        } else {
+            OperationKind::Update
+        }
+    }
+
+    /// Classifies an interned method id: a bounds-checked array probe, no
+    /// hashing or string comparison.
+    pub fn classify_id(&self, method: MethodId) -> OperationKind {
+        if self
+            .read_only_bits
+            .get(method.index())
+            .copied()
+            .unwrap_or(false)
+        {
             OperationKind::ReadOnly
         } else {
             OperationKind::Update
@@ -211,6 +245,19 @@ mod tests {
         assert_eq!(reg.classify("peek"), OperationKind::ReadOnly);
         assert_eq!(reg.classify("set"), OperationKind::Update);
         assert_eq!(reg.classify("GET"), OperationKind::Update); // case sensitive
+                                                                // The array probe agrees with the string path.
+        assert_eq!(
+            reg.classify_id(MethodId::intern("get")),
+            OperationKind::ReadOnly
+        );
+        assert_eq!(
+            reg.classify_id(MethodId::intern("peek")),
+            OperationKind::ReadOnly
+        );
+        assert_eq!(
+            reg.classify_id(MethodId::intern("set")),
+            OperationKind::Update
+        );
         assert_eq!(reg.len(), 2);
         assert!(!reg.is_empty());
     }

@@ -32,6 +32,7 @@ use crate::wire::{
 use aqf_group::{GroupId, View};
 use aqf_sim::{ActorId, SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
 /// Whether a replica belongs to the primary or the secondary group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -215,8 +216,8 @@ pub struct ServerGateway {
     config: ServerConfig,
     object: Box<dyn ReplicatedObject>,
 
-    primary_view: View,
-    secondary_view: View,
+    primary_view: Arc<View>,
+    secondary_view: Arc<View>,
 
     my_gsn: u64,
     my_csn: u64,
@@ -291,6 +292,11 @@ pub struct ServerGateway {
     /// the first sample. Drives deadline-aware shedding.
     avg_service_us: u64,
 
+    /// Retained staging buffer for reply encoding: every serviced request
+    /// reuses this allocation via [`ReplicatedObject::apply_update_into`] /
+    /// [`ReplicatedObject::read_into`] instead of growing a fresh buffer.
+    reply_scratch: bytes::BytesMut,
+
     synced: bool,
     stats: ServerStats,
     obs: ObsHandle,
@@ -317,11 +323,13 @@ impl ServerGateway {
     /// Panics if `me` is a member of neither (or both) initial views.
     pub fn new(
         me: ActorId,
-        primary_view: View,
-        secondary_view: View,
+        primary_view: impl Into<Arc<View>>,
+        secondary_view: impl Into<Arc<View>>,
         object: Box<dyn ReplicatedObject>,
         config: ServerConfig,
     ) -> Self {
+        let primary_view: Arc<View> = primary_view.into();
+        let secondary_view: Arc<View> = secondary_view.into();
         let in_p = primary_view.contains(me);
         let in_s = secondary_view.contains(me);
         assert!(
@@ -377,6 +385,7 @@ impl ServerGateway {
             promotion_inflight: None,
             last_seq_activity: SimTime::ZERO,
             avg_service_us: 0,
+            reply_scratch: bytes::BytesMut::new(),
             synced: true,
             stats: ServerStats::default(),
             obs: ObsHandle::disabled(),
@@ -1141,7 +1150,9 @@ impl ServerGateway {
         }
         match work.kind {
             WorkKind::Update { update, gsn } => {
-                let result = self.object.apply_update(&update.op);
+                let result = self
+                    .object
+                    .apply_update_into(&update.op, &mut self.reply_scratch);
                 self.applied_csn += 1;
                 debug_assert_eq!(self.applied_csn, gsn, "updates must apply in GSN order");
                 // The sequencer does not service client requests (§4.1):
@@ -1173,7 +1184,7 @@ impl ServerGateway {
                 deferred,
                 tb,
             } => {
-                let result = self.object.read(&read.req.op);
+                let result = self.object.read_into(&read.req.op, &mut self.reply_scratch);
                 self.stats.reads_served += 1;
                 // t_q is all waiting except the deferral buffering:
                 // arrival -> service start, minus tb (§5.4).
@@ -1573,7 +1584,7 @@ impl ServerGateway {
     }
 
     /// Handles a view change of either replication group.
-    pub fn on_view(&mut self, view: View, now: SimTime) -> Vec<ServerAction> {
+    pub fn on_view(&mut self, view: Arc<View>, now: SimTime) -> Vec<ServerAction> {
         let (view_id, members) = (view.id.0, view.members().len() as u64);
         self.obs
             .emit(now, self.me, || ObsEvent::ViewChange { view_id, members });
@@ -1691,7 +1702,7 @@ impl crate::protocol::ServerProtocol for ServerGateway {
         ServerGateway::on_lazy_timer(self, now)
     }
 
-    fn on_view(&mut self, view: View, now: SimTime) -> Vec<ServerAction> {
+    fn on_view(&mut self, view: Arc<View>, now: SimTime) -> Vec<ServerAction> {
         ServerGateway::on_view(self, view, now)
     }
 
@@ -2210,7 +2221,7 @@ mod tests {
             t(1),
         );
         let new_view = pview().successor(&[a(0)], &[]).unwrap();
-        let actions = p.on_view(new_view, t(1000));
+        let actions = p.on_view(Arc::new(new_view), t(1000));
         assert!(actions
             .iter()
             .any(|x| matches!(x, ServerAction::MulticastPrimary(Payload::GsnQuery { .. }))));
@@ -2251,7 +2262,7 @@ mod tests {
         );
         assert_eq!(p.csn(), 1);
         let new_view = pview().successor(&[a(0)], &[]).unwrap();
-        let _ = p.on_view(new_view, t(1000));
+        let _ = p.on_view(Arc::new(new_view), t(1000));
         let actions = p.on_payload(
             a(2),
             Payload::GsnReport {
@@ -2277,7 +2288,7 @@ mod tests {
         let _ = p.on_payload(a(20), Payload::Update(upd(0)), t(0));
         assert_eq!(p.csn(), 0);
         let new_view = pview().successor(&[a(0)], &[]).unwrap();
-        let _ = p.on_view(new_view, t(1000));
+        let _ = p.on_view(Arc::new(new_view), t(1000));
         let actions = p.on_payload(
             a(2),
             Payload::GsnReport {
@@ -2299,7 +2310,7 @@ mod tests {
         let mut p = gw(2); // stays non-leader after 0 crashes (1 leads)
         let _ = p.on_payload(a(20), Payload::Read(read(0, 0)), t(0));
         let new_view = pview().successor(&[a(0)], &[]).unwrap();
-        let actions = p.on_view(new_view, t(1000));
+        let actions = p.on_view(Arc::new(new_view), t(1000));
         assert!(actions.iter().any(|x| matches!(
             x,
             ServerAction::SendDirect { to, payload: Payload::GsnRequest { .. } } if *to == a(1)
@@ -2313,7 +2324,7 @@ mod tests {
         // Publisher (replica 2) crashes: view becomes {0, 1}; 1 is now the
         // highest-ranked non-leader member.
         let new_view = pview().successor(&[a(2)], &[]).unwrap();
-        let actions = p.on_view(new_view, t(1000));
+        let actions = p.on_view(Arc::new(new_view), t(1000));
         assert!(p.is_publisher());
         assert!(actions
             .iter()

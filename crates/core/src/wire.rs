@@ -31,21 +31,115 @@ impl fmt::Display for RequestId {
     }
 }
 
+/// An interned method name: a `u16` handle into the process-wide method
+/// table, in place of a heap `String` per [`Operation`].
+///
+/// Interning makes every wire message two machine words smaller, makes
+/// cloning a request free of string traffic, and turns method comparison
+/// into an integer compare. The numeric value is an artifact of interning
+/// order (first come, first numbered) and must never be persisted,
+/// digested, or compared across processes — only the name is meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MethodId(u16);
+
+/// Process-wide method name table. Names are leaked once per unique
+/// method — the set of method names in any deployment is tiny and fixed —
+/// so lookups hand back `&'static str` without reference counting.
+struct MethodTable {
+    by_name: std::collections::HashMap<&'static str, u16>,
+    names: Vec<&'static str>,
+}
+
+fn method_table() -> &'static std::sync::RwLock<MethodTable> {
+    static TABLE: std::sync::OnceLock<std::sync::RwLock<MethodTable>> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        std::sync::RwLock::new(MethodTable {
+            by_name: std::collections::HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+impl MethodId {
+    /// Interns `name`, returning its stable in-process handle. Repeated
+    /// calls with the same name return the same id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u16::MAX` distinct method names are interned
+    /// (a deployment declares a handful).
+    pub fn intern(name: &str) -> Self {
+        let table = method_table();
+        if let Some(&id) = table
+            .read()
+            .expect("method table poisoned")
+            .by_name
+            .get(name)
+        {
+            return Self(id);
+        }
+        let mut table = table.write().expect("method table poisoned");
+        // Double-check: another thread may have interned it between locks.
+        if let Some(&id) = table.by_name.get(name) {
+            return Self(id);
+        }
+        let id = u16::try_from(table.names.len()).expect("method table overflow");
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        table.names.push(leaked);
+        table.by_name.insert(leaked, id);
+        Self(id)
+    }
+
+    /// The interned method name.
+    pub fn as_str(self) -> &'static str {
+        method_table().read().expect("method table poisoned").names[self.0 as usize]
+    }
+
+    /// The raw table index (for array-probe classification).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl PartialEq<str> for MethodId {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for MethodId {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl From<&str> for MethodId {
+    fn from(name: &str) -> Self {
+        Self::intern(name)
+    }
+}
+
 /// An application-level invocation on the replicated object.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Operation {
-    /// Method name (classified by the read-only registry).
-    pub method: String,
+    /// Interned method name (classified by the read-only registry).
+    pub method: MethodId,
     /// Opaque argument payload.
     #[serde(with = "serde_bytes_compat")]
     pub payload: Bytes,
 }
 
 impl Operation {
-    /// Creates an operation.
-    pub fn new(method: impl Into<String>, payload: impl Into<Bytes>) -> Self {
+    /// Creates an operation, interning the method name.
+    pub fn new(method: impl AsRef<str>, payload: impl Into<Bytes>) -> Self {
         Self {
-            method: method.into(),
+            method: MethodId::intern(method.as_ref()),
             payload: payload.into(),
         }
     }
@@ -416,6 +510,23 @@ mod tests {
         let op = Operation::new("get", vec![1u8, 2]);
         assert_eq!(op.method, "get");
         assert_eq!(op.payload.as_ref(), &[1, 2]);
+    }
+
+    #[test]
+    fn method_interning_is_stable_and_copyable() {
+        let a = MethodId::intern("wire-test-method");
+        let b = MethodId::intern("wire-test-method");
+        assert_eq!(a, b, "same name interns to the same id");
+        assert_eq!(a.index(), b.index());
+        assert_eq!(a.as_str(), "wire-test-method");
+        assert_eq!(a.to_string(), "wire-test-method");
+        let c = MethodId::intern("wire-test-other");
+        assert_ne!(a, c, "distinct names intern to distinct ids");
+        // A cloned operation shares the handle; no string is copied.
+        let op = Operation::new("wire-test-method", vec![9u8]);
+        let cloned = op.clone();
+        assert_eq!(cloned.method, op.method);
+        assert_eq!(cloned.method, "wire-test-method");
     }
 
     #[test]

@@ -8,10 +8,11 @@
 
 use crate::channel::ReceiveChannel;
 use crate::detector::{FailureDetector, FlapDamping, PhiAccrual};
-use crate::msg::{DataMsg, GroupMsg};
+use crate::msg::{DataMsg, Envelope, GroupMsg, SharedPayload};
 use crate::view::{GroupId, View};
 use aqf_sim::{ActorId, Context, SimDuration, SimTime, Timer};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
 /// Timer kinds at or above this value are reserved for the group layer;
 /// host actors must keep their own timer kinds below it.
@@ -91,8 +92,9 @@ pub enum GroupEvent<A> {
     },
     /// A new view was installed (members) or observed (non-members).
     ViewChanged {
-        /// The newly installed view.
-        view: View,
+        /// The newly installed view, shared with the endpoint's own copy
+        /// (and, for announced views, with every other recipient's).
+        view: Arc<View>,
         /// Whether this node is a member of the new view.
         is_member: bool,
     },
@@ -100,7 +102,7 @@ pub enum GroupEvent<A> {
 
 #[derive(Debug)]
 struct MemberState {
-    view: View,
+    view: Arc<View>,
     /// Whether this node currently appears in `view` (false while waiting to
     /// rejoin after a crash).
     in_view: bool,
@@ -133,10 +135,15 @@ struct FlapRecord {
     hold_until: SimTime,
 }
 
+/// Per-group multicast send state. The retransmission buffer holds the
+/// *sealed envelopes* that were originally multicast, so serving a nack is
+/// a refcount bump — and byte-identical to the first transmission by
+/// construction (the buffer is cleared on restart, so every stored
+/// envelope carries the current incarnation).
 #[derive(Debug)]
 struct SendState<A> {
     next_seq: u64,
-    buffer: VecDeque<(u64, A)>,
+    buffer: VecDeque<(u64, Envelope<A>)>,
 }
 
 impl<A> Default for SendState<A> {
@@ -183,18 +190,20 @@ pub struct GroupStats {
 
 /// Group communication state machine embedded in a host actor.
 ///
-/// `A` is the application payload type. The host forwards messages of type
-/// [`GroupMsg<A>`] to [`GroupEndpoint::handle_message`] and timers to
+/// `A` is the application payload type. The host forwards [`Envelope<A>`]s
+/// to [`GroupEndpoint::handle_message`] and timers to
 /// [`GroupEndpoint::handle_timer`], and reacts to the returned
-/// [`GroupEvent`]s.
+/// [`GroupEvent`]s. Envelopes are shared, never deep-cloned: fan-out,
+/// holdback, and retransmission all reference the sender's single
+/// allocation.
 #[derive(Debug)]
 pub struct GroupEndpoint<A> {
     me: ActorId,
     config: EndpointConfig,
     incarnation: u32,
     groups: BTreeMap<GroupId, MemberState>,
-    observed: BTreeMap<GroupId, View>,
-    channels: BTreeMap<(GroupId, ActorId), ReceiveChannel<A>>,
+    observed: BTreeMap<GroupId, Arc<View>>,
+    channels: BTreeMap<(GroupId, ActorId), ReceiveChannel<SharedPayload<A>>>,
     sends: BTreeMap<GroupId, SendState<A>>,
     /// After a restart, lazily created receive channels fast-forward to the
     /// first observed sequence number instead of nacking all of history;
@@ -224,11 +233,12 @@ impl<A: Clone> GroupEndpoint<A> {
                 "initial view of {} does not contain {me}",
                 m.view.group
             );
+            let view = Arc::new(m.view);
             let prev = groups.insert(
-                m.view.group,
+                view.group,
                 MemberState {
                     in_view: true,
-                    roster_size: m.view.len(),
+                    roster_size: view.len(),
                     last_heard: BTreeMap::new(),
                     observers: m.observers,
                     join_requests: BTreeSet::new(),
@@ -236,7 +246,7 @@ impl<A: Clone> GroupEndpoint<A> {
                     departing: BTreeSet::new(),
                     suspected_since: BTreeMap::new(),
                     flaps: BTreeMap::new(),
-                    view: m.view,
+                    view,
                 },
             );
             assert!(prev.is_none(), "duplicate membership declaration");
@@ -248,7 +258,7 @@ impl<A: Clone> GroupEndpoint<A> {
                 "cannot both belong to and observe {}",
                 v.group
             );
-            observed.insert(v.group, v);
+            observed.insert(v.group, Arc::new(v));
         }
         Self {
             me,
@@ -283,8 +293,8 @@ impl<A: Clone> GroupEndpoint<A> {
     pub fn view(&self, group: GroupId) -> Option<&View> {
         self.groups
             .get(&group)
-            .map(|s| &s.view)
-            .or_else(|| self.observed.get(&group))
+            .map(|s| &*s.view)
+            .or_else(|| self.observed.get(&group).map(|v| &**v))
     }
 
     /// The leader of `group`'s current view.
@@ -307,7 +317,7 @@ impl<A: Clone> GroupEndpoint<A> {
 
     /// Must be called from the host's `Actor::on_start`: arms the
     /// maintenance timer and initializes liveness bookkeeping.
-    pub fn on_start(&mut self, ctx: &mut Context<'_, GroupMsg<A>>) {
+    pub fn on_start(&mut self, ctx: &mut Context<'_, Envelope<A>>) {
         let now = ctx.now();
         for state in self.groups.values_mut() {
             for m in state.view.members().to_vec() {
@@ -320,7 +330,7 @@ impl<A: Clone> GroupEndpoint<A> {
     /// Must be called from the host's `Actor::on_restart`: bumps the
     /// incarnation, clears volatile channel state, and begins rejoining all
     /// groups this node belonged to.
-    pub fn on_restart(&mut self, ctx: &mut Context<'_, GroupMsg<A>>) {
+    pub fn on_restart(&mut self, ctx: &mut Context<'_, Envelope<A>>) {
         self.incarnation += 1;
         self.channels.clear();
         self.sends.clear();
@@ -341,7 +351,7 @@ impl<A: Clone> GroupEndpoint<A> {
                 .copied()
                 .filter(|m| *m != self.me)
                 .collect();
-            ctx.multicast(&knock, GroupMsg::JoinRequest { group: *group });
+            ctx.multicast(&knock, GroupMsg::JoinRequest { group: *group }.seal());
         }
         ctx.set_timer(TICK_TIMER, self.config.tick_interval);
     }
@@ -355,7 +365,7 @@ impl<A: Clone> GroupEndpoint<A> {
     /// # Panics
     ///
     /// Panics if the group is neither a membership nor observed.
-    pub fn multicast(&mut self, group: GroupId, payload: A, ctx: &mut Context<'_, GroupMsg<A>>) {
+    pub fn multicast(&mut self, group: GroupId, payload: A, ctx: &mut Context<'_, Envelope<A>>) {
         let targets: Vec<ActorId> = self
             .view(group)
             .unwrap_or_else(|| panic!("multicast into unknown {group}"))
@@ -367,32 +377,38 @@ impl<A: Clone> GroupEndpoint<A> {
         let send = self.sends.entry(group).or_default();
         let seq = send.next_seq;
         send.next_seq += 1;
-        send.buffer.push_back((seq, payload.clone()));
-        while send.buffer.len() > self.config.sent_buffer_capacity {
-            send.buffer.pop_front();
-        }
-        let msg = GroupMsg::Data(DataMsg {
+        // Seal once; the retransmission buffer, every fan-out copy, and
+        // every receiver's holdback entry all share this one allocation.
+        let env = GroupMsg::Data(DataMsg {
             group,
             incarnation: self.incarnation,
             seq,
             payload,
-        });
+        })
+        .seal();
+        send.buffer.push_back((seq, env.clone()));
+        while send.buffer.len() > self.config.sent_buffer_capacity {
+            send.buffer.pop_front();
+        }
         self.stats.multicasts_sent += 1;
-        ctx.multicast(&targets, msg);
+        ctx.multicast(&targets, env);
     }
 
     /// Sends an unordered point-to-point payload (reply, state transfer).
-    pub fn send_direct(&mut self, to: ActorId, payload: A, ctx: &mut Context<'_, GroupMsg<A>>) {
-        ctx.send(to, GroupMsg::Direct(payload));
+    pub fn send_direct(&mut self, to: ActorId, payload: A, ctx: &mut Context<'_, Envelope<A>>) {
+        ctx.send(to, GroupMsg::Direct(payload).seal());
     }
 
-    /// Processes an incoming transport message, returning any events for the
-    /// host application.
+    /// Processes an incoming transport envelope, returning any events for
+    /// the host application. The envelope is shared with the sender (and
+    /// every other recipient); nothing in here clones its contents —
+    /// holdback parks the envelope itself, and the payload is extracted
+    /// exactly once, at delivery.
     pub fn handle_message(
         &mut self,
         from: ActorId,
-        msg: GroupMsg<A>,
-        ctx: &mut Context<'_, GroupMsg<A>>,
+        msg: Envelope<A>,
+        ctx: &mut Context<'_, Envelope<A>>,
     ) -> Vec<GroupEvent<A>> {
         if let Some(group) = msg.group() {
             if let Some(state) = self.groups.get_mut(&group) {
@@ -408,11 +424,14 @@ impl<A: Clone> GroupEndpoint<A> {
                 }
             }
         }
-        match msg {
-            GroupMsg::Data(d) => self.handle_data(from, d, ctx),
-            GroupMsg::Direct(payload) => vec![GroupEvent::Direct {
+        match &*msg {
+            GroupMsg::Data(d) => {
+                let (group, incarnation, seq) = (d.group, d.incarnation, d.seq);
+                self.handle_data(from, group, incarnation, seq, msg, ctx)
+            }
+            GroupMsg::Direct(_) => vec![GroupEvent::Direct {
                 sender: from,
-                payload,
+                payload: SharedPayload::new(msg).into_owned(),
             }],
             GroupMsg::Nack {
                 group,
@@ -420,15 +439,18 @@ impl<A: Clone> GroupEndpoint<A> {
                 from_seq,
                 to_seq,
             } => {
+                let (group, incarnation, from_seq, to_seq) =
+                    (*group, *incarnation, *from_seq, *to_seq);
                 self.handle_nack(from, group, incarnation, from_seq, to_seq, ctx);
                 Vec::new()
             }
             GroupMsg::Heartbeat { group, view_id } => {
+                let (group, view_id) = (*group, *view_id);
                 // A peer with a newer view than ours: ask to be resynced by
                 // requesting (re-)membership from it.
                 if let Some(state) = self.groups.get(&group) {
                     if view_id > state.view.id {
-                        ctx.send(from, GroupMsg::JoinRequest { group });
+                        ctx.send(from, GroupMsg::JoinRequest { group }.seal());
                     }
                 }
                 // A heartbeat from a node outside our current view is a
@@ -438,6 +460,7 @@ impl<A: Clone> GroupEndpoint<A> {
             GroupMsg::ViewAnnounce(view) => {
                 // An announce from a stale leader on the minority side of a
                 // healed partition: re-merge the sender.
+                let view = Arc::clone(view);
                 let group = view.group;
                 let stale_id = view.id;
                 let mut events = self.handle_view(view);
@@ -451,18 +474,25 @@ impl<A: Clone> GroupEndpoint<A> {
                 // deadlock forever.
                 if let Some(state) = self.groups.get(&group) {
                     if state.in_view && stale_id < state.view.id && !state.view.contains(from) {
-                        ctx.send(from, GroupMsg::ViewAnnounce(state.view.clone()));
+                        ctx.send(from, GroupMsg::ViewAnnounce(state.view.clone()).seal());
                     }
                 }
                 events
             }
-            GroupMsg::JoinRequest { group } => self.handle_join_request(from, group, ctx),
-            GroupMsg::Leave { group } => self.handle_leave(from, group, ctx),
+            GroupMsg::JoinRequest { group } => {
+                let group = *group;
+                self.handle_join_request(from, group, ctx)
+            }
+            GroupMsg::Leave { group } => {
+                let group = *group;
+                self.handle_leave(from, group, ctx)
+            }
             GroupMsg::StreamStatus {
                 group,
                 incarnation,
                 next_seq,
             } => {
+                let (group, incarnation, next_seq) = (*group, *incarnation, *next_seq);
                 self.handle_stream_status(from, group, incarnation, next_seq, ctx);
                 Vec::new()
             }
@@ -471,6 +501,7 @@ impl<A: Clone> GroupEndpoint<A> {
                 incarnation,
                 resume_at,
             } => {
+                let (group, incarnation, resume_at) = (*group, *incarnation, *resume_at);
                 let Some(channel) = self.channels.get_mut(&(group, from)) else {
                     return Vec::new();
                 };
@@ -481,7 +512,7 @@ impl<A: Clone> GroupEndpoint<A> {
                     .map(|payload| GroupEvent::Delivered {
                         group,
                         sender: from,
-                        payload,
+                        payload: payload.into_owned(),
                     })
                     .collect()
             }
@@ -494,7 +525,7 @@ impl<A: Clone> GroupEndpoint<A> {
         group: GroupId,
         incarnation: u32,
         next_seq: u64,
-        ctx: &mut Context<'_, GroupMsg<A>>,
+        ctx: &mut Context<'_, Envelope<A>>,
     ) {
         let fast_forward = self.fast_forward_new_channels;
         let channel = self.channels.entry((group, from)).or_insert_with(|| {
@@ -514,7 +545,8 @@ impl<A: Clone> GroupEndpoint<A> {
                     incarnation,
                     from_seq,
                     to_seq,
-                },
+                }
+                .seal(),
             );
         }
     }
@@ -524,7 +556,7 @@ impl<A: Clone> GroupEndpoint<A> {
     pub fn handle_timer(
         &mut self,
         timer: Timer,
-        ctx: &mut Context<'_, GroupMsg<A>>,
+        ctx: &mut Context<'_, Envelope<A>>,
     ) -> Option<Vec<GroupEvent<A>>> {
         if timer.kind != TICK_TIMER {
             return None;
@@ -538,30 +570,37 @@ impl<A: Clone> GroupEndpoint<A> {
     fn handle_data(
         &mut self,
         from: ActorId,
-        d: DataMsg<A>,
-        ctx: &mut Context<'_, GroupMsg<A>>,
+        group: GroupId,
+        incarnation: u32,
+        seq: u64,
+        env: Envelope<A>,
+        ctx: &mut Context<'_, Envelope<A>>,
     ) -> Vec<GroupEvent<A>> {
         let fast_forward = self.fast_forward_new_channels;
-        let channel = self.channels.entry((d.group, from)).or_insert_with(|| {
+        let channel = self.channels.entry((group, from)).or_insert_with(|| {
             let mut ch = ReceiveChannel::new();
             if fast_forward {
                 // Skip history we can never recover; state transfer at
                 // the application layer covers it.
-                ch.fast_forward_to(d.incarnation, d.seq);
+                ch.fast_forward_to(incarnation, seq);
             }
             ch
         });
-        let accepted = channel.accept(d.incarnation, d.seq, d.payload);
+        // The envelope itself is parked in the holdback queue: an
+        // out-of-order message keeps sharing the sender's allocation
+        // until its predecessors arrive.
+        let accepted = channel.accept(incarnation, seq, SharedPayload::new(env));
         if let Some((from_seq, to_seq)) = accepted.nack {
             self.stats.nacks_sent += 1;
             ctx.send(
                 from,
                 GroupMsg::Nack {
-                    group: d.group,
-                    incarnation: d.incarnation,
+                    group,
+                    incarnation,
                     from_seq,
                     to_seq,
-                },
+                }
+                .seal(),
             );
         }
         if accepted.deliverable.is_empty() && accepted.nack.is_none() {
@@ -572,9 +611,9 @@ impl<A: Clone> GroupEndpoint<A> {
             .deliverable
             .into_iter()
             .map(|payload| GroupEvent::Delivered {
-                group: d.group,
+                group,
                 sender: from,
-                payload,
+                payload: payload.into_owned(),
             })
             .collect()
     }
@@ -586,7 +625,7 @@ impl<A: Clone> GroupEndpoint<A> {
         incarnation: u32,
         from_seq: u64,
         to_seq: u64,
-        ctx: &mut Context<'_, GroupMsg<A>>,
+        ctx: &mut Context<'_, Envelope<A>>,
     ) {
         if incarnation != self.incarnation {
             return; // request concerns a previous life of this process
@@ -595,18 +634,13 @@ impl<A: Clone> GroupEndpoint<A> {
             return;
         };
         let mut resent = 0;
-        for &(seq, ref payload) in &send.buffer {
-            if seq >= from_seq && seq <= to_seq {
+        for (seq, env) in &send.buffer {
+            if *seq >= from_seq && *seq <= to_seq {
                 resent += 1;
-                ctx.send(
-                    requester,
-                    GroupMsg::Data(DataMsg {
-                        group,
-                        incarnation: self.incarnation,
-                        seq,
-                        payload: payload.clone(),
-                    }),
-                );
+                // Retransmission is the buffered envelope itself — a
+                // refcount bump, bit-identical to the first transmission
+                // (the buffer never outlives an incarnation).
+                ctx.send(requester, env.clone());
             }
         }
         self.stats.retransmissions += resent;
@@ -620,13 +654,14 @@ impl<A: Clone> GroupEndpoint<A> {
                         group,
                         incarnation: self.incarnation,
                         resume_at: oldest,
-                    },
+                    }
+                    .seal(),
                 );
             }
         }
     }
 
-    fn handle_view(&mut self, view: View) -> Vec<GroupEvent<A>> {
+    fn handle_view(&mut self, view: Arc<View>) -> Vec<GroupEvent<A>> {
         let group = view.group;
         if let Some(state) = self.groups.get_mut(&group) {
             if view.id <= state.view.id {
@@ -641,7 +676,7 @@ impl<A: Clone> GroupEndpoint<A> {
             state.accrual.retain(|m, _| view.contains(*m));
             state.suspected_since.retain(|m, _| view.contains(*m));
             state.departing.retain(|m| view.contains(*m));
-            state.view = view.clone();
+            state.view = Arc::clone(&view);
             for d in departed {
                 if let Some(ch) = self.channels.get_mut(&(group, d)) {
                     ch.abandon_gaps();
@@ -651,9 +686,12 @@ impl<A: Clone> GroupEndpoint<A> {
             self.stats.views_installed += 1;
             vec![GroupEvent::ViewChanged { view, is_member }]
         } else {
-            let entry = self.observed.entry(group).or_insert_with(|| view.clone());
+            let entry = self
+                .observed
+                .entry(group)
+                .or_insert_with(|| Arc::clone(&view));
             if view.id >= entry.id {
-                *entry = view.clone();
+                *entry = Arc::clone(&view);
                 vec![GroupEvent::ViewChanged {
                     view,
                     is_member: false,
@@ -672,7 +710,7 @@ impl<A: Clone> GroupEndpoint<A> {
         &mut self,
         from: ActorId,
         group: GroupId,
-        ctx: &mut Context<'_, GroupMsg<A>>,
+        ctx: &mut Context<'_, Envelope<A>>,
     ) -> Vec<GroupEvent<A>> {
         let Some(state) = self.groups.get_mut(&group) else {
             return Vec::new();
@@ -710,7 +748,7 @@ impl<A: Clone> GroupEndpoint<A> {
         &mut self,
         joiner: ActorId,
         group: GroupId,
-        ctx: &mut Context<'_, GroupMsg<A>>,
+        ctx: &mut Context<'_, Envelope<A>>,
     ) -> Vec<GroupEvent<A>> {
         let Some(state) = self.groups.get_mut(&group) else {
             return Vec::new();
@@ -718,12 +756,12 @@ impl<A: Clone> GroupEndpoint<A> {
         if !state.in_view || state.view.leader() != self.me {
             // Not the leader: point the joiner at the current view so it can
             // retry against the right node.
-            ctx.send(joiner, GroupMsg::ViewAnnounce(state.view.clone()));
+            ctx.send(joiner, GroupMsg::ViewAnnounce(state.view.clone()).seal());
             return Vec::new();
         }
         if state.view.contains(joiner) {
             // Already in: refresh the joiner's view.
-            ctx.send(joiner, GroupMsg::ViewAnnounce(state.view.clone()));
+            ctx.send(joiner, GroupMsg::ViewAnnounce(state.view.clone()).seal());
             return Vec::new();
         }
         if Self::readmission_held(&self.config, state, joiner, ctx.now()) {
@@ -748,7 +786,7 @@ impl<A: Clone> GroupEndpoint<A> {
         &mut self,
         from: ActorId,
         group: GroupId,
-        ctx: &mut Context<'_, GroupMsg<A>>,
+        ctx: &mut Context<'_, Envelope<A>>,
     ) -> Vec<GroupEvent<A>> {
         let Some(state) = self.groups.get_mut(&group) else {
             return Vec::new();
@@ -774,7 +812,7 @@ impl<A: Clone> GroupEndpoint<A> {
     /// members and demotes the membership to an observed view, so
     /// open-group multicast into the group (and this node's existing send
     /// streams) keep working. No-op if this node is not a member.
-    pub fn leave(&mut self, group: GroupId, ctx: &mut Context<'_, GroupMsg<A>>) {
+    pub fn leave(&mut self, group: GroupId, ctx: &mut Context<'_, Envelope<A>>) {
         let Some(state) = self.groups.remove(&group) else {
             return;
         };
@@ -785,7 +823,7 @@ impl<A: Clone> GroupEndpoint<A> {
             .copied()
             .filter(|m| *m != self.me)
             .collect();
-        ctx.multicast(&targets, GroupMsg::Leave { group });
+        ctx.multicast(&targets, GroupMsg::Leave { group }.seal());
         self.observed.insert(group, state.view);
     }
 
@@ -800,7 +838,7 @@ impl<A: Clone> GroupEndpoint<A> {
         &mut self,
         group: GroupId,
         observers: Vec<ActorId>,
-        ctx: &mut Context<'_, GroupMsg<A>>,
+        ctx: &mut Context<'_, Envelope<A>>,
     ) {
         if self.groups.contains_key(&group) {
             return;
@@ -834,7 +872,7 @@ impl<A: Clone> GroupEndpoint<A> {
             .filter(|m| *m != self.me)
             .collect();
         self.groups.insert(group, state);
-        ctx.multicast(&knock, GroupMsg::JoinRequest { group });
+        ctx.multicast(&knock, GroupMsg::JoinRequest { group }.seal());
     }
 
     /// Installs `view.successor(suspects, pending joiners)` for `group` and
@@ -843,11 +881,11 @@ impl<A: Clone> GroupEndpoint<A> {
         &mut self,
         group: GroupId,
         suspects: &[ActorId],
-        ctx: &mut Context<'_, GroupMsg<A>>,
-    ) -> Option<View> {
+        ctx: &mut Context<'_, Envelope<A>>,
+    ) -> Option<Arc<View>> {
         let state = self.groups.get_mut(&group)?;
         let added: Vec<ActorId> = state.join_requests.iter().copied().collect();
-        let new_view = state.view.successor(suspects, &added)?;
+        let new_view = Arc::new(state.view.successor(suspects, &added)?);
         // Primary-partition rule: only a side retaining a majority of the
         // original roster may install views. A minority (e.g. an isolated
         // node that suspects everyone else) keeps its last view and waits
@@ -901,18 +939,24 @@ impl<A: Clone> GroupEndpoint<A> {
             state.last_heard.entry(*m).or_insert(now);
         }
         let departed = state.view.departed(&new_view);
-        state.view = new_view.clone();
+        state.view = Arc::clone(&new_view);
         for d in departed {
             if let Some(ch) = self.channels.get_mut(&(group, d)) {
                 ch.abandon_gaps();
             }
         }
         let recipients: Vec<ActorId> = recipients.into_iter().collect();
-        ctx.multicast(&recipients, GroupMsg::ViewAnnounce(new_view.clone()));
+        // One shared View and one envelope for the whole announce round:
+        // every recipient's delivered copy, its installed member state,
+        // and this node's own state all reference the same allocation.
+        ctx.multicast(
+            &recipients,
+            GroupMsg::ViewAnnounce(Arc::clone(&new_view)).seal(),
+        );
         Some(new_view)
     }
 
-    fn tick(&mut self, ctx: &mut Context<'_, GroupMsg<A>>, events: &mut Vec<GroupEvent<A>>) {
+    fn tick(&mut self, ctx: &mut Context<'_, Envelope<A>>, events: &mut Vec<GroupEvent<A>>) {
         // Advertise the tip of every multicast stream we originate, so
         // receivers can detect tail losses and nack them.
         let statuses: Vec<(GroupId, u64)> =
@@ -936,7 +980,8 @@ impl<A: Clone> GroupEndpoint<A> {
                     group,
                     incarnation: self.incarnation,
                     next_seq,
-                },
+                }
+                .seal(),
             );
         }
         let now = ctx.now();
@@ -1058,22 +1103,22 @@ impl<A: Clone> GroupEndpoint<A> {
 
             if !in_view {
                 // Keep knocking until a leader lets us back in.
-                ctx.multicast(&rejoin_targets, GroupMsg::JoinRequest { group });
+                ctx.multicast(&rejoin_targets, GroupMsg::JoinRequest { group }.seal());
                 continue;
             }
 
             if am_leader {
                 // The leader's heartbeat is a full view announce, which also
                 // resynchronizes lagging members and observers. One shared
-                // payload for the whole round: the view is deep-cloned per
-                // *delivered* copy, not per recipient.
+                // envelope for the whole round: every delivered copy is a
+                // refcount bump on the same `View`.
                 let announce_to: Vec<ActorId> = members
                     .iter()
                     .chain(observers.iter())
                     .copied()
                     .filter(|m| *m != self.me)
                     .collect();
-                ctx.multicast(&announce_to, GroupMsg::ViewAnnounce(view.clone()));
+                ctx.multicast(&announce_to, GroupMsg::ViewAnnounce(view.clone()).seal());
                 let has_joiners = !self.groups[&group].join_requests.is_empty();
                 if !suspects.is_empty() || has_joiners {
                     if let Some(new_view) = self.install_successor(group, &suspects, ctx) {
@@ -1092,7 +1137,8 @@ impl<A: Clone> GroupEndpoint<A> {
                     GroupMsg::Heartbeat {
                         group,
                         view_id: view.id,
-                    },
+                    }
+                    .seal(),
                 );
             }
         }
@@ -1177,12 +1223,12 @@ mod tests {
     fn stale_view_announce_ignored() {
         let mut ep = endpoint(0, &[0, 1, 2]);
         let newer = View::new(GroupId(1), crate::view::ViewId(2), vec![a(0), a(1)]);
-        let events = ep.handle_view(newer.clone());
+        let events = ep.handle_view(Arc::new(newer.clone()));
         assert_eq!(events.len(), 1);
         assert_eq!(ep.view(GroupId(1)).unwrap().id, crate::view::ViewId(2));
         // Replaying an older view does nothing.
         let older = View::new(GroupId(1), crate::view::ViewId(1), vec![a(0), a(1), a(2)]);
-        assert!(ep.handle_view(older).is_empty());
+        assert!(ep.handle_view(Arc::new(older)).is_empty());
         assert_eq!(ep.view(GroupId(1)).unwrap(), &newer);
     }
 
@@ -1190,7 +1236,7 @@ mod tests {
     fn exclusion_flips_in_view() {
         let mut ep = endpoint(2, &[0, 1, 2]);
         let without_me = View::new(GroupId(1), crate::view::ViewId(1), vec![a(0), a(1)]);
-        let events = ep.handle_view(without_me);
+        let events = ep.handle_view(Arc::new(without_me));
         assert_eq!(events.len(), 1);
         assert!(matches!(
             &events[0],
@@ -1202,7 +1248,7 @@ mod tests {
         assert!(!ep.is_member(GroupId(1)));
         // Rejoin announce flips it back.
         let with_me = View::new(GroupId(1), crate::view::ViewId(2), vec![a(0), a(1), a(2)]);
-        let events = ep.handle_view(with_me);
+        let events = ep.handle_view(Arc::new(with_me));
         assert!(matches!(
             &events[0],
             GroupEvent::ViewChanged {
@@ -1221,7 +1267,7 @@ mod tests {
         assert_eq!(ep.view(GroupId(1)).unwrap().len(), 5);
         let mut ep = ep;
         let smaller = View::new(GroupId(1), crate::view::ViewId(1), vec![a(0), a(1), a(2)]);
-        let _ = ep.handle_view(smaller);
+        let _ = ep.handle_view(Arc::new(smaller));
         // Majority of the original 5 is 3: the current 3-member view is the
         // smallest view a leader could still have installed.
         assert_eq!(ep.view(GroupId(1)).unwrap().len(), 3);
@@ -1234,7 +1280,7 @@ mod tests {
         assert!(!ep.is_member(GroupId(5)));
         assert_eq!(ep.leader(GroupId(5)), Some(a(1)));
         let newer = View::new(GroupId(5), crate::view::ViewId(3), vec![a(2)]);
-        let events = ep.handle_view(newer);
+        let events = ep.handle_view(Arc::new(newer));
         assert_eq!(events.len(), 1);
         assert_eq!(ep.leader(GroupId(5)), Some(a(2)));
     }

@@ -44,5 +44,5 @@ pub mod view;
 
 pub use detector::{FailureDetector, FlapDamping, PhiAccrual, PhiAccrualConfig};
 pub use endpoint::{EndpointConfig, GroupEndpoint, GroupEvent, GroupStats, GROUP_TIMER_KIND_BASE};
-pub use msg::{DataMsg, GroupMsg};
+pub use msg::{DataMsg, Envelope, GroupMsg, SharedPayload};
 pub use view::{GroupId, View, ViewId};

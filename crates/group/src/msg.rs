@@ -1,7 +1,19 @@
 //! Wire messages exchanged by group endpoints.
+//!
+//! Messages travel as [`Envelope`]s — `Arc`-shared, immutable once sealed —
+//! so multicast fan-out, duplicate delivery, and retransmission buffering
+//! all reference one allocation instead of deep-cloning the payload per
+//! copy. See DESIGN.md §13 for the ownership rules this relies on.
 
 use crate::view::{GroupId, View, ViewId};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The unit the simulator's network plane carries: a sealed, shared,
+/// immutable group message. Cloning an envelope is a refcount bump; the
+/// payload inside is never copied by the transport, however many
+/// recipients, duplicates, or retransmissions the network produces.
+pub type Envelope<A> = Arc<GroupMsg<A>>;
 
 /// A FIFO-sequenced application payload multicast into a group.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -49,8 +61,10 @@ pub enum GroupMsg<A> {
         view_id: ViewId,
     },
     /// Announcement (by the leader) of a newly installed view; also sent to
-    /// observers and lagging members.
-    ViewAnnounce(View),
+    /// observers and lagging members. The view is `Arc`-shared: one announce
+    /// round references a single `View` allocation across every recipient
+    /// and every local copy (`observed` maps, member state, host events).
+    ViewAnnounce(Arc<View>),
     /// Request by a (restarted or new) process to be added to a group.
     JoinRequest {
         /// The group to join.
@@ -91,6 +105,13 @@ pub enum GroupMsg<A> {
 }
 
 impl<A> GroupMsg<A> {
+    /// Seals this message into a shared, immutable [`Envelope`] — the one
+    /// allocation a logical send costs. Every subsequent copy the network
+    /// makes (fan-out, duplication, retransmission) shares it.
+    pub fn seal(self) -> Envelope<A> {
+        Arc::new(self)
+    }
+
     /// The group this message concerns, if any (`Direct` has none).
     pub fn group(&self) -> Option<GroupId> {
         match self {
@@ -104,6 +125,62 @@ impl<A> GroupMsg<A> {
             GroupMsg::StreamStatus { group, .. } => Some(*group),
             GroupMsg::GapSkip { group, .. } => Some(*group),
         }
+    }
+}
+
+/// An application payload still inside its shared transport envelope.
+///
+/// The holdback queue stores these instead of owned payloads, so a message
+/// waiting for its FIFO predecessors keeps sharing the sender's (and every
+/// other recipient's) allocation. [`SharedPayload::into_owned`] extracts
+/// the payload at actual delivery time: a move when this was the last
+/// reference, a clone otherwise — either way the observable value is
+/// identical, so delivery stays deterministic regardless of refcounts.
+#[derive(Debug, Clone)]
+pub struct SharedPayload<A>(Envelope<A>);
+
+impl<A: Clone> SharedPayload<A> {
+    /// Wraps a `Data` or `Direct` envelope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the envelope carries no application payload.
+    pub fn new(envelope: Envelope<A>) -> Self {
+        assert!(
+            matches!(&*envelope, GroupMsg::Data(_) | GroupMsg::Direct(_)),
+            "envelope carries no application payload"
+        );
+        Self(envelope)
+    }
+
+    /// Borrows the payload without extracting it.
+    pub fn get(&self) -> &A {
+        match &*self.0 {
+            GroupMsg::Data(d) => &d.payload,
+            GroupMsg::Direct(p) => p,
+            _ => unreachable!("checked at construction"),
+        }
+    }
+
+    /// Extracts the payload: moves it out when this was the last reference
+    /// to the envelope, clones it otherwise.
+    pub fn into_owned(self) -> A {
+        match Arc::try_unwrap(self.0) {
+            Ok(GroupMsg::Data(d)) => d.payload,
+            Ok(GroupMsg::Direct(p)) => p,
+            Ok(_) => unreachable!("checked at construction"),
+            Err(shared) => match &*shared {
+                GroupMsg::Data(d) => d.payload.clone(),
+                GroupMsg::Direct(p) => p.clone(),
+                _ => unreachable!("checked at construction"),
+            },
+        }
+    }
+}
+
+impl<A: Clone + PartialEq> PartialEq for SharedPayload<A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.get() == other.get()
     }
 }
 
@@ -126,7 +203,7 @@ mod tests {
         );
         assert_eq!(GroupMsg::Direct(1u8).group(), None);
         let v = View::new(g, ViewId(1), vec![ActorId::from_index(0)]);
-        assert_eq!(GroupMsg::<u8>::ViewAnnounce(v).group(), Some(g));
+        assert_eq!(GroupMsg::<u8>::ViewAnnounce(Arc::new(v)).group(), Some(g));
         assert_eq!(
             GroupMsg::<u8>::Data(DataMsg {
                 group: g,

@@ -2,15 +2,17 @@
 
 use aqf_group::endpoint::GroupMembership;
 use aqf_group::{
-    EndpointConfig, FlapDamping, GroupEndpoint, GroupEvent, GroupId, GroupMsg, View, ViewId,
+    EndpointConfig, Envelope, FlapDamping, GroupEndpoint, GroupEvent, GroupId, GroupMsg, View,
+    ViewId,
 };
 use aqf_sim::{Actor, ActorId, Context, DelayModel, SimDuration, SimTime, Timer, World};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 const GROUP: GroupId = GroupId(1);
 const APP_TIMER_SEND: u32 = 1;
 
-type Msg = GroupMsg<u64>;
+type Msg = Envelope<u64>;
 
 /// Test host: joins (or observes) one group, optionally multicasts a stream
 /// of numbered payloads, and records everything it sees.
@@ -21,7 +23,7 @@ struct Host {
     send_interval: SimDuration,
     next: usize,
     delivered: Vec<(ActorId, u64)>,
-    views: Vec<View>,
+    views: Vec<Arc<View>>,
     directs: Vec<(ActorId, u64)>,
 }
 
@@ -253,7 +255,8 @@ fn multicast_after_rejoin_reaches_members() {
             incarnation: inc,
             seq: 0,
             payload: 777,
-        }),
+        })
+        .seal(),
         world.now() + SimDuration::from_millis(1),
     );
     // The external sender id is EXTERNAL, so instead assert via ids[1]:

@@ -12,26 +12,19 @@
 //! sorted vector of `(value, probability)` pairs, so convolving two windows
 //! of size `l` costs `O(l^2 log l)` — this cost is exactly what the paper's
 //! Figure 3 measures as "computation of the response time distribution
-//! function" (90% of the selection overhead).
+//! function" (90% of the selection overhead). The convolution runs as a
+//! k-way merge over the product grid's rows, so it never materializes the
+//! `l^2` pair table that a sort-based implementation needs.
 
-/// Merges an already sorted `(value, weight)` sequence by accumulating
-/// runs of equal values left to right.
-///
-/// For any given value, the floating-point additions happen in exactly the
-/// order the pairs appear in `pairs` — the same order a `BTreeMap`
-/// accumulator (`*acc.entry(v).or_insert(0.0) += p`) would perform them —
-/// so replacing the tree with sort-and-merge is bit-identical while
-/// avoiding a node allocation per distinct value.
-fn merge_sorted_runs(pairs: Vec<(u64, f64)>) -> Vec<(u64, f64)> {
-    let mut points: Vec<(u64, f64)> = Vec::new();
-    for (v, p) in pairs {
-        match points.last_mut() {
-            Some(last) if last.0 == v => last.1 += p,
-            _ => points.push((v, p)),
-        }
-    }
-    points
-}
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Upper bound on the speculative output reservation [`Pmf::convolve`]
+/// makes. The true support size is at most `l1 * l2` but usually far
+/// smaller (sums collide); capping the guess keeps a pair of wide pmfs
+/// from reserving quadratic memory up front, while `Vec` growth amortizes
+/// the rare larger result.
+const CONVOLVE_RESERVE_CAP: usize = 4096;
 
 /// A sparse empirical probability mass function over `u64` sample values.
 ///
@@ -213,21 +206,58 @@ impl Pmf {
         if self.is_empty() || other.is_empty() {
             return Pmf::with_points(Vec::new());
         }
-        // Materialize every pairwise term in `(i, j)` generation order,
-        // stable-sort by sum, and merge adjacent runs. Stability keeps
-        // equal sums in generation order, so each support point accumulates
-        // its terms in exactly the sequence the former `BTreeMap`
-        // implementation used — bit-identical probabilities without a tree
-        // node allocation per term. This is the hottest function of the
-        // whole evaluation pipeline (response-time model rebuilds).
-        let mut pairs: Vec<(u64, f64)> = Vec::with_capacity(self.points.len() * other.points.len());
-        for &(v1, p1) in &self.points {
-            for &(v2, p2) in &other.points {
-                pairs.push((v1.saturating_add(v2), p1 * p2));
+        // Row `i` of the product grid — `(v1_i + v2_j, p1_i * p2_j)` for
+        // `j` in `0..l2` — is already sorted by sum because `other.points`
+        // is sorted. A k-way merge over the rows therefore emits sums in
+        // order without materializing (or sorting) the full `l1 * l2` pair
+        // table the previous implementation built. Ties on the sum pop by
+        // smallest row index, and each row keeps exactly one candidate in
+        // the heap at a time, so equal sums accumulate in exactly the
+        // `(i, j)` generation order the former stable-sort (and the
+        // `BTreeMap` before it) used — bit-identical probabilities. This is
+        // the hottest function of the whole evaluation pipeline
+        // (response-time model rebuilds).
+        let rows = &self.points;
+        let cols = &other.points;
+        // A single-column right side is a pure shift-and-scale: no merge
+        // state needed, and the accumulation order is trivially preserved.
+        if cols.len() == 1 {
+            let (v2, p2) = cols[0];
+            return Pmf::with_points(
+                rows.iter()
+                    .map(|&(v1, p1)| (v1.saturating_add(v2), p1 * p2))
+                    .collect(),
+            );
+        }
+        // `next_col[i]` is the column of row `i`'s entry currently in the
+        // heap; heap entries carry only `(sum, row)` to stay `Ord`.
+        let mut next_col = vec![0usize; rows.len()];
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::with_capacity(rows.len());
+        for (i, &(v1, _)) in rows.iter().enumerate() {
+            heap.push(Reverse((v1.saturating_add(cols[0].0), i)));
+        }
+        let mut points: Vec<(u64, f64)> =
+            Vec::with_capacity((rows.len() * cols.len()).min(CONVOLVE_RESERVE_CAP));
+        // Replace-top (`peek_mut`) instead of pop+push: one sift per emitted
+        // term instead of two, and a term whose row successor is still the
+        // minimum costs only the comparison against its children.
+        while let Some(mut top) = heap.peek_mut() {
+            let Reverse((sum, i)) = *top;
+            let j = next_col[i];
+            let p = rows[i].1 * cols[j].1;
+            match points.last_mut() {
+                Some(last) if last.0 == sum => last.1 += p,
+                _ => points.push((sum, p)),
+            }
+            if j + 1 < cols.len() {
+                next_col[i] = j + 1;
+                *top = Reverse((rows[i].0.saturating_add(cols[j + 1].0), i));
+                // `top` drops here and sifts the replaced entry down.
+            } else {
+                std::collections::binary_heap::PeekMut::pop(top);
             }
         }
-        pairs.sort_by_key(|&(v, _)| v);
-        Pmf::with_points(merge_sorted_runs(pairs))
+        Pmf::with_points(points)
     }
 
     /// Shifts the distribution right by a constant (convolution with a point

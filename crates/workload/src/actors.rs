@@ -9,14 +9,14 @@ use aqf_core::{
     AccountBook, Operation, Payload, QosSpec, ReplicatedObject, ResponseInfo, SharedDocument,
     TickerBoard, VersionedRegister, PRIMARY_GROUP, SECONDARY_GROUP,
 };
-use aqf_group::{GroupEndpoint, GroupEvent, GroupId, GroupMsg};
+use aqf_group::{Envelope, GroupEndpoint, GroupEvent, GroupId};
 use aqf_sim::{Actor, ActorId, Context, DelayModel, SimDuration, Timer, TimerId};
 use aqf_stats::Summary;
 use rand::Rng;
 use std::collections::{BTreeMap, HashMap};
 
 /// The world message type: group-layer envelopes carrying gateway payloads.
-pub type NetMsg = GroupMsg<Payload>;
+pub type NetMsg = Envelope<Payload>;
 
 // Host timer kinds (must stay below aqf_group::GROUP_TIMER_KIND_BASE).
 const SERVICE_TIMER: u32 = 1;

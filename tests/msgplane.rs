@@ -1,0 +1,152 @@
+//! A/B pins for the zero-copy message plane: the Arc-envelope transport,
+//! interned method ids, and reply-buffer reuse must leave every scenario
+//! bit-identical to the deep-clone plane they replaced. Each test replays
+//! a scenario recorded *before* the message-plane rebuild and asserts
+//! [`ScenarioMetrics::digest`] against the value the old plane produced.
+//!
+//! If one of these digests moves, the message plane changed observable
+//! behaviour — event order, RNG draws, or a counter — and the change is a
+//! bug regardless of how it benchmarks. Re-baseline only for a deliberate
+//! protocol change, using the ignored printer test at the bottom.
+
+use aqf::core::OrderingGuarantee;
+use aqf::sim::{SimDuration, SimTime};
+use aqf::workload::{
+    run_scenario, world_bench_config, FaultEvent, FaultKind, FaultTarget, OpPattern, ScenarioConfig,
+};
+
+/// Crash/restart churn over both replication groups: the view-announce,
+/// join, and retransmission paths all run, so the digest covers the
+/// `Arc<View>` sharing and the send-buffer envelope reuse.
+fn churn_scenario(seed: u64) -> ScenarioConfig {
+    let mut config = ScenarioConfig::paper_validation(250, 0.5, 2, seed);
+    for c in &mut config.clients {
+        c.total_requests = 60;
+    }
+    config.group_tick = SimDuration::from_millis(250);
+    config.failure_timeout = SimDuration::from_millis(900);
+    config.loss_probability = 0.02;
+    config.faults = vec![
+        FaultEvent {
+            at: SimTime::from_secs(20),
+            target: FaultTarget::Primary(0),
+            kind: FaultKind::Crash,
+        },
+        FaultEvent {
+            at: SimTime::from_secs(35),
+            target: FaultTarget::Primary(0),
+            kind: FaultKind::Restart,
+        },
+        FaultEvent {
+            at: SimTime::from_secs(50),
+            target: FaultTarget::Secondary(0),
+            kind: FaultKind::Crash,
+        },
+        FaultEvent {
+            at: SimTime::from_secs(65),
+            target: FaultTarget::Secondary(0),
+            kind: FaultKind::Restart,
+        },
+    ];
+    config
+}
+
+/// Write-burst multicast pressure under loss and duplication: the
+/// `SendMany` fan-out, duplicate drop, and nack/retransmission paths all
+/// run against shared envelopes.
+fn multicast_scenario(seed: u64) -> ScenarioConfig {
+    let mut config = ScenarioConfig::paper_validation(300, 0.5, 2, seed);
+    config.ordering = OrderingGuarantee::Fifo;
+    config.object = aqf::workload::ObjectKind::Bank;
+    for c in &mut config.clients {
+        c.total_requests = 60;
+        c.pattern = OpPattern::WriteBurst(4);
+    }
+    config.loss_probability = 0.05;
+    config.duplicate_probability = 0.03;
+    config
+}
+
+/// The faulty 64-actor golden trace: crash + restart, gray degradation,
+/// per-actor loss, global loss and duplication, at the largest benched
+/// deployment. This is the same configuration whose event count the
+/// `world_core` bench asserts; here the full metrics digest is pinned.
+#[test]
+fn golden_64actor_faulty_trace_digest_unchanged() {
+    let metrics = run_scenario(&world_bench_config(64, true));
+    assert_eq!(metrics.events, 164_659, "event history moved");
+    assert_eq!(
+        metrics.digest(),
+        GOLDEN_64ACTOR_FAULTY_DIGEST,
+        "zero-copy plane diverged from the recorded deep-clone trace"
+    );
+}
+
+#[test]
+fn churn_digests_unchanged() {
+    for (seed, expected) in CHURN_DIGESTS {
+        let metrics = run_scenario(&churn_scenario(seed));
+        assert_eq!(
+            metrics.digest(),
+            expected,
+            "churn seed {seed} diverged from the recorded deep-clone trace"
+        );
+    }
+}
+
+#[test]
+fn multicast_digests_unchanged() {
+    for (seed, expected) in MULTICAST_DIGESTS {
+        let metrics = run_scenario(&multicast_scenario(seed));
+        assert_eq!(
+            metrics.digest(),
+            expected,
+            "multicast seed {seed} diverged from the recorded deep-clone trace"
+        );
+    }
+}
+
+/// Same-seed determinism of the zero-copy plane itself: two fresh runs of
+/// the churn scenario must agree event-for-event (guards against any
+/// accidental address- or refcount-dependent branch).
+#[test]
+fn zero_copy_plane_is_same_seed_deterministic() {
+    let a = run_scenario(&churn_scenario(9001));
+    let b = run_scenario(&churn_scenario(9001));
+    assert_eq!(a.digest(), b.digest());
+    assert_eq!(a.events, b.events);
+}
+
+// --- Recorded digests (deep-clone plane, commit preceding the rebuild) ---
+
+const GOLDEN_64ACTOR_FAULTY_DIGEST: u64 = 0xe609_ab80_4191_2c6d;
+
+const CHURN_DIGESTS: [(u64, u64); 3] = [
+    (17, 0x8d01_ff73_43c1_ccc2),
+    (29, 0x7b48_d24c_f6e6_4745),
+    (43, 0x64c6_c602_1190_4e93),
+];
+
+const MULTICAST_DIGESTS: [(u64, u64); 2] =
+    [(5, 0x9734_0295_01e6_191d), (61, 0xe398_590f_26ea_6075)];
+
+/// Re-baselining tool: prints the digests the constants above pin.
+/// `cargo test --release -p aqf --test msgplane -- --ignored --nocapture`
+#[test]
+#[ignore = "prints baseline digests for re-pinning after a deliberate protocol change"]
+fn print_golden_digests() {
+    let m = run_scenario(&world_bench_config(64, true));
+    println!(
+        "GOLDEN_64ACTOR_FAULTY_DIGEST: {:#018x} (events {})",
+        m.digest(),
+        m.events
+    );
+    for seed in [17u64, 29, 43] {
+        let m = run_scenario(&churn_scenario(seed));
+        println!("CHURN seed {seed}: {:#018x}", m.digest());
+    }
+    for seed in [5u64, 61] {
+        let m = run_scenario(&multicast_scenario(seed));
+        println!("MULTICAST seed {seed}: {:#018x}", m.digest());
+    }
+}

@@ -187,6 +187,11 @@ impl BytesMut {
         self.data.extend_from_slice(extend);
     }
 
+    /// Clears the buffer, retaining its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
     /// Converts into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
@@ -332,6 +337,18 @@ mod tests {
         assert_eq!(b.get_u64(), 0xDEAD_BEEF);
         assert_eq!(b.copy_to_bytes(2).as_ref(), b"hi");
         assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut out = BytesMut::with_capacity(32);
+        out.put_slice(b"scratch contents");
+        assert!(!out.is_empty());
+        out.clear();
+        assert!(out.is_empty());
+        assert_eq!(out.len(), 0);
+        out.put_u64(7);
+        assert_eq!(out.as_ref(), &7u64.to_be_bytes());
     }
 
     #[test]
