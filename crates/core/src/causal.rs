@@ -27,6 +27,7 @@
 //! convergence.
 
 use crate::dedup::ReplyCache;
+use crate::durability::Durability;
 use crate::object::ReplicatedObject;
 use crate::obs::{req_ref, ObsEvent, ObsHandle};
 use crate::qos::OrderingGuarantee;
@@ -145,6 +146,14 @@ pub struct CausalServerGateway {
     /// Retained staging buffer for reply encoding: every serviced request
     /// reuses this allocation via the object's `*_into` entry points.
     reply_scratch: bytes::BytesMut,
+    /// Simulated stable storage, present when `config.storage.enabled`.
+    /// Admitted updates are logged write-ahead; durable snapshots carry
+    /// the version vector (the same wire format as causal state transfer)
+    /// so a replayed replica recovers both the object and its causal
+    /// knowledge.
+    durability: Option<Durability>,
+    /// When the replica restarted, until it resynchronizes (recovery SLO).
+    restarted_at: Option<SimTime>,
     obs: ObsHandle,
     /// Updates that had to wait for causal dependencies at least once.
     causal_holds: u64,
@@ -191,6 +200,15 @@ impl CausalServerGateway {
             ReplicaRole::Secondary
         };
         let config_reply_cache = config.reply_cache;
+        // Each replica gets its own deterministic fault/latency stream:
+        // the shared scenario seed mixed with the replica identity.
+        let durability = config.storage.enabled.then(|| {
+            let seed = config
+                .storage
+                .seed
+                .wrapping_add((me.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            Durability::new(config.storage.clone(), seed)
+        });
         Self {
             me,
             role,
@@ -221,6 +239,8 @@ impl CausalServerGateway {
             synced: true,
             stats: ServerStats::default(),
             reply_scratch: bytes::BytesMut::new(),
+            durability,
+            restarted_at: None,
             obs: ObsHandle::disabled(),
             causal_holds: 0,
             causal_read_waits: 0,
@@ -292,6 +312,33 @@ impl CausalServerGateway {
         self.stats
     }
 
+    /// The durability sidecar, if storage is enabled (post-run inspection).
+    pub fn durability(&self) -> Option<&Durability> {
+        self.durability.as_ref()
+    }
+
+    /// Applies crash semantics to the stable storage: unsynced appends are
+    /// lost (possibly leaving a torn tail or a flipped bit, per the fault
+    /// configuration) and any staged-but-unrenamed snapshot is discarded.
+    /// Hosts call this at the crash boundary, before
+    /// [`CausalServerGateway::on_restart`].
+    pub fn crash_storage(&mut self) {
+        if let Some(d) = self.durability.as_mut() {
+            d.crash();
+        }
+    }
+
+    /// Flips `synced` on (if off) and closes the open recovery window.
+    fn mark_synced(&mut self, now: SimTime) {
+        if !self.synced {
+            self.synced = true;
+            if let Some(at) = self.restarted_at.take() {
+                let healed = now.saturating_since(at).as_micros();
+                self.stats.recovery_us = self.stats.recovery_us.max(healed);
+            }
+        }
+    }
+
     /// Read access to the hosted object.
     pub fn object(&self) -> &dyn ReplicatedObject {
         &*self.object
@@ -331,13 +378,31 @@ impl CausalServerGateway {
         let config = self.config.clone();
         let primary_view = self.primary_view.clone();
         let secondary_view = self.secondary_view.clone();
+        // The durability sidecar survives the wipe — it *is* the stable
+        // storage (the host already applied crash damage via
+        // `crash_storage`). The obs handle rides along so recovery shows
+        // up in the trace; without storage the seed's behaviour — a
+        // restarted replica is un-instrumented — is kept bit-identical.
+        let survived = self.durability.take().map(|d| (d, self.obs.clone()));
         *self = CausalServerGateway::new(me, primary_view, secondary_view, fresh_object, config);
+        if let Some((d, obs)) = survived {
+            self.durability = Some(d);
+            self.obs = obs;
+        }
         self.synced = false;
+        self.restarted_at = Some(now);
         self.last_lazy_at = None;
         self.last_transfer_request = now;
         self.last_broadcast_at = now;
         self.publisher_lazy_at = now;
         self.rate_acc_since = now;
+        // A successful replay restores this replica's own durable state
+        // (object, version, and vector), but without a global sequence it
+        // cannot bound what other clients' updates it missed while down:
+        // a full state transfer still reconciles with a live peer. The
+        // dominance-checked `on_state_response` guard accepts it without
+        // ever moving the replica's causal knowledge backwards.
+        self.replay_storage(now);
         let donor = self.primary_view.leader();
         let mut actions = vec![ServerAction::SendDirect {
             to: donor,
@@ -347,6 +412,58 @@ impl CausalServerGateway {
             self.arm_lazy(&mut actions);
         }
         actions
+    }
+
+    /// Replays the durable log after a crash. Returns whether the replay
+    /// restored local state (snapshot + vector installed, admitted tail
+    /// re-applied, replica synced); `false` falls back to the
+    /// full-transfer path.
+    fn replay_storage(&mut self, now: SimTime) -> bool {
+        let Some(d) = self.durability.as_mut() else {
+            return false;
+        };
+        if !d.config().replay {
+            self.obs.emit(now, self.me, || ObsEvent::RecoveryFallback {
+                reason: "replay-disabled",
+            });
+            return false;
+        }
+        let summary = d.replay();
+        self.stats.torn_tails_dropped += summary.torn_records;
+        if summary.corrupt {
+            self.stats.corrupt_logs += 1;
+            self.obs.emit(now, self.me, || ObsEvent::RecoveryFallback {
+                reason: "corrupt-log",
+            });
+            return false;
+        }
+        if summary.snapshot.is_none() && summary.commits.is_empty() {
+            // Nothing durable yet: behave exactly like a plain restart
+            // rather than claim an empty state is synchronized.
+            self.obs.emit(now, self.me, || ObsEvent::RecoveryFallback {
+                reason: "empty-log",
+            });
+            return false;
+        }
+        if let Some(snap) = &summary.snapshot {
+            self.install_with_vector(&bytes::Bytes::from(snap.data.clone()));
+            self.version = snap.csn;
+        }
+        // Each logged commit admitted exactly one update of its client, so
+        // the vector is rebuilt by counting the replayed tail.
+        for (version, update) in &summary.commits {
+            let _ = self
+                .object
+                .apply_update_into(&update.op, &mut self.reply_scratch);
+            *self.vector.entry(update.id.client).or_insert(0) += 1;
+            self.version = *version;
+        }
+        self.stats.replayed_records += summary.replayed_records;
+        self.mark_synced(now);
+        let (records, csn) = (summary.replayed_records, self.version);
+        self.obs
+            .emit(now, self.me, || ObsEvent::RecoveryReplay { records, csn });
+        true
     }
 
     /// Picks the next state-transfer donor, cycling through the primary
@@ -491,6 +608,18 @@ impl CausalServerGateway {
         *self.vector.entry(client).or_insert(0) += 1;
         self.version += 1;
         self.stats.updates_committed += 1;
+        // Write-ahead discipline: admission is the causal commit point (it
+        // bumps the vector), so the record hits the log before the reply
+        // the service queue will produce for it.
+        if let Some(d) = self.durability.as_mut() {
+            let version = self.version;
+            let (bytes, _) = d.log_commit(version, update);
+            self.stats.wal_appends += 1;
+            self.obs.emit(now, self.me, || ObsEvent::WalAppend {
+                gsn: version,
+                bytes,
+            });
+        }
         self.enqueue(
             Work {
                 kind: WorkKind::Update {
@@ -642,8 +771,18 @@ impl CausalServerGateway {
             self.version = version;
             self.vector = vector.into_iter().collect();
             self.stats.lazy_updates_applied += 1;
+            // A secondary's state *is* the last lazy snapshot: persist it
+            // (with its vector) so a crashed secondary restarts from here
+            // instead of empty.
+            if self.durability.is_some() {
+                let blob = self.snapshot_with_vector().to_vec();
+                if let Some(d) = self.durability.as_mut() {
+                    d.persist_install(version, version, blob);
+                    self.stats.snapshots_taken += 1;
+                }
+            }
         }
-        self.synced = true;
+        self.mark_synced(now);
         self.last_lazy_at = Some(now);
         self.lazy_rate_per_us = rate_per_us.max(0.0);
         let mut actions = Vec::new();
@@ -786,6 +925,7 @@ impl CausalServerGateway {
                     to: update.id.client,
                     payload: Payload::Reply(reply),
                 });
+                self.maybe_snapshot(now);
             }
             WorkKind::Read {
                 read,
@@ -831,6 +971,30 @@ impl CausalServerGateway {
         actions
     }
 
+    /// Durable compaction: once enough admissions accumulated — and only
+    /// when every admitted update has been applied, since the causal
+    /// vector counts admissions and a snapshot staged mid-queue would pair
+    /// its version with an older object state — stage a vector-carrying
+    /// snapshot; the WAL prefix it covers is truncated at the next fsync.
+    fn maybe_snapshot(&mut self, now: SimTime) {
+        let queued_updates = self
+            .service_queue
+            .iter()
+            .any(|w| matches!(w.kind, WorkKind::Update { .. }));
+        if queued_updates || !self.durability.as_ref().is_some_and(|d| d.wants_snapshot()) {
+            return;
+        }
+        let version = self.version;
+        let data = self.snapshot_with_vector().to_vec();
+        let d = self.durability.as_mut().expect("checked above");
+        let wal_bytes = d.stage_snapshot(version, version, data);
+        self.stats.snapshots_taken += 1;
+        self.obs.emit(now, self.me, || ObsEvent::Snapshot {
+            csn: version,
+            wal_bytes,
+        });
+    }
+
     fn on_state_request(&mut self, from: ActorId) -> Vec<ServerAction> {
         if self.role != ReplicaRole::Primary || !self.synced {
             return Vec::new();
@@ -838,12 +1002,14 @@ impl CausalServerGateway {
         self.stats.state_transfers += 1;
         // The vector is serialized alongside the object state so a joiner
         // recovers both.
+        let snapshot = self.snapshot_with_vector();
+        self.stats.transfer_bytes_sent += snapshot.len() as u64;
         vec![ServerAction::SendDirect {
             to: from,
             payload: Payload::StateResponse {
                 csn: self.version,
                 gsn: self.version,
-                snapshot: self.snapshot_with_vector(),
+                snapshot,
             },
         }]
     }
@@ -863,7 +1029,8 @@ impl CausalServerGateway {
         out.freeze()
     }
 
-    fn install_with_vector(&mut self, blob: &bytes::Bytes) {
+    /// Splits a `vector || object snapshot` transfer blob.
+    fn decode_vector_blob(blob: &bytes::Bytes) -> (BTreeMap<ActorId, u64>, bytes::Bytes) {
         use bytes::Buf;
         let mut buf = blob.clone();
         assert!(buf.remaining() >= 8, "causal state transfer too short");
@@ -875,6 +1042,11 @@ impl CausalServerGateway {
             vector.insert(client, count);
         }
         let object = buf.copy_to_bytes(buf.remaining());
+        (vector, object)
+    }
+
+    fn install_with_vector(&mut self, blob: &bytes::Bytes) {
+        let (vector, object) = Self::decode_vector_blob(blob);
         self.object.install_snapshot(&object);
         self.vector = vector;
     }
@@ -885,12 +1057,33 @@ impl CausalServerGateway {
         blob: &bytes::Bytes,
         now: SimTime,
     ) -> Vec<ServerAction> {
-        if self.synced || version < self.version {
+        // With durable storage a replayed replica is already synced but
+        // still reconciles via this transfer (see `on_restart`). Without
+        // storage, keep the seed's guard bit-identical.
+        if (self.synced && self.durability.is_none()) || version < self.version {
             return Vec::new();
+        }
+        if self.synced {
+            // Reconciling a replayed replica: adopt only a state that
+            // dominates every commit we hold durably, otherwise acked
+            // local updates would vanish from the installed snapshot.
+            // A non-dominating donor is simply ignored — lazy updates or
+            // a later transfer reconcile once the peer catches up.
+            let (incoming, _) = Self::decode_vector_blob(blob);
+            if !dominates(&incoming, &self.vector_snapshot()) {
+                return Vec::new();
+            }
         }
         self.install_with_vector(blob);
         self.version = version;
-        self.synced = true;
+        self.mark_synced(now);
+        // The installed transfer supersedes the local log: make it the
+        // durable baseline immediately, so a crash right after the install
+        // cannot resurrect pre-transfer state.
+        if let Some(d) = self.durability.as_mut() {
+            d.persist_install(version, version, blob.to_vec());
+            self.stats.snapshots_taken += 1;
+        }
         if self.role == ReplicaRole::Secondary {
             self.last_lazy_at = Some(now);
         }
@@ -989,6 +1182,10 @@ impl crate::protocol::ServerProtocol for CausalServerGateway {
 
     fn set_obs(&mut self, obs: ObsHandle) {
         CausalServerGateway::set_obs(self, obs)
+    }
+
+    fn crash_storage(&mut self) {
+        CausalServerGateway::crash_storage(self)
     }
 }
 
@@ -1348,5 +1545,157 @@ mod tests {
         };
         assert!(!p.should_shed_read(&rr(0, 0)));
         assert!(p.should_shed_read(&rr(1, 1)));
+    }
+
+    fn durable_gw(i: usize) -> CausalServerGateway {
+        let mut config = ServerConfig {
+            clients: vec![a(20), a(21)],
+            ..ServerConfig::default()
+        };
+        config.storage = crate::durability::StorageConfig::durable();
+        config.storage.seed = 99;
+        CausalServerGateway::new(
+            a(i),
+            pview(),
+            sview(),
+            Box::new(SharedDocument::new()),
+            config,
+        )
+    }
+
+    #[test]
+    fn without_storage_restart_keeps_seed_semantics() {
+        let mut p = gw(1);
+        assert!(
+            p.durability().is_none(),
+            "default config must stay seedlike"
+        );
+        p.crash_storage(); // no-op without a sidecar
+        let _ = p.on_restart(Box::new(SharedDocument::new()), t(5));
+        assert!(!p.is_synced());
+        assert_eq!(p.stats().replayed_records, 0);
+    }
+
+    #[test]
+    fn durable_replay_restores_vector_and_document() {
+        let mut p = durable_gw(1);
+        let mut actions = p.on_payload(a(20), update(20, 0, "message", vec![]), t(0));
+        actions.extend(p.on_payload(a(21), update(21, 0, "reply", vec![(a(20), 1)]), t(1)));
+        let now = drain(&mut p, &mut actions, t(1));
+        assert_eq!(p.version(), 2);
+        assert_eq!(p.stats().wal_appends, 2);
+        let doc_before = p.object().snapshot();
+        p.crash_storage();
+        let _ = p.on_restart(Box::new(SharedDocument::new()), now);
+        assert_eq!(p.version(), 2, "replay restores the version");
+        assert_eq!(
+            p.vector_snapshot(),
+            vec![(a(20), 1), (a(21), 1)],
+            "replay rebuilds the causal vector from the commit tail"
+        );
+        assert_eq!(p.object().snapshot(), doc_before);
+        assert!(p.is_synced());
+        assert!(p.stats().replayed_records > 0);
+    }
+
+    #[test]
+    fn non_dominating_transfer_rejected_after_replay() {
+        let mut p = durable_gw(1);
+        let mut actions = p.on_payload(a(20), update(20, 0, "x", vec![]), t(0));
+        let now = drain(&mut p, &mut actions, t(0));
+        p.crash_storage();
+        let _ = p.on_restart(Box::new(SharedDocument::new()), now);
+        assert!(p.is_synced());
+        // A donor that never saw client 20's update answers the post-replay
+        // reconciliation request: its vector does not dominate ours, so
+        // installing it would lose an acked commit. It must be ignored.
+        let mut behind = gw(2);
+        let mut actions = behind.on_payload(a(21), update(21, 0, "y", vec![]), t(0));
+        let _ = drain(&mut behind, &mut actions, t(0));
+        let reply = behind.on_state_request(a(1));
+        let Some(ServerAction::SendDirect {
+            payload: Payload::StateResponse { csn, snapshot, .. },
+            ..
+        }) = reply.first()
+        else {
+            panic!("donor must answer, got {reply:?}");
+        };
+        let _ = p.on_payload(
+            a(2),
+            Payload::StateResponse {
+                csn: *csn,
+                gsn: *csn,
+                snapshot: snapshot.clone(),
+            },
+            now,
+        );
+        assert_eq!(p.vector_snapshot(), vec![(a(20), 1)], "commit kept");
+        // A dominating donor (saw both updates) is adopted.
+        let mut ahead = gw(2);
+        let mut actions = ahead.on_payload(a(20), update(20, 0, "x", vec![]), t(0));
+        actions.extend(ahead.on_payload(a(21), update(21, 0, "y", vec![]), t(1)));
+        let _ = drain(&mut ahead, &mut actions, t(1));
+        let reply = ahead.on_state_request(a(1));
+        let Some(ServerAction::SendDirect {
+            payload: Payload::StateResponse { csn, snapshot, .. },
+            ..
+        }) = reply.first()
+        else {
+            panic!("donor must answer, got {reply:?}");
+        };
+        let _ = p.on_payload(
+            a(2),
+            Payload::StateResponse {
+                csn: *csn,
+                gsn: *csn,
+                snapshot: snapshot.clone(),
+            },
+            now,
+        );
+        assert_eq!(p.version(), 2);
+        assert_eq!(p.vector_snapshot(), vec![(a(20), 1), (a(21), 1)]);
+    }
+
+    #[test]
+    fn durable_secondary_persists_lazy_installs() {
+        let mut publisher = durable_gw(2);
+        let _ = publisher.on_start(t(0));
+        let mut actions = publisher.on_payload(a(20), update(20, 0, "m", vec![]), t(10));
+        let _ = drain(&mut publisher, &mut actions, t(10));
+        let lazy = publisher.on_lazy_timer(t(2000));
+        let payload = lazy
+            .iter()
+            .find_map(|x| match x {
+                ServerAction::MulticastSecondary(p @ Payload::CausalLazyUpdate { .. }) => {
+                    Some(p.clone())
+                }
+                _ => None,
+            })
+            .expect("causal lazy update");
+        let mut s = durable_gw(10);
+        let _ = s.on_start(t(0));
+        let _ = s.on_payload(a(2), payload, t(2001));
+        assert_eq!(s.stats().snapshots_taken, 1);
+        s.crash_storage();
+        let _ = s.on_restart(Box::new(SharedDocument::new()), t(3000));
+        assert_eq!(s.version(), 1, "secondary restarts from its last install");
+        assert_eq!(s.vector_snapshot(), vec![(a(20), 1)]);
+    }
+
+    #[test]
+    fn compaction_stages_vector_carrying_snapshots() {
+        let mut p = durable_gw(1);
+        p.config.storage.snapshot_every = 4;
+        p.durability = Some(Durability::new(p.config.storage.clone(), 99));
+        let mut actions = Vec::new();
+        for i in 0..10 {
+            actions.extend(p.on_payload(a(20), update(20, i, "x", vec![]), t(i)));
+        }
+        let now = drain(&mut p, &mut actions, t(20));
+        assert!(p.stats().snapshots_taken >= 1);
+        p.crash_storage();
+        let _ = p.on_restart(Box::new(SharedDocument::new()), now);
+        assert_eq!(p.version(), 10, "snapshot + tail replay reach full state");
+        assert_eq!(p.vector_snapshot(), vec![(a(20), 10)]);
     }
 }

@@ -29,6 +29,7 @@
 //!   all — there is no sequencer state to rebuild.
 
 use crate::dedup::ReplyCache;
+use crate::durability::Durability;
 use crate::object::ReplicatedObject;
 use crate::obs::{req_ref, ObsEvent, ObsHandle};
 use crate::qos::OrderingGuarantee;
@@ -119,6 +120,14 @@ pub struct FifoServerGateway {
     /// Retained staging buffer for reply encoding: every serviced request
     /// reuses this allocation via the object's `*_into` entry points.
     reply_scratch: bytes::BytesMut,
+    /// Simulated stable storage, present when `config.storage.enabled`.
+    /// Applied updates are logged write-ahead of the reply; on restart the
+    /// durable state seeds the replica while a full transfer reconciles
+    /// whatever other clients' updates this replica never saw (FIFO has no
+    /// global sequence, so a version number alone cannot name a delta).
+    durability: Option<Durability>,
+    /// When the replica restarted, until it resynchronizes (recovery SLO).
+    restarted_at: Option<SimTime>,
     obs: ObsHandle,
 }
 
@@ -160,6 +169,15 @@ impl FifoServerGateway {
             ReplicaRole::Secondary
         };
         let config_reply_cache = config.reply_cache;
+        // Each replica gets its own deterministic fault/latency stream:
+        // the shared scenario seed mixed with the replica identity.
+        let durability = config.storage.enabled.then(|| {
+            let seed = config
+                .storage
+                .seed
+                .wrapping_add((me.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            Durability::new(config.storage.clone(), seed)
+        });
         Self {
             me,
             role,
@@ -189,6 +207,8 @@ impl FifoServerGateway {
             synced: true,
             stats: ServerStats::default(),
             reply_scratch: bytes::BytesMut::new(),
+            durability,
+            restarted_at: None,
             obs: ObsHandle::disabled(),
         }
     }
@@ -251,6 +271,33 @@ impl FifoServerGateway {
         self.stats
     }
 
+    /// The durability sidecar, if storage is enabled (post-run inspection).
+    pub fn durability(&self) -> Option<&Durability> {
+        self.durability.as_ref()
+    }
+
+    /// Applies crash semantics to the stable storage: unsynced appends are
+    /// lost (possibly leaving a torn tail or a flipped bit, per the fault
+    /// configuration) and any staged-but-unrenamed snapshot is discarded.
+    /// Hosts call this at the crash boundary, before
+    /// [`FifoServerGateway::on_restart`].
+    pub fn crash_storage(&mut self) {
+        if let Some(d) = self.durability.as_mut() {
+            d.crash();
+        }
+    }
+
+    /// Flips `synced` on (if off) and closes the open recovery window.
+    fn mark_synced(&mut self, now: SimTime) {
+        if !self.synced {
+            self.synced = true;
+            if let Some(at) = self.restarted_at.take() {
+                let healed = now.saturating_since(at).as_micros();
+                self.stats.recovery_us = self.stats.recovery_us.max(healed);
+            }
+        }
+    }
+
     /// Read access to the hosted object.
     pub fn object(&self) -> &dyn ReplicatedObject {
         &*self.object
@@ -294,13 +341,31 @@ impl FifoServerGateway {
         let config = self.config.clone();
         let primary_view = self.primary_view.clone();
         let secondary_view = self.secondary_view.clone();
+        // The durability sidecar survives the wipe — it *is* the stable
+        // storage (the host already applied crash damage via
+        // `crash_storage`). The obs handle rides along so recovery shows
+        // up in the trace; without storage the seed's behaviour — a
+        // restarted replica is un-instrumented — is kept bit-identical.
+        let survived = self.durability.take().map(|d| (d, self.obs.clone()));
         *self = FifoServerGateway::new(me, primary_view, secondary_view, fresh_object, config);
+        if let Some((d, obs)) = survived {
+            self.durability = Some(d);
+            self.obs = obs;
+        }
         self.synced = false;
+        self.restarted_at = Some(now);
         self.last_lazy_at = None;
         self.last_transfer_request = now;
         self.last_broadcast_at = now;
         self.publisher_lazy_at = now;
         self.rate_acc_since = now;
+        // A successful replay restores this replica's own durable state
+        // (and marks it synced so reads resume), but without a global
+        // sequence it cannot bound what *other* clients' updates it missed
+        // while down: a full state transfer still reconciles with a live
+        // peer. The relaxed `on_state_response` guard accepts that
+        // transfer even though the replica already reports synced.
+        self.replay_storage(now);
         let donor = self.primary_view.leader();
         let mut actions = vec![ServerAction::SendDirect {
             to: donor,
@@ -310,6 +375,59 @@ impl FifoServerGateway {
             self.arm_lazy(&mut actions);
         }
         actions
+    }
+
+    /// Replays the durable log after a crash. Returns whether the replay
+    /// restored local state (snapshot installed, applied tail re-applied,
+    /// replica synced); `false` falls back to the full-transfer path.
+    fn replay_storage(&mut self, now: SimTime) -> bool {
+        let Some(d) = self.durability.as_mut() else {
+            return false;
+        };
+        if !d.config().replay {
+            self.obs.emit(now, self.me, || ObsEvent::RecoveryFallback {
+                reason: "replay-disabled",
+            });
+            return false;
+        }
+        let summary = d.replay();
+        self.stats.torn_tails_dropped += summary.torn_records;
+        if summary.corrupt {
+            self.stats.corrupt_logs += 1;
+            self.obs.emit(now, self.me, || ObsEvent::RecoveryFallback {
+                reason: "corrupt-log",
+            });
+            return false;
+        }
+        if summary.snapshot.is_none() && summary.commits.is_empty() {
+            // Nothing durable yet: behave exactly like a plain restart
+            // rather than claim an empty state is synchronized.
+            self.obs.emit(now, self.me, || ObsEvent::RecoveryFallback {
+                reason: "empty-log",
+            });
+            return false;
+        }
+        if let Some(snap) = &summary.snapshot {
+            self.object
+                .install_snapshot(&bytes::Bytes::from(snap.data.clone()));
+            self.version = snap.csn;
+        }
+        for (version, update) in &summary.commits {
+            let _ = self
+                .object
+                .apply_update_into(&update.op, &mut self.reply_scratch);
+            self.version = *version;
+            self.applied_log.push_back(update.id);
+            while self.applied_log.len() > self.config.committed_log {
+                self.applied_log.pop_front();
+            }
+        }
+        self.stats.replayed_records += summary.replayed_records;
+        self.mark_synced(now);
+        let (records, csn) = (summary.replayed_records, self.version);
+        self.obs
+            .emit(now, self.me, || ObsEvent::RecoveryReplay { records, csn });
+        true
     }
 
     /// Picks the next state-transfer donor, cycling through the primary
@@ -503,8 +621,14 @@ impl FifoServerGateway {
             self.object.install_snapshot(snapshot);
             self.version = version;
             self.stats.lazy_updates_applied += 1;
+            // A secondary's state *is* the last lazy snapshot: persist it
+            // so a crashed secondary restarts from here instead of empty.
+            if let Some(d) = self.durability.as_mut() {
+                d.persist_install(version, version, snapshot.to_vec());
+                self.stats.snapshots_taken += 1;
+            }
         }
-        self.synced = true;
+        self.mark_synced(now);
         self.last_lazy_at = Some(now);
         self.lazy_rate_per_us = rate_per_us.max(0.0);
         // Deferred reads are answered on the next state update (§4.1.2).
@@ -654,6 +778,19 @@ impl FifoServerGateway {
                 while self.applied_log.len() > self.config.committed_log {
                     self.applied_log.pop_front();
                 }
+                // Write-ahead discipline: in FIFO mode "commit" is the
+                // apply itself, so the record hits the log before the
+                // reply below acknowledges the update.
+                if let Some(d) = self.durability.as_mut() {
+                    let version = self.version;
+                    let (bytes, _) = d.log_commit(version, &update);
+                    self.stats.wal_appends += 1;
+                    self.obs.emit(now, self.me, || ObsEvent::WalAppend {
+                        gsn: version,
+                        bytes,
+                    });
+                }
+                self.maybe_snapshot(now);
                 let tq = started_at.saturating_since(work.enqueued_at);
                 let reply = Reply {
                     id: update.id,
@@ -713,17 +850,39 @@ impl FifoServerGateway {
         actions
     }
 
+    /// Durable compaction: once enough applies accumulated, stage a
+    /// snapshot of the applied state; the WAL prefix it covers is truncated
+    /// at the next fsync (atomic rename).
+    fn maybe_snapshot(&mut self, now: SimTime) {
+        let Some(d) = self.durability.as_mut() else {
+            return;
+        };
+        if !d.wants_snapshot() {
+            return;
+        }
+        let version = self.version;
+        let data = self.object.snapshot().to_vec();
+        let wal_bytes = d.stage_snapshot(version, version, data);
+        self.stats.snapshots_taken += 1;
+        self.obs.emit(now, self.me, || ObsEvent::Snapshot {
+            csn: version,
+            wal_bytes,
+        });
+    }
+
     fn on_state_request(&mut self, from: ActorId) -> Vec<ServerAction> {
         if self.role != ReplicaRole::Primary || !self.synced {
             return Vec::new();
         }
         self.stats.state_transfers += 1;
+        let snapshot = self.object.snapshot();
+        self.stats.transfer_bytes_sent += snapshot.len() as u64;
         vec![ServerAction::SendDirect {
             to: from,
             payload: Payload::StateResponse {
                 csn: self.version,
                 gsn: self.version,
-                snapshot: self.object.snapshot(),
+                snapshot,
             },
         }]
     }
@@ -734,12 +893,23 @@ impl FifoServerGateway {
         snapshot: &bytes::Bytes,
         now: SimTime,
     ) -> Vec<ServerAction> {
-        if self.synced || version < self.version {
+        // With durable storage a replayed replica is already synced but
+        // still reconciles via this transfer (see `on_restart`): accept
+        // any response that does not move the version backwards. Without
+        // storage, keep the seed's guard bit-identical.
+        if (self.synced && self.durability.is_none()) || version < self.version {
             return Vec::new();
         }
         self.object.install_snapshot(snapshot);
         self.version = version;
-        self.synced = true;
+        self.mark_synced(now);
+        // The installed transfer supersedes the local log: make it the
+        // durable baseline immediately, so a crash right after the install
+        // cannot resurrect pre-transfer state.
+        if let Some(d) = self.durability.as_mut() {
+            d.persist_install(version, version, snapshot.to_vec());
+            self.stats.snapshots_taken += 1;
+        }
         if self.role == ReplicaRole::Secondary {
             self.last_lazy_at = Some(now);
         }
@@ -854,6 +1024,10 @@ impl crate::protocol::ServerProtocol for FifoServerGateway {
 
     fn set_obs(&mut self, obs: ObsHandle) {
         FifoServerGateway::set_obs(self, obs)
+    }
+
+    fn crash_storage(&mut self) {
+        FifoServerGateway::crash_storage(self)
     }
 }
 
@@ -1250,5 +1424,134 @@ mod tests {
         let mut tight = read(1, 1000);
         tight.deadline_us = 1;
         assert!(p.should_shed_read(&tight));
+    }
+
+    fn durable_gw(i: usize) -> FifoServerGateway {
+        let mut config = ServerConfig {
+            clients: vec![a(20)],
+            ..ServerConfig::default()
+        };
+        config.storage = crate::durability::StorageConfig::durable();
+        config.storage.seed = 99;
+        FifoServerGateway::new(a(i), pview(), sview(), Box::new(AccountBook::new()), config)
+    }
+
+    #[test]
+    fn without_storage_restart_keeps_seed_semantics() {
+        let mut p = gw(1);
+        assert!(
+            p.durability().is_none(),
+            "default config must stay seedlike"
+        );
+        p.crash_storage(); // no-op without a sidecar
+        let _ = p.on_restart(Box::new(AccountBook::new()), t(5));
+        assert!(!p.is_synced());
+        assert_eq!(p.stats().replayed_records, 0);
+    }
+
+    #[test]
+    fn durable_replay_restores_applied_state() {
+        let mut p = durable_gw(1);
+        let mut actions = Vec::new();
+        for i in 0..5 {
+            actions.extend(p.on_payload(a(20), Payload::Update(upd(20, i)), t(i)));
+        }
+        let now = drain(&mut p, &mut actions, t(10));
+        assert_eq!(p.version(), 5);
+        assert_eq!(p.stats().wal_appends, 5);
+        let state_before = p.object().snapshot();
+        p.crash_storage();
+        let actions = p.on_restart(Box::new(AccountBook::new()), now);
+        assert_eq!(p.version(), 5, "durable replay restores the version");
+        assert!(p.is_synced(), "replayed replica serves again immediately");
+        assert_eq!(p.object().snapshot(), state_before);
+        assert!(p.stats().replayed_records > 0);
+        // Without a global sequence the replica cannot bound what it
+        // missed: reconciliation still runs a full state transfer.
+        assert!(actions.iter().any(|x| matches!(
+            x,
+            ServerAction::SendDirect {
+                payload: Payload::StateRequest,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn reconciling_transfer_lands_on_replayed_replica() {
+        let mut p = durable_gw(1);
+        let mut actions = Vec::new();
+        for i in 0..3 {
+            actions.extend(p.on_payload(a(20), Payload::Update(upd(20, i)), t(i)));
+        }
+        let now = drain(&mut p, &mut actions, t(10));
+        p.crash_storage();
+        let _ = p.on_restart(Box::new(AccountBook::new()), now);
+        assert!(p.is_synced());
+        assert_eq!(p.version(), 3);
+        // A peer that saw two further updates answers the transfer; the
+        // relaxed guard accepts it even though the replica reports synced.
+        let mut donor = gw(0);
+        let mut actions = Vec::new();
+        for i in 0..5 {
+            actions.extend(donor.on_payload(a(20), Payload::Update(upd(20, i)), t(i)));
+        }
+        let now = drain(&mut donor, &mut actions, now);
+        let reply = donor.on_payload(a(1), Payload::StateRequest, now);
+        let Some(ServerAction::SendDirect { payload, .. }) = reply.first() else {
+            panic!("donor must answer the state request, got {reply:?}");
+        };
+        let snapshots_before = p.stats().snapshots_taken;
+        let _ = p.on_payload(a(0), payload.clone(), now);
+        assert_eq!(p.version(), 5, "transfer reconciles the missed tail");
+        assert_eq!(p.object().snapshot(), donor.object().snapshot());
+        assert!(
+            p.stats().snapshots_taken > snapshots_before,
+            "the installed transfer becomes the durable baseline"
+        );
+    }
+
+    #[test]
+    fn durable_secondary_persists_lazy_installs() {
+        let mut s = durable_gw(10);
+        let _ = s.on_start(t(0));
+        let snapshot = {
+            let mut book = AccountBook::new();
+            book.apply_update(&Operation::new(
+                "deposit",
+                AccountBook::encode_tx("acct", 500),
+            ));
+            book.snapshot()
+        };
+        let _ = s.on_payload(
+            a(2),
+            Payload::FifoLazyUpdate {
+                version: 7,
+                snapshot: snapshot.clone(),
+                rate_per_us: 1e-6,
+            },
+            t(100),
+        );
+        assert_eq!(s.stats().snapshots_taken, 1);
+        s.crash_storage();
+        let _ = s.on_restart(Box::new(AccountBook::new()), t(200));
+        assert_eq!(s.version(), 7, "secondary restarts from its last install");
+        assert_eq!(s.object().snapshot(), snapshot);
+    }
+
+    #[test]
+    fn compaction_stages_snapshots_under_load() {
+        let mut p = durable_gw(1);
+        p.config.storage.snapshot_every = 4;
+        p.durability = Some(Durability::new(p.config.storage.clone(), 99));
+        let mut actions = Vec::new();
+        for i in 0..10 {
+            actions.extend(p.on_payload(a(20), Payload::Update(upd(20, i)), t(i)));
+        }
+        let now = drain(&mut p, &mut actions, t(20));
+        assert!(p.stats().snapshots_taken >= 1);
+        p.crash_storage();
+        let _ = p.on_restart(Box::new(AccountBook::new()), now);
+        assert_eq!(p.version(), 10, "snapshot + tail replay reach full state");
     }
 }

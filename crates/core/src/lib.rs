@@ -35,6 +35,8 @@
 //! * [`fifo`] — the FIFO timed-consistency handler (paper §4, Figure 2).
 //! * [`causal`] — the causal timed-consistency handler (the third ordering
 //!   guarantee of §2's QoS model).
+//! * [`durability`] — crash-recovery glue over the simulated storage layer:
+//!   per-replica write-ahead logs, snapshots, replay, and delta transfers.
 //!
 //! # Example: the probabilistic model
 //!
@@ -62,6 +64,7 @@ pub mod admission;
 pub mod causal;
 pub mod client;
 pub mod dedup;
+pub mod durability;
 pub mod fifo;
 pub mod level;
 pub mod model;
@@ -81,6 +84,7 @@ pub use causal::CausalServerGateway;
 pub use client::{
     ClientAction, ClientConfig, ClientGateway, RecoveryPolicy, ResponseInfo, TimerPurpose,
 };
+pub use durability::{Durability, ReplaySummary, StorageConfig, WalRecord};
 pub use fifo::FifoServerGateway;
 pub use level::{CostCurve, Priority, PriorityMap};
 pub use model::{select_replicas, select_replicas_ordered, Candidate, CandidateOrder, Selection};

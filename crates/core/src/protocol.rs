@@ -82,4 +82,12 @@ pub trait ServerProtocol: Send {
     /// Installing a disabled handle (or none) must leave the handler's
     /// behaviour bit-identical — observability records, it never steers.
     fn set_obs(&mut self, _obs: crate::obs::ObsHandle) {}
+
+    /// Applies crash semantics to the handler's stable storage, if any.
+    /// Hosts call this from their restart path *before*
+    /// [`ServerProtocol::on_restart`], mirroring reality: the disk takes
+    /// its damage (lost unsynced writes, possible torn tail) at the crash,
+    /// and whatever survived is what `on_restart` gets to replay. The
+    /// default is a no-op for handlers without durable storage.
+    fn crash_storage(&mut self) {}
 }

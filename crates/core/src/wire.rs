@@ -407,6 +407,26 @@ pub enum Payload {
         /// Publisher-estimated update arrival rate (arrivals/µs).
         rate_per_us: f64,
     },
+    /// Recovering replica -> a primary: request only the committed updates
+    /// above `have_csn`. Sent after a local write-ahead-log replay restored
+    /// most of the state; the answering primary serves the missing tail
+    /// from its in-memory commit mirror instead of shipping a full
+    /// snapshot.
+    DeltaRequest {
+        /// Highest commit sequence number the requester already holds.
+        have_csn: u64,
+    },
+    /// Primary -> recovering replica: the committed updates in
+    /// `(from_csn, from_csn + ops.len()]`, in commit order. An empty `ops`
+    /// with `from_csn` equal to the requester's CSN means it was already
+    /// current.
+    DeltaResponse {
+        /// The CSN the delta starts after (the requester's `have_csn`).
+        from_csn: u64,
+        /// The missing committed `(gsn, update)` assignments, dense and in
+        /// commit order.
+        ops: Vec<(u64, UpdateRequest)>,
+    },
     /// Sequencer -> secondary replicas: freshness probe opening a
     /// primary-group replenishment round.
     PromoteQuery,
@@ -445,6 +465,8 @@ impl Payload {
             Payload::CausalUpdate { .. } => "causal-update",
             Payload::CausalRead { .. } => "causal-read",
             Payload::CausalLazyUpdate { .. } => "causal-lazy-update",
+            Payload::DeltaRequest { .. } => "delta-request",
+            Payload::DeltaResponse { .. } => "delta-response",
             Payload::PromoteQuery => "promote-query",
             Payload::PromoteReport { .. } => "promote-report",
             Payload::Promote => "promote",
@@ -626,6 +648,12 @@ mod tests {
                 version: 0,
                 snapshot: Bytes::new(),
                 rate_per_us: 0.0,
+            }
+            .tag(),
+            Payload::DeltaRequest { have_csn: 0 }.tag(),
+            Payload::DeltaResponse {
+                from_csn: 0,
+                ops: Vec::new(),
             }
             .tag(),
             Payload::PromoteQuery.tag(),

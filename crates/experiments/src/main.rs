@@ -28,6 +28,7 @@
 //! `<command>.trace.jsonl` / `<command>.metrics.json` artifacts.
 
 mod admission;
+mod durability;
 mod failures;
 mod fig3;
 mod fig4;
@@ -105,7 +106,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: aqf-experiments <fig3|fig4|fig4a|fig4b|sweep-lui|sweep-reqdelay|hotspot|failures|failures-smoke|admission|ordering|staleness|overload|overload-smoke|trace-smoke|all> [--seed N] [--iters N] [--csv DIR] [--trace-out DIR] [--metrics-out DIR]".to_string()
+    "usage: aqf-experiments <fig3|fig4|fig4a|fig4b|sweep-lui|sweep-reqdelay|hotspot|failures|failures-smoke|admission|ordering|staleness|overload|overload-smoke|trace-smoke|durability|recovery-smoke|all> [--seed N] [--iters N] [--csv DIR] [--trace-out DIR] [--metrics-out DIR]".to_string()
 }
 
 fn main() -> ExitCode {
@@ -146,6 +147,8 @@ fn main() -> ExitCode {
         "overload" => overload::run(args.seed, &out),
         "overload-smoke" => overload::smoke(args.seed),
         "trace-smoke" => obsout::smoke(args.seed),
+        "durability" => durability::run(args.seed, &out),
+        "recovery-smoke" => durability::smoke(args.seed),
         "all" => {
             fig3::run(args.iters, &out);
             let points = fig4::run_grid(args.seed);
@@ -159,6 +162,7 @@ fn main() -> ExitCode {
             ordering::run(args.seed, &out);
             staleness::run(args.seed, &out);
             overload::run(args.seed, &out);
+            durability::run(args.seed, &out);
         }
         _ => {
             eprintln!("{}", usage());

@@ -28,7 +28,7 @@ impl<A> Default for Accepted<A> {
 /// A higher sender incarnation resets the channel (the sender restarted).
 #[derive(Debug, Clone, Default)]
 pub struct ReceiveChannel<A> {
-    incarnation: u32,
+    incarnation: u64,
     /// Next sequence number expected for contiguous delivery.
     expected: u64,
     holdback: BTreeMap<u64, A>,
@@ -45,7 +45,7 @@ impl<A> ReceiveChannel<A> {
     }
 
     /// The incarnation currently tracked.
-    pub fn incarnation(&self) -> u32 {
+    pub fn incarnation(&self) -> u64 {
         self.incarnation
     }
 
@@ -64,7 +64,7 @@ impl<A> ReceiveChannel<A> {
     /// Returns the payloads that became deliverable (possibly none) and an
     /// optional nack range. Duplicates and messages from stale incarnations
     /// are silently dropped.
-    pub fn accept(&mut self, inc: u32, seq: u64, payload: A) -> Accepted<A> {
+    pub fn accept(&mut self, inc: u64, seq: u64, payload: A) -> Accepted<A> {
         if inc < self.incarnation {
             return Accepted::default();
         }
@@ -99,7 +99,7 @@ impl<A> ReceiveChannel<A> {
     /// Returns the inclusive range to nack if the channel is missing a
     /// suffix, or `None` if it is caught up (or the advertisement is
     /// stale).
-    pub fn observe_tip(&mut self, inc: u32, next_seq: u64) -> Option<(u64, u64)> {
+    pub fn observe_tip(&mut self, inc: u64, next_seq: u64) -> Option<(u64, u64)> {
         if inc < self.incarnation {
             return None;
         }
@@ -119,7 +119,7 @@ impl<A> ReceiveChannel<A> {
     /// longer retransmit anything below `resume_at`. Holdback entries at or
     /// above `resume_at` are kept; anything contiguous from `resume_at`
     /// becomes deliverable. Stale or irrelevant skips are ignored.
-    pub fn skip_to(&mut self, inc: u32, resume_at: u64) -> Vec<A> {
+    pub fn skip_to(&mut self, inc: u64, resume_at: u64) -> Vec<A> {
         if inc != self.incarnation || resume_at <= self.expected {
             return Vec::new();
         }
@@ -139,7 +139,7 @@ impl<A> ReceiveChannel<A> {
     /// Used for channels created after this node restarts: the missed prefix
     /// of the sender's stream is unrecoverable and is instead covered by
     /// application-level state transfer.
-    pub fn fast_forward_to(&mut self, inc: u32, seq: u64) {
+    pub fn fast_forward_to(&mut self, inc: u64, seq: u64) {
         self.incarnation = inc;
         self.expected = seq;
         self.holdback.clear();
@@ -217,6 +217,21 @@ mod tests {
         assert_eq!(ch.expected(), 1);
         // Stale incarnation messages are dropped.
         assert!(ch.accept(0, 1, 2).deliverable.is_empty());
+    }
+
+    #[test]
+    fn incarnations_beyond_u32_stay_ordered() {
+        // The incarnation counter is u64 precisely so long correlated-crash
+        // soak runs can never wrap it; ordering must keep working past the
+        // old u32 ceiling.
+        let mut ch = ReceiveChannel::new();
+        let high = u64::from(u32::MAX) + 7;
+        assert_eq!(ch.accept(high, 0, 1).deliverable, vec![1]);
+        assert_eq!(ch.incarnation(), high);
+        // Anything from a lower life — even one that fit in u32 — is stale.
+        assert!(ch.accept(u64::from(u32::MAX), 0, 2).deliverable.is_empty());
+        assert_eq!(ch.accept(high + 1, 0, 3).deliverable, vec![3]);
+        assert_eq!(ch.incarnation(), high + 1);
     }
 
     #[test]

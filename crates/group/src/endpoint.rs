@@ -200,7 +200,7 @@ pub struct GroupStats {
 pub struct GroupEndpoint<A> {
     me: ActorId,
     config: EndpointConfig,
-    incarnation: u32,
+    incarnation: u64,
     groups: BTreeMap<GroupId, MemberState>,
     observed: BTreeMap<GroupId, Arc<View>>,
     channels: BTreeMap<(GroupId, ActorId), ReceiveChannel<SharedPayload<A>>>,
@@ -284,7 +284,15 @@ impl<A: Clone> GroupEndpoint<A> {
     }
 
     /// The current sender incarnation (bumped on every restart).
-    pub fn incarnation(&self) -> u32 {
+    ///
+    /// Invariant: incarnations are strictly monotonic over a process's
+    /// lifetime and must never wrap — receivers discard messages from
+    /// lower incarnations as stale, so a wrap-around would silently
+    /// blackhole every message the reborn process sends. The counter is
+    /// `u64` (not `u32`) so that even correlated-failure soak runs
+    /// restarting the whole cluster in a tight loop cannot exhaust it:
+    /// at one restart per microsecond, exhaustion takes ~584k years.
+    pub fn incarnation(&self) -> u64 {
         self.incarnation
     }
 
@@ -523,7 +531,7 @@ impl<A: Clone> GroupEndpoint<A> {
         &mut self,
         from: ActorId,
         group: GroupId,
-        incarnation: u32,
+        incarnation: u64,
         next_seq: u64,
         ctx: &mut Context<'_, Envelope<A>>,
     ) {
@@ -571,7 +579,7 @@ impl<A: Clone> GroupEndpoint<A> {
         &mut self,
         from: ActorId,
         group: GroupId,
-        incarnation: u32,
+        incarnation: u64,
         seq: u64,
         env: Envelope<A>,
         ctx: &mut Context<'_, Envelope<A>>,
@@ -622,7 +630,7 @@ impl<A: Clone> GroupEndpoint<A> {
         &mut self,
         requester: ActorId,
         group: GroupId,
-        incarnation: u32,
+        incarnation: u64,
         from_seq: u64,
         to_seq: u64,
         ctx: &mut Context<'_, Envelope<A>>,

@@ -23,7 +23,7 @@ pub struct DataMsg<A> {
     /// Sender incarnation; bumped when the sending process restarts so
     /// receivers reset the FIFO channel instead of waiting on sequence
     /// numbers from a previous life.
-    pub incarnation: u32,
+    pub incarnation: u64,
     /// Per-(sender, group, incarnation) FIFO sequence number, starting at 0.
     pub seq: u64,
     /// The application payload.
@@ -46,7 +46,7 @@ pub enum GroupMsg<A> {
         /// The group whose channel has the gap.
         group: GroupId,
         /// Incarnation the receiver is tracking.
-        incarnation: u32,
+        incarnation: u64,
         /// First missing sequence number.
         from_seq: u64,
         /// Last missing sequence number.
@@ -87,7 +87,7 @@ pub enum GroupMsg<A> {
         /// The group whose stream has the unfillable gap.
         group: GroupId,
         /// Sender incarnation.
-        incarnation: u32,
+        incarnation: u64,
         /// Oldest sequence number the sender can still retransmit.
         resume_at: u64,
     },
@@ -98,7 +98,7 @@ pub enum GroupMsg<A> {
         /// The group whose stream is advertised.
         group: GroupId,
         /// Sender incarnation.
-        incarnation: u32,
+        incarnation: u64,
         /// One past the highest sequence number multicast so far.
         next_seq: u64,
     },

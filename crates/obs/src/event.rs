@@ -173,6 +173,33 @@ pub enum Event {
         /// Member count of the new view.
         members: u64,
     },
+    /// A replica appended a committed update to its write-ahead log.
+    WalAppend {
+        /// The committed global sequence number.
+        gsn: u64,
+        /// Framed record size in bytes.
+        bytes: u64,
+    },
+    /// A replica staged a durable snapshot (compacting its WAL).
+    Snapshot {
+        /// Commit sequence number captured by the snapshot.
+        csn: u64,
+        /// WAL bytes retained after truncation.
+        wal_bytes: u64,
+    },
+    /// A restarted replica replayed its durable log.
+    RecoveryReplay {
+        /// Valid WAL records replayed.
+        records: u64,
+        /// Commit sequence number reached by the replay.
+        csn: u64,
+    },
+    /// A restarted replica could not use its durable log and fell back to
+    /// a full state transfer.
+    RecoveryFallback {
+        /// Why the log was unusable (`corrupt-log`, `replay-disabled`).
+        reason: &'static str,
+    },
 }
 
 impl Event {
@@ -197,6 +224,10 @@ impl Event {
             Event::Quarantine { .. } => "quarantine",
             Event::QuarantineCleared { .. } => "quarantine_cleared",
             Event::ViewChange { .. } => "view_change",
+            Event::WalAppend { .. } => "wal_append",
+            Event::Snapshot { .. } => "snapshot",
+            Event::RecoveryReplay { .. } => "recovery_replay",
+            Event::RecoveryFallback { .. } => "recovery_fallback",
         }
     }
 
@@ -346,6 +377,18 @@ impl Event {
             }
             Event::ViewChange { view_id, members } => {
                 let _ = write!(out, ",\"view_id\":{view_id},\"members\":{members}");
+            }
+            Event::WalAppend { gsn, bytes } => {
+                let _ = write!(out, ",\"gsn\":{gsn},\"bytes\":{bytes}");
+            }
+            Event::Snapshot { csn, wal_bytes } => {
+                let _ = write!(out, ",\"csn\":{csn},\"wal_bytes\":{wal_bytes}");
+            }
+            Event::RecoveryReplay { records, csn } => {
+                let _ = write!(out, ",\"records\":{records},\"csn\":{csn}");
+            }
+            Event::RecoveryFallback { reason } => {
+                let _ = write!(out, ",\"reason\":\"{reason}\"");
             }
         }
     }

@@ -424,6 +424,16 @@ const SCHEMA: &[(&str, &[(&str, Kind)])] = &[
         "view_change",
         &[("view_id", Kind::UInt), ("members", Kind::UInt)],
     ),
+    ("wal_append", &[("gsn", Kind::UInt), ("bytes", Kind::UInt)]),
+    (
+        "snapshot",
+        &[("csn", Kind::UInt), ("wal_bytes", Kind::UInt)],
+    ),
+    (
+        "recovery_replay",
+        &[("records", Kind::UInt), ("csn", Kind::UInt)],
+    ),
+    ("recovery_fallback", &[("reason", Kind::Str)]),
 ];
 
 /// Validates one JSONL trace line against the event schema: the envelope
@@ -477,6 +487,16 @@ mod tests {
         .unwrap();
         validate_trace_line(r#"{"t":10,"actor":1,"type":"ladder","from_level":0,"to_level":1}"#)
             .unwrap();
+        validate_trace_line(r#"{"t":10,"actor":1,"type":"wal_append","gsn":7,"bytes":48}"#)
+            .unwrap();
+        validate_trace_line(r#"{"t":10,"actor":1,"type":"snapshot","csn":64,"wal_bytes":0}"#)
+            .unwrap();
+        validate_trace_line(r#"{"t":10,"actor":1,"type":"recovery_replay","records":9,"csn":9}"#)
+            .unwrap();
+        validate_trace_line(
+            r#"{"t":10,"actor":1,"type":"recovery_fallback","reason":"corrupt-log"}"#,
+        )
+        .unwrap();
     }
 
     #[test]

@@ -187,6 +187,10 @@ impl Actor<NetMsg> for ReplicaActor {
     fn on_restart(&mut self, ctx: &mut Context<'_, NetMsg>) {
         self.ep.on_restart(ctx);
         self.service_timers.clear();
+        // The crash boundary comes first: the disk takes its damage (lost
+        // unsynced writes, possible torn tail), and whatever survived is
+        // what the gateway's restart path gets to replay.
+        self.gw.crash_storage();
         let actions = self.gw.on_restart(self.object_kind.make(), ctx.now());
         self.apply(actions, ctx);
     }

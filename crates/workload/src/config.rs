@@ -2,6 +2,7 @@
 
 use aqf_core::{
     OrderingGuarantee, OverloadConfig, QosSpec, RecoveryPolicy, SelectionPolicy, StalenessModel,
+    StorageConfig,
 };
 use aqf_group::{FailureDetector, FlapDamping};
 use aqf_sim::{DelayModel, SimDuration, SimTime};
@@ -109,6 +110,12 @@ pub enum FaultTarget {
     Primary(usize),
     /// The `i`-th secondary replica (0-based).
     Secondary(usize),
+    /// Every primary-group member at once (sequencer included) — the
+    /// correlated-failure scenarios of the durability studies. Expanded to
+    /// one fault per member when the world is built.
+    AllPrimaries,
+    /// Every server process at once (whole-cluster crash or restart).
+    AllServers,
 }
 
 /// Crash, recover, or degrade (gray failure).
@@ -198,6 +205,12 @@ pub struct ScenarioConfig {
     /// How clients estimate the staleness factor (Eq. 4's Poisson model or
     /// the §5.1.3 empirical rate mixture).
     pub staleness_model: StalenessModel,
+    /// Simulated stable storage on every server replica: WAL + snapshots
+    /// with accounted latency and crash-fault injection.
+    /// [`StorageConfig::disabled`] (the default) replays the diskless seed
+    /// bit-identically; the runner reseeds it with the scenario's master
+    /// seed and each replica mixes in its own identity.
+    pub storage: StorageConfig,
     /// The clients.
     pub clients: Vec<ClientSpec>,
     /// Scheduled faults.
@@ -238,6 +251,7 @@ impl ScenarioConfig {
             object: ObjectKind::Register,
             ordering: OrderingGuarantee::Sequential,
             staleness_model: StalenessModel::Poisson,
+            storage: StorageConfig::disabled(),
             clients: vec![
                 ClientSpec::paper_background_client(),
                 ClientSpec::paper_measured_client(deadline_ms, pc),
@@ -260,6 +274,16 @@ impl ScenarioConfig {
     pub fn with_fast_detection(mut self) -> Self {
         self.group_tick = SimDuration::from_millis(250);
         self.failure_timeout = SimDuration::from_millis(900);
+        self
+    }
+
+    /// Durable storage for the crash-recovery studies: the
+    /// [`StorageConfig::durable`] preset (sync-before-ack WAL, compaction
+    /// every 64 commits) seeded from the scenario's master seed.
+    #[must_use]
+    pub fn with_durability(mut self) -> Self {
+        self.storage = StorageConfig::durable();
+        self.storage.seed = self.seed;
         self
     }
 
@@ -290,6 +314,7 @@ impl ScenarioConfig {
             }
         }
         self.overload.validate()?;
+        self.storage.validate()?;
         if self.failure_timeout < self.group_tick * 2 {
             return Err("failure timeout must be at least two group ticks".into());
         }
@@ -462,6 +487,60 @@ mod tests {
         // Disabled configs skip knob validation entirely (the seed path).
         let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
         c.overload.queue_bound = 0;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_covers_storage_knobs() {
+        // The durable preset passes end to end.
+        let c = ScenarioConfig::paper_validation(200, 0.9, 4, 1).with_durability();
+        assert!(c.validate().is_ok());
+        assert!(c.storage.enabled);
+        assert_eq!(c.storage.seed, c.seed);
+
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1).with_durability();
+        c.storage.fsync_every = 0;
+        assert!(c.validate().unwrap_err().contains("fsync_every"));
+
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1).with_durability();
+        c.storage.torn_write_probability = 1.5;
+        assert!(c.validate().unwrap_err().contains("torn_write_probability"));
+
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1).with_durability();
+        c.storage.bit_flip_probability = -0.1;
+        assert!(c.validate().unwrap_err().contains("bit_flip_probability"));
+
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1).with_durability();
+        c.storage.fsync_stall_probability = 2.0;
+        assert!(c
+            .validate()
+            .unwrap_err()
+            .contains("fsync_stall_probability"));
+
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1).with_durability();
+        c.storage.fsync_stall_probability = 0.1;
+        c.storage.fsync_stall_us = 0;
+        assert!(c.validate().unwrap_err().contains("fsync_stall_us"));
+
+        // Disabled configs skip knob validation entirely (the seed path).
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
+        c.storage.fsync_every = 0;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn correlated_fault_targets_validate() {
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
+        c.faults.push(FaultEvent {
+            at: SimTime::from_secs(10),
+            target: FaultTarget::AllPrimaries,
+            kind: FaultKind::Restart,
+        });
+        c.faults.push(FaultEvent {
+            at: SimTime::from_secs(20),
+            target: FaultTarget::AllServers,
+            kind: FaultKind::Restart,
+        });
         assert!(c.validate().is_ok());
     }
 

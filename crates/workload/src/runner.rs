@@ -118,6 +118,10 @@ pub struct ScenarioMetrics {
     pub virtual_secs: f64,
     /// Total simulator events processed.
     pub events: u64,
+    /// Whether the scenario ran with simulated stable storage. Gates the
+    /// durability counters' contribution to [`ScenarioMetrics::digest`] so
+    /// storage-disabled runs stay bit-identical to the diskless seed.
+    pub durability: bool,
 }
 
 impl ScenarioMetrics {
@@ -235,6 +239,20 @@ impl ScenarioMetrics {
             ] {
                 d.mix(v);
             }
+            if self.durability {
+                for v in [
+                    st.wal_appends,
+                    st.snapshots_taken,
+                    st.replayed_records,
+                    st.torn_tails_dropped,
+                    st.corrupt_logs,
+                    st.transfer_bytes_sent,
+                    st.transfer_bytes_saved,
+                    st.recovery_us,
+                ] {
+                    d.mix(v);
+                }
+            }
             let g = &s.group;
             for v in [
                 g.multicasts_sent,
@@ -281,6 +299,10 @@ pub struct BuiltScenario {
     /// usually failed over to someone else.
     struck_sequencer: Option<ActorId>,
     struck_publisher: Option<ActorId>,
+    /// Whether simulated stable storage was enabled for this build;
+    /// threaded into [`ScenarioMetrics`] so the digest only covers the
+    /// durability counters when the subsystem actually ran.
+    durability: bool,
 }
 
 impl BuiltScenario {
@@ -336,7 +358,10 @@ impl BuiltScenario {
                 FaultTarget::Sequencer => &mut self.struck_sequencer,
                 FaultTarget::Publisher => &mut self.struck_publisher,
                 // Static targets never reach the pending list.
-                FaultTarget::Primary(_) | FaultTarget::Secondary(_) => &mut None,
+                FaultTarget::Primary(_)
+                | FaultTarget::Secondary(_)
+                | FaultTarget::AllPrimaries
+                | FaultTarget::AllServers => &mut None,
             };
             let target = if healing {
                 // Repair the process the damaging fault hit, not whoever
@@ -350,7 +375,10 @@ impl BuiltScenario {
                 match fault.target {
                     FaultTarget::Sequencer => self.struck_sequencer = Some(target),
                     FaultTarget::Publisher => self.struck_publisher = Some(target),
-                    FaultTarget::Primary(_) | FaultTarget::Secondary(_) => {}
+                    FaultTarget::Primary(_)
+                    | FaultTarget::Secondary(_)
+                    | FaultTarget::AllPrimaries
+                    | FaultTarget::AllServers => {}
                 }
             }
             match fault.kind {
@@ -392,9 +420,13 @@ impl BuiltScenario {
                 &|gw| gw.is_publisher(),
                 *self.primary_ids.last().expect("primary group non-empty"),
             ),
-            // Static targets never reach the pending list.
+            // Static targets never reach the pending list; correlated
+            // targets are expanded at build time.
             FaultTarget::Primary(i) => self.primary_ids[i + 1],
             FaultTarget::Secondary(i) => self.secondary_ids[i],
+            FaultTarget::AllPrimaries | FaultTarget::AllServers => {
+                unreachable!("correlated fault targets are expanded at build time")
+            }
         }
     }
 
@@ -405,6 +437,7 @@ impl BuiltScenario {
             &self.primary_ids,
             &self.secondary_ids,
             &self.client_ids,
+            self.durability,
         )
     }
 }
@@ -557,24 +590,41 @@ pub fn build_scenario(config: &ScenarioConfig) -> BuiltScenario {
     // against whichever process holds the role when the fault fires —
     // after a failover the role has usually moved.
     let mut pending_faults: Vec<FaultEvent> = Vec::new();
+    let schedule = |world: &mut World<NetMsg>, target: ActorId, fault: &FaultEvent| match fault.kind
+    {
+        FaultKind::Crash => world.schedule_crash(target, fault.at),
+        FaultKind::Restart => world.schedule_restart(target, fault.at),
+        FaultKind::Isolate => world.schedule_isolation(target, fault.at),
+        FaultKind::Reconnect => world.schedule_reconnection(target, fault.at),
+        FaultKind::Degrade { factor } => world.schedule_degrade(target, factor, fault.at),
+        FaultKind::Lossy { p } => world.schedule_lossy(target, p, fault.at),
+        FaultKind::RestoreGray => world.schedule_restore(target, fault.at),
+    };
     for fault in &config.faults {
         let target = match fault.target {
             FaultTarget::Sequencer | FaultTarget::Publisher => {
                 pending_faults.push(*fault);
                 continue;
             }
+            // Correlated targets expand to one fault per member at build
+            // time: the membership is static by id, so they need no live
+            // role resolution.
+            FaultTarget::AllPrimaries => {
+                for &id in &primary_ids {
+                    schedule(&mut world, id, fault);
+                }
+                continue;
+            }
+            FaultTarget::AllServers => {
+                for &id in primary_ids.iter().chain(secondary_ids.iter()) {
+                    schedule(&mut world, id, fault);
+                }
+                continue;
+            }
             FaultTarget::Primary(i) => primary_ids[i + 1],
             FaultTarget::Secondary(i) => secondary_ids[i],
         };
-        match fault.kind {
-            FaultKind::Crash => world.schedule_crash(target, fault.at),
-            FaultKind::Restart => world.schedule_restart(target, fault.at),
-            FaultKind::Isolate => world.schedule_isolation(target, fault.at),
-            FaultKind::Reconnect => world.schedule_reconnection(target, fault.at),
-            FaultKind::Degrade { factor } => world.schedule_degrade(target, factor, fault.at),
-            FaultKind::Lossy { p } => world.schedule_lossy(target, p, fault.at),
-            FaultKind::RestoreGray => world.schedule_restore(target, fault.at),
-        }
+        schedule(&mut world, target, fault);
     }
     pending_faults.sort_by_key(|f| f.at);
 
@@ -586,6 +636,7 @@ pub fn build_scenario(config: &ScenarioConfig) -> BuiltScenario {
         pending_faults,
         struck_sequencer: None,
         struck_publisher: None,
+        durability: config.storage.enabled,
     }
 }
 
@@ -672,6 +723,16 @@ fn export_run_metrics(metrics: &ScenarioMetrics, world: aqf_sim::WorldStats, obs
         obs.add("server.dedup_hits", s.stats.dedup_hits);
         obs.add("server.state_transfers", s.stats.state_transfers);
         obs.add("server.recoveries", s.stats.recoveries);
+        if metrics.durability {
+            obs.add("server.wal_appends", s.stats.wal_appends);
+            obs.add("server.snapshots_taken", s.stats.snapshots_taken);
+            obs.add("server.replayed_records", s.stats.replayed_records);
+            obs.add("server.torn_tails_dropped", s.stats.torn_tails_dropped);
+            obs.add("server.corrupt_logs", s.stats.corrupt_logs);
+            obs.add("server.transfer_bytes_sent", s.stats.transfer_bytes_sent);
+            obs.add("server.transfer_bytes_saved", s.stats.transfer_bytes_saved);
+            obs.add("server.recovery_us", s.stats.recovery_us);
+        }
     }
 }
 
@@ -683,11 +744,17 @@ fn make_gateway(
     secondary_view: &aqf_group::View,
     client_ids: &[ActorId],
 ) -> Box<dyn ServerProtocol> {
+    // The scenario seed doubles as the storage seed so a scenario fully
+    // determines its disks; each gateway then splits per-actor streams off
+    // this base internally.
+    let mut storage = config.storage.clone();
+    storage.seed = config.seed;
     let server_config = ServerConfig {
         lazy_interval: config.lazy_interval,
         clients: client_ids.to_vec(),
         min_primary_size: config.min_primary_size,
         overload: config.overload.clone(),
+        storage,
         ..ServerConfig::default()
     };
     match config.ordering {
@@ -720,6 +787,7 @@ fn collect(
     primary_ids: &[ActorId],
     secondary_ids: &[ActorId],
     client_ids: &[ActorId],
+    durability: bool,
 ) -> ScenarioMetrics {
     let mut clients = Vec::with_capacity(client_ids.len());
     for &id in client_ids {
@@ -788,5 +856,6 @@ fn collect(
         servers,
         virtual_secs: world.now().as_secs_f64(),
         events: world.stats().events,
+        durability,
     }
 }
