@@ -1,0 +1,247 @@
+//! The chaos-search driver: generate → run → judge → (on failure) shrink.
+//!
+//! [`search`] sweeps a contiguous block of schedule seeds. Each seed
+//! deterministically derives one fault schedule (via
+//! [`crate::generator::generate_faults`]) and one master RNG seed, replays
+//! the scenario with history recording on, and judges the recorded history
+//! with every applicable oracle. Everything is a pure function of
+//! `(base config, budget, seed)`, so a violating seed can be re-run — or
+//! handed to the shrinker — months later and fail identically.
+
+use aqf_obs::ObsHandle;
+use aqf_workload::{run_scenario_recorded, HistoryHandle, ScenarioConfig};
+
+use crate::generator::{generate_faults, ScheduleBudget};
+use crate::oracle::{check_history, OracleKind, OracleOptions, Violation};
+use crate::shrink::{shrink, Shrunk};
+
+/// Outcome of replaying one seeded schedule.
+#[derive(Debug, Clone)]
+pub struct SeedOutcome {
+    /// The schedule seed.
+    pub seed: u64,
+    /// Digest of the run's metrics (replay fingerprint).
+    pub digest: u64,
+    /// Number of fault events in the generated schedule.
+    pub num_faults: usize,
+    /// Oracle violations, empty on a clean run.
+    pub violations: Vec<Violation>,
+}
+
+/// Aggregate result of a seed sweep.
+#[derive(Debug, Clone)]
+pub struct SearchReport {
+    /// First seed swept.
+    pub start_seed: u64,
+    /// Per-seed outcomes, in seed order.
+    pub outcomes: Vec<SeedOutcome>,
+}
+
+impl SearchReport {
+    /// Outcomes that tripped at least one oracle.
+    pub fn failures(&self) -> impl Iterator<Item = &SeedOutcome> {
+        self.outcomes.iter().filter(|o| !o.violations.is_empty())
+    }
+
+    /// Total violations across the sweep.
+    pub fn total_violations(&self) -> usize {
+        self.outcomes.iter().map(|o| o.violations.len()).sum()
+    }
+
+    /// Renders the report as one JSON object (deterministic field order).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"start_seed\":{},\"seeds\":{},\"failing_seeds\":{},\"total_violations\":{},\"outcomes\":[",
+            self.start_seed,
+            self.outcomes.len(),
+            self.failures().count(),
+            self.total_violations(),
+        );
+        for (i, o) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"seed\":{},\"digest\":{},\"faults\":{},\"violations\":[",
+                o.seed, o.digest, o.num_faults
+            );
+            for (j, v) in o.violations.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "{{\"oracle\":\"{}\",\"client\":{},\"seq\":{},\"detail\":{}}}",
+                    v.oracle.name(),
+                    v.client,
+                    v.seq,
+                    json_str(&v.detail)
+                );
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Renders the report as CSV (`seed,digest,faults,violations,oracles`).
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("seed,digest,faults,violations,oracles\n");
+        for o in &self.outcomes {
+            let mut oracles: Vec<&str> = o.violations.iter().map(|v| v.oracle.name()).collect();
+            oracles.sort_unstable();
+            oracles.dedup();
+            let _ = writeln!(
+                s,
+                "{},{},{},{},{}",
+                o.seed,
+                o.digest,
+                o.num_faults,
+                o.violations.len(),
+                oracles.join("+")
+            );
+        }
+        s
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Installs the schedule derived from `seed` into a copy of `base`.
+///
+/// The master seed is re-derived from the schedule seed too, so distinct
+/// seeds explore distinct delay/loss randomness, not just distinct fault
+/// timing.
+pub fn scenario_for_seed(
+    base: &ScenarioConfig,
+    budget: &ScheduleBudget,
+    seed: u64,
+) -> ScenarioConfig {
+    let mut config = base.clone();
+    config.seed = base.seed ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    config.faults = generate_faults(&config, budget, seed);
+    config
+}
+
+/// Replays `config` with history recording and returns the oracle verdict
+/// along with the run digest.
+pub fn replay_and_judge(config: &ScenarioConfig, opts: &OracleOptions) -> (u64, Vec<Violation>) {
+    let history = HistoryHandle::collecting();
+    let metrics = run_scenario_recorded(config, &ObsHandle::disabled(), &history);
+    let events = history.take();
+    (metrics.digest(), check_history(config, &events, opts))
+}
+
+/// Runs one seed end to end.
+pub fn run_seed(
+    base: &ScenarioConfig,
+    budget: &ScheduleBudget,
+    seed: u64,
+    opts: &OracleOptions,
+) -> SeedOutcome {
+    let config = scenario_for_seed(base, budget, seed);
+    let num_faults = config.faults.len();
+    let (digest, violations) = replay_and_judge(&config, opts);
+    SeedOutcome {
+        seed,
+        digest,
+        num_faults,
+        violations,
+    }
+}
+
+/// Sweeps `count` consecutive seeds starting at `start_seed`.
+pub fn search(
+    base: &ScenarioConfig,
+    budget: &ScheduleBudget,
+    start_seed: u64,
+    count: u64,
+    opts: &OracleOptions,
+) -> SearchReport {
+    let outcomes = (start_seed..start_seed + count)
+        .map(|seed| run_seed(base, budget, seed, opts))
+        .collect();
+    SearchReport {
+        start_seed,
+        outcomes,
+    }
+}
+
+/// Shrinks a violating scenario to a minimal repro.
+///
+/// When `oracle` is given, only violations from that oracle count as "still
+/// failing" (so the shrinker cannot wander to an unrelated failure); with
+/// `None` any violation keeps a candidate.
+pub fn minimize(
+    config: &ScenarioConfig,
+    oracle: Option<OracleKind>,
+    opts: &OracleOptions,
+) -> Shrunk {
+    let opts = *opts;
+    let mut still_fails = move |candidate: &ScenarioConfig| {
+        let (_, violations) = replay_and_judge(candidate, &opts);
+        match oracle {
+            Some(kind) => violations.iter().any(|v| v.oracle == kind),
+            None => !violations.is_empty(),
+        }
+    };
+    shrink(config, &mut still_fails)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqf_sim::SimDuration;
+
+    fn quick_base() -> ScenarioConfig {
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 2, 77).with_fast_detection();
+        c.run_limit = SimDuration::from_secs(200);
+        for spec in &mut c.clients {
+            spec.total_requests = 40;
+        }
+        c
+    }
+
+    #[test]
+    fn seeded_runs_replay_bit_identically() {
+        let base = quick_base();
+        let budget = ScheduleBudget::quick();
+        let a = run_seed(&base, &budget, 5, &OracleOptions::default());
+        let b = run_seed(&base, &budget, 5, &OracleOptions::default());
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.violations.len(), b.violations.len());
+    }
+
+    #[test]
+    fn report_renders_json_and_csv() {
+        let base = quick_base();
+        let budget = ScheduleBudget::quick();
+        let report = search(&base, &budget, 0, 2, &OracleOptions::default());
+        assert_eq!(report.outcomes.len(), 2);
+        let json = report.to_json();
+        assert!(json.starts_with("{\"start_seed\":0"));
+        aqf_obs::parse_json(&json).expect("report JSON parses");
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("seed,digest,faults,violations,oracles"));
+    }
+}

@@ -1,0 +1,135 @@
+//! The fixed-seed chaos corpus: on an unmutated build, every profile must
+//! replay clean — an oracle violation here is a real consistency bug in
+//! the protocol stack, not test noise.
+//!
+//! The corpus sweeps three ordering profiles (sequential register, causal
+//! register, FIFO banking — the last with durable storage on, so
+//! generated crashes exercise WAL damage and recovery replay) over
+//! disjoint seed blocks, ≥200 seeded schedules total.
+//!
+//! These tests are compiled out under the `mutation` feature: that build
+//! deliberately breaks the causal read path, and its corpus expectations
+//! live in `mutation_canary.rs` instead.
+
+#![cfg(not(feature = "mutation"))]
+
+use aqf_chaos::{
+    config_from_json, config_to_json, replay_and_judge, run_seed, search,
+    timed_violations_by_client, OracleOptions, ScheduleBudget,
+};
+use aqf_core::{OrderingGuarantee, StorageConfig};
+use aqf_obs::ObsHandle;
+use aqf_sim::SimDuration;
+use aqf_workload::{run_scenario_recorded, HistoryHandle, ObjectKind, ScenarioConfig};
+
+/// The corpus's shared deployment shape: the paper's 11-server layout
+/// with fast failure detection and a workload that spans the fault
+/// window.
+fn corpus_base(seed: u64) -> ScenarioConfig {
+    let mut c = ScenarioConfig::paper_validation(200, 0.9, 2, seed).with_fast_detection();
+    c.run_limit = SimDuration::from_secs(250);
+    for spec in &mut c.clients {
+        spec.total_requests = 60;
+        spec.request_delay = SimDuration::from_millis(600);
+    }
+    c
+}
+
+fn sequential_profile() -> ScenarioConfig {
+    corpus_base(101)
+}
+
+fn causal_profile() -> ScenarioConfig {
+    let mut c = corpus_base(202);
+    c.ordering = OrderingGuarantee::Causal;
+    // A generous staleness bound keeps the staleness deferral out of the
+    // way, so reads are gated by causal dependencies (the interesting
+    // check) rather than by freshness.
+    for spec in &mut c.clients {
+        spec.qos.staleness_threshold = 10;
+    }
+    c
+}
+
+fn fifo_profile() -> ScenarioConfig {
+    let mut c = corpus_base(303);
+    c.ordering = OrderingGuarantee::Fifo;
+    c.object = ObjectKind::Bank;
+    c.storage = StorageConfig::durable();
+    c
+}
+
+#[test]
+fn corpus_replays_clean_on_an_unmutated_build() {
+    let budget = ScheduleBudget::quick();
+    let opts = OracleOptions::default();
+    let profiles = [
+        ("sequential", sequential_profile(), 0u64, 80u64),
+        ("causal", causal_profile(), 1000, 60),
+        ("fifo-bank", fifo_profile(), 2000, 60),
+    ];
+    let mut total = 0u64;
+    for (name, base, start, count) in profiles {
+        let report = search(&base, &budget, start, count, &opts);
+        total += count;
+        let failing = report.failures().next();
+        if let Some(outcome) = failing {
+            panic!(
+                "profile {name}, seed {}: {} oracle violation(s): {:?}",
+                outcome.seed,
+                outcome.violations.len(),
+                outcome.violations
+            );
+        }
+    }
+    assert!(total >= 200, "corpus too small: {total} schedules");
+}
+
+/// Satellite: the online `ClientRecord::staleness_violations` counter and
+/// the offline timed oracle count exactly the same events.
+#[test]
+fn staleness_counter_agrees_with_timed_oracle() {
+    let budget = ScheduleBudget::quick();
+    let mut checked_any = false;
+    for seed in [3u64, 17, 29] {
+        let mut config = sequential_profile();
+        config.seed ^= seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        config.faults = aqf_chaos::generate_faults(&config, &budget, seed);
+        let history = HistoryHandle::collecting();
+        let metrics = run_scenario_recorded(&config, &ObsHandle::disabled(), &history);
+        let events = history.take();
+        let by_client = timed_violations_by_client(&config, &events);
+        for (i, outcome) in metrics.clients.iter().enumerate() {
+            let client_id = outcome.id.index() as u64;
+            let oracle_count = by_client.get(&client_id).copied().unwrap_or(0);
+            assert_eq!(
+                outcome.record.staleness_violations, oracle_count,
+                "seed {seed}, client {i} (actor {client_id}): online counter and timed \
+                 oracle disagree"
+            );
+            checked_any = true;
+        }
+    }
+    assert!(checked_any);
+}
+
+/// A violating (or clean) seed replays bit-identically through the full
+/// serialize → parse → re-run loop: the repro artifact is self-contained.
+#[test]
+fn repro_artifacts_replay_bit_identically() {
+    let budget = ScheduleBudget::quick();
+    let base = fifo_profile();
+    let outcome = run_seed(&base, &budget, 2003, &OracleOptions::default());
+    let config = aqf_chaos::scenario_for_seed(&base, &budget, 2003);
+    let text = config_to_json(&config);
+    let parsed = config_from_json(&text).expect("repro parses");
+    let (digest_a, viol_a) = replay_and_judge(&parsed, &OracleOptions::default());
+    let (digest_b, viol_b) = replay_and_judge(&parsed, &OracleOptions::default());
+    assert_eq!(digest_a, digest_b, "repro replay is not deterministic");
+    assert_eq!(
+        digest_a, outcome.digest,
+        "repro diverges from the original run"
+    );
+    assert_eq!(viol_a.len(), viol_b.len());
+    assert_eq!(viol_a.len(), outcome.violations.len());
+}

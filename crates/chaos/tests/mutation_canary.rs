@@ -1,0 +1,76 @@
+//! The mutation canary: proves the chaos pipeline actually catches bugs.
+//!
+//! Compiled only under the `mutation` feature, which rebuilds `aqf-core`
+//! with the causal read-path dominance checks deliberately skipped (reads
+//! are served as if always causally ready). Over the same fixed-seed
+//! corpus that replays clean on an unmutated build, the causal oracle
+//! must now report a causality inversion — and the delta-debugging
+//! shrinker must reduce the violating schedule to a handful of fault
+//! events that still reproduces it.
+
+#![cfg(feature = "mutation")]
+
+use aqf_chaos::{
+    config_from_json, config_to_json, minimize, replay_and_judge, scenario_for_seed, search,
+    OracleKind, OracleOptions, ScheduleBudget,
+};
+use aqf_core::OrderingGuarantee;
+use aqf_sim::SimDuration;
+use aqf_workload::ScenarioConfig;
+
+/// Same causal profile and seed block as the clean corpus in
+/// `corpus.rs` (kept in sync by hand; the profiles are tiny).
+fn causal_profile() -> ScenarioConfig {
+    let mut c = ScenarioConfig::paper_validation(200, 0.9, 2, 202).with_fast_detection();
+    c.run_limit = SimDuration::from_secs(250);
+    c.ordering = OrderingGuarantee::Causal;
+    for spec in &mut c.clients {
+        spec.total_requests = 60;
+        spec.request_delay = SimDuration::from_millis(600);
+        spec.qos.staleness_threshold = 10;
+    }
+    c
+}
+
+#[test]
+fn causal_oracle_catches_the_mutation_and_shrinker_minimizes_it() {
+    let budget = ScheduleBudget::quick();
+    let opts = OracleOptions::default();
+
+    // The same 60-seed block the unmutated corpus replays clean.
+    let report = search(&causal_profile(), &budget, 1000, 60, &opts);
+    let caught = report
+        .failures()
+        .find(|o| o.violations.iter().any(|v| v.oracle == OracleKind::Causal));
+    let outcome = caught.unwrap_or_else(|| {
+        panic!(
+            "mutated build slipped past the causal oracle over the fixed corpus \
+             ({} schedules, {} non-causal violations)",
+            report.outcomes.len(),
+            report.total_violations(),
+        )
+    });
+
+    // Shrink the violating schedule to a minimal repro.
+    let config = scenario_for_seed(&causal_profile(), &budget, outcome.seed);
+    let shrunk = minimize(&config, Some(OracleKind::Causal), &opts);
+    assert!(
+        shrunk.config.faults.len() <= 5,
+        "shrinker left {} fault events (budget allows at most 8): {:?}",
+        shrunk.config.faults.len(),
+        shrunk.config.faults,
+    );
+
+    // The minimized repro survives serialization and replays identically.
+    let text = config_to_json(&shrunk.config);
+    let parsed = config_from_json(&text).expect("repro round-trips");
+    assert_eq!(parsed, shrunk.config);
+    let (digest_a, viol_a) = replay_and_judge(&parsed, &opts);
+    let (digest_b, viol_b) = replay_and_judge(&parsed, &opts);
+    assert_eq!(digest_a, digest_b, "minimized repro is not deterministic");
+    assert!(
+        viol_a.iter().any(|v| v.oracle == OracleKind::Causal),
+        "minimized repro no longer trips the causal oracle: {viol_a:?}"
+    );
+    assert_eq!(viol_a.len(), viol_b.len());
+}

@@ -48,6 +48,20 @@ pub fn dominates(vector: &BTreeMap<ActorId, u64>, deps: &VersionVector) -> bool 
         .all(|(client, need)| vector.get(client).copied().unwrap_or(0) >= *need)
 }
 
+/// Read-path dominance check with the mutation-canary hook.
+///
+/// Under the test-only `mutation` feature the check is deliberately
+/// skipped — every read is treated as causally ready, re-introducing the
+/// causality-inversion bug the chaos oracles exist to catch. The feature
+/// must never be enabled in a real build; update admission still uses
+/// [`dominates`] directly, so only the read path is mutated.
+fn read_deps_satisfied(vector: &BTreeMap<ActorId, u64>, deps: &VersionVector) -> bool {
+    if cfg!(feature = "mutation") {
+        return true;
+    }
+    dominates(vector, deps)
+}
+
 /// Pointwise maximum merge of `incoming` into `vector`.
 pub fn merge_into(vector: &mut BTreeMap<ActorId, u64>, incoming: &VersionVector) {
     for (client, count) in incoming {
@@ -658,7 +672,7 @@ impl CausalServerGateway {
         let mut kept = Vec::with_capacity(self.deferred.len());
         for (pending, deferred_at) in std::mem::take(&mut self.deferred) {
             if self.synced
-                && dominates(&self.vector, &pending.deps)
+                && read_deps_satisfied(&self.vector, &pending.deps)
                 && staleness_now <= pending.req.staleness_threshold as u64
             {
                 let tb = now.saturating_since(deferred_at);
@@ -728,7 +742,7 @@ impl CausalServerGateway {
             arrived_at: now,
         };
         let staleness = self.estimated_staleness(now);
-        let causally_ready = dominates(&self.vector, &pending.deps);
+        let causally_ready = read_deps_satisfied(&self.vector, &pending.deps);
         let mut actions = Vec::new();
         if self.synced && causally_ready && staleness <= pending.req.staleness_threshold as u64 {
             let vector = self.vector_snapshot();

@@ -204,6 +204,15 @@ pub struct ResponseInfo {
     /// Size of the replica set selected for this request (including the
     /// sequencer; 0 for updates).
     pub replicas_selected: usize,
+    /// Commit/version number carried on the winning reply: the GSN of the
+    /// update (sequential), the serving replica's applied CSN (sequential
+    /// reads), or the serving replica's local version (FIFO/causal). Zero
+    /// when no reply arrived (shed, timed out).
+    pub csn: u64,
+    /// Version vector carried on the winning reply (causal ordering only;
+    /// empty otherwise). Snapshot of the serving replica's vector at
+    /// service time.
+    pub vector: crate::wire::VersionVector,
 }
 
 /// Instructions for the host actor.
@@ -678,6 +687,8 @@ impl ClientGateway {
                             shed: true,
                             degraded: true,
                             replicas_selected: 0,
+                            csn: 0,
+                            vector: Vec::new(),
                         })],
                     );
                 }
@@ -1194,6 +1205,8 @@ impl ClientGateway {
             shed: false,
             degraded: p.degraded,
             replicas_selected: p.selected,
+            csn: 0,
+            vector: Vec::new(),
         }));
         actions
     }
@@ -1386,6 +1399,8 @@ impl ClientGateway {
             shed: false,
             degraded: p.degraded,
             replicas_selected: p.selected,
+            csn: r.csn,
+            vector: r.vector,
         }));
         actions
     }

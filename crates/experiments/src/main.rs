@@ -20,6 +20,8 @@
 //!   overload       overload-protection goodput retention (EXT-OVL)
 //!   overload-smoke short asserting EXT-OVL subset for CI
 //!   trace-smoke    observability purity + artifact reconstruction gate for CI
+//!   chaos-search   seeded fault-schedule search judged by oracles (EXT-CHAOS)
+//!   chaos-smoke    fixed-seed chaos corpus + repro replay gate for CI
 //!   all            everything above
 //! ```
 //!
@@ -28,6 +30,7 @@
 //! `<command>.trace.jsonl` / `<command>.metrics.json` artifacts.
 
 mod admission;
+mod chaos;
 mod durability;
 mod failures;
 mod fig3;
@@ -106,7 +109,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: aqf-experiments <fig3|fig4|fig4a|fig4b|sweep-lui|sweep-reqdelay|hotspot|failures|failures-smoke|admission|ordering|staleness|overload|overload-smoke|trace-smoke|durability|recovery-smoke|all> [--seed N] [--iters N] [--csv DIR] [--trace-out DIR] [--metrics-out DIR]".to_string()
+    "usage: aqf-experiments <fig3|fig4|fig4a|fig4b|sweep-lui|sweep-reqdelay|hotspot|failures|failures-smoke|admission|ordering|staleness|overload|overload-smoke|trace-smoke|durability|recovery-smoke|chaos-search|chaos-smoke|all> [--seed N] [--iters N] [--csv DIR] [--trace-out DIR] [--metrics-out DIR]".to_string()
 }
 
 fn main() -> ExitCode {
@@ -149,6 +152,8 @@ fn main() -> ExitCode {
         "trace-smoke" => obsout::smoke(args.seed),
         "durability" => durability::run(args.seed, &out),
         "recovery-smoke" => durability::smoke(args.seed),
+        "chaos-search" => chaos::run(args.seed, args.iters, &out),
+        "chaos-smoke" => chaos::smoke(args.seed),
         "all" => {
             fig3::run(args.iters, &out);
             let points = fig4::run_grid(args.seed);
@@ -163,6 +168,7 @@ fn main() -> ExitCode {
             staleness::run(args.seed, &out);
             overload::run(args.seed, &out);
             durability::run(args.seed, &out);
+            chaos::run(args.seed, args.iters, &out);
         }
         _ => {
             eprintln!("{}", usage());

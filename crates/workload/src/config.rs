@@ -100,7 +100,7 @@ pub struct FaultEvent {
 
 /// Which process a fault strikes (resolved to an actor when the world is
 /// built).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum FaultTarget {
     /// The initial sequencer (primary-group leader).
     Sequencer,
@@ -144,6 +144,20 @@ pub enum FaultKind {
     },
     /// Heal a previous [`FaultKind::Degrade`] or [`FaultKind::Lossy`].
     RestoreGray,
+    /// Pairwise partition: cut the single link between the fault's target
+    /// and `peer` while both keep talking to everyone else — the
+    /// split-brain-shaped topologies whole-node [`FaultKind::Isolate`]
+    /// cannot express. Both endpoints must name a single process
+    /// (correlated targets are rejected by validation).
+    CutLink {
+        /// The other endpoint of the severed link.
+        peer: FaultTarget,
+    },
+    /// Heal a previous [`FaultKind::CutLink`] on the same pair.
+    HealLink {
+        /// The other endpoint of the healed link.
+        peer: FaultTarget,
+    },
 }
 
 /// Full description of one simulated deployment and workload.
@@ -343,21 +357,27 @@ impl ScenarioConfig {
                 return Err(format!("client {i}: total_requests must be positive"));
             }
         }
+        let check_target = |t: FaultTarget| -> Result<(), String> {
+            match t {
+                FaultTarget::Primary(i) if i >= self.num_primaries => Err(format!(
+                    "fault targets primary {i} of {}",
+                    self.num_primaries
+                )),
+                FaultTarget::Secondary(i) if i >= self.num_secondaries => Err(format!(
+                    "fault targets secondary {i} of {}",
+                    self.num_secondaries
+                )),
+                _ => Ok(()),
+            }
+        };
         for f in &self.faults {
-            match f.target {
-                FaultTarget::Primary(i) if i >= self.num_primaries => {
-                    return Err(format!(
-                        "fault targets primary {i} of {}",
-                        self.num_primaries
-                    ));
-                }
-                FaultTarget::Secondary(i) if i >= self.num_secondaries => {
-                    return Err(format!(
-                        "fault targets secondary {i} of {}",
-                        self.num_secondaries
-                    ));
-                }
-                _ => {}
+            check_target(f.target)?;
+            if f.at.as_micros() > self.run_limit.as_micros() {
+                return Err(format!(
+                    "fault at {:.1}s is beyond the {:.1}s run horizon",
+                    f.at.as_secs_f64(),
+                    self.run_limit.as_secs_f64()
+                ));
             }
             match f.kind {
                 FaultKind::Degrade { factor } if factor < 1.0 => {
@@ -366,7 +386,108 @@ impl ScenarioConfig {
                 FaultKind::Lossy { p } if !(0.0..=1.0).contains(&p) => {
                     return Err("lossy probability must be in [0, 1]".into());
                 }
+                FaultKind::CutLink { peer } | FaultKind::HealLink { peer } => {
+                    check_target(peer)?;
+                    let correlated = |t: FaultTarget| {
+                        matches!(t, FaultTarget::AllPrimaries | FaultTarget::AllServers)
+                    };
+                    if correlated(f.target) || correlated(peer) {
+                        return Err(
+                            "link faults need single-process endpoints, not correlated targets"
+                                .into(),
+                        );
+                    }
+                    if peer == f.target {
+                        return Err(format!("link fault connects {:?} to itself", f.target));
+                    }
+                }
                 _ => {}
+            }
+        }
+        self.validate_fault_ordering()
+    }
+
+    /// Chronological consistency of the fault schedule: healing faults need
+    /// a matching outstanding damaging fault, and re-striking an already
+    /// struck target (crash while crashed, isolate while isolated, cut an
+    /// already cut link) is a contradictory overlap. Targets are compared
+    /// by their configured identity: a role target ([`FaultTarget::Sequencer`])
+    /// and a static target that happen to resolve to the same process are
+    /// tracked independently, matching how the runner pairs heals to the
+    /// process the damaging fault actually struck.
+    fn validate_fault_ordering(&self) -> Result<(), String> {
+        use std::collections::{BTreeMap, BTreeSet};
+        let mut order: Vec<&FaultEvent> = self.faults.iter().collect();
+        order.sort_by_key(|f| f.at); // stable: config order breaks ties
+        let pair = |a: FaultTarget, b: FaultTarget| (a.min(b), a.max(b));
+        let mut crashed: BTreeSet<FaultTarget> = BTreeSet::new();
+        let mut isolated: BTreeSet<FaultTarget> = BTreeSet::new();
+        let mut gray: BTreeMap<FaultTarget, u32> = BTreeMap::new();
+        let mut cut: BTreeSet<(FaultTarget, FaultTarget)> = BTreeSet::new();
+        for f in order {
+            let t = f.target;
+            match f.kind {
+                FaultKind::Crash => {
+                    if !crashed.insert(t) {
+                        return Err(format!(
+                            "contradictory faults: {t:?} crashed at {:.1}s while already down",
+                            f.at.as_secs_f64()
+                        ));
+                    }
+                }
+                // A restart of a running process is a no-op in the world,
+                // and existing scenarios schedule bare restarts to force
+                // re-incarnation — allowed without a prior crash.
+                FaultKind::Restart => {
+                    crashed.remove(&t);
+                }
+                FaultKind::Isolate => {
+                    if !isolated.insert(t) {
+                        return Err(format!(
+                            "contradictory faults: {t:?} isolated at {:.1}s while already isolated",
+                            f.at.as_secs_f64()
+                        ));
+                    }
+                }
+                FaultKind::Reconnect => {
+                    if !isolated.remove(&t) {
+                        return Err(format!(
+                            "Reconnect at {:.1}s without a matching prior Isolate on {t:?}",
+                            f.at.as_secs_f64()
+                        ));
+                    }
+                }
+                // Gray faults may be layered (degrade + lossy) on the same
+                // target; each restore peels one layer, so a schedule may
+                // pair every gray fault with its own RestoreGray.
+                FaultKind::Degrade { .. } | FaultKind::Lossy { .. } => {
+                    *gray.entry(t).or_insert(0) += 1;
+                }
+                FaultKind::RestoreGray => match gray.get_mut(&t) {
+                    Some(layers) if *layers > 0 => *layers -= 1,
+                    _ => {
+                        return Err(format!(
+                            "RestoreGray at {:.1}s without a matching prior Degrade/Lossy on {t:?}",
+                            f.at.as_secs_f64()
+                        ));
+                    }
+                },
+                FaultKind::CutLink { peer } => {
+                    if !cut.insert(pair(t, peer)) {
+                        return Err(format!(
+                            "contradictory faults: link {t:?}-{peer:?} cut at {:.1}s while already cut",
+                            f.at.as_secs_f64()
+                        ));
+                    }
+                }
+                FaultKind::HealLink { peer } => {
+                    if !cut.remove(&pair(t, peer)) {
+                        return Err(format!(
+                            "HealLink at {:.1}s without a matching prior CutLink on {t:?}-{peer:?}",
+                            f.at.as_secs_f64()
+                        ));
+                    }
+                }
             }
         }
         Ok(())
@@ -526,6 +647,146 @@ mod tests {
         let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
         c.storage.fsync_every = 0;
         assert!(c.validate().is_ok());
+    }
+
+    fn fault(at_secs: u64, target: FaultTarget, kind: FaultKind) -> FaultEvent {
+        FaultEvent {
+            at: SimTime::from_secs(at_secs),
+            target,
+            kind,
+        }
+    }
+
+    #[test]
+    fn rejects_fault_beyond_run_horizon() {
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
+        c.run_limit = SimDuration::from_secs(100);
+        c.faults = vec![fault(101, FaultTarget::Primary(0), FaultKind::Crash)];
+        assert!(c.validate().unwrap_err().contains("beyond"));
+        c.faults[0].at = SimTime::from_secs(100);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_reconnect_without_prior_isolate() {
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
+        c.faults = vec![fault(10, FaultTarget::Secondary(0), FaultKind::Reconnect)];
+        assert!(c.validate().unwrap_err().contains("Reconnect"));
+        c.faults
+            .insert(0, fault(5, FaultTarget::Secondary(0), FaultKind::Isolate));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_restore_gray_without_prior_gray_fault() {
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
+        c.faults = vec![fault(10, FaultTarget::Primary(1), FaultKind::RestoreGray)];
+        assert!(c.validate().unwrap_err().contains("RestoreGray"));
+        c.faults.insert(
+            0,
+            fault(5, FaultTarget::Primary(1), FaultKind::Lossy { p: 0.2 }),
+        );
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_heal_link_without_prior_cut() {
+        let peer = FaultTarget::Secondary(1);
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
+        c.faults = vec![fault(
+            10,
+            FaultTarget::Primary(0),
+            FaultKind::HealLink { peer },
+        )];
+        assert!(c.validate().unwrap_err().contains("HealLink"));
+        c.faults.insert(
+            0,
+            fault(5, FaultTarget::Primary(0), FaultKind::CutLink { peer }),
+        );
+        assert!(c.validate().is_ok());
+        // The heal matches the unordered pair, so swapped endpoints heal too.
+        c.faults[1] = fault(
+            10,
+            peer,
+            FaultKind::HealLink {
+                peer: FaultTarget::Primary(0),
+            },
+        );
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_contradictory_overlapping_faults() {
+        // Crash while already down.
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
+        c.faults = vec![
+            fault(10, FaultTarget::Primary(0), FaultKind::Crash),
+            fault(20, FaultTarget::Primary(0), FaultKind::Crash),
+        ];
+        assert!(c.validate().unwrap_err().contains("contradictory"));
+        // An intervening restart clears the contradiction.
+        c.faults
+            .insert(1, fault(15, FaultTarget::Primary(0), FaultKind::Restart));
+        assert!(c.validate().is_ok());
+
+        // Isolate while already isolated.
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
+        c.faults = vec![
+            fault(10, FaultTarget::Secondary(2), FaultKind::Isolate),
+            fault(20, FaultTarget::Secondary(2), FaultKind::Isolate),
+        ];
+        assert!(c.validate().unwrap_err().contains("contradictory"));
+
+        // Cut an already cut link.
+        let peer = FaultTarget::Secondary(0);
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
+        c.faults = vec![
+            fault(10, FaultTarget::Primary(0), FaultKind::CutLink { peer }),
+            fault(
+                20,
+                peer,
+                FaultKind::CutLink {
+                    peer: FaultTarget::Primary(0),
+                },
+            ),
+        ];
+        assert!(c.validate().unwrap_err().contains("contradictory"));
+    }
+
+    #[test]
+    fn rejects_malformed_link_endpoints() {
+        // Correlated endpoint.
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
+        c.faults = vec![fault(
+            10,
+            FaultTarget::AllPrimaries,
+            FaultKind::CutLink {
+                peer: FaultTarget::Secondary(0),
+            },
+        )];
+        assert!(c.validate().unwrap_err().contains("single-process"));
+
+        // Self-link.
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
+        c.faults = vec![fault(
+            10,
+            FaultTarget::Primary(1),
+            FaultKind::CutLink {
+                peer: FaultTarget::Primary(1),
+            },
+        )];
+        assert!(c.validate().unwrap_err().contains("itself"));
+
+        // Out-of-range peer.
+        let mut c = ScenarioConfig::paper_validation(200, 0.9, 4, 1);
+        c.faults = vec![fault(
+            10,
+            FaultTarget::Primary(1),
+            FaultKind::CutLink {
+                peer: FaultTarget::Secondary(99),
+            },
+        )];
+        assert!(c.validate().is_err());
     }
 
     #[test]

@@ -28,6 +28,7 @@
 pub mod actors;
 pub mod bench_scenarios;
 pub mod config;
+pub mod history;
 pub mod runner;
 pub mod synthetic;
 
@@ -38,8 +39,9 @@ pub use bench_scenarios::{world_bench_config, WORLD_BENCH_SIZES};
 pub use config::{
     ClientSpec, FaultEvent, FaultKind, FaultTarget, ObjectKind, OpPattern, ScenarioConfig,
 };
+pub use history::{HistoryEvent, HistoryHandle};
 pub use runner::{
-    build_scenario, run_scenario, run_scenario_observed, BuiltScenario, ClientOutcome,
-    ScenarioMetrics, ServerOutcome,
+    build_scenario, run_scenario, run_scenario_observed, run_scenario_recorded, BuiltScenario,
+    ClientOutcome, ScenarioMetrics, ServerOutcome,
 };
 pub use synthetic::{build_candidates, build_candidates_uncached, synthetic_repository};

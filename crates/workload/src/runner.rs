@@ -299,6 +299,11 @@ pub struct BuiltScenario {
     /// usually failed over to someone else.
     struck_sequencer: Option<ActorId>,
     struck_publisher: Option<ActorId>,
+    /// Links severed by role-targeted [`FaultKind::CutLink`] faults, keyed
+    /// by the configured endpoint pair, so the matching
+    /// [`FaultKind::HealLink`] heals the actor pair actually cut even if
+    /// the role has since moved.
+    struck_links: Vec<((FaultTarget, FaultTarget), (ActorId, ActorId))>,
     /// Whether simulated stable storage was enabled for this build;
     /// threaded into [`ScenarioMetrics`] so the digest only covers the
     /// durability counters when the subsystem actually ran.
@@ -329,6 +334,16 @@ impl BuiltScenario {
         }
     }
 
+    /// Installs one shared history recording handle into every client
+    /// host. Installing a disabled handle is a no-op by construction.
+    pub fn install_history(&mut self, history: &crate::history::HistoryHandle) {
+        for &id in &self.client_ids.clone() {
+            if let Some(c) = self.world.actor_mut::<ClientActor>(id) {
+                c.set_history(history.clone());
+            }
+        }
+    }
+
     /// Whether every client has issued and resolved its full workload.
     pub fn all_clients_done(&self) -> bool {
         self.client_ids.iter().all(|&c| {
@@ -350,6 +365,27 @@ impl BuiltScenario {
             }
             self.world.run_until(fault.at);
             self.pending_faults.remove(0);
+            if let FaultKind::CutLink { peer } | FaultKind::HealLink { peer } = fault.kind {
+                let key = link_key(fault.target, peer);
+                if matches!(fault.kind, FaultKind::CutLink { .. }) {
+                    let a = self.resolve_live_target(fault.target);
+                    let b = self.resolve_live_target(peer);
+                    self.struck_links.push((key, (a, b)));
+                    self.world.schedule_partition(a, b, fault.at);
+                } else {
+                    // Heal the actor pair the matching cut actually struck,
+                    // not whoever holds the role now.
+                    let (a, b) = match self.struck_links.iter().position(|(k, _)| *k == key) {
+                        Some(i) => self.struck_links.remove(i).1,
+                        None => (
+                            self.resolve_live_target(fault.target),
+                            self.resolve_live_target(peer),
+                        ),
+                    };
+                    self.world.schedule_heal(a, b, fault.at);
+                }
+                continue;
+            }
             let healing = matches!(
                 fault.kind,
                 FaultKind::Restart | FaultKind::Reconnect | FaultKind::RestoreGray
@@ -391,6 +427,9 @@ impl BuiltScenario {
                 }
                 FaultKind::Lossy { p } => self.world.schedule_lossy(target, p, fault.at),
                 FaultKind::RestoreGray => self.world.schedule_restore(target, fault.at),
+                FaultKind::CutLink { .. } | FaultKind::HealLink { .. } => {
+                    unreachable!("link faults handled above")
+                }
             }
         }
         self.world.run_until(until);
@@ -599,8 +638,33 @@ pub fn build_scenario(config: &ScenarioConfig) -> BuiltScenario {
         FaultKind::Degrade { factor } => world.schedule_degrade(target, factor, fault.at),
         FaultKind::Lossy { p } => world.schedule_lossy(target, p, fault.at),
         FaultKind::RestoreGray => world.schedule_restore(target, fault.at),
+        FaultKind::CutLink { .. } | FaultKind::HealLink { .. } => {
+            unreachable!("link faults are scheduled pairwise, not per target")
+        }
     };
     for fault in &config.faults {
+        if let FaultKind::CutLink { peer } | FaultKind::HealLink { peer } = fault.kind {
+            // Pairwise faults: both endpoints static — sever/heal the link
+            // now; any role-targeted endpoint defers to live resolution.
+            let role =
+                |t: FaultTarget| matches!(t, FaultTarget::Sequencer | FaultTarget::Publisher);
+            if role(fault.target) || role(peer) {
+                pending_faults.push(*fault);
+                continue;
+            }
+            let resolve = |t: FaultTarget| match t {
+                FaultTarget::Primary(i) => primary_ids[i + 1],
+                FaultTarget::Secondary(i) => secondary_ids[i],
+                _ => unreachable!("validated: link endpoints are single processes"),
+            };
+            let (a, b) = (resolve(fault.target), resolve(peer));
+            if matches!(fault.kind, FaultKind::CutLink { .. }) {
+                world.schedule_partition(a, b, fault.at);
+            } else {
+                world.schedule_heal(a, b, fault.at);
+            }
+            continue;
+        }
         let target = match fault.target {
             FaultTarget::Sequencer | FaultTarget::Publisher => {
                 pending_faults.push(*fault);
@@ -636,6 +700,7 @@ pub fn build_scenario(config: &ScenarioConfig) -> BuiltScenario {
         pending_faults,
         struck_sequencer: None,
         struck_publisher: None,
+        struck_links: Vec::new(),
         durability: config.storage.enabled,
     }
 }
@@ -660,9 +725,31 @@ pub fn run_scenario(config: &ScenarioConfig) -> ScenarioMetrics {
 ///
 /// Panics if the configuration fails validation.
 pub fn run_scenario_observed(config: &ScenarioConfig, obs: &ObsHandle) -> ScenarioMetrics {
+    run_scenario_recorded(config, obs, &crate::history::HistoryHandle::disabled())
+}
+
+/// [`run_scenario_observed`] with a history recording handle additionally
+/// installed into every client host. A disabled handle makes this
+/// event-for-event identical to `run_scenario_observed`; an enabled
+/// handle fills the shared buffer with the per-client operation history
+/// the chaos oracles replay. Recording is write-only and cannot perturb
+/// the run: the digest is unchanged whether or not it is enabled (pinned
+/// by the history property tests).
+///
+/// # Panics
+///
+/// Panics if the configuration fails validation.
+pub fn run_scenario_recorded(
+    config: &ScenarioConfig,
+    obs: &ObsHandle,
+    history: &crate::history::HistoryHandle,
+) -> ScenarioMetrics {
     let mut built = build_scenario(config);
     if obs.is_enabled() {
         built.install_obs(obs);
+    }
+    if history.is_enabled() {
+        built.install_history(history);
     }
     // Drive until every client finished its workload (or the safety limit).
     // Chunked `run_until_with_faults` is event-for-event identical to the
@@ -780,6 +867,11 @@ fn make_gateway(
             server_config,
         )),
     }
+}
+
+/// Canonical (unordered) identity of a pairwise link fault.
+fn link_key(a: FaultTarget, b: FaultTarget) -> (FaultTarget, FaultTarget) {
+    (a.min(b), a.max(b))
 }
 
 fn collect(

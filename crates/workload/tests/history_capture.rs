@@ -1,0 +1,132 @@
+//! Integration and property tests for the history recorder: the JSONL
+//! encoding must round-trip losslessly (serialize → parse → re-serialize
+//! byte-stable), and enabling recording must not perturb the simulation
+//! (bit-identical [`ScenarioMetrics::digest`] on the 16-actor faulty
+//! golden scenario).
+
+use aqf_workload::history::{parse_jsonl, to_jsonl};
+use aqf_workload::{
+    run_scenario, run_scenario_recorded, world_bench_config, HistoryEvent, HistoryHandle, ObsHandle,
+};
+use proptest::prelude::*;
+
+fn issue_of(
+    (client, seq, at_us): (u64, u64, u64),
+    read: bool,
+    method: &str,
+    arg: Vec<u8>,
+) -> HistoryEvent {
+    HistoryEvent::Issue {
+        client,
+        seq,
+        at_us,
+        read,
+        method: method.to_owned(),
+        arg,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn complete_of(
+    (client, seq, at_us, csn, staleness): (u64, u64, u64, u64, u64),
+    result: Vec<u8>,
+    (timely, deferred, timed_out, shed, degraded): (bool, bool, bool, bool, bool),
+    vector: Vec<(u64, u64)>,
+) -> HistoryEvent {
+    HistoryEvent::Complete {
+        client,
+        seq,
+        at_us,
+        result,
+        timely,
+        deferred,
+        staleness,
+        timed_out,
+        shed,
+        degraded,
+        csn,
+        vector,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any mix of issue and complete events survives serialize → parse →
+    /// re-serialize with the exact same bytes.
+    #[test]
+    fn jsonl_round_trips_losslessly(
+        issues in proptest::collection::vec(
+            (
+                (any::<u64>(), any::<u64>(), any::<u64>()),
+                any::<bool>(),
+                ["set", "get", "deposit", "withdraw", "balance", "price"],
+                proptest::collection::vec(any::<u8>(), 0..24),
+            ),
+            0..8),
+        completes in proptest::collection::vec(
+            (
+                (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+                proptest::collection::vec(any::<u8>(), 0..24),
+                (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()),
+                proptest::collection::vec((any::<u64>(), any::<u64>()), 0..5),
+            ),
+            0..8),
+    ) {
+        let mut events: Vec<HistoryEvent> = Vec::new();
+        for (ids, read, method, arg) in issues {
+            events.push(issue_of(ids, read, method, arg));
+        }
+        for (nums, result, flags, vector) in completes {
+            events.push(complete_of(nums, result, flags, vector));
+        }
+        let text = to_jsonl(&events);
+        let parsed = parse_jsonl(&text).expect("serialized history parses");
+        prop_assert_eq!(&parsed, &events, "parse is lossless");
+        prop_assert_eq!(to_jsonl(&parsed), text, "re-serialize is byte-stable");
+    }
+}
+
+/// Recording is write-only: the 16-actor faulty golden scenario produces
+/// the identical metrics digest whether or not a collector is installed,
+/// and the collected history is a well-formed closed-loop log (every
+/// completion matches an earlier issue of the same request).
+#[test]
+fn recording_never_steers_the_golden_scenario() {
+    let config = world_bench_config(16, true);
+    let baseline = run_scenario(&config);
+
+    let history = HistoryHandle::collecting();
+    let recorded = run_scenario_recorded(&config, &ObsHandle::disabled(), &history);
+    assert_eq!(
+        baseline.digest(),
+        recorded.digest(),
+        "enabling history recording changed the simulation"
+    );
+
+    let events = history.take();
+    assert!(!events.is_empty(), "recorded run produced no history");
+    let mut outstanding = std::collections::BTreeSet::new();
+    let mut completes = 0u64;
+    for e in &events {
+        match e {
+            HistoryEvent::Issue { .. } => {
+                assert!(outstanding.insert(e.key()), "request issued twice: {e:?}");
+            }
+            HistoryEvent::Complete { .. } => {
+                assert!(
+                    outstanding.remove(&e.key()),
+                    "completion without a prior issue: {e:?}"
+                );
+                completes += 1;
+            }
+        }
+    }
+    assert!(completes > 0, "no completions recorded");
+
+    // The log itself round-trips byte-stable, real payloads included.
+    let text = to_jsonl(&events);
+    let parsed = parse_jsonl(&text).expect("recorded history parses");
+    assert_eq!(parsed, events);
+    assert_eq!(to_jsonl(&parsed), text);
+}

@@ -1,0 +1,129 @@
+//! Chaos hunt, end to end: search → violation → shrink → replay.
+//!
+//! The scenario is deliberately mis-provisioned: the measured client asks
+//! for Pc = 0.98 within a 200 ms deadline, while every primary spends two
+//! minutes 8× slower and dropping 40% of its traffic. No consistency
+//! oracle can object — the replies are correct, just late — but with
+//! `OracleOptions::enforce_pc` the timed oracle also audits the
+//! *probabilistic* half of the paper's §3 guarantee: the Wilson 95%
+//! interval of the observed timely frequency must not sit entirely below
+//! the requested Pc. It does here, the hunt flags it, and the
+//! delta-debugging shrinker strips the decoy faults down to the minimal
+//! schedule that still breaks the contract. The minimized repro is then
+//! serialized, re-parsed, and replayed twice to show the artifact is
+//! self-contained and bit-identical.
+//!
+//! ```sh
+//! cargo run --release --example chaos_hunt
+//! ```
+
+use aqf::chaos::{
+    config_from_json, config_to_json, minimize, replay_and_judge, OracleKind, OracleOptions,
+};
+use aqf::sim::{SimDuration, SimTime};
+use aqf::workload::{FaultEvent, FaultKind, FaultTarget, ScenarioConfig};
+
+fn main() {
+    // Pc = 0.98 is feasible on a healthy cluster — and hopeless under the
+    // gray-fault window injected below.
+    let mut config = ScenarioConfig::paper_validation(200, 0.98, 2, 4242).with_fast_detection();
+    config.run_limit = SimDuration::from_secs(250);
+    for spec in &mut config.clients {
+        spec.total_requests = 80;
+        spec.request_delay = SimDuration::from_millis(600);
+    }
+    config.faults = vec![
+        // The actual culprit: a two-minute gray window over all primaries.
+        fault(
+            30,
+            FaultTarget::AllPrimaries,
+            FaultKind::Degrade { factor: 8.0 },
+        ),
+        fault(31, FaultTarget::AllPrimaries, FaultKind::Lossy { p: 0.4 }),
+        fault(170, FaultTarget::AllPrimaries, FaultKind::RestoreGray),
+        fault(171, FaultTarget::AllPrimaries, FaultKind::RestoreGray),
+        // Decoys the shrinker should discard: a secondary bounce and a
+        // cut link between two secondaries.
+        fault(40, FaultTarget::Secondary(3), FaultKind::Crash),
+        fault(90, FaultTarget::Secondary(3), FaultKind::Restart),
+        fault(
+            50,
+            FaultTarget::Secondary(0),
+            FaultKind::CutLink {
+                peer: FaultTarget::Secondary(1),
+            },
+        ),
+        fault(
+            120,
+            FaultTarget::Secondary(0),
+            FaultKind::HealLink {
+                peer: FaultTarget::Secondary(1),
+            },
+        ),
+    ];
+    config.validate().expect("hunt scenario is well-formed");
+
+    // Hunt with the Pc audit on.
+    let opts = OracleOptions { enforce_pc: true };
+    let (digest, violations) = replay_and_judge(&config, &opts);
+    println!("hunt: digest {digest}, {} violation(s)", violations.len());
+    for v in &violations {
+        println!(
+            "  [{}] client {} seq {}: {}",
+            v.oracle.name(),
+            v.client,
+            v.seq,
+            v.detail
+        );
+    }
+    assert!(
+        violations.iter().any(|v| v.oracle == OracleKind::Timed),
+        "expected the timed oracle to flag the mis-provisioned Pc"
+    );
+
+    // Shrink: only timed violations count, so the minimizer cannot wander.
+    let shrunk = minimize(&config, Some(OracleKind::Timed), &opts);
+    println!(
+        "\nshrink: {} fault events -> {} in {} replays:",
+        config.faults.len(),
+        shrunk.config.faults.len(),
+        shrunk.replays
+    );
+    for f in &shrunk.config.faults {
+        println!(
+            "  {:>6.1}s  {:?}  {:?}",
+            f.at.as_secs_f64(),
+            f.target,
+            f.kind
+        );
+    }
+    assert!(
+        shrunk.config.faults.len() <= 2,
+        "decoys survived the shrinker: {:?}",
+        shrunk.config.faults
+    );
+
+    // The minimized repro is a self-contained artifact: JSON out, JSON in,
+    // identical replay, same verdict.
+    let text = config_to_json(&shrunk.config);
+    let parsed = config_from_json(&text).expect("repro round-trips");
+    assert_eq!(parsed, shrunk.config);
+    let (a, va) = replay_and_judge(&parsed, &opts);
+    let (b, vb) = replay_and_judge(&parsed, &opts);
+    assert_eq!(a, b, "repro replays diverged");
+    assert_eq!(va.len(), vb.len());
+    assert!(va.iter().any(|v| v.oracle == OracleKind::Timed));
+    println!(
+        "\nrepro: replays bit-identically (digest {a}), {} bytes of JSON:",
+        text.len()
+    );
+    println!("{text}");
+}
+
+fn fault(secs: u64, target: FaultTarget, kind: FaultKind) -> FaultEvent {
+    FaultEvent {
+        at: SimTime::from_secs(secs),
+        target,
+        kind,
+    }
+}

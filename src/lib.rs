@@ -13,6 +13,7 @@
 //! | [`stats`] ([`aqf_stats`]) | empirical pmfs, discrete convolution, Poisson CDF, sliding windows, binomial CIs |
 //! | [`core`] ([`aqf_core`]) | the paper's contribution: QoS model, sequential consistency gateways, probabilistic replica selection, admission control |
 //! | [`workload`] ([`aqf_workload`]) | scenario configuration, host actors, the experiment runner |
+//! | [`chaos`] ([`aqf_chaos`]) | chaos search: seeded fault-schedule generation, consistency/timeliness oracles, delta-debugging shrinker, repro artifacts |
 //!
 //! # Quick start
 //!
@@ -43,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use aqf_chaos as chaos;
 pub use aqf_core as core;
 pub use aqf_group as group;
 pub use aqf_sim as sim;
